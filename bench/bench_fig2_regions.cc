@@ -1,0 +1,136 @@
+// Quantifies Figure 2: the search-region comparison that motivates DB-LSH.
+// The paper's figure contrasts, in one projected space, (a) E2LSH's
+// query-oblivious grid cell, (b) C2's unbounded cross-shaped union of
+// slabs, (c) MQ's ball, and (d) DB-LSH's query-centric square. Here each
+// region is materialized on a real projected workload and measured by its
+// *candidate efficiency*: how many of the points it retrieves are true
+// k-NN of the query (higher precision at equal retrieval cost = better
+// region geometry).
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench/common.h"
+#include "dataset/ground_truth.h"
+#include "eval/table.h"
+#include "lsh/projection.h"
+#include "util/distance.h"
+
+namespace dblsh {
+namespace {
+
+void Run(size_t n, size_t dim, size_t k, size_t proj_dim, double width) {
+  const FloatMatrix data = GenerateClustered({.n = n,
+                                              .dim = dim,
+                                              .clusters = 32,
+                                              .center_spread = 20.0,
+                                              .cluster_stddev = 2.0,
+                                              .seed = 7});
+  const lsh::ProjectionBank bank(proj_dim, dim, 11);
+  const FloatMatrix projected = bank.ProjectDataset(data);
+  const double w = width * EstimateNnDistance(data, 13);
+
+  // Per-region tallies across queries: points retrieved / true k-NN hit.
+  struct Tally {
+    size_t retrieved = 0;
+    size_t hits = 0;
+  };
+  Tally grid, cross, ball, window;
+
+  const size_t num_queries = 25;
+  std::vector<float> proj_q(proj_dim);
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    const size_t anchor = (qi * 131) % n;
+    const float* query = data.row(anchor);
+    bank.ProjectAll(query, proj_q.data());
+    const auto gt = ExactKnn(data, query, k + 1);  // skip self at rank 0
+    std::set<uint32_t> truth;
+    for (size_t i = 1; i < gt.size(); ++i) truth.insert(gt[i].id);
+
+    const auto half = static_cast<float>(w / 2.0);
+    for (uint32_t id = 0; id < n; ++id) {
+      if (id == anchor) continue;
+      const float* p = projected.row(id);
+      // (a) E2LSH: same query-oblivious grid cell in every dimension.
+      bool in_grid = true;
+      // (d) DB-LSH: query-centric hypercube.
+      bool in_window = true;
+      // (b) C2: cross = within the slab in AT LEAST a threshold number of
+      // dimensions (here: half of them, the collision-counting rule).
+      size_t slab_hits = 0;
+      float dist2 = 0.f;
+      for (size_t j = 0; j < proj_dim; ++j) {
+        const float cell_q = std::floor(proj_q[j] / w);
+        const float cell_p = std::floor(p[j] / w);
+        if (cell_q != cell_p) in_grid = false;
+        const float diff = std::abs(p[j] - proj_q[j]);
+        if (diff > half) in_window = false;
+        if (diff <= half) ++slab_hits;
+        dist2 += diff * diff;
+      }
+      // (c) MQ: ball of radius half * sqrt(proj_dim) (same volume scale).
+      const bool in_ball =
+          dist2 <= half * half * static_cast<float>(proj_dim);
+      const bool in_cross = slab_hits >= (proj_dim + 1) / 2;
+      const bool is_hit = truth.count(id) > 0;
+      if (in_grid) {
+        ++grid.retrieved;
+        grid.hits += is_hit;
+      }
+      if (in_cross) {
+        ++cross.retrieved;
+        cross.hits += is_hit;
+      }
+      if (in_ball) {
+        ++ball.retrieved;
+        ball.hits += is_hit;
+      }
+      if (in_window) {
+        ++window.retrieved;
+        window.hits += is_hit;
+      }
+    }
+  }
+
+  eval::Table table({"Region (method family)", "AvgRetrieved", "AvgTrueNN",
+                     "Precision"});
+  auto add = [&](const char* name, const Tally& t) {
+    const double denom = static_cast<double>(num_queries);
+    table.AddRow({name, eval::Table::Fmt(t.retrieved / denom, 1),
+                  eval::Table::Fmt(t.hits / denom, 2),
+                  eval::Table::Fmt(t.retrieved
+                                       ? double(t.hits) / t.retrieved
+                                       : 0.0,
+                                   4)});
+  };
+  add("grid cell (E2LSH, static)", grid);
+  add("cross of slabs (C2: QALSH/VHP)", cross);
+  add("ball (MQ: SRS/PM-LSH)", ball);
+  add("query-centric cube (DB-LSH)", window);
+  table.Print();
+  std::printf(
+      "\nShape to check: the cube dominates the grid cell (no boundary "
+      "losses) at similar size; the cross retrieves far more points for "
+      "the same hits (unbounded region); the ball is competitive but "
+      "costlier to query in an index.\n");
+}
+
+}  // namespace
+}  // namespace dblsh
+
+int main(int argc, char** argv) {
+  dblsh::bench::Flags flags(argc, argv);
+  dblsh::bench::PrintBanner(
+      "Figure 2: search-region geometry comparison",
+      "Points close to the query can fall outside E2LSH's static cell "
+      "(hash boundary issue); C2's cross-like region is unbounded; DB-LSH "
+      "keeps a bounded query-centric cube with the best candidate "
+      "precision.");
+  dblsh::Run(static_cast<size_t>(flags.GetInt("n", 20000)),
+             static_cast<size_t>(flags.GetInt("dim", 128)),
+             static_cast<size_t>(flags.GetInt("k", 50)),
+             static_cast<size_t>(flags.GetInt("proj_dim", 8)),
+             flags.GetDouble("width", 6.0));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Figure 4: rho* vs rho as functions of the approximation ratio
+// c, for (a) w = 0.4c^2 (gamma = 0.2, alpha < 1) and (b) w = 4c^2
+// (gamma = 2, alpha = 4.746). The paper's claims: in (a) static rho can
+// exceed 1/c while rho* stays below 1/c^alpha and below rho; in (b) rho
+// hugs 1/c while rho* decays rapidly toward 0.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "eval/table.h"
+#include "lsh/collision.h"
+
+namespace dblsh {
+namespace {
+
+void RunPanel(const char* title, double gamma) {
+  const double alpha = lsh::AlphaForGamma(gamma);
+  std::printf("--- %s (gamma = %.2f, alpha = %.3f) ---\n", title, gamma,
+              alpha);
+  eval::Table table({"c", "rho*", "rho (static)", "1/c", "1/c^alpha",
+                     "rho* <= 1/c^alpha", "rho* < rho"});
+  for (double c = 1.1; c <= 4.0001; c += 0.25) {
+    const double w = 2.0 * gamma * c * c;
+    const double rho_star = lsh::RhoQueryCentric(1.0, c, w);
+    const double rho = lsh::RhoStatic(1.0, c, w);
+    const double bound = std::pow(c, -alpha);
+    table.AddRow({eval::Table::Fmt(c, 2), eval::Table::Fmt(rho_star, 4),
+                  eval::Table::Fmt(rho, 4), eval::Table::Fmt(1.0 / c, 4),
+                  eval::Table::Fmt(bound, 4),
+                  rho_star <= bound + 1e-9 ? "yes" : "NO",
+                  rho_star < rho ? "yes" : "NO"});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace dblsh
+
+int main(int argc, char** argv) {
+  dblsh::bench::Flags flags(argc, argv);
+  dblsh::bench::PrintBanner(
+      "Figure 4: rho* vs rho",
+      "(a) w = 0.4c^2: rho exceeds 1/c for c < 2 while rho* < rho always; "
+      "(b) w = 4c^2: rho ~ 1/c while rho* is bounded by 1/c^4.746 and "
+      "decays rapidly to 0.");
+  dblsh::RunPanel("Fig. 4(a): w = 0.4c^2", flags.GetDouble("gamma_a", 0.2));
+  dblsh::RunPanel("Fig. 4(b): w = 4c^2", flags.GetDouble("gamma_b", 2.0));
+  return 0;
+}

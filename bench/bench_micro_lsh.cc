@@ -1,0 +1,71 @@
+// Micro-benchmarks for the LSH math substrate (google-benchmark): the
+// projection kernel dominating DB-LSH's O(KLd) per-query hashing term, the
+// static hash, and the collision-probability evaluations used for
+// parameter derivation.
+#include <benchmark/benchmark.h>
+
+#include "dataset/synthetic.h"
+#include "lsh/collision.h"
+#include "lsh/params.h"
+#include "lsh/projection.h"
+#include "util/random.h"
+
+namespace dblsh::lsh {
+namespace {
+
+void BM_ProjectOne(benchmark::State& state) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  ProjectionBank bank(60, dim, 94);
+  std::vector<float> point(dim, 1.5f);
+  std::vector<float> out(60);
+  for (auto _ : state) {
+    bank.ProjectAll(point.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 60);
+}
+BENCHMARK(BM_ProjectOne)->Arg(128)->Arg(384)->Arg(960);
+
+void BM_ProjectDataset(benchmark::State& state) {
+  const FloatMatrix data = GenerateUniform(10000, 128, 100.0, 95);
+  ProjectionBank bank(50, 128, 96);
+  for (auto _ : state) {
+    FloatMatrix projected = bank.ProjectDataset(data);
+    benchmark::DoNotOptimize(projected.data().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_ProjectDataset);
+
+void BM_StaticHash(benchmark::State& state) {
+  StaticHashFamily family(60, 128, 9.0, 97);
+  std::vector<float> point(128, 2.f);
+  std::vector<int64_t> out(60);
+  for (auto _ : state) {
+    family.HashAll(point.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_StaticHash);
+
+void BM_CollisionProb(benchmark::State& state) {
+  double tau = 0.9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CollisionProbQueryCentric(tau, 9.0));
+    benchmark::DoNotOptimize(CollisionProbStatic(tau, 9.0));
+    tau += 1e-9;
+  }
+}
+BENCHMARK(BM_CollisionProb);
+
+void BM_DeriveParams(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeriveParams(1000000, 1.5, 9.0, 100));
+  }
+}
+BENCHMARK(BM_DeriveParams);
+
+}  // namespace
+}  // namespace dblsh::lsh
+
+BENCHMARK_MAIN();

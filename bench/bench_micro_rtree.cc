@@ -1,0 +1,87 @@
+// Micro-benchmarks for the R*-tree substrate (google-benchmark): STR bulk
+// loading vs insertion throughput, window queries, and cursor streaming.
+// These quantify the "efficient window queries via multi-dimensional
+// indexes" claim underlying DB-LSH's dynamic bucketing overhead argument.
+#include <benchmark/benchmark.h>
+
+#include "dataset/synthetic.h"
+#include "rtree/rtree.h"
+#include "util/random.h"
+
+namespace dblsh::rtree {
+namespace {
+
+FloatMatrix MakePoints(size_t n, size_t dim) {
+  return GenerateClustered({.n = n,
+                            .dim = dim,
+                            .clusters = 32,
+                            .center_spread = 100.0,
+                            .cluster_stddev = 2.0,
+                            .seed = 91});
+}
+
+void BM_BulkLoad(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const FloatMatrix points = MakePoints(n, 10);
+  for (auto _ : state) {
+    RStarTree tree(&points);
+    benchmark::DoNotOptimize(tree.BulkLoadAll());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BulkLoad)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_InsertBuild(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const FloatMatrix points = MakePoints(n, 10);
+  for (auto _ : state) {
+    RStarTree tree(&points);
+    for (uint32_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(tree.Insert(i));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_InsertBuild)->Arg(1000)->Arg(10000);
+
+void BM_WindowQuery(benchmark::State& state) {
+  const FloatMatrix points = MakePoints(50000, 10);
+  RStarTree tree(&points);
+  (void)tree.BulkLoadAll();
+  Rng rng(92);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    out.clear();
+    const uint32_t anchor = static_cast<uint32_t>(rng.UniformInt(50000));
+    tree.WindowQuery(
+        Rect::Window(points.row(anchor), 10, double(state.range(0))), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_WindowQuery)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_CursorFirstTen(benchmark::State& state) {
+  // DB-LSH's access pattern: open a window cursor, take a few candidates,
+  // abandon the rest.
+  const FloatMatrix points = MakePoints(50000, 10);
+  RStarTree tree(&points);
+  (void)tree.BulkLoadAll();
+  Rng rng(93);
+  for (auto _ : state) {
+    const uint32_t anchor = static_cast<uint32_t>(rng.UniformInt(50000));
+    RStarTree::WindowCursor cursor(
+        &tree, Rect::Window(points.row(anchor), 10, 16.0));
+    uint32_t id = 0;
+    int taken = 0;
+    while (taken < 10 && cursor.Next(&id)) ++taken;
+    benchmark::DoNotOptimize(taken);
+  }
+}
+BENCHMARK(BM_CursorFirstTen);
+
+}  // namespace
+}  // namespace dblsh::rtree
+
+BENCHMARK_MAIN();

@@ -1,0 +1,202 @@
+// dblsh_tool: command-line front end for the library, the workflow a
+// downstream user runs without writing C++:
+//
+//   dblsh_tool gen   --out=data.fvecs --n=20000 --dim=64 [--clusters=32]
+//   dblsh_tool build --data=data.fvecs --index=data.idx [--c=1.5] [--l=5]
+//   dblsh_tool query --data=data.fvecs --index=data.idx
+//                    --queries=q.fvecs --k=10 [--gt]
+//   dblsh_tool stats --data=data.fvecs
+//
+// `query` prints per-query neighbors; with --gt it also computes exact
+// ground truth and reports recall / overall ratio.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/db_lsh.h"
+#include "dataset/ground_truth.h"
+#include "dataset/io.h"
+#include "dataset/stats.h"
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "util/timer.h"
+
+namespace dblsh {
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "1";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+  std::string Get(const std::string& key, const std::string& dflt) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+  }
+  double GetDouble(const std::string& key, double dflt) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::atof(it->second.c_str());
+  }
+  int64_t GetInt(const std::string& key, int64_t dflt) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::atoll(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dblsh_tool <gen|build|query|stats> [--flags]\n"
+               "  gen    --out=F.fvecs --n=N --dim=D [--clusters=C] "
+               "[--spread=S] [--seed=X]\n"
+               "  build  --data=F.fvecs --index=F.idx [--c=1.5] [--l=5] "
+               "[--k=0] [--t=0]\n"
+               "  query  --data=F.fvecs --index=F.idx --queries=Q.fvecs "
+               "[--k=10] [--gt]\n"
+               "  stats  --data=F.fvecs\n");
+  return 2;
+}
+
+int RunGen(const Args& args) {
+  ClusteredSpec spec;
+  spec.n = static_cast<size_t>(args.GetInt("n", 20000));
+  spec.dim = static_cast<size_t>(args.GetInt("dim", 64));
+  spec.clusters = static_cast<size_t>(args.GetInt("clusters", 32));
+  spec.center_spread = args.GetDouble("spread", 30.0);
+  spec.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  const std::string out = args.Get("out", "");
+  if (out.empty()) return Usage();
+  const FloatMatrix data = GenerateClustered(spec);
+  if (Status s = SaveFvecs(data, out); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu x %zu vectors to %s\n", data.rows(), data.cols(),
+              out.c_str());
+  return 0;
+}
+
+int RunBuild(const Args& args) {
+  const std::string data_path = args.Get("data", "");
+  const std::string index_path = args.Get("index", "");
+  if (data_path.empty() || index_path.empty()) return Usage();
+  auto data = LoadFvecs(data_path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  DbLshParams params;
+  params.c = args.GetDouble("c", 1.5);
+  params.l = static_cast<size_t>(args.GetInt("l", 5));
+  params.k = static_cast<size_t>(args.GetInt("k", 0));
+  params.t = static_cast<size_t>(args.GetInt("t", 0));
+  DbLsh index(params);
+  Timer timer;
+  if (Status s = index.Build(&data.value()); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("built DB-LSH over %zu points in %.3f s (K=%zu L=%zu t=%zu)\n",
+              data.value().rows(), timer.ElapsedSec(), index.params().k,
+              index.params().l, index.params().t);
+  if (Status s = index.Save(index_path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved index to %s\n", index_path.c_str());
+  return 0;
+}
+
+int RunQuery(const Args& args) {
+  const std::string data_path = args.Get("data", "");
+  const std::string index_path = args.Get("index", "");
+  const std::string query_path = args.Get("queries", "");
+  if (data_path.empty() || index_path.empty() || query_path.empty()) {
+    return Usage();
+  }
+  auto data = LoadFvecs(data_path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  auto queries = LoadFvecs(query_path);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+  auto index = DbLsh::Load(index_path, &data.value());
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  const auto k = static_cast<size_t>(args.GetInt("k", 10));
+  const bool with_gt = args.Has("gt");
+  double total_ms = 0.0, recall = 0.0, ratio = 0.0;
+  for (size_t q = 0; q < queries.value().rows(); ++q) {
+    Timer timer;
+    const auto result = index.value().Query(queries.value().row(q), k);
+    total_ms += timer.ElapsedMs();
+    std::printf("query %zu:", q);
+    for (const auto& nb : result) std::printf(" %u(%.4f)", nb.id, nb.dist);
+    std::printf("\n");
+    if (with_gt) {
+      const auto gt = ExactKnn(data.value(), queries.value().row(q), k);
+      recall += eval::Recall(result, gt);
+      ratio += eval::OverallRatio(result, gt);
+    }
+  }
+  const auto denom = static_cast<double>(queries.value().rows());
+  std::printf("avg query time: %.3f ms\n", total_ms / denom);
+  if (with_gt) {
+    std::printf("recall@%zu: %.4f  overall ratio: %.4f\n", k, recall / denom,
+                ratio / denom);
+  }
+  return 0;
+}
+
+int RunStats(const Args& args) {
+  const std::string data_path = args.Get("data", "");
+  if (data_path.empty()) return Usage();
+  auto data = LoadFvecs(data_path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const DatasetStats stats = EstimateStats(data.value());
+  std::printf("n = %zu, dim = %zu\n", data.value().rows(),
+              data.value().cols());
+  std::printf("mean distance:      %.4f\n", stats.mean_distance);
+  std::printf("mean 1-NN distance: %.4f\n", stats.mean_nn_distance);
+  std::printf("relative contrast:  %.3f (higher = easier)\n",
+              stats.relative_contrast);
+  std::printf("LID (MLE):          %.2f (higher = harder)\n", stats.lid);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dblsh
+
+int main(int argc, char** argv) {
+  if (argc < 2) return dblsh::Usage();
+  const dblsh::Args args(argc, argv);
+  const std::string command = argv[1];
+  if (command == "gen") return dblsh::RunGen(args);
+  if (command == "build") return dblsh::RunBuild(args);
+  if (command == "query") return dblsh::RunQuery(args);
+  if (command == "stats") return dblsh::RunStats(args);
+  return dblsh::Usage();
+}

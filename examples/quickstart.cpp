@@ -1,0 +1,55 @@
+// Quickstart: build a DB-LSH index over a synthetic dataset and answer
+// (c,k)-ANN queries through the public API.
+//
+//   ./examples/quickstart
+//
+#include <cstdio>
+
+#include "core/db_lsh.h"
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+
+int main() {
+  using namespace dblsh;
+
+  // 1. Get a dataset. Any row-major float matrix works; .fvecs/.bvecs
+  //    loaders live in dataset/io.h. Here: 20k clustered 64-d points.
+  ClusteredSpec spec;
+  spec.n = 20000;
+  spec.dim = 64;
+  spec.clusters = 32;
+  const FloatMatrix data = GenerateClustered(spec);
+
+  // 2. Configure and build the index. Defaults follow the paper
+  //    (c = 1.5, w0 = 4c^2, L = 5, K = 10); everything is overridable.
+  DbLshParams params;
+  params.c = 1.5;
+  DbLsh index(params);
+  const Status build_status = index.Build(&data);
+  if (!build_status.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 build_status.ToString().c_str());
+    return 1;
+  }
+  std::printf("Built DB-LSH over %zu points: K=%zu, L=%zu, w0=%.2f, t=%zu\n",
+              data.rows(), index.params().k, index.params().l,
+              index.params().w0, index.params().t);
+
+  // 3. Query. Ask for the 10 approximate nearest neighbors of point 123's
+  //    slightly perturbed copy.
+  std::vector<float> query(data.row(123), data.row(123) + data.cols());
+  query[0] += 0.25f;
+
+  QueryStats stats;
+  const std::vector<Neighbor> result = index.Query(query.data(), 10, &stats);
+
+  std::printf("\nTop-10 ANN of perturbed point 123 "
+              "(%zu candidates verified, %zu rounds):\n",
+              stats.candidates_verified, stats.rounds);
+  const auto exact = ExactKnn(data, query.data(), 10);
+  for (size_t i = 0; i < result.size(); ++i) {
+    std::printf("  #%zu: id=%u dist=%.4f (exact #%zu dist=%.4f)\n", i + 1,
+                result[i].id, result[i].dist, i + 1, exact[i].dist);
+  }
+  return 0;
+}

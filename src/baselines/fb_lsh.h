@@ -1,0 +1,28 @@
+#ifndef DBLSH_BASELINES_FB_LSH_H_
+#define DBLSH_BASELINES_FB_LSH_H_
+
+#include "core/db_lsh.h"
+
+namespace dblsh {
+
+/// FB-LSH: the paper's own ablation (Sec. VI-A) — the identical (K,L)-index
+/// as DB-LSH but with *fixed* grid bucketing at query time, so near-boundary
+/// neighbors can be missed. The paper's default parameters differ from
+/// DB-LSH's (K = 5, L = 10..12) because fixed buckets need more independent
+/// repetitions to compensate for boundary losses.
+inline DbLshParams FbLshDefaultParams(size_t n) {
+  DbLshParams params;
+  params.bucketing = BucketingMode::kFixedGrid;
+  params.k = 5;
+  params.l = (n > 100000) ? 12 : 10;
+  return params;
+}
+
+/// Convenience factory matching the other baselines' construction style.
+inline std::unique_ptr<DbLsh> MakeFbLsh(size_t n) {
+  return std::make_unique<DbLsh>(FbLshDefaultParams(n));
+}
+
+}  // namespace dblsh
+
+#endif  // DBLSH_BASELINES_FB_LSH_H_

@@ -1,0 +1,131 @@
+#include "baselines/lccs_lsh.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "dataset/ground_truth.h"
+#include "util/distance.h"
+
+namespace dblsh {
+
+namespace {
+
+uint64_t RotL(uint64_t x, unsigned s) {
+  return s == 0 ? x : (x << s) | (x >> (64 - s));
+}
+
+}  // namespace
+
+LccsLsh::LccsLsh(LccsLshParams params) : params_(params) {}
+
+uint64_t LccsLsh::CodeOf(const float* point) const {
+  // One 4-bit symbol per hash function, MSB-first so a longer common prefix
+  // of the rotated code means more consecutive hash collisions.
+  uint64_t code = 0;
+  for (size_t f = 0; f < num_symbols_; ++f) {
+    const auto symbol =
+        static_cast<uint64_t>(family_->Hash(f, point)) & 0xFULL;
+    code = (code << 4) | symbol;
+  }
+  return code;
+}
+
+Status LccsLsh::Build(const FloatMatrix* data) {
+  if (data == nullptr || data->rows() == 0) {
+    return Status::InvalidArgument(
+        "LccsLsh::Build requires a non-empty dataset");
+  }
+  if (params_.m < 4 || params_.m > 64) {
+    return Status::InvalidArgument("code length m must be in [4, 64]");
+  }
+  data_ = data;
+  const size_t n = data->rows();
+  num_symbols_ = params_.m / 4;
+  if (params_.scan_per_shift == 0) {
+    params_.scan_per_shift = params_.probes / num_symbols_ + 1;
+  }
+
+  const double w =
+      params_.w_scale * EstimateNnDistance(*data, params_.seed ^ 0x1CC5ULL);
+  family_ = std::make_unique<lsh::StaticHashFamily>(num_symbols_,
+                                                    data->cols(), w,
+                                                    params_.seed);
+  codes_.resize(n);
+  for (size_t i = 0; i < n; ++i) codes_[i] = CodeOf(data->row(i));
+
+  shift_order_.assign(num_symbols_, {});
+  for (size_t s = 0; s < num_symbols_; ++s) {
+    auto& order = shift_order_[s];
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0);
+    const auto rot = static_cast<unsigned>(4 * s);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      const uint64_t ra = RotL(codes_[a], rot);
+      const uint64_t rb = RotL(codes_[b], rot);
+      if (ra != rb) return ra < rb;
+      return a < b;
+    });
+  }
+
+  verified_epoch_.assign(n, 0);
+  epoch_ = 0;
+  return Status::OK();
+}
+
+std::vector<Neighbor> LccsLsh::Query(const float* query, size_t k,
+                                     QueryStats* stats) const {
+  assert(data_ != nullptr && "Build() must succeed before Query()");
+  if (k == 0) return {};
+  const size_t n = data_->rows();
+  if (++epoch_ == 0) {
+    std::fill(verified_epoch_.begin(), verified_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+
+  const uint64_t qcode = CodeOf(query);
+  const size_t budget = params_.probes + k;
+  TopKHeap heap(k);
+  size_t verified = 0;
+
+  auto verify = [&](uint32_t id) -> bool {
+    if (stats != nullptr) ++stats->points_accessed;
+    if (verified_epoch_[id] == epoch_) return false;
+    verified_epoch_[id] = epoch_;
+    heap.Push(L2Distance(data_->row(id), query, data_->cols()), id);
+    ++verified;
+    if (stats != nullptr) ++stats->candidates_verified;
+    return verified >= budget;
+  };
+
+  for (size_t s = 0; s < num_symbols_ && verified < budget; ++s) {
+    if (stats != nullptr) ++stats->window_queries;
+    const auto rot = static_cast<unsigned>(4 * s);
+    const uint64_t rq = RotL(qcode, rot);
+    const auto& order = shift_order_[s];
+    // Binary search the rotated code in this shift's sorted order.
+    const auto pos = std::lower_bound(
+        order.begin(), order.end(), rq, [&](uint32_t id, uint64_t key) {
+          return RotL(codes_[id], rot) < key;
+        });
+    ptrdiff_t upper = pos - order.begin();
+    ptrdiff_t lower = upper - 1;
+    // Neighbors in this order share the longest common prefix of the
+    // rotated code, i.e. the longest co-substring starting at symbol s.
+    for (size_t step = 0; step < params_.scan_per_shift; ++step) {
+      if (upper < static_cast<ptrdiff_t>(n)) {
+        if (verify(order[static_cast<size_t>(upper)])) break;
+        ++upper;
+      }
+      if (lower >= 0) {
+        if (verify(order[static_cast<size_t>(lower)])) break;
+        --lower;
+      }
+      if (upper >= static_cast<ptrdiff_t>(n) && lower < 0) break;
+    }
+  }
+  if (stats != nullptr) stats->rounds = 1;
+  return heap.TakeSorted();
+}
+
+}  // namespace dblsh

@@ -1,0 +1,29 @@
+#include "baselines/linear_scan.h"
+
+#include "util/distance.h"
+
+namespace dblsh {
+
+Status LinearScan::Build(const FloatMatrix* data) {
+  if (data == nullptr || data->rows() == 0) {
+    return Status::InvalidArgument("LinearScan requires a non-empty dataset");
+  }
+  data_ = data;
+  return Status::OK();
+}
+
+std::vector<Neighbor> LinearScan::Query(const float* query, size_t k,
+                                        QueryStats* stats) const {
+  TopKHeap heap(k);
+  for (size_t i = 0; i < data_->rows(); ++i) {
+    heap.Push(L2Distance(data_->row(i), query, data_->cols()),
+              static_cast<uint32_t>(i));
+  }
+  if (stats != nullptr) {
+    stats->candidates_verified += data_->rows();
+    stats->points_accessed += data_->rows();
+  }
+  return heap.TakeSorted();
+}
+
+}  // namespace dblsh

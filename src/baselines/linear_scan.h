@@ -1,0 +1,26 @@
+#ifndef DBLSH_BASELINES_LINEAR_SCAN_H_
+#define DBLSH_BASELINES_LINEAR_SCAN_H_
+
+#include "core/ann_index.h"
+
+namespace dblsh {
+
+/// Exact brute-force scan. Serves as the ground-truth oracle in tests and
+/// as the "VHP degenerates to linear scan on large data" reference point in
+/// the paper's discussion.
+class LinearScan : public AnnIndex {
+ public:
+  std::string Name() const override { return "LinearScan"; }
+
+  Status Build(const FloatMatrix* data) override;
+  std::vector<Neighbor> Query(const float* query, size_t k,
+                              QueryStats* stats = nullptr) const override;
+  size_t NumHashFunctions() const override { return 0; }
+
+ private:
+  const FloatMatrix* data_ = nullptr;
+};
+
+}  // namespace dblsh
+
+#endif  // DBLSH_BASELINES_LINEAR_SCAN_H_

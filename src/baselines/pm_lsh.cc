@@ -1,0 +1,71 @@
+#include "baselines/pm_lsh.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/distance.h"
+
+namespace dblsh {
+
+PmLsh::PmLsh(PmLshParams params) : params_(params) {}
+
+Status PmLsh::Build(const FloatMatrix* data) {
+  if (data == nullptr || data->rows() == 0) {
+    return Status::InvalidArgument("PmLsh::Build requires a non-empty dataset");
+  }
+  if (params_.c <= 1.0) {
+    return Status::InvalidArgument("approximation ratio c must exceed 1");
+  }
+  if (params_.m == 0) {
+    return Status::InvalidArgument("PM-LSH needs at least one projection");
+  }
+  data_ = data;
+  bank_ = std::make_unique<lsh::ProjectionBank>(params_.m, data->cols(),
+                                                params_.seed);
+  projected_ = bank_->ProjectDataset(*data);
+  tree_ = std::make_unique<kdtree::KdTree>(&projected_);
+  return Status::OK();
+}
+
+std::vector<Neighbor> PmLsh::Query(const float* query, size_t k,
+                                   QueryStats* stats) const {
+  assert(data_ != nullptr && "Build() must succeed before Query()");
+  if (k == 0) return {};
+  const size_t n = data_->rows();
+
+  std::vector<float> proj_q(params_.m);
+  bank_->ProjectAll(query, proj_q.data());
+
+  const size_t budget =
+      std::max<size_t>(100, static_cast<size_t>(params_.beta *
+                                                static_cast<double>(n))) +
+      k;
+  const double stop_scale = params_.t_factor * std::sqrt(double(params_.m));
+
+  TopKHeap heap(k);
+  kdtree::KdTree::NnCursor cursor(tree_.get(), proj_q.data());
+  if (stats != nullptr) {
+    ++stats->window_queries;
+    ++stats->rounds;
+  }
+  Neighbor projected_neighbor;
+  size_t verified = 0;
+  while (cursor.Next(&projected_neighbor)) {
+    if (stats != nullptr) ++stats->points_accessed;
+    // Early stop: the projected radius already certifies the current top-k
+    // (projected distances concentrate around sqrt(m) * true distance).
+    if (heap.Full() &&
+        projected_neighbor.dist > stop_scale * heap.Threshold()) {
+      break;
+    }
+    const uint32_t id = projected_neighbor.id;
+    heap.Push(L2Distance(data_->row(id), query, data_->cols()), id);
+    ++verified;
+    if (stats != nullptr) ++stats->candidates_verified;
+    if (verified >= budget) break;
+  }
+  return heap.TakeSorted();
+}
+
+}  // namespace dblsh

@@ -1,0 +1,175 @@
+#include "baselines/r2lsh.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "dataset/ground_truth.h"
+#include "lsh/collision.h"
+#include "util/distance.h"
+
+namespace dblsh {
+
+R2Lsh::R2Lsh(R2LshParams params) : params_(params) {}
+
+Status R2Lsh::Build(const FloatMatrix* data) {
+  if (data == nullptr || data->rows() == 0) {
+    return Status::InvalidArgument("R2Lsh::Build requires a non-empty dataset");
+  }
+  if (params_.c <= 1.0) {
+    return Status::InvalidArgument("approximation ratio c must exceed 1");
+  }
+  if (params_.m < 2) {
+    return Status::InvalidArgument("R2LSH needs at least one 2D space");
+  }
+  params_.m -= params_.m % 2;  // pair up projections
+  num_spaces_ = params_.m / 2;
+  data_ = data;
+  const size_t n = data->rows();
+
+  const double c = params_.c;
+  const double w_norm =
+      std::sqrt(8.0 * c * c * std::log(c) / (c * c - 1.0));
+  r_unit_ = EstimateNnDistance(*data, params_.seed ^ 0x5252ULL) / c;
+  w_ = w_norm * r_unit_;
+
+  if (params_.collision_fraction <= 0.0) {
+    // In a 2D projected space the projections of two points at distance tau
+    // differ by a 2D Gaussian with per-axis variance tau^2, so the disc
+    // collision probability is Rayleigh: P(||diff|| <= s) =
+    // 1 - exp(-s^2 / (2 tau^2)). The threshold sits midway between the
+    // near (tau = 1) and far (tau = c) cases, mirroring QALSH's rule.
+    const double s = w_norm / 2.0;
+    const double p1 = 1.0 - std::exp(-s * s / 2.0);
+    const double p2 = 1.0 - std::exp(-s * s / (2.0 * c * c));
+    params_.collision_fraction = 0.5 * (p1 + p2);
+  }
+  collision_threshold_ = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(params_.collision_fraction *
+                                       static_cast<double>(num_spaces_))));
+
+  bank_ = std::make_unique<lsh::ProjectionBank>(params_.m, data->cols(),
+                                                params_.seed);
+  projected_ = bank_->ProjectDataset(*data);
+
+  trees_.clear();
+  trees_.reserve(num_spaces_);
+  std::vector<bptree::BPlusTree::Entry> entries(n);
+  for (size_t s = 0; s < num_spaces_; ++s) {
+    for (size_t i = 0; i < n; ++i) {
+      entries[i] = {projected_.at(i, 2 * s), static_cast<uint32_t>(i)};
+    }
+    trees_.emplace_back();
+    DBLSH_RETURN_IF_ERROR(trees_.back().BulkLoad(entries));
+  }
+
+  collision_count_.assign(n, 0);
+  count_epoch_.assign(n, 0);
+  verified_epoch_.assign(n, 0);
+  epoch_ = 0;
+  return Status::OK();
+}
+
+std::vector<Neighbor> R2Lsh::Query(const float* query, size_t k,
+                                   QueryStats* stats) const {
+  assert(data_ != nullptr && "Build() must succeed before Query()");
+  if (k == 0) return {};
+  const size_t n = data_->rows();
+  if (++epoch_ == 0) {
+    std::fill(count_epoch_.begin(), count_epoch_.end(), 0);
+    std::fill(verified_epoch_.begin(), verified_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+
+  std::vector<float> proj_q(params_.m);
+  bank_->ProjectAll(query, proj_q.data());
+
+  // Per space: a slab frontier on the first coordinate plus a min-heap of
+  // fetched points keyed by their 2D projected distance, so disc admission
+  // is incremental as the radius grows.
+  struct Pending {
+    float dist2d;
+    uint32_t id;
+  };
+  struct PendingGreater {
+    bool operator()(const Pending& a, const Pending& b) const {
+      return a.dist2d > b.dist2d;
+    }
+  };
+  std::vector<bptree::BPlusTree::Iterator> right(num_spaces_),
+      left(num_spaces_);
+  std::vector<
+      std::priority_queue<Pending, std::vector<Pending>, PendingGreater>>
+      pending(num_spaces_);
+  for (size_t s = 0; s < num_spaces_; ++s) {
+    right[s] = trees_[s].LowerBound(proj_q[2 * s]);
+    left[s] = trees_[s].UpperNeighborBelow(proj_q[2 * s]);
+  }
+
+  const size_t budget =
+      std::max<size_t>(100, static_cast<size_t>(params_.beta *
+                                                static_cast<double>(n))) +
+      k;
+  TopKHeap heap(k);
+  size_t verified = 0;
+  double radius = 1.0;
+  const double c = params_.c;
+
+  auto verify = [&](uint32_t id) -> bool {
+    if (count_epoch_[id] != epoch_) {
+      count_epoch_[id] = epoch_;
+      collision_count_[id] = 0;
+    }
+    if (++collision_count_[id] < collision_threshold_) return false;
+    if (verified_epoch_[id] == epoch_) return false;
+    verified_epoch_[id] = epoch_;
+    heap.Push(L2Distance(data_->row(id), query, data_->cols()), id);
+    ++verified;
+    if (stats != nullptr) ++stats->candidates_verified;
+    return verified >= budget;
+  };
+
+  for (size_t round = 0; round < 64; ++round) {
+    if (stats != nullptr) ++stats->rounds;
+    const auto half = static_cast<float>(w_ * radius / 2.0);
+    bool budget_hit = false;
+    for (size_t s = 0; s < num_spaces_ && !budget_hit; ++s) {
+      if (stats != nullptr) ++stats->window_queries;
+      const float qx = proj_q[2 * s];
+      const float qy = proj_q[2 * s + 1];
+      auto push_pending = [&](uint32_t id) {
+        const float dx = projected_.at(id, 2 * s) - qx;
+        const float dy = projected_.at(id, 2 * s + 1) - qy;
+        pending[s].push({std::sqrt(dx * dx + dy * dy), id});
+        if (stats != nullptr) ++stats->points_accessed;
+      };
+      auto& r_it = right[s];
+      while (r_it.Valid() && r_it.key() <= qx + half) {
+        push_pending(r_it.id());
+        r_it.Next();
+      }
+      auto& l_it = left[s];
+      while (l_it.Valid() && l_it.key() >= qx - half) {
+        push_pending(l_it.id());
+        l_it.Prev();
+      }
+      // Admit every fetched point whose 2D distance is inside the disc.
+      while (!pending[s].empty() && pending[s].top().dist2d <= half) {
+        const uint32_t id = pending[s].top().id;
+        pending[s].pop();
+        if (verify(id)) {
+          budget_hit = true;
+          break;
+        }
+      }
+    }
+    if (budget_hit) break;
+    if (heap.Full() && heap.Threshold() <= c * radius * r_unit_) break;
+    if (verified >= n) break;
+    radius *= c;
+  }
+  return heap.TakeSorted();
+}
+
+}  // namespace dblsh

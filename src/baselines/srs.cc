@@ -1,0 +1,70 @@
+#include "baselines/srs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/distance.h"
+
+namespace dblsh {
+
+Srs::Srs(SrsParams params) : params_(params) {}
+
+Status Srs::Build(const FloatMatrix* data) {
+  if (data == nullptr || data->rows() == 0) {
+    return Status::InvalidArgument("Srs::Build requires a non-empty dataset");
+  }
+  if (params_.c <= 1.0) {
+    return Status::InvalidArgument("approximation ratio c must exceed 1");
+  }
+  if (params_.m == 0) {
+    return Status::InvalidArgument("SRS needs at least one projection");
+  }
+  data_ = data;
+  bank_ = std::make_unique<lsh::ProjectionBank>(params_.m, data->cols(),
+                                                params_.seed);
+  projected_ = bank_->ProjectDataset(*data);
+  tree_ = std::make_unique<kdtree::KdTree>(&projected_);
+  return Status::OK();
+}
+
+std::vector<Neighbor> Srs::Query(const float* query, size_t k,
+                                 QueryStats* stats) const {
+  assert(data_ != nullptr && "Build() must succeed before Query()");
+  if (k == 0) return {};
+  const size_t n = data_->rows();
+
+  std::vector<float> proj_q(params_.m);
+  bank_->ProjectAll(query, proj_q.data());
+
+  const size_t budget =
+      std::max<size_t>(100, static_cast<size_t>(params_.beta *
+                                                static_cast<double>(n))) +
+      k;
+  const double stop_scale =
+      std::sqrt(params_.threshold * static_cast<double>(params_.m));
+
+  TopKHeap heap(k);
+  kdtree::KdTree::NnCursor cursor(tree_.get(), proj_q.data());
+  if (stats != nullptr) {
+    ++stats->window_queries;
+    ++stats->rounds;
+  }
+  Neighbor projected_neighbor;
+  size_t verified = 0;
+  while (cursor.Next(&projected_neighbor)) {
+    if (stats != nullptr) ++stats->points_accessed;
+    if (heap.Full() &&
+        projected_neighbor.dist > stop_scale * heap.Threshold()) {
+      break;  // SRS early-stop test on the projected/true distance ratio
+    }
+    const uint32_t id = projected_neighbor.id;
+    heap.Push(L2Distance(data_->row(id), query, data_->cols()), id);
+    ++verified;
+    if (stats != nullptr) ++stats->candidates_verified;
+    if (verified >= budget) break;
+  }
+  return heap.TakeSorted();
+}
+
+}  // namespace dblsh

@@ -1,0 +1,325 @@
+#include "bptree/bplus_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace dblsh::bptree {
+
+/// Node layout: leaves hold sorted entries and sibling links; internal nodes
+/// hold children and one router key per child (the smallest key in that
+/// subtree).
+struct BPlusTree::Node {
+  bool is_leaf = true;
+  std::vector<Entry> entries;       // leaf payload
+  std::vector<Entry> routers;       // internal: min entry of child i
+                                    // (full (key, id) pairs so duplicate
+                                    // keys route deterministically)
+  std::vector<Node*> children;      // internal payload
+  Node* prev = nullptr;             // leaf links
+  Node* next = nullptr;
+
+  Entry MinEntry() const {
+    return is_leaf ? entries.front() : routers.front();
+  }
+  size_t count() const {
+    return is_leaf ? entries.size() : children.size();
+  }
+};
+
+BPlusTree::BPlusTree(size_t fanout) : fanout_(fanout) {
+  assert(fanout_ >= 4);
+}
+
+BPlusTree::~BPlusTree() { FreeTree(root_); }
+
+BPlusTree::BPlusTree(BPlusTree&& other) noexcept
+    : fanout_(other.fanout_), root_(other.root_), size_(other.size_) {
+  other.root_ = nullptr;
+  other.size_ = 0;
+}
+
+BPlusTree& BPlusTree::operator=(BPlusTree&& other) noexcept {
+  if (this != &other) {
+    FreeTree(root_);
+    fanout_ = other.fanout_;
+    root_ = other.root_;
+    size_ = other.size_;
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void BPlusTree::FreeTree(Node* node) {
+  if (node == nullptr) return;
+  for (Node* child : node->children) FreeTree(child);
+  delete node;
+}
+
+Status BPlusTree::BulkLoad(std::vector<Entry> entries) {
+  FreeTree(root_);
+  root_ = nullptr;
+  size_ = entries.size();
+  std::sort(entries.begin(), entries.end());
+
+  if (entries.empty()) {
+    root_ = new Node();
+    return Status::OK();
+  }
+
+  // Build leaves at ~90% fill so later inserts have headroom.
+  const size_t leaf_cap = std::max<size_t>(2, fanout_ * 9 / 10);
+  std::vector<Node*> level;
+  Node* prev = nullptr;
+  for (size_t i = 0; i < entries.size(); i += leaf_cap) {
+    Node* leaf = new Node();
+    const size_t end = std::min(i + leaf_cap, entries.size());
+    leaf->entries.assign(entries.begin() + i, entries.begin() + end);
+    leaf->prev = prev;
+    if (prev != nullptr) prev->next = leaf;
+    prev = leaf;
+    level.push_back(leaf);
+  }
+  while (level.size() > 1) {
+    std::vector<Node*> parents;
+    for (size_t i = 0; i < level.size(); i += fanout_) {
+      Node* parent = new Node();
+      parent->is_leaf = false;
+      const size_t end = std::min(i + fanout_, level.size());
+      for (size_t j = i; j < end; ++j) {
+        parent->children.push_back(level[j]);
+        parent->routers.push_back(level[j]->MinEntry());
+      }
+      parents.push_back(parent);
+    }
+    level = std::move(parents);
+  }
+  root_ = level.front();
+  return Status::OK();
+}
+
+size_t BPlusTree::height() const {
+  size_t h = 0;
+  for (const Node* n = root_; n != nullptr;
+       n = n->is_leaf ? nullptr : n->children.front()) {
+    ++h;
+  }
+  return h;
+}
+
+void BPlusTree::Insert(float key, uint32_t id) {
+  if (root_ == nullptr) root_ = new Node();
+  ++size_;
+
+  // Descend, remembering the path; split full nodes on the way back up.
+  std::vector<Node*> path;
+  std::vector<size_t> slots;
+  const Entry entry{key, id};
+  Node* node = root_;
+  while (!node->is_leaf) {
+    // Last child whose minimum entry is <= the new entry.
+    size_t i = static_cast<size_t>(
+        std::upper_bound(node->routers.begin(), node->routers.end(), entry) -
+        node->routers.begin());
+    if (i > 0) --i;
+    path.push_back(node);
+    slots.push_back(i);
+    node = node->children[i];
+  }
+  node->entries.insert(
+      std::upper_bound(node->entries.begin(), node->entries.end(), entry),
+      entry);
+  // Keep routers exact for leftmost inserts.
+  for (size_t d = path.size(); d-- > 0;) {
+    path[d]->routers[slots[d]] = path[d]->children[slots[d]]->MinEntry();
+  }
+
+  // Split from the leaf upward while over capacity.
+  Node* child = node;
+  for (size_t d = path.size(); child->count() > fanout_; --d) {
+    Node* right = new Node();
+    right->is_leaf = child->is_leaf;
+    const size_t half = child->count() / 2;
+    if (child->is_leaf) {
+      right->entries.assign(child->entries.begin() + half,
+                            child->entries.end());
+      child->entries.resize(half);
+      right->next = child->next;
+      right->prev = child;
+      if (child->next != nullptr) child->next->prev = right;
+      child->next = right;
+    } else {
+      right->children.assign(child->children.begin() + half,
+                             child->children.end());
+      right->routers.assign(child->routers.begin() + half,
+                            child->routers.end());
+      child->children.resize(half);
+      child->routers.resize(half);
+    }
+    if (d == 0) {
+      Node* new_root = new Node();
+      new_root->is_leaf = false;
+      new_root->children = {child, right};
+      new_root->routers = {child->MinEntry(), right->MinEntry()};
+      root_ = new_root;
+      break;
+    }
+    Node* parent = path[d - 1];
+    const size_t slot = slots[d - 1];
+    parent->children.insert(parent->children.begin() + slot + 1, right);
+    parent->routers.insert(parent->routers.begin() + slot + 1,
+                           right->MinEntry());
+    child = parent;
+  }
+}
+
+BPlusTree::Iterator BPlusTree::LowerBound(float key) const {
+  Iterator it;
+  if (root_ == nullptr || size_ == 0) return it;
+  // Descend toward the first entry with entry.key >= key. Entry{key, 0} is
+  // the smallest possible entry at this key, so ties on duplicate keys
+  // resolve to the leftmost child that can contain a match.
+  const Entry target{key, 0};
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    size_t i = static_cast<size_t>(
+        std::lower_bound(node->routers.begin(), node->routers.end(),
+                         target) -
+        node->routers.begin());
+    if (i > 0) --i;
+    node = node->children[i];
+  }
+  // The target may be in a following leaf when key exceeds this leaf's max.
+  while (node != nullptr) {
+    const auto pos = std::lower_bound(
+        node->entries.begin(), node->entries.end(), key,
+        [](const Entry& e, float k) { return e.key < k; });
+    if (pos != node->entries.end()) {
+      it.leaf_ = node;
+      it.idx_ = static_cast<size_t>(pos - node->entries.begin());
+      return it;
+    }
+    node = node->next;
+  }
+  return it;
+}
+
+BPlusTree::Iterator BPlusTree::UpperNeighborBelow(float key) const {
+  Iterator it = LowerBound(key);
+  if (!it.Valid()) {
+    // All keys are < key (or tree empty): the neighbor below is the last
+    // entry, if any.
+    if (root_ == nullptr || size_ == 0) return it;
+    const Node* node = root_;
+    while (!node->is_leaf) node = node->children.back();
+    while (node != nullptr && node->entries.empty()) node = node->prev;
+    if (node == nullptr) return it;
+    it.leaf_ = node;
+    it.idx_ = node->entries.size() - 1;
+    return it;
+  }
+  it.Prev();
+  return it;
+}
+
+BPlusTree::Iterator BPlusTree::Begin() const {
+  Iterator it;
+  if (root_ == nullptr || size_ == 0) return it;
+  const Node* node = root_;
+  while (!node->is_leaf) node = node->children.front();
+  while (node != nullptr && node->entries.empty()) node = node->next;
+  if (node == nullptr) return it;
+  it.leaf_ = node;
+  it.idx_ = 0;
+  return it;
+}
+
+float BPlusTree::Iterator::key() const {
+  assert(Valid());
+  return static_cast<const Node*>(leaf_)->entries[idx_].key;
+}
+
+uint32_t BPlusTree::Iterator::id() const {
+  assert(Valid());
+  return static_cast<const Node*>(leaf_)->entries[idx_].id;
+}
+
+void BPlusTree::Iterator::Next() {
+  assert(Valid());
+  const Node* node = static_cast<const Node*>(leaf_);
+  if (idx_ + 1 < node->entries.size()) {
+    ++idx_;
+    return;
+  }
+  node = node->next;
+  while (node != nullptr && node->entries.empty()) node = node->next;
+  leaf_ = node;
+  idx_ = 0;
+}
+
+void BPlusTree::Iterator::Prev() {
+  assert(Valid());
+  const Node* node = static_cast<const Node*>(leaf_);
+  if (idx_ > 0) {
+    --idx_;
+    return;
+  }
+  node = node->prev;
+  while (node != nullptr && node->entries.empty()) node = node->prev;
+  leaf_ = node;
+  idx_ = (node != nullptr) ? node->entries.size() - 1 : 0;
+}
+
+void BPlusTree::RangeQuery(float lo, float hi,
+                           std::vector<uint32_t>* out) const {
+  for (Iterator it = LowerBound(lo); it.Valid() && it.key() <= hi;
+       it.Next()) {
+    out->push_back(it.id());
+  }
+}
+
+size_t BPlusTree::CheckInvariants() const {
+  if (root_ == nullptr) return 0;
+  size_t violations = 0;
+
+  // Structure: routers match child minima, counts within fanout.
+  std::vector<const Node*> stack = {root_};
+  size_t total = 0;
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->count() > fanout_) ++violations;
+    if (node->is_leaf) {
+      total += node->entries.size();
+      for (size_t i = 1; i < node->entries.size(); ++i) {
+        if (node->entries[i] < node->entries[i - 1]) ++violations;
+      }
+    } else {
+      if (node->children.size() != node->routers.size()) ++violations;
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        const Entry min_entry = node->children[i]->MinEntry();
+        if (node->routers[i].key != min_entry.key ||
+            node->routers[i].id != min_entry.id) {
+          ++violations;
+        }
+        if (i > 0 && node->routers[i] < node->routers[i - 1]) ++violations;
+        stack.push_back(node->children[i]);
+      }
+    }
+  }
+  if (total != size_) ++violations;
+
+  // Leaf chain is globally sorted and covers all entries.
+  size_t seen = 0;
+  float last = -std::numeric_limits<float>::infinity();
+  for (Iterator it = Begin(); it.Valid(); it.Next()) {
+    if (it.key() < last) ++violations;
+    last = it.key();
+    ++seen;
+  }
+  if (seen != size_) ++violations;
+  return violations;
+}
+
+}  // namespace dblsh::bptree

@@ -1,0 +1,49 @@
+#ifndef DBLSH_CORE_ANN_INDEX_H_
+#define DBLSH_CORE_ANN_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/float_matrix.h"
+#include "util/status.h"
+#include "util/top_k_heap.h"
+
+namespace dblsh {
+
+/// Per-query instrumentation filled in by every index. The evaluation
+/// harness aggregates these to explain *why* a method is fast or slow
+/// (candidate counts are the LSH cost model's main term).
+struct QueryStats {
+  size_t candidates_verified = 0;  ///< exact distance computations
+  size_t points_accessed = 0;      ///< index entries touched (incl. repeats)
+  size_t rounds = 0;               ///< (r,c)-NN rounds / radius expansions
+  size_t window_queries = 0;       ///< index probes issued
+};
+
+/// Common interface implemented by DB-LSH and every baseline so the
+/// evaluation harness and the benches can sweep methods uniformly.
+class AnnIndex {
+ public:
+  virtual ~AnnIndex() = default;
+
+  /// Method name as used in the paper's tables, e.g. "DB-LSH".
+  virtual std::string Name() const = 0;
+
+  /// Builds the index over `data`, which must outlive the index.
+  virtual Status Build(const FloatMatrix* data) = 0;
+
+  /// Returns (up to) the k approximate nearest neighbors of `query`,
+  /// ascending by distance. `stats`, if non-null, receives per-query
+  /// instrumentation.
+  virtual std::vector<Neighbor> Query(const float* query, size_t k,
+                                      QueryStats* stats = nullptr) const = 0;
+
+  /// Number of hash functions held, the paper's proxy for index size
+  /// (IndexSize = n x #HashFunctions for all methods except LSB-Forest).
+  virtual size_t NumHashFunctions() const = 0;
+};
+
+}  // namespace dblsh
+
+#endif  // DBLSH_CORE_ANN_INDEX_H_

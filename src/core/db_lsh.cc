@@ -1,0 +1,259 @@
+#include "core/db_lsh.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "dataset/ground_truth.h"
+#include "util/distance.h"
+#include "util/random.h"
+
+namespace dblsh {
+
+DbLsh::DbLsh(DbLshParams params) : params_(params) {}
+
+std::string DbLsh::Name() const {
+  return params_.bucketing == BucketingMode::kDynamicQueryCentric ? "DB-LSH"
+                                                                  : "FB-LSH";
+}
+
+Status DbLsh::Build(const FloatMatrix* data) {
+  if (data == nullptr || data->rows() == 0) {
+    return Status::InvalidArgument("DbLsh::Build requires a non-empty dataset");
+  }
+  if (params_.c <= 1.0) {
+    return Status::InvalidArgument("approximation ratio c must exceed 1");
+  }
+  if (params_.l == 0) {
+    return Status::InvalidArgument("number of projected spaces l must be >= 1");
+  }
+  if (params_.early_stop_slack < 1.0) {
+    return Status::InvalidArgument(
+        "early_stop_slack must be >= 1 (1 = the paper's exact condition)");
+  }
+  data_ = data;
+  const size_t n = data->rows();
+
+  // Paper defaults (Sec. VI-A).
+  if (params_.w0 <= 0.0) params_.w0 = 4.0 * params_.c * params_.c;
+  if (params_.k == 0) params_.k = (n > 1000000) ? 12 : 10;
+  if (params_.t == 0) {
+    // Default candidate budget 2tL ~ max(192, 4*sqrt(n)): grows sub-linearly
+    // with n (the theory's budget is O(tL) = O(n^rho*)), which is what keeps
+    // the measured query time sub-linear in the vary-n experiment while
+    // sustaining ~90% recall on clustered data.
+    const size_t budget = std::max<size_t>(
+        192, static_cast<size_t>(4.0 * std::sqrt(static_cast<double>(n))));
+    params_.t = std::max<size_t>(8, budget / (2 * params_.l));
+  }
+  // An under-estimated r0 only costs a few cheap empty rounds; an
+  // over-estimate only widens the first window, so the sample NN distance is
+  // divided by c^2 for safety.
+  auto_r0_ = params_.r0 > 0.0
+                 ? params_.r0
+                 : std::max(1e-6, EstimateNnDistance(
+                                      *data, params_.seed ^ 0x5EEDULL) /
+                                      (params_.c * params_.c));
+
+  bank_ = std::make_unique<lsh::ProjectionBank>(params_.l * params_.k,
+                                                data->cols(), params_.seed);
+
+  // Project the dataset once and slice into the L K-dimensional spaces.
+  projected_.clear();
+  projected_.reserve(params_.l);
+  {
+    FloatMatrix all = bank_->ProjectDataset(*data);
+    for (size_t i = 0; i < params_.l; ++i) {
+      FloatMatrix space(n, params_.k);
+      for (size_t row = 0; row < n; ++row) {
+        const float* src = all.row(row) + i * params_.k;
+        std::copy_n(src, params_.k, space.mutable_row(row));
+      }
+      projected_.push_back(std::move(space));
+    }
+  }
+
+  trees_.clear();
+  kd_trees_.clear();
+  if (params_.backend == IndexBackend::kRStarTree) {
+    trees_.reserve(params_.l);
+    for (size_t i = 0; i < params_.l; ++i) {
+      trees_.emplace_back(&projected_[i], params_.rtree_options);
+      if (params_.bulk_load) {
+        DBLSH_RETURN_IF_ERROR(trees_.back().BulkLoadAll());
+      } else {
+        for (uint32_t id = 0; id < n; ++id) {
+          DBLSH_RETURN_IF_ERROR(trees_.back().Insert(id));
+        }
+      }
+    }
+  } else {
+    kd_trees_.reserve(params_.l);
+    for (size_t i = 0; i < params_.l; ++i) {
+      kd_trees_.push_back(std::make_unique<kdtree::KdTree>(&projected_[i]));
+    }
+  }
+
+  // Fixed-grid bucketing uses uniform random cell offsets (the `b` of the
+  // static family, Eq. 1) so boundary losses are unbiased across functions.
+  grid_offsets_.assign(params_.l * params_.k, 0.f);
+  if (params_.bucketing == BucketingMode::kFixedGrid) {
+    Rng rng(params_.seed ^ 0x0FF5E7ULL);
+    for (auto& b : grid_offsets_) {
+      b = static_cast<float>(rng.NextDouble());  // fraction of cell width
+    }
+  }
+
+  default_scratch_ = QueryScratch();
+  return Status::OK();
+}
+
+uint32_t DbLsh::PrepareScratch(QueryScratch* scratch) const {
+  if (scratch->visited_epoch_.size() != data_->rows()) {
+    scratch->visited_epoch_.assign(data_->rows(), 0);
+    scratch->epoch_ = 0;
+  }
+  if (++scratch->epoch_ == 0) {  // epoch wrapped: reset stamps
+    std::fill(scratch->visited_epoch_.begin(),
+              scratch->visited_epoch_.end(), 0);
+    scratch->epoch_ = 1;
+  }
+  return scratch->epoch_;
+}
+
+rtree::Rect DbLsh::MakeBucket(const float* proj_center, size_t tree_index,
+                              double width) const {
+  if (params_.bucketing == BucketingMode::kDynamicQueryCentric) {
+    return rtree::Rect::Window(proj_center, params_.k, width);
+  }
+  // Fixed (query-oblivious) grid cell of side `width` containing the query's
+  // projection: the FB-LSH ablation. Cells tile the space at offsets `b`
+  // (Eq. 1), independent of the query, so near-boundary neighbors can be
+  // cut off — the hash-boundary problem DB-LSH eliminates.
+  rtree::Rect cell(params_.k);
+  for (size_t j = 0; j < params_.k; ++j) {
+    const double offset =
+        grid_offsets_[tree_index * params_.k + j] * width;
+    const auto base = static_cast<float>(
+        std::floor((proj_center[j] - offset) / width) * width + offset);
+    cell.lo(j) = base;
+    cell.hi(j) = static_cast<float>(base + width);
+  }
+  return cell;
+}
+
+bool DbLsh::RunRound(const float* query, double r, size_t /*k*/,
+                     size_t budget,
+                     TopKHeap* heap, std::vector<uint32_t>* visited_mark,
+                     uint32_t query_epoch, size_t* verified,
+                     QueryStats* stats) const {
+  const double width = params_.w0 * r;
+  const double c = params_.c;
+  std::vector<float> proj(params_.l * params_.k);
+  bank_->ProjectAll(query, proj.data());
+
+  // Per-candidate verification shared by both index backends. Returns true
+  // when Algorithm 1 may terminate: candidate budget exhausted, or the k-th
+  // best distance already certifies a (r,c)-NN result (optionally relaxed
+  // by the early-stop slack).
+  auto process = [&](uint32_t id) -> bool {
+    if (stats != nullptr) ++stats->points_accessed;
+    if ((*visited_mark)[id] == query_epoch) return false;
+    (*visited_mark)[id] = query_epoch;
+    const float dist = L2Distance(data_->row(id), query, data_->cols());
+    ++*verified;
+    if (stats != nullptr) ++stats->candidates_verified;
+    heap->Push(dist, id);
+    if (*verified >= budget) return true;
+    return heap->Full() &&
+           heap->Threshold() <= params_.early_stop_slack * c * r;
+  };
+
+  for (size_t i = 0; i < params_.l; ++i) {
+    const float* center = proj.data() + i * params_.k;
+    const rtree::Rect bucket = MakeBucket(center, i, width);
+    if (stats != nullptr) ++stats->window_queries;
+    uint32_t id = 0;
+    if (params_.backend == IndexBackend::kRStarTree) {
+      rtree::RStarTree::WindowCursor cursor(&trees_[i], bucket);
+      while (cursor.Next(&id)) {
+        if (process(id)) return true;
+      }
+    } else {
+      std::vector<float> lo(params_.k), hi(params_.k);
+      for (size_t j = 0; j < params_.k; ++j) {
+        lo[j] = bucket.lo(j);
+        hi[j] = bucket.hi(j);
+      }
+      kdtree::KdTree::WindowCursor cursor(kd_trees_[i].get(), lo.data(),
+                                          hi.data());
+      while (cursor.Next(&id)) {
+        if (process(id)) return true;
+      }
+    }
+  }
+  // All L windows drained without termination: round reports "not done".
+  // (If every point has been verified there is nothing left to find.)
+  return *verified >= data_->rows();
+}
+
+std::vector<Neighbor> DbLsh::Query(const float* query, size_t k,
+                                   QueryStats* stats) const {
+  return Query(query, k, stats, &default_scratch_);
+}
+
+std::vector<Neighbor> DbLsh::Query(const float* query, size_t k,
+                                   QueryStats* stats,
+                                   QueryScratch* scratch) const {
+  assert(data_ != nullptr && "Build() must succeed before Query()");
+  if (k == 0 || data_ == nullptr) return {};
+
+  const uint32_t epoch = PrepareScratch(scratch);
+  const size_t budget = 2 * params_.t * params_.l + k;
+  TopKHeap heap(k);
+  size_t verified = 0;
+  double r = auto_r0_;
+  // The radius ladder r0, c*r0, c^2*r0, ... terminates via the Algorithm 1
+  // conditions; the iteration cap only guards degenerate inputs (it allows
+  // the window to outgrow any float data spread).
+  for (size_t round = 0; round < 256; ++round) {
+    if (stats != nullptr) ++stats->rounds;
+    if (RunRound(query, r, k, budget, &heap, &scratch->visited_epoch_, epoch,
+                 &verified, stats)) {
+      break;
+    }
+    r *= params_.c;
+  }
+  return heap.TakeSorted();
+}
+
+std::optional<Neighbor> DbLsh::RcNnQuery(const float* query, double r,
+                                         QueryStats* stats) const {
+  assert(data_ != nullptr && "Build() must succeed before Query()");
+  const uint32_t epoch = PrepareScratch(&default_scratch_);
+  const size_t budget = 2 * params_.t * params_.l + 1;
+  TopKHeap heap(1);
+  size_t verified = 0;
+  if (stats != nullptr) ++stats->rounds;
+  const bool done =
+      RunRound(query, r, 1, budget, &heap, &default_scratch_.visited_epoch_,
+               epoch, &verified, stats);
+  if (!done && heap.Size() == 0) return std::nullopt;
+  std::vector<Neighbor> best = heap.TakeSorted();
+  if (best.empty()) return std::nullopt;
+  // Definition 2: report a point only when it certifies the (r,c)-NN
+  // answer (within c*r) or the candidate budget tripped (event E2 then
+  // guarantees the point is within c*r with constant probability).
+  if (best[0].dist <= params_.c * r || verified >= budget) return best[0];
+  return std::nullopt;
+}
+
+size_t DbLsh::IndexEntries() const {
+  size_t total = 0;
+  for (const auto& tree : trees_) total += tree.size();
+  for (const auto& tree : kd_trees_) total += tree->size();
+  return total;
+}
+
+}  // namespace dblsh

@@ -1,0 +1,158 @@
+#ifndef DBLSH_CORE_DB_LSH_H_
+#define DBLSH_CORE_DB_LSH_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/ann_index.h"
+#include "dataset/float_matrix.h"
+#include "kdtree/kd_tree.h"
+#include "lsh/projection.h"
+#include "rtree/rtree.h"
+#include "util/status.h"
+
+namespace dblsh {
+
+/// How the query phase turns a projected space into buckets. Dynamic is
+/// DB-LSH proper (query-centric hypercubes); Fixed reproduces the paper's
+/// FB-LSH ablation, which keeps the identical (K,L)-index but uses
+/// query-oblivious grid cells, re-introducing the hash-boundary problem.
+enum class BucketingMode {
+  kDynamicQueryCentric,
+  kFixedGrid,
+};
+
+/// Which multi-dimensional index answers the window queries. The paper uses
+/// the R*-tree but notes that "the only requirement of the index is that it
+/// can efficiently answer a window query in the low-dimensional space"
+/// (Sec. IV-B); the kd-tree backend demonstrates that pluggability and
+/// feeds the backend ablation bench.
+enum class IndexBackend {
+  kRStarTree,
+  kKdTree,
+};
+
+/// Construction parameters. Defaults mirror the paper's experimental
+/// settings (Sec. VI-A): c = 1.5, w0 = 4c^2, L = 5, K = 12 for n > 1M and
+/// K = 10 otherwise.
+struct DbLshParams {
+  double c = 1.5;    ///< approximation ratio (> 1)
+  double w0 = 0.0;   ///< initial bucket width; 0 = auto (4 * c^2)
+  size_t k = 0;      ///< hash functions per projected space; 0 = auto
+  size_t l = 5;      ///< number of projected spaces (R*-trees)
+  /// Candidate budget constant of Remark 2: a (c,k)-ANN query verifies at
+  /// most 2tL + k candidates. 0 = auto (scales as max(64, n/100) / (2L)).
+  size_t t = 0;
+  /// Starting search radius r for the (r,c)-NN cascade; 0 = auto-estimated
+  /// from a sample of nearest-neighbor distances so early rounds are not
+  /// wasted on empty windows.
+  double r0 = 0.0;
+  /// Early-termination slack (the paper's Sec. VII future-work direction,
+  /// in the spirit of I-LSH/EI-LSH): a round accepts the current k-th
+  /// distance once it is within `early_stop_slack * c * r`. 1.0 (default)
+  /// is the paper's exact condition; larger values stop earlier, trading
+  /// the formal guarantee for speed (see the ablation bench).
+  double early_stop_slack = 1.0;
+  uint64_t seed = 42;
+  BucketingMode bucketing = BucketingMode::kDynamicQueryCentric;
+  IndexBackend backend = IndexBackend::kRStarTree;
+  /// Bulk-load the R*-trees (paper default). Set false for the
+  /// insertion-based construction ablation.
+  bool bulk_load = true;
+  rtree::RTreeOptions rtree_options;
+};
+
+/// DB-LSH: the paper's contribution. Indexing phase: project the dataset
+/// into L K-dimensional spaces with independent 2-stable projections and
+/// index each with an R*-tree. Query phase: answer a c-ANN query as a
+/// cascade of (r,c)-NN queries with r = r0, c*r0, c^2*r0, ..., where each
+/// round issues L window queries with query-centric hypercubic buckets of
+/// width w0*r (Algorithms 1 and 2).
+class DbLsh : public AnnIndex {
+ public:
+  explicit DbLsh(DbLshParams params = DbLshParams());
+
+  /// Reusable per-caller query state (visited-point stamps). `Query()`
+  /// without a scratch uses an index-internal one and is therefore only
+  /// thread-compatible; concurrent callers pass their own scratch to get a
+  /// fully thread-safe read path (see eval::ParallelQuery).
+  class QueryScratch {
+   public:
+    QueryScratch() = default;
+
+   private:
+    friend class DbLsh;
+    std::vector<uint32_t> visited_epoch_;
+    uint32_t epoch_ = 0;
+  };
+
+  std::string Name() const override;
+  Status Build(const FloatMatrix* data) override;
+  std::vector<Neighbor> Query(const float* query, size_t k,
+                              QueryStats* stats = nullptr) const override;
+  /// Thread-safe variant: all mutable state lives in `scratch`.
+  std::vector<Neighbor> Query(const float* query, size_t k, QueryStats* stats,
+                              QueryScratch* scratch) const;
+  size_t NumHashFunctions() const override { return params_.k * params_.l; }
+
+  /// One (r,c)-NN round (Algorithm 1), exposed for tests and for the
+  /// theoretical-guarantee property tests: returns a point within c*r of
+  /// `query` if one is found under the 2tL+1 candidate budget, otherwise
+  /// nothing.
+  std::optional<Neighbor> RcNnQuery(const float* query, double r,
+                                    QueryStats* stats = nullptr) const;
+
+  /// Effective (post-auto-derivation) parameters; valid after Build().
+  const DbLshParams& params() const { return params_; }
+
+  /// Total entries across the L R*-trees (for index size accounting).
+  size_t IndexEntries() const;
+
+  /// Persists the built index (parameters, projection directions, projected
+  /// points) to `path`. The backing dataset itself is NOT stored — pass the
+  /// same data to Load(). Trees are rebuilt by bulk loading on load, which
+  /// is fast and keeps the file format simple and portable.
+  Status Save(const std::string& path) const;
+
+  /// Restores an index saved with Save(). `data` must be the dataset the
+  /// index was built over (validated by cardinality/dimensionality) and
+  /// must outlive the returned index.
+  static Result<DbLsh> Load(const std::string& path, const FloatMatrix* data);
+
+ private:
+  /// Runs one round of L window queries at radius r, feeding candidates into
+  /// `heap` until the budget is exhausted or the k-th distance drops below
+  /// c*r. Returns true when the query can terminate.
+  bool RunRound(const float* query, double r, size_t k, size_t budget,
+                TopKHeap* heap, std::vector<uint32_t>* visited_mark,
+                uint32_t query_epoch, size_t* verified,
+                QueryStats* stats) const;
+
+  /// Sizes `scratch` for this index and advances its epoch; returns the
+  /// epoch to stamp visited points with.
+  uint32_t PrepareScratch(QueryScratch* scratch) const;
+
+  rtree::Rect MakeBucket(const float* proj_center, size_t tree_index,
+                         double width) const;
+
+  DbLshParams params_;
+  const FloatMatrix* data_ = nullptr;
+  std::unique_ptr<lsh::ProjectionBank> bank_;  // l*k functions
+  std::vector<FloatMatrix> projected_;         // l matrices of n x k
+  std::vector<rtree::RStarTree> trees_;        // kRStarTree backend
+  std::vector<std::unique_ptr<kdtree::KdTree>> kd_trees_;  // kKdTree backend
+  /// Random per-function grid offsets (the `b` of Eq. 1), used only by the
+  /// FB-LSH fixed-grid mode so cell boundaries are unbiased.
+  std::vector<float> grid_offsets_;
+  double auto_r0_ = 1.0;
+  // Default scratch for the scratch-less Query() overload; epoch-stamped so
+  // consecutive queries need no clearing. Makes that overload
+  // thread-compatible only — concurrent callers use their own scratch.
+  mutable QueryScratch default_scratch_;
+};
+
+}  // namespace dblsh
+
+#endif  // DBLSH_CORE_DB_LSH_H_

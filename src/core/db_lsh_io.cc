@@ -1,0 +1,192 @@
+// Persistence for DbLsh. Format (host-endian, version 1):
+//   magic "DBLSHIDX" | u32 version
+//   u64 n | u64 dim
+//   f64 c | f64 w0 | u64 k | u64 l | u64 t | u64 seed | u8 bucketing
+//   u8 backend | f64 auto_r0 | f64 early_stop_slack
+//   directions matrix (u64 rows, u64 cols, floats)
+//   grid offsets (u64 count, floats)
+//   l projected matrices (u64 rows, u64 cols, floats each)
+// The R*-trees are rebuilt by STR bulk loading at load time: they are a
+// deterministic function of the projected matrices, bulk loading is fast
+// (the paper's own construction path), and the file stays portable.
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "core/db_lsh.h"
+
+namespace dblsh {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'B', 'L', 'S', 'H', 'I', 'D', 'X'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  return static_cast<bool>(
+      in.read(reinterpret_cast<char*>(value), sizeof(T)));
+}
+
+void WriteMatrix(std::ofstream& out, const FloatMatrix& m) {
+  WritePod<uint64_t>(out, m.rows());
+  WritePod<uint64_t>(out, m.cols());
+  out.write(reinterpret_cast<const char*>(m.data().data()),
+            static_cast<std::streamsize>(m.data().size() * sizeof(float)));
+}
+
+Result<FloatMatrix> ReadMatrix(std::ifstream& in, const std::string& what) {
+  uint64_t rows = 0, cols = 0;
+  if (!ReadPod(in, &rows) || !ReadPod(in, &cols)) {
+    return Status::Corruption("truncated " + what + " header");
+  }
+  if (rows == 0 || cols == 0 || rows > (1ULL << 40) / (cols + 1)) {
+    return Status::Corruption("implausible " + what + " shape");
+  }
+  std::vector<float> values(rows * cols);
+  if (!in.read(reinterpret_cast<char*>(values.data()),
+               static_cast<std::streamsize>(values.size() *
+                                            sizeof(float)))) {
+    return Status::Corruption("truncated " + what + " payload");
+  }
+  return FloatMatrix(rows, cols, std::move(values));
+}
+
+}  // namespace
+
+Status DbLsh::Save(const std::string& path) const {
+  if (data_ == nullptr) {
+    return Status::InvalidArgument("Save() requires a built index");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod<uint64_t>(out, data_->rows());
+  WritePod<uint64_t>(out, data_->cols());
+  WritePod<double>(out, params_.c);
+  WritePod<double>(out, params_.w0);
+  WritePod<uint64_t>(out, params_.k);
+  WritePod<uint64_t>(out, params_.l);
+  WritePod<uint64_t>(out, params_.t);
+  WritePod<uint64_t>(out, params_.seed);
+  WritePod<uint8_t>(out, static_cast<uint8_t>(params_.bucketing));
+  WritePod<uint8_t>(out, static_cast<uint8_t>(params_.backend));
+  WritePod<double>(out, auto_r0_);
+  WritePod<double>(out, params_.early_stop_slack);
+  WriteMatrix(out, bank_->directions());
+  WritePod<uint64_t>(out, grid_offsets_.size());
+  out.write(reinterpret_cast<const char*>(grid_offsets_.data()),
+            static_cast<std::streamsize>(grid_offsets_.size() *
+                                         sizeof(float)));
+  for (const FloatMatrix& space : projected_) WriteMatrix(out, space);
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+Result<DbLsh> DbLsh::Load(const std::string& path, const FloatMatrix* data) {
+  if (data == nullptr || data->rows() == 0) {
+    return Status::InvalidArgument("Load() requires the backing dataset");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  char magic[8];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption(path + ": not a DB-LSH index file");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::Corruption(path + ": unsupported index version");
+  }
+  uint64_t n = 0, dim = 0;
+  if (!ReadPod(in, &n) || !ReadPod(in, &dim)) {
+    return Status::Corruption(path + ": truncated header");
+  }
+  if (n != data->rows() || dim != data->cols()) {
+    return Status::InvalidArgument(
+        path + ": index was built over a different dataset (" +
+        std::to_string(n) + "x" + std::to_string(dim) + " vs " +
+        std::to_string(data->rows()) + "x" + std::to_string(data->cols()) +
+        ")");
+  }
+
+  DbLshParams params;
+  uint64_t k = 0, l = 0, t = 0, seed = 0;
+  uint8_t bucketing = 0, backend = 0;
+  double auto_r0 = 1.0;
+  if (!ReadPod(in, &params.c) || !ReadPod(in, &params.w0) ||
+      !ReadPod(in, &k) || !ReadPod(in, &l) || !ReadPod(in, &t) ||
+      !ReadPod(in, &seed) || !ReadPod(in, &bucketing) ||
+      !ReadPod(in, &backend) || !ReadPod(in, &auto_r0) ||
+      !ReadPod(in, &params.early_stop_slack)) {
+    return Status::Corruption(path + ": truncated parameters");
+  }
+  params.k = k;
+  params.l = l;
+  params.t = t;
+  params.seed = seed;
+  params.bucketing = static_cast<BucketingMode>(bucketing);
+  params.backend = static_cast<IndexBackend>(backend);
+  if (params.l == 0 || params.k == 0 || params.c <= 1.0 ||
+      params.w0 <= 0.0) {
+    return Status::Corruption(path + ": invalid stored parameters");
+  }
+
+  auto directions = ReadMatrix(in, "projection directions");
+  if (!directions.ok()) return directions.status();
+  if (directions.value().rows() != params.l * params.k ||
+      directions.value().cols() != dim) {
+    return Status::Corruption(path + ": direction matrix shape mismatch");
+  }
+
+  uint64_t offset_count = 0;
+  if (!ReadPod(in, &offset_count) || offset_count != params.l * params.k) {
+    return Status::Corruption(path + ": grid offset count mismatch");
+  }
+  std::vector<float> grid_offsets(offset_count);
+  if (!in.read(reinterpret_cast<char*>(grid_offsets.data()),
+               static_cast<std::streamsize>(offset_count * sizeof(float)))) {
+    return Status::Corruption(path + ": truncated grid offsets");
+  }
+
+  DbLsh index(params);
+  index.data_ = data;
+  index.auto_r0_ = auto_r0;
+  index.bank_ =
+      std::make_unique<lsh::ProjectionBank>(std::move(directions).value());
+  index.grid_offsets_ = std::move(grid_offsets);
+  index.projected_.reserve(params.l);
+  for (size_t i = 0; i < params.l; ++i) {
+    auto space = ReadMatrix(in, "projected space");
+    if (!space.ok()) return space.status();
+    if (space.value().rows() != n || space.value().cols() != params.k) {
+      return Status::Corruption(path + ": projected space shape mismatch");
+    }
+    index.projected_.push_back(std::move(space).value());
+  }
+  if (params.backend == IndexBackend::kRStarTree) {
+    index.trees_.reserve(params.l);
+    for (size_t i = 0; i < params.l; ++i) {
+      index.trees_.emplace_back(&index.projected_[i], params.rtree_options);
+      DBLSH_RETURN_IF_ERROR(index.trees_.back().BulkLoadAll());
+    }
+  } else {
+    index.kd_trees_.reserve(params.l);
+    for (size_t i = 0; i < params.l; ++i) {
+      index.kd_trees_.push_back(
+          std::make_unique<kdtree::KdTree>(&index.projected_[i]));
+    }
+  }
+  index.default_scratch_ = QueryScratch();
+  return index;
+}
+
+}  // namespace dblsh

@@ -1,0 +1,78 @@
+#ifndef DBLSH_DATASET_FLOAT_MATRIX_H_
+#define DBLSH_DATASET_FLOAT_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dblsh {
+
+/// Row-major dense matrix of floats: `rows` points of dimensionality `cols`.
+/// This is the canonical in-memory representation of a dataset and of
+/// projected spaces. Copyable and movable; rows are contiguous so a row
+/// pointer can be handed to the distance kernels directly.
+class FloatMatrix {
+ public:
+  FloatMatrix() = default;
+  FloatMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.f) {}
+  FloatMatrix(size_t rows, size_t cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    assert(data_.size() == rows_ * cols_);
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  const float* row(size_t i) const {
+    assert(i < rows_);
+    return data_.data() + i * cols_;
+  }
+  float* mutable_row(size_t i) {
+    assert(i < rows_);
+    return data_.data() + i * cols_;
+  }
+
+  float at(size_t i, size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  float& at(size_t i, size_t j) {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& mutable_data() { return data_; }
+
+  /// Appends one row; `values` must have length `cols()` (or define the
+  /// matrix's width when it is still empty).
+  void AppendRow(const float* values, size_t len) {
+    if (rows_ == 0 && cols_ == 0) cols_ = len;
+    assert(len == cols_);
+    data_.insert(data_.end(), values, values + len);
+    ++rows_;
+  }
+
+  /// Returns a copy containing only the first `n` rows (used by the vary-n
+  /// experiment sweeps).
+  FloatMatrix Prefix(size_t n) const {
+    assert(n <= rows_);
+    return FloatMatrix(
+        n, cols_,
+        std::vector<float>(data_.begin(),
+                           data_.begin() + static_cast<ptrdiff_t>(n * cols_)));
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace dblsh
+
+#endif  // DBLSH_DATASET_FLOAT_MATRIX_H_

@@ -1,0 +1,57 @@
+#include "dataset/ground_truth.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "util/distance.h"
+#include "util/random.h"
+
+namespace dblsh {
+
+std::vector<Neighbor> ExactKnn(const FloatMatrix& data, const float* query,
+                               size_t k) {
+  TopKHeap heap(k);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    heap.Push(L2Distance(data.row(i), query, data.cols()),
+              static_cast<uint32_t>(i));
+  }
+  return heap.TakeSorted();
+}
+
+std::vector<std::vector<Neighbor>> ComputeGroundTruth(
+    const FloatMatrix& data, const FloatMatrix& queries, size_t k) {
+  std::vector<std::vector<Neighbor>> out(queries.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    out[q] = ExactKnn(data, queries.row(q), k);
+  }
+  return out;
+}
+
+double EstimateNnDistance(const FloatMatrix& data, uint64_t seed,
+                          size_t probes, size_t scan) {
+  const size_t n = data.rows();
+  if (n < 2) return 1.0;
+  Rng rng(seed);
+  probes = std::min(probes, n);
+  scan = std::min(scan, n);
+  std::vector<double> nn_dists;
+  nn_dists.reserve(probes);
+  for (size_t p = 0; p < probes; ++p) {
+    const size_t qi = rng.UniformInt(n);
+    float best = std::numeric_limits<float>::max();
+    for (size_t s = 0; s < scan; ++s) {
+      const size_t oi = rng.UniformInt(n);
+      if (oi == qi) continue;
+      best = std::min(best,
+                      L2Distance(data.row(qi), data.row(oi), data.cols()));
+    }
+    if (best < std::numeric_limits<float>::max()) nn_dists.push_back(best);
+  }
+  if (nn_dists.empty()) return 1.0;
+  std::nth_element(nn_dists.begin(), nn_dists.begin() + nn_dists.size() / 2,
+                   nn_dists.end());
+  return std::max(1e-6, nn_dists[nn_dists.size() / 2]);
+}
+
+}  // namespace dblsh

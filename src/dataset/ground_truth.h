@@ -1,0 +1,31 @@
+#ifndef DBLSH_DATASET_GROUND_TRUTH_H_
+#define DBLSH_DATASET_GROUND_TRUTH_H_
+
+#include <vector>
+
+#include "dataset/float_matrix.h"
+#include "util/top_k_heap.h"
+
+namespace dblsh {
+
+/// Exact k nearest neighbors of `query` in `data` by linear scan.
+std::vector<Neighbor> ExactKnn(const FloatMatrix& data, const float* query,
+                               size_t k);
+
+/// Exact k-NN for a batch of queries; `out[i]` are the sorted neighbors of
+/// query i. This is the ground truth for recall / overall-ratio metrics.
+std::vector<std::vector<Neighbor>> ComputeGroundTruth(const FloatMatrix& data,
+                                                      const FloatMatrix& queries,
+                                                      size_t k);
+
+/// Cheap estimate of the typical nearest-neighbor distance: median over
+/// `probes` random points of the minimum distance to `scan` random others.
+/// Slightly biased upward (the scan is a subsample), which is the safe
+/// direction for radius-ladder initialization. Used by DB-LSH and several
+/// baselines to auto-scale their radius ladders to the data.
+double EstimateNnDistance(const FloatMatrix& data, uint64_t seed,
+                          size_t probes = 24, size_t scan = 1024);
+
+}  // namespace dblsh
+
+#endif  // DBLSH_DATASET_GROUND_TRUTH_H_

@@ -1,0 +1,71 @@
+#include "dataset/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dataset/ground_truth.h"
+#include "util/distance.h"
+#include "util/random.h"
+
+namespace dblsh {
+
+DatasetStats EstimateStats(const FloatMatrix& data, size_t samples, size_t k,
+                           uint64_t seed) {
+  DatasetStats stats;
+  const size_t n = data.rows();
+  if (n < 3) return stats;
+  Rng rng(seed);
+  samples = std::min(samples, n);
+  k = std::min(k, n - 1);
+
+  double sum_mean_dist = 0.0;
+  double sum_nn_dist = 0.0;
+  double sum_lid = 0.0;
+  size_t lid_count = 0;
+  for (size_t s = 0; s < samples; ++s) {
+    const size_t anchor = rng.UniformInt(n);
+    // Exact k+1 NN (the anchor itself is rank 0 at distance 0).
+    const auto knn = ExactKnn(data, data.row(anchor), k + 1);
+    // Mean distance to a random subsample (for relative contrast).
+    double mean_dist = 0.0;
+    const size_t scan = std::min<size_t>(512, n);
+    size_t counted = 0;
+    for (size_t i = 0; i < scan; ++i) {
+      const size_t other = rng.UniformInt(n);
+      if (other == anchor) continue;
+      mean_dist += L2Distance(data.row(anchor), data.row(other), data.cols());
+      ++counted;
+    }
+    if (counted > 0) sum_mean_dist += mean_dist / double(counted);
+    if (knn.size() > 1) sum_nn_dist += knn[1].dist;
+
+    // Levina-Bickel MLE: LID = -[ (1/k) * sum_i ln(r_i / r_k) ]^-1 over the
+    // k nearest non-self neighbors.
+    if (knn.size() >= 3) {
+      const double rk = knn.back().dist;
+      if (rk > 0.0) {
+        double acc = 0.0;
+        size_t m = 0;
+        for (size_t i = 1; i + 1 < knn.size(); ++i) {
+          if (knn[i].dist > 0.0) {
+            acc += std::log(knn[i].dist / rk);
+            ++m;
+          }
+        }
+        if (m > 0 && acc < 0.0) {
+          sum_lid += -static_cast<double>(m) / acc;
+          ++lid_count;
+        }
+      }
+    }
+  }
+  stats.mean_distance = sum_mean_dist / double(samples);
+  stats.mean_nn_distance = sum_nn_dist / double(samples);
+  if (stats.mean_nn_distance > 0.0) {
+    stats.relative_contrast = stats.mean_distance / stats.mean_nn_distance;
+  }
+  if (lid_count > 0) stats.lid = sum_lid / double(lid_count);
+  return stats;
+}
+
+}  // namespace dblsh

@@ -1,0 +1,34 @@
+#ifndef DBLSH_DATASET_STATS_H_
+#define DBLSH_DATASET_STATS_H_
+
+#include <cstdint>
+
+#include "dataset/float_matrix.h"
+
+namespace dblsh {
+
+/// Hardness statistics of an ANN workload. The paper (Sec. VI-B) explains
+/// per-dataset accuracy differences via *relative contrast* and *local
+/// intrinsic dimensionality* (He et al. 2012, Li et al. 2020); these
+/// estimators let the benches report the same quantities for the synthetic
+/// stand-ins so hardness is auditable.
+struct DatasetStats {
+  /// Relative contrast RC = mean distance / mean 1-NN distance. Close to 1
+  /// means queries are hard (everything is equally far); large means easy.
+  double relative_contrast = 0.0;
+  /// Local intrinsic dimensionality (MLE of Levina-Bickel over the k-NN
+  /// radii), averaged over sampled points. Higher = harder.
+  double lid = 0.0;
+  double mean_distance = 0.0;
+  double mean_nn_distance = 0.0;
+};
+
+/// Estimates the statistics from `samples` random anchor points, each
+/// scanned against the full dataset (exact), using `k` neighbors for the
+/// LID estimator.
+DatasetStats EstimateStats(const FloatMatrix& data, size_t samples = 50,
+                           size_t k = 20, uint64_t seed = 7);
+
+}  // namespace dblsh
+
+#endif  // DBLSH_DATASET_STATS_H_

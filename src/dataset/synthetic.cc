@@ -1,0 +1,137 @@
+#include "dataset/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace dblsh {
+
+FloatMatrix GenerateClustered(const ClusteredSpec& spec) {
+  assert(spec.clusters > 0 && spec.n > 0 && spec.dim > 0);
+  Rng rng(spec.seed);
+  FloatMatrix centers(spec.clusters, spec.dim);
+  for (size_t c = 0; c < spec.clusters; ++c) {
+    float* row = centers.mutable_row(c);
+    for (size_t j = 0; j < spec.dim; ++j) {
+      row[j] = static_cast<float>(rng.Uniform(0.0, spec.center_spread));
+    }
+  }
+  FloatMatrix out(spec.n, spec.dim);
+  for (size_t i = 0; i < spec.n; ++i) {
+    const float* center = centers.row(rng.UniformInt(spec.clusters));
+    float* row = out.mutable_row(i);
+    for (size_t j = 0; j < spec.dim; ++j) {
+      row[j] = center[j] +
+               static_cast<float>(rng.Gaussian(0.0, spec.cluster_stddev));
+    }
+  }
+  return out;
+}
+
+FloatMatrix GenerateUniform(size_t n, size_t dim, double side, uint64_t seed) {
+  Rng rng(seed);
+  FloatMatrix out(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    float* row = out.mutable_row(i);
+    for (size_t j = 0; j < dim; ++j) {
+      row[j] = static_cast<float>(rng.Uniform(0.0, side));
+    }
+  }
+  return out;
+}
+
+FloatMatrix GenerateLowIntrinsicDim(size_t n, size_t dim, size_t intrinsic_dim,
+                                    double noise, uint64_t seed) {
+  assert(intrinsic_dim > 0 && intrinsic_dim <= dim);
+  Rng rng(seed);
+  // Random (not orthonormalized) basis: directions scaled so projected
+  // coordinates have comparable magnitude to the clustered generator.
+  FloatMatrix basis(intrinsic_dim, dim);
+  for (size_t b = 0; b < intrinsic_dim; ++b) {
+    float* row = basis.mutable_row(b);
+    for (size_t j = 0; j < dim; ++j) {
+      row[j] = static_cast<float>(rng.Gaussian() / std::sqrt(double(dim)));
+    }
+  }
+  FloatMatrix out(n, dim);
+  std::vector<double> coeff(intrinsic_dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t b = 0; b < intrinsic_dim; ++b) {
+      coeff[b] = rng.Uniform(-50.0, 50.0);
+    }
+    float* row = out.mutable_row(i);
+    for (size_t j = 0; j < dim; ++j) {
+      double v = rng.Gaussian(0.0, noise);
+      for (size_t b = 0; b < intrinsic_dim; ++b) {
+        v += coeff[b] * basis.at(b, j);
+      }
+      row[j] = static_cast<float>(v);
+    }
+  }
+  return out;
+}
+
+std::vector<DatasetProfile> PaperDatasetProfiles(double scale) {
+  // Cardinalities are laptop-scale stand-ins preserving the *relative* sizes
+  // of Table III (Audio smallest ... SIFT100M largest); dimensionalities are
+  // the paper's. Cluster counts grow with n so density stays comparable.
+  auto n = [scale](size_t base) {
+    return std::max<size_t>(1000, static_cast<size_t>(base * scale));
+  };
+  // The center_spread column controls cluster overlap and therefore query
+  // hardness (relative contrast / local intrinsic dimensionality): ~30
+  // gives SIFT-like easy workloads (recall >= 0.9 at defaults), ~18-24
+  // GIST/Deep-like middle ground, ~12 the NUS-like hard regime where the
+  // paper reports all methods dropping to ~0.5 recall.
+  return {
+      {"Audio", n(5000), 192, 16, 30.0, 2.0},
+      {"MNIST", n(6000), 784, 16, 24.0, 2.0},
+      {"Cifar", n(6000), 1024, 16, 24.0, 2.0},
+      {"Trevi", n(10000), 512, 24, 24.0, 2.0},  // paper: 4096-d; capped
+      {"NUS", n(12000), 500, 24, 12.0, 2.0},    // hard: overlapping clusters
+      {"Deep1M", n(40000), 256, 48, 20.0, 2.0},
+      {"Gist", n(40000), 960, 48, 18.0, 2.0},
+      {"SIFT10M", n(100000), 128, 64, 30.0, 2.0},
+      {"TinyImages80M", n(150000), 384, 96, 22.0, 2.0},
+      {"SIFT100M", n(200000), 128, 96, 30.0, 2.0},
+  };
+}
+
+FloatMatrix GenerateProfile(const DatasetProfile& profile, uint64_t seed) {
+  ClusteredSpec spec;
+  spec.n = profile.n;
+  spec.dim = profile.dim;
+  spec.clusters = profile.clusters;
+  spec.center_spread = profile.center_spread;
+  spec.cluster_stddev = profile.cluster_stddev;
+  spec.seed = seed;
+  return GenerateClustered(spec);
+}
+
+void SplitQueries(const FloatMatrix& data, size_t num_queries, uint64_t seed,
+                  FloatMatrix* dataset, FloatMatrix* queries) {
+  assert(num_queries < data.rows());
+  Rng rng(seed);
+  std::vector<size_t> order(data.rows());
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher-Yates over the head: only the first num_queries slots matter.
+  for (size_t i = 0; i < num_queries; ++i) {
+    const size_t j = i + rng.UniformInt(order.size() - i);
+    std::swap(order[i], order[j]);
+  }
+  std::vector<bool> is_query(data.rows(), false);
+  *queries = FloatMatrix(num_queries, data.cols());
+  for (size_t i = 0; i < num_queries; ++i) {
+    is_query[order[i]] = true;
+    std::copy_n(data.row(order[i]), data.cols(), queries->mutable_row(i));
+  }
+  *dataset = FloatMatrix();
+  for (size_t i = 0; i < data.rows(); ++i) {
+    if (!is_query[i]) dataset->AppendRow(data.row(i), data.cols());
+  }
+}
+
+}  // namespace dblsh

@@ -1,0 +1,59 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dblsh::eval {
+
+namespace {
+constexpr float kDistEps = 1e-4f;
+}  // namespace
+
+double OverallRatio(const std::vector<Neighbor>& returned,
+                    const std::vector<Neighbor>& ground_truth) {
+  if (ground_truth.empty()) return 1.0;
+  double sum = 0.0;
+  double worst = 1.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < ground_truth.size(); ++i) {
+    if (i >= returned.size()) break;
+    const double exact = ground_truth[i].dist;
+    double ratio = 1.0;
+    if (exact > 0.0) {
+      ratio = std::max(1.0, double(returned[i].dist) / exact);
+    } else if (returned[i].dist > kDistEps) {
+      ratio = 2.0;  // missed an exact duplicate entirely
+    }
+    sum += ratio;
+    worst = std::max(worst, ratio);
+    ++counted;
+  }
+  // Penalize missing ranks at the query's worst observed ratio.
+  for (size_t i = counted; i < ground_truth.size(); ++i) sum += worst;
+  return sum / static_cast<double>(ground_truth.size());
+}
+
+double Recall(const std::vector<Neighbor>& returned,
+              const std::vector<Neighbor>& ground_truth) {
+  if (ground_truth.empty()) return 1.0;
+  // Two-pointer sweep over distance-sorted lists: a returned point matches
+  // the ground truth when its distance is within tolerance of a true k-NN
+  // distance not yet consumed.
+  size_t matched = 0;
+  size_t gi = 0;
+  for (const Neighbor& r : returned) {
+    while (gi < ground_truth.size() &&
+           ground_truth[gi].dist < r.dist - kDistEps) {
+      ++gi;
+    }
+    if (gi < ground_truth.size() &&
+        std::fabs(ground_truth[gi].dist - r.dist) <= kDistEps) {
+      ++matched;
+      ++gi;
+    }
+  }
+  return static_cast<double>(matched) /
+         static_cast<double>(ground_truth.size());
+}
+
+}  // namespace dblsh::eval

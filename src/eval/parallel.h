@@ -1,0 +1,25 @@
+#ifndef DBLSH_EVAL_PARALLEL_H_
+#define DBLSH_EVAL_PARALLEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/db_lsh.h"
+#include "dataset/float_matrix.h"
+#include "util/top_k_heap.h"
+
+namespace dblsh::eval {
+
+/// Answers every row of `queries` against a built DB-LSH index using
+/// `num_threads` worker threads, each with its own QueryScratch (the index
+/// read path is immutable, so this is safe). Results are in query order and
+/// bitwise identical to sequential execution. `num_threads = 0` uses the
+/// hardware concurrency.
+std::vector<std::vector<Neighbor>> ParallelQuery(const DbLsh& index,
+                                                 const FloatMatrix& queries,
+                                                 size_t k,
+                                                 size_t num_threads = 0);
+
+}  // namespace dblsh::eval
+
+#endif  // DBLSH_EVAL_PARALLEL_H_

@@ -1,0 +1,97 @@
+#include "eval/runner.h"
+
+#include <utility>
+
+#include "baselines/fb_lsh.h"
+#include "baselines/lccs_lsh.h"
+#include "baselines/lsb_forest.h"
+#include "baselines/pm_lsh.h"
+#include "baselines/qalsh.h"
+#include "baselines/r2lsh.h"
+#include "baselines/vhp.h"
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "util/timer.h"
+
+namespace dblsh::eval {
+
+Workload MakeWorkload(std::string name, FloatMatrix raw, size_t num_queries,
+                      size_t k, uint64_t seed) {
+  Workload w;
+  w.name = std::move(name);
+  w.k = k;
+  SplitQueries(raw, num_queries, seed, &w.data, &w.queries);
+  w.ground_truth = ComputeGroundTruth(w.data, w.queries, k);
+  return w;
+}
+
+Result<MethodResult> RunMethod(AnnIndex* index, const Workload& workload) {
+  MethodResult result;
+  result.method = index->Name();
+
+  Timer build_timer;
+  DBLSH_RETURN_IF_ERROR(index->Build(&workload.data));
+  result.indexing_time_sec = build_timer.ElapsedSec();
+  result.hash_functions = index->NumHashFunctions();
+
+  const size_t q_count = workload.queries.rows();
+  double total_ms = 0.0;
+  double total_recall = 0.0;
+  double total_ratio = 0.0;
+  double total_candidates = 0.0;
+  for (size_t q = 0; q < q_count; ++q) {
+    QueryStats stats;
+    Timer query_timer;
+    const std::vector<Neighbor> answer =
+        index->Query(workload.queries.row(q), workload.k, &stats);
+    total_ms += query_timer.ElapsedMs();
+    total_recall += Recall(answer, workload.ground_truth[q]);
+    total_ratio += OverallRatio(answer, workload.ground_truth[q]);
+    total_candidates += static_cast<double>(stats.candidates_verified);
+  }
+  const auto denom = static_cast<double>(q_count ? q_count : 1);
+  result.avg_query_ms = total_ms / denom;
+  result.recall = total_recall / denom;
+  result.overall_ratio = total_ratio / denom;
+  result.avg_candidates = total_candidates / denom;
+  return result;
+}
+
+std::vector<std::unique_ptr<AnnIndex>> MakePaperMethods(size_t n, double c) {
+  std::vector<std::unique_ptr<AnnIndex>> methods;
+
+  DbLshParams db_params;
+  db_params.c = c;
+  methods.push_back(std::make_unique<DbLsh>(db_params));
+
+  DbLshParams fb_params = FbLshDefaultParams(n);
+  fb_params.c = c;
+  methods.push_back(std::make_unique<DbLsh>(fb_params));
+
+  LccsLshParams lccs;
+  methods.push_back(std::make_unique<LccsLsh>(lccs));
+
+  PmLshParams pm;
+  pm.c = c;
+  methods.push_back(std::make_unique<PmLsh>(pm));
+
+  R2LshParams r2;
+  r2.c = c;
+  methods.push_back(std::make_unique<R2Lsh>(r2));
+
+  VhpParams vhp;
+  vhp.c = c;
+  methods.push_back(std::make_unique<Vhp>(vhp));
+
+  LsbForestParams lsb;
+  methods.push_back(std::make_unique<LsbForest>(lsb));
+
+  QalshParams qalsh;
+  qalsh.c = c;
+  methods.push_back(std::make_unique<Qalsh>(qalsh));
+
+  return methods;
+}
+
+}  // namespace dblsh::eval

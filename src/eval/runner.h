@@ -1,0 +1,53 @@
+#ifndef DBLSH_EVAL_RUNNER_H_
+#define DBLSH_EVAL_RUNNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ann_index.h"
+#include "dataset/float_matrix.h"
+#include "util/status.h"
+
+namespace dblsh::eval {
+
+/// A ready-to-run experiment input: dataset, held-out queries, and exact
+/// ground truth at the workload's k.
+struct Workload {
+  std::string name;
+  FloatMatrix data;
+  FloatMatrix queries;
+  size_t k = 50;
+  std::vector<std::vector<Neighbor>> ground_truth;
+};
+
+/// Builds a workload from raw data per the paper's protocol: hold out
+/// `num_queries` random points as queries and compute exact k-NN.
+Workload MakeWorkload(std::string name, FloatMatrix raw, size_t num_queries,
+                      size_t k, uint64_t seed = 7);
+
+/// Aggregated measurement of one method on one workload — one cell group of
+/// the paper's Table IV.
+struct MethodResult {
+  std::string method;
+  double indexing_time_sec = 0.0;
+  double avg_query_ms = 0.0;
+  double recall = 0.0;
+  double overall_ratio = 1.0;
+  double avg_candidates = 0.0;  ///< mean exact distance computations/query
+  size_t hash_functions = 0;
+};
+
+/// Builds `index` on the workload's data and runs every query, averaging
+/// metrics. On build failure the error is returned.
+Result<MethodResult> RunMethod(AnnIndex* index, const Workload& workload);
+
+/// The standard method lineup of the paper's evaluation (Table IV order),
+/// constructed with the paper's default parameters for a dataset of size n.
+/// `include_slow` adds methods the paper drops on large inputs.
+std::vector<std::unique_ptr<AnnIndex>> MakePaperMethods(size_t n,
+                                                        double c = 1.5);
+
+}  // namespace dblsh::eval
+
+#endif  // DBLSH_EVAL_RUNNER_H_

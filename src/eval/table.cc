@@ -1,0 +1,89 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace dblsh::eval {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t j = 0; j < headers_.size(); ++j) widths[j] = headers_[j].size();
+  for (const auto& row : rows_) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      widths[j] = std::max(widths[j], row[j].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t j = 0; j < cells.size(); ++j) {
+      out << "| " << cells[j];
+      out << std::string(widths[j] - cells[j].size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  auto emit_rule = [&]() {
+    for (size_t j = 0; j < widths.size(); ++j) {
+      out << "+" << std::string(widths[j] + 2, '-');
+    }
+    out << "+\n";
+  };
+  emit_rule();
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return out.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string Table::ToCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t j = 0; j < cells.size(); ++j) {
+      if (j > 0) out << ',';
+      const std::string& cell = cells[j];
+      if (cell.find_first_of(",\"\n") != std::string::npos) {
+        out << '"';
+        for (char c : cell) {
+          if (c == '"') out << '"';
+          out << c;
+        }
+        out << '"';
+      } else {
+        out << cell;
+      }
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string Table::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::FmtMs(double ms) {
+  char buf[64];
+  if (ms >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ms / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ms);
+  }
+  return buf;
+}
+
+}  // namespace dblsh::eval

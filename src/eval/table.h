@@ -1,0 +1,36 @@
+#ifndef DBLSH_EVAL_TABLE_H_
+#define DBLSH_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dblsh::eval {
+
+/// Fixed-width console table used by every bench binary to print the same
+/// rows the paper's tables/figures report.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column widths fitted to content.
+  std::string ToString() const;
+  void Print() const;
+
+  /// Comma-separated rendering (header row first) for plotting pipelines.
+  /// Cells containing commas or quotes are quoted per RFC 4180.
+  std::string ToCsv() const;
+
+  /// Formatting helpers for numeric cells.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string FmtMs(double ms);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dblsh::eval
+
+#endif  // DBLSH_EVAL_TABLE_H_

@@ -1,0 +1,60 @@
+#include "lsh/collision.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "lsh/gaussian.h"
+
+namespace dblsh::lsh {
+
+double CollisionProbQueryCentric(double tau, double w) {
+  assert(w > 0.0);
+  if (tau <= 0.0) return 1.0;
+  return 2.0 * NormalCdf(w / (2.0 * tau)) - 1.0;
+}
+
+double CollisionProbStatic(double tau, double w) {
+  assert(w > 0.0);
+  if (tau <= 0.0) return 1.0;
+  // Datar et al. closed form: with s = w / tau,
+  //   p = 2*Phi(s) - 1 - (2/(sqrt(2*pi)*s)) * (1 - exp(-s^2/2)).
+  const double s = w / tau;
+  return 2.0 * NormalCdf(s) - 1.0 -
+         2.0 / (std::sqrt(2.0 * M_PI) * s) * (1.0 - std::exp(-0.5 * s * s));
+}
+
+namespace {
+
+double RhoFromProbs(double p1, double p2) {
+  assert(p1 > 0.0 && p1 < 1.0 && p2 > 0.0 && p2 < 1.0);
+  return std::log(1.0 / p1) / std::log(1.0 / p2);
+}
+
+}  // namespace
+
+double RhoQueryCentric(double r, double c, double w) {
+  // Computed via the complements q = 1 - p = 2 * tail(w / 2tau) so the
+  // result stays finite when the collision probabilities approach 1 (large
+  // widths such as the paper's w0 = 4c^2 with big c): ln(p) = log1p(-q).
+  const double q1 = 2.0 * NormalUpperTail(w / (2.0 * r));
+  const double q2 = 2.0 * NormalUpperTail(w / (2.0 * c * r));
+  if (q2 <= 0.0) return 0.0;  // far probability indistinguishable from 1
+  return std::log1p(-q1) / std::log1p(-q2);
+}
+
+double RhoStatic(double r, double c, double w) {
+  return RhoFromProbs(CollisionProbStatic(r, w),
+                      CollisionProbStatic(c * r, w));
+}
+
+double AlphaForGamma(double gamma) {
+  assert(gamma > 0.0);
+  return gamma * NormalPdf(gamma) / NormalUpperTail(gamma);
+}
+
+double RhoStarBound(double c, double gamma) {
+  assert(c > 1.0);
+  return std::pow(c, -AlphaForGamma(gamma));
+}
+
+}  // namespace dblsh::lsh

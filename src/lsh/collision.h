@@ -1,0 +1,39 @@
+#ifndef DBLSH_LSH_COLLISION_H_
+#define DBLSH_LSH_COLLISION_H_
+
+#include <cstddef>
+
+namespace dblsh::lsh {
+
+/// Collision probability of the *query-centric* hash family h(o) = a.o
+/// (paper Eq. 4): two points at distance `tau` collide when their projections
+/// differ by at most w/2, which happens with probability
+/// 2*Phi(w/(2*tau)) - 1. `tau = 0` collides with probability 1.
+double CollisionProbQueryCentric(double tau, double w);
+
+/// Collision probability of the *static* E2LSH family
+/// h(o) = floor((a.o + b)/w) (paper Eq. 2):
+///   p(tau; w) = 2 * Integral_0^w (1/tau) f(t/tau) (1 - t/w) dt.
+/// Evaluated in closed form via the normal cdf/pdf (equivalent to the
+/// classic Datar et al. expression).
+double CollisionProbStatic(double tau, double w);
+
+/// rho = ln(1/p1) / ln(1/p2) for the query-centric family at distance pair
+/// (r, c*r) and width w: the exponent governing L = n^rho (paper Lemma 1,
+/// called rho* there when evaluated for the dynamic index).
+double RhoQueryCentric(double r, double c, double w);
+
+/// Same exponent for the static family (paper's rho).
+double RhoStatic(double r, double c, double w);
+
+/// alpha(gamma) = gamma * f(gamma) / Integral_gamma^inf f(x) dx
+/// (paper Lemma 3): with bucket width w0 = 2*gamma*c^2, rho* is bounded by
+/// 1/c^alpha. Monotonically increasing in gamma; alpha(2) = 4.746...
+double AlphaForGamma(double gamma);
+
+/// The paper's headline bound 1/c^alpha for width w0 = 2*gamma*c^2.
+double RhoStarBound(double c, double gamma);
+
+}  // namespace dblsh::lsh
+
+#endif  // DBLSH_LSH_COLLISION_H_

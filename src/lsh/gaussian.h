@@ -1,0 +1,26 @@
+#ifndef DBLSH_LSH_GAUSSIAN_H_
+#define DBLSH_LSH_GAUSSIAN_H_
+
+#include <cmath>
+
+namespace dblsh::lsh {
+
+/// Standard normal pdf f(x) = exp(-x^2/2) / sqrt(2*pi).
+inline double NormalPdf(double x) {
+  constexpr double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+/// Standard normal cdf Phi(x).
+inline double NormalCdf(double x) {
+  return 0.5 * std::erfc(-x * 0.7071067811865476);  // 1/sqrt(2)
+}
+
+/// Upper tail integral of the standard normal pdf over [x, +inf).
+inline double NormalUpperTail(double x) {
+  return 0.5 * std::erfc(x * 0.7071067811865476);
+}
+
+}  // namespace dblsh::lsh
+
+#endif  // DBLSH_LSH_GAUSSIAN_H_

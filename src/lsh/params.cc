@@ -1,0 +1,35 @@
+#include "lsh/params.h"
+
+#include <cmath>
+#include <string>
+
+#include "lsh/collision.h"
+
+namespace dblsh::lsh {
+
+Result<DerivedParams> DeriveParams(size_t n, double c, double w0, size_t t) {
+  if (c <= 1.0) {
+    return Status::InvalidArgument("approximation ratio c must exceed 1, got " +
+                                   std::to_string(c));
+  }
+  if (w0 <= 0.0) {
+    return Status::InvalidArgument("initial bucket width w0 must be positive");
+  }
+  if (t < 1) return Status::InvalidArgument("candidate budget t must be >= 1");
+  if (n <= t) {
+    return Status::InvalidArgument("need n > t to derive (K, L)");
+  }
+  DerivedParams out;
+  out.p1 = CollisionProbQueryCentric(1.0, w0);
+  out.p2 = CollisionProbQueryCentric(c, w0);
+  out.rho_star = std::log(1.0 / out.p1) / std::log(1.0 / out.p2);
+  const double ratio = static_cast<double>(n) / static_cast<double>(t);
+  out.k = static_cast<size_t>(
+      std::ceil(std::log(ratio) / std::log(1.0 / out.p2)));
+  out.k = std::max<size_t>(out.k, 1);
+  out.l = static_cast<size_t>(std::ceil(std::pow(ratio, out.rho_star)));
+  out.l = std::max<size_t>(out.l, 1);
+  return out;
+}
+
+}  // namespace dblsh::lsh

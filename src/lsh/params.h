@@ -1,0 +1,31 @@
+#ifndef DBLSH_LSH_PARAMS_H_
+#define DBLSH_LSH_PARAMS_H_
+
+#include <cstddef>
+
+#include "util/status.h"
+
+namespace dblsh::lsh {
+
+/// Theoretical (K, L) sizing for a query-centric dynamic (K,L)-index, per the
+/// paper's Observation 1 and Lemma 1:
+///   p1 = p(1; w0), p2 = p(c; w0),
+///   rho* = ln(1/p1) / ln(1/p2),
+///   K = ceil(log_{1/p2}(n/t)),  L = ceil((n/t)^{rho*}).
+/// `t` is the per-index candidate budget constant of Remark 2 (the query
+/// examines at most 2tL + 1 candidates).
+struct DerivedParams {
+  size_t k = 0;       ///< hash functions per compound hash G_i
+  size_t l = 0;       ///< number of projected spaces / R*-trees
+  double rho_star = 0.0;
+  double p1 = 0.0;
+  double p2 = 0.0;
+};
+
+/// Computes the theoretical parameters. Fails if c <= 1, w0 <= 0, t < 1 or
+/// n <= t (the formulas need n/t > 1).
+Result<DerivedParams> DeriveParams(size_t n, double c, double w0, size_t t);
+
+}  // namespace dblsh::lsh
+
+#endif  // DBLSH_LSH_PARAMS_H_

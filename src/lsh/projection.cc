@@ -1,0 +1,68 @@
+#include "lsh/projection.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/distance.h"
+#include "util/random.h"
+
+namespace dblsh::lsh {
+
+ProjectionBank::ProjectionBank(FloatMatrix directions)
+    : directions_(std::move(directions)) {
+  assert(directions_.rows() > 0 && directions_.cols() > 0);
+}
+
+ProjectionBank::ProjectionBank(size_t num_functions, size_t dim,
+                               uint64_t seed)
+    : directions_(num_functions, dim) {
+  assert(num_functions > 0 && dim > 0);
+  Rng rng(seed);
+  for (size_t f = 0; f < num_functions; ++f) {
+    float* row = directions_.mutable_row(f);
+    for (size_t j = 0; j < dim; ++j) {
+      row[j] = static_cast<float>(rng.Gaussian());
+    }
+  }
+}
+
+float ProjectionBank::Project(size_t f, const float* point) const {
+  return DotProduct(directions_.row(f), point, directions_.cols());
+}
+
+void ProjectionBank::ProjectAll(const float* point, float* out) const {
+  for (size_t f = 0; f < directions_.rows(); ++f) {
+    out[f] = Project(f, point);
+  }
+}
+
+FloatMatrix ProjectionBank::ProjectDataset(const FloatMatrix& data) const {
+  assert(data.cols() == dim());
+  FloatMatrix out(data.rows(), num_functions());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    ProjectAll(data.row(i), out.mutable_row(i));
+  }
+  return out;
+}
+
+StaticHashFamily::StaticHashFamily(size_t num_functions, size_t dim, double w,
+                                   uint64_t seed)
+    : bank_(num_functions, dim, seed), w_(w) {
+  assert(w > 0.0);
+  Rng rng(seed ^ 0xA5A5A5A5A5A5A5A5ULL);
+  offsets_.resize(num_functions);
+  for (auto& b : offsets_) b = rng.Uniform(0.0, w);
+}
+
+int64_t StaticHashFamily::Hash(size_t f, const float* point) const {
+  const double v = (bank_.Project(f, point) + offsets_[f]) / w_;
+  return static_cast<int64_t>(std::floor(v));
+}
+
+void StaticHashFamily::HashAll(const float* point, int64_t* out) const {
+  for (size_t f = 0; f < bank_.num_functions(); ++f) {
+    out[f] = Hash(f, point);
+  }
+}
+
+}  // namespace dblsh::lsh

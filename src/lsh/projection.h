@@ -1,0 +1,68 @@
+#ifndef DBLSH_LSH_PROJECTION_H_
+#define DBLSH_LSH_PROJECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/float_matrix.h"
+
+namespace dblsh::lsh {
+
+/// A bank of `num_functions` independent 2-stable projections over
+/// `dim`-dimensional input: the query-centric family h(o) = a.o of paper
+/// Eq. 3. Each row of `directions()` is one vector a with i.i.d. N(0,1)
+/// entries. DB-LSH uses L*K of these; the C2/MQ baselines reuse the same
+/// bank with their own bucketing on top.
+class ProjectionBank {
+ public:
+  /// Samples `num_functions` directions of dimensionality `dim`.
+  ProjectionBank(size_t num_functions, size_t dim, uint64_t seed);
+
+  /// Adopts pre-existing directions (one per row); used when loading a
+  /// persisted index so queries reproduce the saved projections exactly.
+  explicit ProjectionBank(FloatMatrix directions);
+
+  size_t num_functions() const { return directions_.rows(); }
+  size_t dim() const { return directions_.cols(); }
+
+  /// Projects one point onto function `f`: returns a_f . o.
+  float Project(size_t f, const float* point) const;
+
+  /// Projects one point onto all functions; `out` must have length
+  /// num_functions().
+  void ProjectAll(const float* point, float* out) const;
+
+  /// Projects an entire dataset: result is (data.rows() x num_functions()).
+  FloatMatrix ProjectDataset(const FloatMatrix& data) const;
+
+  const FloatMatrix& directions() const { return directions_; }
+
+ private:
+  FloatMatrix directions_;  // num_functions x dim
+};
+
+/// The static E2LSH family h(o) = floor((a.o + b) / w) of paper Eq. 1,
+/// layered on a ProjectionBank with per-function uniform offsets b in [0, w).
+class StaticHashFamily {
+ public:
+  StaticHashFamily(size_t num_functions, size_t dim, double w, uint64_t seed);
+
+  size_t num_functions() const { return bank_.num_functions(); }
+  double w() const { return w_; }
+  const ProjectionBank& bank() const { return bank_; }
+
+  /// Bucket index of `point` under function `f`.
+  int64_t Hash(size_t f, const float* point) const;
+
+  /// All bucket indices; `out` must have length num_functions().
+  void HashAll(const float* point, int64_t* out) const;
+
+ private:
+  ProjectionBank bank_;
+  std::vector<double> offsets_;
+  double w_;
+};
+
+}  // namespace dblsh::lsh
+
+#endif  // DBLSH_LSH_PROJECTION_H_

@@ -1,0 +1,140 @@
+#ifndef DBLSH_RTREE_RECT_H_
+#define DBLSH_RTREE_RECT_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace dblsh::rtree {
+
+/// Axis-aligned bounding box in a low-dimensional (K ~ 10) float space.
+/// Used for node MBRs and window-query ranges.
+class Rect {
+ public:
+  Rect() = default;
+
+  /// An "empty" rect that any Extend() call will snap to.
+  explicit Rect(size_t dim)
+      : lo_(dim, std::numeric_limits<float>::max()),
+        hi_(dim, std::numeric_limits<float>::lowest()) {}
+
+  /// Degenerate rect around a point.
+  Rect(const float* point, size_t dim)
+      : lo_(point, point + dim), hi_(point, point + dim) {}
+
+  /// Window of half-width w/2 centered at `center`.
+  static Rect Window(const float* center, size_t dim, double w) {
+    Rect r(dim);
+    const float half = static_cast<float>(w / 2.0);
+    for (size_t j = 0; j < dim; ++j) {
+      r.lo_[j] = center[j] - half;
+      r.hi_[j] = center[j] + half;
+    }
+    return r;
+  }
+
+  size_t dim() const { return lo_.size(); }
+  float lo(size_t j) const { return lo_[j]; }
+  float hi(size_t j) const { return hi_[j]; }
+  float& lo(size_t j) { return lo_[j]; }
+  float& hi(size_t j) { return hi_[j]; }
+
+  /// Grows this rect to cover `other`.
+  void Extend(const Rect& other) {
+    assert(dim() == other.dim());
+    for (size_t j = 0; j < dim(); ++j) {
+      lo_[j] = std::min(lo_[j], other.lo_[j]);
+      hi_[j] = std::max(hi_[j], other.hi_[j]);
+    }
+  }
+
+  /// Grows this rect to cover a point.
+  void ExtendPoint(const float* p) {
+    for (size_t j = 0; j < dim(); ++j) {
+      lo_[j] = std::min(lo_[j], p[j]);
+      hi_[j] = std::max(hi_[j], p[j]);
+    }
+  }
+
+  bool Intersects(const Rect& other) const {
+    for (size_t j = 0; j < dim(); ++j) {
+      if (lo_[j] > other.hi_[j] || hi_[j] < other.lo_[j]) return false;
+    }
+    return true;
+  }
+
+  bool ContainsPoint(const float* p) const {
+    for (size_t j = 0; j < dim(); ++j) {
+      if (p[j] < lo_[j] || p[j] > hi_[j]) return false;
+    }
+    return true;
+  }
+
+  bool ContainsRect(const Rect& other) const {
+    for (size_t j = 0; j < dim(); ++j) {
+      if (other.lo_[j] < lo_[j] || other.hi_[j] > hi_[j]) return false;
+    }
+    return true;
+  }
+
+  double Area() const {
+    double a = 1.0;
+    for (size_t j = 0; j < dim(); ++j) {
+      a *= std::max(0.0, static_cast<double>(hi_[j]) - lo_[j]);
+    }
+    return a;
+  }
+
+  /// Sum of side lengths (the R*-tree "margin" criterion).
+  double Margin() const {
+    double m = 0.0;
+    for (size_t j = 0; j < dim(); ++j) {
+      m += std::max(0.0, static_cast<double>(hi_[j]) - lo_[j]);
+    }
+    return m;
+  }
+
+  /// Area of the intersection with `other` (0 if disjoint).
+  double OverlapArea(const Rect& other) const {
+    double a = 1.0;
+    for (size_t j = 0; j < dim(); ++j) {
+      const double side = std::min<double>(hi_[j], other.hi_[j]) -
+                          std::max<double>(lo_[j], other.lo_[j]);
+      if (side <= 0.0) return 0.0;
+      a *= side;
+    }
+    return a;
+  }
+
+  /// Area after extension to cover `other` minus current area.
+  double Enlargement(const Rect& other) const {
+    double extended = 1.0;
+    for (size_t j = 0; j < dim(); ++j) {
+      extended *= std::max<double>(hi_[j], other.hi_[j]) -
+                  std::min<double>(lo_[j], other.lo_[j]);
+    }
+    return extended - Area();
+  }
+
+  float Center(size_t j) const { return 0.5f * (lo_[j] + hi_[j]); }
+
+  /// Squared distance from the rect's center to another rect's center.
+  double CenterDistanceSquared(const Rect& other) const {
+    double d = 0.0;
+    for (size_t j = 0; j < dim(); ++j) {
+      const double diff = Center(j) - other.Center(j);
+      d += diff * diff;
+    }
+    return d;
+  }
+
+ private:
+  std::vector<float> lo_;
+  std::vector<float> hi_;
+};
+
+}  // namespace dblsh::rtree
+
+#endif  // DBLSH_RTREE_RECT_H_

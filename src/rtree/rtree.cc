@@ -1,0 +1,740 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <string>
+
+namespace dblsh::rtree {
+
+/// Tree node. Leaves (level 0) hold point ids; internal nodes hold children.
+/// Every node caches its MBR; an internal entry's rect is its child's MBR.
+struct RStarTree::Node {
+  size_t level = 0;
+  Rect mbr;
+  std::vector<uint32_t> ids;      // leaf payload
+  std::vector<Node*> children;    // internal payload
+
+  bool is_leaf() const { return level == 0; }
+  size_t count() const { return is_leaf() ? ids.size() : children.size(); }
+};
+
+RStarTree::RStarTree(const FloatMatrix* points, RTreeOptions options)
+    : points_(points), options_(options) {
+  assert(points_ != nullptr);
+  assert(options_.max_entries >= 4);
+}
+
+RStarTree::~RStarTree() { FreeTree(root_); }
+
+RStarTree::RStarTree(RStarTree&& other) noexcept
+    : points_(other.points_),
+      options_(other.options_),
+      root_(other.root_),
+      size_(other.size_) {
+  other.root_ = nullptr;
+  other.size_ = 0;
+}
+
+RStarTree& RStarTree::operator=(RStarTree&& other) noexcept {
+  if (this != &other) {
+    FreeTree(root_);
+    points_ = other.points_;
+    options_ = other.options_;
+    root_ = other.root_;
+    size_ = other.size_;
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void RStarTree::FreeTree(Node* node) {
+  if (node == nullptr) return;
+  for (Node* child : node->children) FreeTree(child);
+  delete node;
+}
+
+Rect RStarTree::EntryRect(const Node* node, size_t idx) const {
+  if (node->is_leaf()) {
+    return Rect(points_->row(node->ids[idx]), points_->cols());
+  }
+  return node->children[idx]->mbr;
+}
+
+Rect RStarTree::ComputeNodeRect(const Node* node) const {
+  Rect r(points_->cols());
+  for (size_t i = 0; i < node->count(); ++i) {
+    r.Extend(EntryRect(node, i));
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// STR bulk loading
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Recursively tiles `items` (already ordered arbitrarily) into groups of at
+/// most `capacity`, sorting by successive dimensions (Sort-Tile-Recursive).
+/// `coord(item, axis)` returns the sort key. Appends groups to `out`.
+/// Splits [0, n) into `parts` contiguous chunks whose sizes differ by at
+/// most one, so bulk loading never emits underfull tail nodes.
+inline std::vector<std::pair<size_t, size_t>> EvenChunks(size_t begin,
+                                                         size_t n,
+                                                         size_t parts) {
+  std::vector<std::pair<size_t, size_t>> chunks;
+  chunks.reserve(parts);
+  const size_t base = n / parts;
+  const size_t extra = n % parts;
+  size_t pos = begin;
+  for (size_t p = 0; p < parts; ++p) {
+    const size_t len = base + (p < extra ? 1 : 0);
+    chunks.emplace_back(pos, pos + len);
+    pos += len;
+  }
+  return chunks;
+}
+
+template <typename Item, typename CoordFn>
+void StrPartition(std::vector<Item>& items, size_t begin, size_t end,
+                  size_t axis, size_t num_axes, size_t capacity,
+                  const CoordFn& coord,
+                  std::vector<std::pair<size_t, size_t>>* out) {
+  const size_t n = end - begin;
+  if (n == 0) return;
+  if (n <= capacity) {
+    out->emplace_back(begin, end);
+    return;
+  }
+  std::sort(items.begin() + begin, items.begin() + end,
+            [&](const Item& a, const Item& b) {
+              return coord(a, axis) < coord(b, axis);
+            });
+  const size_t num_groups = (n + capacity - 1) / capacity;
+  if (axis + 1 == num_axes) {
+    for (const auto& [b, e] : EvenChunks(begin, n, num_groups)) {
+      out->emplace_back(b, e);
+    }
+    return;
+  }
+  const auto remaining = static_cast<double>(num_axes - axis);
+  const auto slabs = std::min<size_t>(
+      num_groups, static_cast<size_t>(std::ceil(
+                      std::pow(double(num_groups), 1.0 / remaining))));
+  for (const auto& [b, e] : EvenChunks(begin, n, slabs)) {
+    StrPartition(items, b, e, axis + 1, num_axes, capacity, coord, out);
+  }
+}
+
+}  // namespace
+
+Status RStarTree::BulkLoad(const std::vector<uint32_t>& ids) {
+  for (uint32_t id : ids) {
+    if (id >= points_->rows()) {
+      return Status::InvalidArgument("point id " + std::to_string(id) +
+                                     " out of range");
+    }
+  }
+  FreeTree(root_);
+  root_ = nullptr;
+  size_ = ids.size();
+  if (ids.empty()) {
+    root_ = new Node();
+    root_->mbr = Rect(points_->cols());
+    return Status::OK();
+  }
+
+  const size_t dim = points_->cols();
+  std::vector<uint32_t> sorted = ids;
+  std::vector<std::pair<size_t, size_t>> groups;
+  StrPartition(
+      sorted, 0, sorted.size(), 0, dim, options_.max_entries,
+      [&](uint32_t id, size_t axis) { return points_->at(id, axis); },
+      &groups);
+
+  std::vector<Node*> leaves;
+  leaves.reserve(groups.size());
+  for (const auto& [b, e] : groups) {
+    Node* leaf = new Node();
+    leaf->ids.assign(sorted.begin() + b, sorted.begin() + e);
+    leaf->mbr = ComputeNodeRect(leaf);
+    leaves.push_back(leaf);
+  }
+  root_ = BulkLoadLevel(std::move(leaves));
+  return Status::OK();
+}
+
+Status RStarTree::BulkLoadAll() {
+  std::vector<uint32_t> ids(points_->rows());
+  std::iota(ids.begin(), ids.end(), 0);
+  return BulkLoad(ids);
+}
+
+RStarTree::Node* RStarTree::BulkLoadLevel(std::vector<Node*> nodes) {
+  if (nodes.size() == 1) return nodes[0];
+  const size_t dim = points_->cols();
+  std::vector<std::pair<size_t, size_t>> groups;
+  StrPartition(
+      nodes, 0, nodes.size(), 0, dim, options_.max_entries,
+      [](const Node* n, size_t axis) { return n->mbr.Center(axis); },
+      &groups);
+  std::vector<Node*> parents;
+  parents.reserve(groups.size());
+  for (const auto& [b, e] : groups) {
+    Node* parent = new Node();
+    parent->level = nodes[b]->level + 1;
+    parent->children.assign(nodes.begin() + b, nodes.begin() + e);
+    parent->mbr = ComputeNodeRect(parent);
+    parents.push_back(parent);
+  }
+  return BulkLoadLevel(std::move(parents));
+}
+
+// ---------------------------------------------------------------------------
+// R* insertion
+// ---------------------------------------------------------------------------
+
+RStarTree::Node* RStarTree::ChooseSubtree(const Rect& entry_rect,
+                                          size_t target_level,
+                                          std::vector<Node*>* path) const {
+  Node* node = root_;
+  path->push_back(node);
+  while (node->level > target_level) {
+    const bool children_are_leaves = (node->level == 1);
+    size_t best = 0;
+    double best_primary = std::numeric_limits<double>::max();
+    double best_secondary = std::numeric_limits<double>::max();
+    double best_area = std::numeric_limits<double>::max();
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      const Rect& child_rect = node->children[i]->mbr;
+      const double area = child_rect.Area();
+      const double enlargement = child_rect.Enlargement(entry_rect);
+      double primary;
+      if (children_are_leaves) {
+        // R*: minimize overlap enlargement among siblings.
+        Rect extended = child_rect;
+        extended.Extend(entry_rect);
+        double overlap_before = 0.0, overlap_after = 0.0;
+        for (size_t j = 0; j < node->children.size(); ++j) {
+          if (j == i) continue;
+          overlap_before += child_rect.OverlapArea(node->children[j]->mbr);
+          overlap_after += extended.OverlapArea(node->children[j]->mbr);
+        }
+        primary = overlap_after - overlap_before;
+      } else {
+        primary = enlargement;
+      }
+      if (primary < best_primary ||
+          (primary == best_primary && enlargement < best_secondary) ||
+          (primary == best_primary && enlargement == best_secondary &&
+           area < best_area)) {
+        best = i;
+        best_primary = primary;
+        best_secondary = enlargement;
+        best_area = area;
+      }
+    }
+    node = node->children[best];
+    path->push_back(node);
+  }
+  return node;
+}
+
+void RStarTree::InsertAtLevel(const Rect& rect, uint32_t id, Node* subtree,
+                              size_t target_level,
+                              std::vector<bool>* reinserted) {
+  std::vector<Node*> path;
+  Node* node = ChooseSubtree(rect, target_level, &path);
+  if (subtree == nullptr) {
+    assert(node->is_leaf());
+    node->ids.push_back(id);
+  } else {
+    node->children.push_back(subtree);
+  }
+  for (Node* n : path) n->mbr.Extend(rect);
+  if (node->count() > options_.max_entries) {
+    HandleOverflow(node, path, reinserted);
+  }
+}
+
+void RStarTree::HandleOverflow(Node* node, std::vector<Node*>& path,
+                               std::vector<bool>* reinserted) {
+  const bool is_root = (node == root_);
+  if (!is_root && reinserted != nullptr && node->level < reinserted->size() &&
+      !(*reinserted)[node->level]) {
+    (*reinserted)[node->level] = true;
+    ReinsertEntries(node, path, reinserted);
+  } else {
+    SplitNode(node, path);
+  }
+}
+
+void RStarTree::ReinsertEntries(Node* node, std::vector<Node*>& path,
+                                std::vector<bool>* reinserted) {
+  const size_t p = std::max<size_t>(
+      1, static_cast<size_t>(options_.reinsert_fraction *
+                             static_cast<double>(options_.max_entries)));
+  const size_t count = node->count();
+  assert(count > p);
+
+  // Order entries by distance of their rect center from the node center,
+  // farthest first; evict the first p.
+  std::vector<std::pair<double, size_t>> by_dist(count);
+  for (size_t i = 0; i < count; ++i) {
+    by_dist[i] = {node->mbr.CenterDistanceSquared(EntryRect(node, i)), i};
+  }
+  std::sort(by_dist.begin(), by_dist.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<uint32_t> evicted_ids;
+  std::vector<Node*> evicted_children;
+  std::vector<bool> evict(count, false);
+  for (size_t i = 0; i < p; ++i) evict[by_dist[i].second] = true;
+  if (node->is_leaf()) {
+    std::vector<uint32_t> kept;
+    for (size_t i = 0; i < count; ++i) {
+      (evict[i] ? evicted_ids : kept).push_back(node->ids[i]);
+    }
+    node->ids = std::move(kept);
+  } else {
+    std::vector<Node*> kept;
+    for (size_t i = 0; i < count; ++i) {
+      (evict[i] ? evicted_children : kept).push_back(node->children[i]);
+    }
+    node->children = std::move(kept);
+  }
+
+  // Tighten MBRs along the whole path after eviction.
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    (*it)->mbr = ComputeNodeRect(*it);
+  }
+
+  // Re-insert closest-first (the R* "close reinsert" policy).
+  for (auto it = evicted_ids.rbegin(); it != evicted_ids.rend(); ++it) {
+    InsertAtLevel(Rect(points_->row(*it), points_->cols()), *it, nullptr,
+                  node->level, reinserted);
+  }
+  for (auto it = evicted_children.rbegin(); it != evicted_children.rend();
+       ++it) {
+    InsertAtLevel((*it)->mbr, 0, *it, (*it)->level + 1, reinserted);
+  }
+}
+
+void RStarTree::SplitNode(Node* node, std::vector<Node*>& path) {
+  const size_t count = node->count();
+  const size_t m = options_.MinEntries();
+  assert(count >= 2 * m);
+  const size_t dim = points_->cols();
+
+  std::vector<Rect> rects(count);
+  for (size_t i = 0; i < count; ++i) rects[i] = EntryRect(node, i);
+
+  // R* ChooseSplitAxis: minimize total margin over all valid distributions.
+  size_t best_axis = 0;
+  double best_margin_sum = std::numeric_limits<double>::max();
+  std::vector<size_t> order(count);
+  std::vector<size_t> best_order;
+  for (size_t axis = 0; axis < dim; ++axis) {
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (rects[a].lo(axis) != rects[b].lo(axis)) {
+        return rects[a].lo(axis) < rects[b].lo(axis);
+      }
+      return rects[a].hi(axis) < rects[b].hi(axis);
+    });
+    // Prefix/suffix bounding boxes for O(count) margin evaluation.
+    std::vector<Rect> prefix(count, Rect(dim)), suffix(count, Rect(dim));
+    Rect acc(dim);
+    for (size_t i = 0; i < count; ++i) {
+      acc.Extend(rects[order[i]]);
+      prefix[i] = acc;
+    }
+    acc = Rect(dim);
+    for (size_t i = count; i-- > 0;) {
+      acc.Extend(rects[order[i]]);
+      suffix[i] = acc;
+    }
+    double margin_sum = 0.0;
+    for (size_t k = m; k + m <= count; ++k) {
+      margin_sum += prefix[k - 1].Margin() + suffix[k].Margin();
+    }
+    if (margin_sum < best_margin_sum) {
+      best_margin_sum = margin_sum;
+      best_axis = axis;
+      best_order = order;
+    }
+  }
+  (void)best_axis;
+
+  // ChooseSplitIndex on the winning axis: minimize overlap, tie on area.
+  order = best_order;
+  std::vector<Rect> prefix(count, Rect(dim)), suffix(count, Rect(dim));
+  Rect acc(dim);
+  for (size_t i = 0; i < count; ++i) {
+    acc.Extend(rects[order[i]]);
+    prefix[i] = acc;
+  }
+  acc = Rect(dim);
+  for (size_t i = count; i-- > 0;) {
+    acc.Extend(rects[order[i]]);
+    suffix[i] = acc;
+  }
+  size_t best_k = m;
+  double best_overlap = std::numeric_limits<double>::max();
+  double best_area = std::numeric_limits<double>::max();
+  for (size_t k = m; k + m <= count; ++k) {
+    const double overlap = prefix[k - 1].OverlapArea(suffix[k]);
+    const double area = prefix[k - 1].Area() + suffix[k].Area();
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && area < best_area)) {
+      best_overlap = overlap;
+      best_area = area;
+      best_k = k;
+    }
+  }
+
+  // Materialize the two groups.
+  Node* sibling = new Node();
+  sibling->level = node->level;
+  if (node->is_leaf()) {
+    std::vector<uint32_t> group1, group2;
+    for (size_t i = 0; i < count; ++i) {
+      (i < best_k ? group1 : group2).push_back(node->ids[order[i]]);
+    }
+    node->ids = std::move(group1);
+    sibling->ids = std::move(group2);
+  } else {
+    std::vector<Node*> group1, group2;
+    for (size_t i = 0; i < count; ++i) {
+      (i < best_k ? group1 : group2).push_back(node->children[order[i]]);
+    }
+    node->children = std::move(group1);
+    sibling->children = std::move(group2);
+  }
+  node->mbr = ComputeNodeRect(node);
+  sibling->mbr = ComputeNodeRect(sibling);
+
+  if (node == root_) {
+    Node* new_root = new Node();
+    new_root->level = node->level + 1;
+    new_root->children = {node, sibling};
+    new_root->mbr = ComputeNodeRect(new_root);
+    root_ = new_root;
+    return;
+  }
+  // Attach the sibling to the parent; parent may overflow in turn.
+  assert(path.size() >= 2 && path.back() == node);
+  path.pop_back();
+  Node* parent = path.back();
+  parent->children.push_back(sibling);
+  parent->mbr.Extend(sibling->mbr);
+  if (parent->count() > options_.max_entries) {
+    // Deeper levels already handled reinsertion bookkeeping; split directly
+    // up the path (standard overflow propagation).
+    SplitNode(parent, path);
+  }
+}
+
+Status RStarTree::Insert(uint32_t id) {
+  if (id >= points_->rows()) {
+    return Status::InvalidArgument("point id " + std::to_string(id) +
+                                   " out of range");
+  }
+  if (root_ == nullptr) {
+    root_ = new Node();
+    root_->mbr = Rect(points_->cols());
+  }
+  if (size_ == 0 && root_->count() == 0) {
+    root_->ids.push_back(id);
+    root_->mbr = ComputeNodeRect(root_);
+    size_ = 1;
+    return Status::OK();
+  }
+  std::vector<bool> reinserted(root_->level + 1, false);
+  InsertAtLevel(Rect(points_->row(id), points_->cols()), id, nullptr, 0,
+                &reinserted);
+  ++size_;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Deletion
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct RemoveResult {
+  bool found = false;
+};
+
+}  // namespace
+
+Status RStarTree::Remove(uint32_t id) {
+  if (root_ == nullptr || id >= points_->rows()) {
+    return Status::NotFound("id not indexed");
+  }
+  const Rect target(points_->row(id), points_->cols());
+
+  // Find the leaf holding `id`, tracking the path.
+  std::vector<Node*> path;
+  std::vector<size_t> slot;  // child index taken at each internal node
+  Node* node = root_;
+  path.push_back(node);
+  bool found = false;
+  while (!found) {
+    if (node->is_leaf()) {
+      auto it = std::find(node->ids.begin(), node->ids.end(), id);
+      if (it != node->ids.end()) {
+        node->ids.erase(it);
+        found = true;
+        break;
+      }
+      // Backtrack.
+      while (true) {
+        path.pop_back();
+        if (path.empty()) return Status::NotFound("id not indexed");
+        Node* parent = path.back();
+        size_t& idx = slot.back();
+        ++idx;
+        bool descended = false;
+        for (; idx < parent->children.size(); ++idx) {
+          if (parent->children[idx]->mbr.ContainsRect(target)) {
+            node = parent->children[idx];
+            path.push_back(node);
+            descended = true;
+            break;
+          }
+        }
+        if (descended) break;
+        slot.pop_back();
+      }
+    } else {
+      bool descended = false;
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        if (node->children[i]->mbr.ContainsRect(target)) {
+          slot.push_back(i);
+          node = node->children[i];
+          path.push_back(node);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        // No child covers the point: backtrack as in the leaf case.
+        while (true) {
+          path.pop_back();
+          if (path.empty()) return Status::NotFound("id not indexed");
+          Node* parent = path.back();
+          size_t& idx = slot.back();
+          ++idx;
+          bool redescended = false;
+          for (; idx < parent->children.size(); ++idx) {
+            if (parent->children[idx]->mbr.ContainsRect(target)) {
+              node = parent->children[idx];
+              path.push_back(node);
+              redescended = true;
+              break;
+            }
+          }
+          if (redescended) break;
+          slot.pop_back();
+        }
+      }
+    }
+  }
+  --size_;
+
+  // Condense: remove underfull nodes along the path, collecting orphans.
+  const size_t min_entries = options_.MinEntries();
+  std::vector<Node*> orphans;
+  for (size_t depth = path.size(); depth-- > 0;) {
+    Node* n = path[depth];
+    if (n == root_) break;
+    Node* parent = path[depth - 1];
+    if (n->count() < min_entries) {
+      auto it = std::find(parent->children.begin(), parent->children.end(), n);
+      assert(it != parent->children.end());
+      parent->children.erase(it);
+      orphans.push_back(n);
+    } else {
+      n->mbr = ComputeNodeRect(n);
+    }
+  }
+  root_->mbr = ComputeNodeRect(root_);
+
+  // Re-insert orphaned entries at their original levels.
+  for (Node* orphan : orphans) {
+    if (orphan->is_leaf()) {
+      for (uint32_t oid : orphan->ids) {
+        std::vector<bool> reinserted(root_->level + 1, false);
+        InsertAtLevel(Rect(points_->row(oid), points_->cols()), oid, nullptr,
+                      0, &reinserted);
+      }
+      delete orphan;
+    } else {
+      for (Node* child : orphan->children) {
+        std::vector<bool> reinserted(root_->level + 1, false);
+        InsertAtLevel(child->mbr, 0, child, child->level + 1, &reinserted);
+      }
+      orphan->children.clear();
+      delete orphan;
+    }
+  }
+
+  // Shrink the root while it is an internal node with a single child.
+  while (!root_->is_leaf() && root_->children.size() == 1) {
+    Node* old_root = root_;
+    root_ = root_->children[0];
+    old_root->children.clear();
+    delete old_root;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+void RStarTree::WindowQuery(const Rect& window,
+                            std::vector<uint32_t>* out) const {
+  WindowQueryVisit(window, [out](uint32_t id) {
+    out->push_back(id);
+    return true;
+  });
+}
+
+void RStarTree::WindowQueryVisit(
+    const Rect& window, const std::function<bool(uint32_t)>& visit) const {
+  if (root_ == nullptr) return;
+  std::vector<const Node*> stack = {root_};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!window.Intersects(node->mbr)) continue;
+    if (node->is_leaf()) {
+      for (uint32_t id : node->ids) {
+        if (window.ContainsPoint(points_->row(id))) {
+          if (!visit(id)) return;
+        }
+      }
+    } else {
+      for (const Node* child : node->children) {
+        if (window.Intersects(child->mbr)) stack.push_back(child);
+      }
+    }
+  }
+}
+
+RTreeStats RStarTree::ComputeStats() const {
+  RTreeStats stats;
+  if (root_ == nullptr) return stats;
+  stats.height = root_->level + 1;
+  std::vector<const Node*> stack = {root_};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++stats.node_count;
+    if (node->is_leaf()) {
+      ++stats.leaf_count;
+      stats.entry_count += node->ids.size();
+    } else {
+      for (const Node* child : node->children) stack.push_back(child);
+    }
+  }
+  return stats;
+}
+
+size_t RStarTree::CheckInvariants() const {
+  if (root_ == nullptr) return 0;
+  size_t violations = 0;
+  const size_t min_entries = options_.MinEntries();
+  std::vector<const Node*> stack = {root_};
+  size_t leaf_level_seen = std::numeric_limits<size_t>::max();
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    const bool is_root = (node == root_);
+    if (node->count() > options_.max_entries) ++violations;
+    if (!is_root && node->count() < min_entries) ++violations;
+    if (node->is_leaf()) {
+      if (leaf_level_seen == std::numeric_limits<size_t>::max()) {
+        leaf_level_seen = node->level;
+      } else if (node->level != leaf_level_seen) {
+        ++violations;
+      }
+      for (uint32_t id : node->ids) {
+        if (!node->mbr.ContainsPoint(points_->row(id))) ++violations;
+      }
+    } else {
+      for (const Node* child : node->children) {
+        if (child->level + 1 != node->level) ++violations;
+        if (!node->mbr.ContainsRect(child->mbr)) ++violations;
+        stack.push_back(child);
+      }
+    }
+    const Rect computed = ComputeNodeRect(node);
+    for (size_t j = 0; j < computed.dim(); ++j) {
+      if (node->count() > 0 && (computed.lo(j) != node->mbr.lo(j) ||
+                                computed.hi(j) != node->mbr.hi(j))) {
+        ++violations;
+        break;
+      }
+    }
+  }
+  return violations;
+}
+
+// ---------------------------------------------------------------------------
+// WindowCursor
+// ---------------------------------------------------------------------------
+
+struct RStarTree::WindowCursor::Frame {
+  const Node* node;
+  size_t idx;
+};
+
+RStarTree::WindowCursor::WindowCursor(const RStarTree* tree, Rect window)
+    : tree_(tree), window_(std::move(window)) {
+  if (tree_->root_ != nullptr &&
+      window_.Intersects(tree_->root_->mbr)) {
+    stack_.push_back({tree_->root_, 0});
+  }
+}
+
+RStarTree::WindowCursor::~WindowCursor() = default;
+RStarTree::WindowCursor::WindowCursor(WindowCursor&&) noexcept = default;
+
+bool RStarTree::WindowCursor::Next(uint32_t* id) {
+  while (!stack_.empty()) {
+    Frame& frame = stack_.back();
+    const Node* node = frame.node;
+    if (node->is_leaf()) {
+      while (frame.idx < node->ids.size()) {
+        const uint32_t candidate = node->ids[frame.idx++];
+        if (window_.ContainsPoint(tree_->points_->row(candidate))) {
+          *id = candidate;
+          return true;
+        }
+      }
+      stack_.pop_back();
+    } else {
+      bool descended = false;
+      while (frame.idx < node->children.size()) {
+        const Node* child = node->children[frame.idx++];
+        if (window_.Intersects(child->mbr)) {
+          stack_.push_back({child, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) stack_.pop_back();
+    }
+  }
+  return false;
+}
+
+}  // namespace dblsh::rtree

@@ -1,0 +1,132 @@
+#ifndef DBLSH_RTREE_RTREE_H_
+#define DBLSH_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dataset/float_matrix.h"
+#include "rtree/rect.h"
+#include "util/status.h"
+
+namespace dblsh::rtree {
+
+/// Tuning knobs. Defaults follow Beckmann et al.'s recommendations
+/// (min fill 40%, reinsert 30% of the node on first overflow per level).
+struct RTreeOptions {
+  size_t max_entries = 32;
+  double min_fill = 0.4;
+  double reinsert_fraction = 0.3;
+
+  size_t MinEntries() const {
+    const auto m = static_cast<size_t>(max_entries * min_fill);
+    return m < 1 ? 1 : m;
+  }
+};
+
+/// Construction/query statistics, exposed for the benches and ablations.
+struct RTreeStats {
+  size_t height = 0;       ///< 1 for a single leaf root
+  size_t node_count = 0;   ///< total nodes
+  size_t leaf_count = 0;
+  size_t entry_count = 0;  ///< indexed points
+};
+
+/// In-memory R*-tree over the rows of an external `FloatMatrix` (the
+/// projected points of one DB-LSH compound hash G_i). The tree stores point
+/// ids only; coordinates are read from the matrix, which must outlive the
+/// tree and must not be reallocated while indexed.
+///
+/// Supports both one-by-one R* insertion (ChooseSubtree + forced reinsert +
+/// R* topological split) and Sort-Tile-Recursive bulk loading — the paper
+/// credits bulk loading for DB-LSH's small indexing time, and the ablation
+/// bench compares the two.
+class RStarTree {
+ public:
+  explicit RStarTree(const FloatMatrix* points,
+                     RTreeOptions options = RTreeOptions());
+  ~RStarTree();
+
+  RStarTree(RStarTree&&) noexcept;
+  RStarTree& operator=(RStarTree&&) noexcept;
+  RStarTree(const RStarTree&) = delete;
+  RStarTree& operator=(const RStarTree&) = delete;
+
+  /// Builds the tree over `ids` with STR bulk loading; replaces any existing
+  /// content. Fails if an id is out of range for the backing matrix.
+  Status BulkLoad(const std::vector<uint32_t>& ids);
+
+  /// Convenience: bulk loads all rows of the backing matrix.
+  Status BulkLoadAll();
+
+  /// Inserts one point id (R* insertion with forced reinsertion).
+  Status Insert(uint32_t id);
+
+  /// Removes one point id; returns NotFound if absent.
+  Status Remove(uint32_t id);
+
+  /// Collects all point ids inside `window` (inclusive bounds).
+  void WindowQuery(const Rect& window, std::vector<uint32_t>* out) const;
+
+  /// Visits ids inside `window`; return false from the visitor to stop early.
+  void WindowQueryVisit(const Rect& window,
+                        const std::function<bool(uint32_t)>& visit) const;
+
+  size_t size() const { return size_; }
+  size_t dim() const { return points_->cols(); }
+  RTreeStats ComputeStats() const;
+
+  /// Invariant checker used by the test suite: verifies MBR containment,
+  /// fill factors, and uniform leaf depth. Returns the number of violations.
+  size_t CheckInvariants() const;
+
+  /// Streaming window query: yields matching ids one at a time so callers
+  /// (DB-LSH's Algorithm 1) can stop after a candidate budget without paying
+  /// for the rest of the window.
+  class WindowCursor {
+   public:
+    WindowCursor(const RStarTree* tree, Rect window);
+    ~WindowCursor();
+    WindowCursor(WindowCursor&&) noexcept;
+    WindowCursor& operator=(WindowCursor&&) = delete;
+    WindowCursor(const WindowCursor&) = delete;
+    WindowCursor& operator=(const WindowCursor&) = delete;
+
+    /// Advances to the next id in the window; returns false when exhausted.
+    bool Next(uint32_t* id);
+
+   private:
+    struct Frame;
+    const RStarTree* tree_;
+    Rect window_;
+    std::vector<Frame> stack_;
+  };
+
+ private:
+  struct Node;
+  friend class WindowCursor;
+
+  Node* ChooseSubtree(const Rect& entry_rect, size_t target_level,
+                      std::vector<Node*>* path) const;
+  void InsertAtLevel(const Rect& rect, uint32_t id, Node* subtree,
+                     size_t target_level, std::vector<bool>* reinserted);
+  void HandleOverflow(Node* node, std::vector<Node*>& path,
+                      std::vector<bool>* reinserted);
+  void SplitNode(Node* node, std::vector<Node*>& path);
+  void ReinsertEntries(Node* node, std::vector<Node*>& path,
+                       std::vector<bool>* reinserted);
+  Rect ComputeNodeRect(const Node* node) const;
+  Rect EntryRect(const Node* node, size_t idx) const;
+  void FreeTree(Node* node);
+  Node* BulkLoadLevel(std::vector<Node*> nodes);
+
+  const FloatMatrix* points_;
+  RTreeOptions options_;
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace dblsh::rtree
+
+#endif  // DBLSH_RTREE_RTREE_H_

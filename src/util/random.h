@@ -1,0 +1,90 @@
+#ifndef DBLSH_UTIL_RANDOM_H_
+#define DBLSH_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace dblsh {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**) with helpers
+/// for the distributions the library needs. All randomized components of the
+/// library (hash function sampling, dataset generation, query selection) take
+/// an explicit seed so experiments are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator. Uses SplitMix64 to expand the single seed into
+  /// the full 256-bit state, per the xoshiro authors' recommendation.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+    has_spare_gaussian_ = false;
+  }
+
+  /// Uniform on the full uint64 range.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() { return (NextU64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) { return NextU64() % n; }
+
+  /// Standard normal via Marsaglia polar method (cached spare).
+  double Gaussian() {
+    if (has_spare_gaussian_) {
+      has_spare_gaussian_ = false;
+      return spare_gaussian_;
+    }
+    double u, v, s;
+    do {
+      u = Uniform(-1.0, 1.0);
+      v = Uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_gaussian_ = v * factor;
+    has_spare_gaussian_ = true;
+    return u * factor;
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace dblsh
+
+#endif  // DBLSH_UTIL_RANDOM_H_

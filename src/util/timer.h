@@ -1,0 +1,29 @@
+#ifndef DBLSH_UTIL_TIMER_H_
+#define DBLSH_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace dblsh {
+
+/// Wall-clock stopwatch used by the evaluation harness. Started on
+/// construction; `ElapsedMs()`/`ElapsedSec()` read without stopping.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSec() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMs() const { return ElapsedSec() * 1e3; }
+  double ElapsedUs() const { return ElapsedSec() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dblsh
+
+#endif  // DBLSH_UTIL_TIMER_H_

@@ -1,0 +1,70 @@
+#ifndef DBLSH_UTIL_TOP_K_HEAP_H_
+#define DBLSH_UTIL_TOP_K_HEAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dblsh {
+
+/// A (distance, id) candidate used throughout the query paths.
+struct Neighbor {
+  float dist = 0.f;
+  uint32_t id = 0;
+
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  }
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.dist == b.dist && a.id == b.id;
+  }
+};
+
+/// Bounded max-heap keeping the k smallest-distance neighbors seen so far.
+/// Used by every index's verification loop; `Threshold()` gives the current
+/// k-th distance for early-termination tests.
+class TopKHeap {
+ public:
+  explicit TopKHeap(size_t k) : k_(k) {}
+
+  /// Offers a candidate; keeps it only if it is among the k best so far.
+  /// Duplicate ids are the caller's responsibility to filter.
+  void Push(float dist, uint32_t id) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back({dist, id});
+      std::push_heap(heap_.begin(), heap_.end());
+    } else if (dist < heap_.front().dist) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.back() = {dist, id};
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+
+  /// Current k-th best distance, or +inf while fewer than k candidates held.
+  float Threshold() const {
+    if (heap_.size() < k_) return std::numeric_limits<float>::infinity();
+    return heap_.front().dist;
+  }
+
+  bool Full() const { return heap_.size() >= k_; }
+  size_t Size() const { return heap_.size(); }
+
+  /// Extracts the neighbors in ascending distance order; the heap is left
+  /// empty.
+  std::vector<Neighbor> TakeSorted() {
+    std::sort_heap(heap_.begin(), heap_.end());
+    return std::move(heap_);
+  }
+
+ private:
+  size_t k_;
+  std::vector<Neighbor> heap_;  // max-heap on dist
+};
+
+}  // namespace dblsh
+
+#endif  // DBLSH_UTIL_TOP_K_HEAP_H_

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/lccs_lsh.h"
+#include "baselines/linear_scan.h"
+#include "baselines/lsb_forest.h"
+#include "baselines/pm_lsh.h"
+#include "baselines/qalsh.h"
+#include "baselines/r2lsh.h"
+#include "baselines/vhp.h"
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+
+namespace dblsh {
+namespace {
+
+struct Fixture {
+  FloatMatrix data;
+  FloatMatrix queries;
+  std::vector<std::vector<Neighbor>> gt;
+};
+
+Fixture MakeFixture(size_t n = 3000, size_t dim = 32, size_t k = 10,
+                    uint64_t seed = 60) {
+  Fixture f;
+  SplitQueries(GenerateClustered(
+                   {.n = n, .dim = dim, .clusters = 12, .seed = seed}),
+               25, seed + 1, &f.data, &f.queries);
+  f.gt = ComputeGroundTruth(f.data, f.queries, k);
+  return f;
+}
+
+double MeanRecall(AnnIndex* index, const Fixture& f, size_t k = 10) {
+  double sum = 0.0;
+  for (size_t q = 0; q < f.queries.rows(); ++q) {
+    sum += eval::Recall(index->Query(f.queries.row(q), k), f.gt[q]);
+  }
+  return sum / static_cast<double>(f.queries.rows());
+}
+
+// ----------------------------------------------------------- LinearScan --
+
+TEST(LinearScanTest, IsExact) {
+  const Fixture f = MakeFixture(800);
+  LinearScan scan;
+  ASSERT_TRUE(scan.Build(&f.data).ok());
+  EXPECT_DOUBLE_EQ(MeanRecall(&scan, f), 1.0);
+}
+
+TEST(LinearScanTest, RejectsEmpty) {
+  FloatMatrix empty(0, 4);
+  LinearScan scan;
+  EXPECT_FALSE(scan.Build(&empty).ok());
+}
+
+TEST(LinearScanTest, StatsCountWholeDataset) {
+  const Fixture f = MakeFixture(500);
+  LinearScan scan;
+  ASSERT_TRUE(scan.Build(&f.data).ok());
+  QueryStats stats;
+  scan.Query(f.queries.row(0), 5, &stats);
+  EXPECT_EQ(stats.candidates_verified, f.data.rows());
+}
+
+// ------------------------------------------------- Shared behaviour suite --
+
+enum class Method { kQalsh, kR2Lsh, kVhp, kPmLsh, kLsbForest, kLccsLsh };
+
+std::unique_ptr<AnnIndex> MakeMethod(Method method) {
+  switch (method) {
+    case Method::kQalsh:
+      return std::make_unique<Qalsh>();
+    case Method::kR2Lsh:
+      return std::make_unique<R2Lsh>();
+    case Method::kVhp:
+      return std::make_unique<Vhp>();
+    case Method::kPmLsh:
+      return std::make_unique<PmLsh>();
+    case Method::kLsbForest:
+      return std::make_unique<LsbForest>();
+    case Method::kLccsLsh:
+      return std::make_unique<LccsLsh>();
+  }
+  return nullptr;
+}
+
+class BaselineSuite : public ::testing::TestWithParam<Method> {};
+
+TEST_P(BaselineSuite, BuildRejectsEmptyDataset) {
+  FloatMatrix empty(0, 8);
+  auto index = MakeMethod(GetParam());
+  EXPECT_FALSE(index->Build(&empty).ok());
+}
+
+TEST_P(BaselineSuite, FindsExactDuplicateOfDataPoint) {
+  const Fixture f = MakeFixture(1500);
+  auto index = MakeMethod(GetParam());
+  ASSERT_TRUE(index->Build(&f.data).ok());
+  // Querying with an indexed point: LSH projections of the query coincide
+  // with the point's, so it must be found at distance 0.
+  const auto result = index->Query(f.data.row(33), 1);
+  ASSERT_FALSE(result.empty());
+  EXPECT_FLOAT_EQ(result[0].dist, 0.f);
+}
+
+TEST_P(BaselineSuite, ReasonableRecallOnClusteredData) {
+  const Fixture f = MakeFixture();
+  auto index = MakeMethod(GetParam());
+  ASSERT_TRUE(index->Build(&f.data).ok());
+  EXPECT_GT(MeanRecall(index.get(), f), 0.3) << "method " << index->Name();
+}
+
+TEST_P(BaselineSuite, ResultsSortedAndUnique) {
+  const Fixture f = MakeFixture(1200);
+  auto index = MakeMethod(GetParam());
+  ASSERT_TRUE(index->Build(&f.data).ok());
+  const auto result = index->Query(f.queries.row(0), 20);
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_GE(result[i].dist, result[i - 1].dist);
+    EXPECT_NE(result[i].id, result[i - 1].id);
+  }
+}
+
+TEST_P(BaselineSuite, StatsPopulated) {
+  const Fixture f = MakeFixture(1000);
+  auto index = MakeMethod(GetParam());
+  ASSERT_TRUE(index->Build(&f.data).ok());
+  QueryStats stats;
+  index->Query(f.queries.row(1), 5, &stats);
+  EXPECT_GT(stats.candidates_verified, 0u);
+  EXPECT_GT(stats.points_accessed, 0u);
+}
+
+TEST_P(BaselineSuite, KZeroReturnsEmpty) {
+  const Fixture f = MakeFixture(300);
+  auto index = MakeMethod(GetParam());
+  ASSERT_TRUE(index->Build(&f.data).ok());
+  EXPECT_TRUE(index->Query(f.queries.row(0), 0).empty());
+}
+
+TEST_P(BaselineSuite, ReportsHashFunctions) {
+  auto index = MakeMethod(GetParam());
+  EXPECT_GT(index->NumHashFunctions(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselines, BaselineSuite,
+    ::testing::Values(Method::kQalsh, Method::kR2Lsh, Method::kVhp,
+                      Method::kPmLsh, Method::kLsbForest, Method::kLccsLsh),
+    [](const auto& info) {
+      switch (info.param) {
+        case Method::kQalsh:
+          return "QALSH";
+        case Method::kR2Lsh:
+          return "R2LSH";
+        case Method::kVhp:
+          return "VHP";
+        case Method::kPmLsh:
+          return "PMLSH";
+        case Method::kLsbForest:
+          return "LSBForest";
+        case Method::kLccsLsh:
+          return "LCCSLSH";
+      }
+      return "Unknown";
+    });
+
+// --------------------------------------------------- Method-specific ----
+
+TEST(QalshTest, RejectsBadParams) {
+  const Fixture f = MakeFixture(200);
+  QalshParams params;
+  params.c = 0.9;
+  Qalsh bad_c(params);
+  EXPECT_FALSE(bad_c.Build(&f.data).ok());
+  params.c = 1.5;
+  params.m = 0;
+  Qalsh bad_m(params);
+  EXPECT_FALSE(bad_m.Build(&f.data).ok());
+}
+
+TEST(QalshTest, HigherBetaImprovesRecall) {
+  const Fixture f = MakeFixture(2500);
+  QalshParams lo_params, hi_params;
+  lo_params.beta = 0.002;
+  hi_params.beta = 0.15;
+  Qalsh lo(lo_params), hi(hi_params);
+  ASSERT_TRUE(lo.Build(&f.data).ok());
+  ASSERT_TRUE(hi.Build(&f.data).ok());
+  EXPECT_GE(MeanRecall(&hi, f), MeanRecall(&lo, f) - 0.02);
+}
+
+TEST(R2LshTest, OddProjectionCountRoundsDown) {
+  const Fixture f = MakeFixture(300);
+  R2LshParams params;
+  params.m = 7;  // becomes 6 = 3 spaces
+  R2Lsh index(params);
+  ASSERT_TRUE(index.Build(&f.data).ok());
+  EXPECT_EQ(index.NumHashFunctions(), 6u);
+}
+
+TEST(VhpTest, RejectsSlackBelowOne) {
+  const Fixture f = MakeFixture(200);
+  VhpParams params;
+  params.t0 = 0.5;
+  Vhp index(params);
+  EXPECT_FALSE(index.Build(&f.data).ok());
+}
+
+TEST(PmLshTest, BudgetBoundsVerifications) {
+  const Fixture f = MakeFixture(4000);
+  PmLshParams params;
+  params.beta = 0.05;
+  PmLsh index(params);
+  ASSERT_TRUE(index.Build(&f.data).ok());
+  QueryStats stats;
+  const size_t k = 10;
+  index.Query(f.queries.row(0), k, &stats);
+  const size_t budget =
+      std::max<size_t>(100, static_cast<size_t>(0.05 * f.data.rows())) + k;
+  EXPECT_LE(stats.candidates_verified, budget);
+}
+
+TEST(PmLshTest, HighBetaApproachesExactness) {
+  const Fixture f = MakeFixture(1500);
+  PmLshParams params;
+  params.beta = 1.0;   // verify everything the cursor yields
+  params.t_factor = 100.0;  // effectively disable early stop
+  PmLsh index(params);
+  ASSERT_TRUE(index.Build(&f.data).ok());
+  EXPECT_GT(MeanRecall(&index, f), 0.95);
+}
+
+TEST(LsbForestTest, RejectsOversizedZCode) {
+  const Fixture f = MakeFixture(200);
+  LsbForestParams params;
+  params.k = 10;
+  params.bits = 8;  // 80 bits > 64
+  LsbForest index(params);
+  EXPECT_FALSE(index.Build(&f.data).ok());
+}
+
+TEST(LsbForestTest, MoreTreesImproveRecall) {
+  const Fixture f = MakeFixture(2500);
+  LsbForestParams small_params, big_params;
+  small_params.l = 2;
+  big_params.l = 12;
+  LsbForest small(small_params), big(big_params);
+  ASSERT_TRUE(small.Build(&f.data).ok());
+  ASSERT_TRUE(big.Build(&f.data).ok());
+  EXPECT_GE(MeanRecall(&big, f), MeanRecall(&small, f) - 0.02);
+}
+
+TEST(LccsLshTest, RejectsBadCodeLength) {
+  const Fixture f = MakeFixture(200);
+  LccsLshParams params;
+  params.m = 65;
+  LccsLsh index(params);
+  EXPECT_FALSE(index.Build(&f.data).ok());
+}
+
+TEST(LccsLshTest, MoreProbesImproveRecall) {
+  const Fixture f = MakeFixture(2500);
+  LccsLshParams lo_params, hi_params;
+  lo_params.probes = 32;
+  hi_params.probes = 1024;
+  LccsLsh lo(lo_params), hi(hi_params);
+  ASSERT_TRUE(lo.Build(&f.data).ok());
+  ASSERT_TRUE(hi.Build(&f.data).ok());
+  EXPECT_GE(MeanRecall(&hi, f), MeanRecall(&lo, f) - 0.02);
+}
+
+}  // namespace
+}  // namespace dblsh

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bptree/bplus_tree.h"
+#include "util/random.h"
+
+namespace dblsh::bptree {
+namespace {
+
+std::vector<BPlusTree::Entry> RandomEntries(size_t n, uint64_t seed,
+                                            double lo = -100.0,
+                                            double hi = 100.0) {
+  Rng rng(seed);
+  std::vector<BPlusTree::Entry> entries(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries[i] = {static_cast<float>(rng.Uniform(lo, hi)),
+                  static_cast<uint32_t>(i)};
+  }
+  return entries;
+}
+
+std::vector<uint32_t> BruteRange(std::vector<BPlusTree::Entry> entries,
+                                 float lo, float hi) {
+  std::vector<uint32_t> out;
+  std::sort(entries.begin(), entries.end());
+  for (const auto& e : entries) {
+    if (e.key >= lo && e.key <= hi) out.push_back(e.id);
+  }
+  return out;
+}
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.BulkLoad({}).ok());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Begin().Valid());
+  EXPECT_FALSE(tree.LowerBound(0.f).Valid());
+  EXPECT_FALSE(tree.UpperNeighborBelow(0.f).Valid());
+}
+
+TEST(BPlusTreeTest, BulkLoadSortsAndLinks) {
+  auto entries = RandomEntries(5000, 31);
+  BPlusTree tree;
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+  EXPECT_EQ(tree.size(), 5000u);
+  EXPECT_EQ(tree.CheckInvariants(), 0u);
+  EXPECT_GT(tree.height(), 1u);
+}
+
+TEST(BPlusTreeTest, RangeQueryMatchesBruteForce) {
+  auto entries = RandomEntries(3000, 32);
+  BPlusTree tree;
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+  Rng rng(33);
+  for (int trial = 0; trial < 50; ++trial) {
+    const float a = static_cast<float>(rng.Uniform(-120, 120));
+    const float b = static_cast<float>(rng.Uniform(-120, 120));
+    const float lo = std::min(a, b), hi = std::max(a, b);
+    std::vector<uint32_t> got;
+    tree.RangeQuery(lo, hi, &got);
+    std::sort(got.begin(), got.end());
+    auto expected = BruteRange(entries, lo, hi);
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST(BPlusTreeTest, InsertMatchesBulkLoad) {
+  auto entries = RandomEntries(2000, 34);
+  BPlusTree inserted;
+  for (const auto& e : entries) inserted.Insert(e.key, e.id);
+  EXPECT_EQ(inserted.size(), 2000u);
+  EXPECT_EQ(inserted.CheckInvariants(), 0u);
+  BPlusTree bulk;
+  ASSERT_TRUE(bulk.BulkLoad(entries).ok());
+  // Both enumerate the same sorted sequence.
+  auto it_a = inserted.Begin();
+  auto it_b = bulk.Begin();
+  while (it_a.Valid() && it_b.Valid()) {
+    EXPECT_FLOAT_EQ(it_a.key(), it_b.key());
+    it_a.Next();
+    it_b.Next();
+  }
+  EXPECT_FALSE(it_a.Valid());
+  EXPECT_FALSE(it_b.Valid());
+}
+
+TEST(BPlusTreeTest, LowerBoundSemantics) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.BulkLoad({{1.f, 0}, {3.f, 1}, {3.f, 2}, {7.f, 3}}).ok());
+  auto it = tree.LowerBound(3.f);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_FLOAT_EQ(it.key(), 3.f);
+  it = tree.LowerBound(4.f);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_FLOAT_EQ(it.key(), 7.f);
+  it = tree.LowerBound(8.f);
+  EXPECT_FALSE(it.Valid());
+  it = tree.LowerBound(-10.f);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_FLOAT_EQ(it.key(), 1.f);
+}
+
+TEST(BPlusTreeTest, UpperNeighborBelowSemantics) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.BulkLoad({{1.f, 0}, {3.f, 1}, {7.f, 2}}).ok());
+  auto it = tree.UpperNeighborBelow(3.f);  // strictly below 3
+  ASSERT_TRUE(it.Valid());
+  EXPECT_FLOAT_EQ(it.key(), 1.f);
+  it = tree.UpperNeighborBelow(100.f);  // all keys below: last one
+  ASSERT_TRUE(it.Valid());
+  EXPECT_FLOAT_EQ(it.key(), 7.f);
+  it = tree.UpperNeighborBelow(0.5f);  // nothing below
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(BPlusTreeTest, BidirectionalIteration) {
+  auto entries = RandomEntries(500, 35);
+  BPlusTree tree;
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+  // Walk to the end, then all the way back.
+  auto it = tree.Begin();
+  std::vector<float> forward;
+  float last = it.key();
+  while (it.Valid()) {
+    forward.push_back(it.key());
+    EXPECT_GE(it.key(), last);
+    last = it.key();
+    it.Next();
+  }
+  EXPECT_EQ(forward.size(), 500u);
+  it = tree.UpperNeighborBelow(1e9f);  // last element
+  std::vector<float> backward;
+  while (it.Valid()) {
+    backward.push_back(it.key());
+    it.Prev();
+  }
+  std::reverse(backward.begin(), backward.end());
+  EXPECT_EQ(forward, backward);
+}
+
+TEST(BPlusTreeTest, DuplicateKeysAllEnumerated) {
+  BPlusTree tree(8);
+  for (uint32_t i = 0; i < 300; ++i) tree.Insert(5.f, i);
+  EXPECT_EQ(tree.CheckInvariants(), 0u);
+  std::vector<uint32_t> out;
+  tree.RangeQuery(5.f, 5.f, &out);
+  EXPECT_EQ(out.size(), 300u);
+}
+
+TEST(BPlusTreeTest, SmallFanoutStressesSplits) {
+  BPlusTree tree(4);
+  auto entries = RandomEntries(1000, 36);
+  for (const auto& e : entries) tree.Insert(e.key, e.id);
+  EXPECT_EQ(tree.CheckInvariants(), 0u);
+  EXPECT_GT(tree.height(), 3u);
+}
+
+TEST(BPlusTreeTest, MixedBulkLoadThenInsert) {
+  auto entries = RandomEntries(1000, 37);
+  BPlusTree tree;
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+  auto extra = RandomEntries(1000, 38);
+  for (auto& e : extra) {
+    e.id += 1000;
+    tree.Insert(e.key, e.id);
+  }
+  EXPECT_EQ(tree.size(), 2000u);
+  EXPECT_EQ(tree.CheckInvariants(), 0u);
+  // Every inserted id is reachable via a range query around its key.
+  Rng rng(39);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto& e = extra[rng.UniformInt(extra.size())];
+    std::vector<uint32_t> out;
+    tree.RangeQuery(e.key, e.key, &out);
+    EXPECT_TRUE(std::find(out.begin(), out.end(), e.id) != out.end());
+  }
+}
+
+TEST(BPlusTreeTest, MoveSemantics) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.BulkLoad(RandomEntries(100, 40)).ok());
+  BPlusTree moved = std::move(tree);
+  EXPECT_EQ(moved.size(), 100u);
+  EXPECT_EQ(moved.CheckInvariants(), 0u);
+}
+
+}  // namespace
+}  // namespace dblsh::bptree

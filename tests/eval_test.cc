@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "baselines/linear_scan.h"
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+
+namespace dblsh::eval {
+namespace {
+
+// ----------------------------------------------------------------- Recall --
+
+TEST(RecallTest, PerfectMatchIsOne) {
+  std::vector<Neighbor> gt = {{1.f, 0}, {2.f, 1}, {3.f, 2}};
+  EXPECT_DOUBLE_EQ(Recall(gt, gt), 1.0);
+}
+
+TEST(RecallTest, EmptyReturnIsZero) {
+  std::vector<Neighbor> gt = {{1.f, 0}, {2.f, 1}};
+  EXPECT_DOUBLE_EQ(Recall({}, gt), 0.0);
+}
+
+TEST(RecallTest, PartialOverlapCountsByDistance) {
+  std::vector<Neighbor> gt = {{1.f, 0}, {2.f, 1}, {3.f, 2}, {4.f, 3}};
+  // Found the 1st and 3rd true neighbors (by distance), missed the others.
+  std::vector<Neighbor> got = {{1.f, 0}, {3.f, 2}, {9.f, 9}, {11.f, 8}};
+  EXPECT_DOUBLE_EQ(Recall(got, gt), 0.5);
+}
+
+TEST(RecallTest, EqualDistanceDifferentIdStillCounts) {
+  // Standard ANN convention: ties at the same distance are interchangeable.
+  std::vector<Neighbor> gt = {{1.f, 0}, {2.f, 1}};
+  std::vector<Neighbor> got = {{1.f, 42}, {2.f, 43}};
+  EXPECT_DOUBLE_EQ(Recall(got, gt), 1.0);
+}
+
+TEST(RecallTest, DuplicateDistancesConsumeGroundTruthOnce) {
+  std::vector<Neighbor> gt = {{1.f, 0}, {5.f, 1}};
+  std::vector<Neighbor> got = {{1.f, 0}, {1.f, 9}};  // two at distance 1
+  EXPECT_DOUBLE_EQ(Recall(got, gt), 0.5);  // only one true entry at 1.0
+}
+
+// ------------------------------------------------------------ OverallRatio --
+
+TEST(OverallRatioTest, ExactAnswerIsOne) {
+  std::vector<Neighbor> gt = {{1.f, 0}, {2.f, 1}};
+  EXPECT_DOUBLE_EQ(OverallRatio(gt, gt), 1.0);
+}
+
+TEST(OverallRatioTest, KnownInflation) {
+  std::vector<Neighbor> gt = {{1.f, 0}, {2.f, 1}};
+  std::vector<Neighbor> got = {{1.5f, 5}, {2.f, 1}};
+  EXPECT_DOUBLE_EQ(OverallRatio(got, gt), (1.5 + 1.0) / 2.0);
+}
+
+TEST(OverallRatioTest, MissingRanksPenalized) {
+  std::vector<Neighbor> gt = {{1.f, 0}, {2.f, 1}, {4.f, 2}};
+  std::vector<Neighbor> got = {{2.f, 5}};  // ratio 2 at rank 0, 2 missing
+  EXPECT_DOUBLE_EQ(OverallRatio(got, gt), (2.0 + 2.0 + 2.0) / 3.0);
+}
+
+TEST(OverallRatioTest, NeverBelowOne) {
+  std::vector<Neighbor> gt = {{2.f, 0}};
+  std::vector<Neighbor> got = {{1.f, 5}};  // "better than exact" clamps to 1
+  EXPECT_DOUBLE_EQ(OverallRatio(got, gt), 1.0);
+}
+
+// ----------------------------------------------------------------- Table --
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"Method", "Recall"});
+  t.AddRow({"DB-LSH", "0.93"});
+  t.AddRow({"PM-LSH", "0.9"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("DB-LSH"), std::string::npos);
+  EXPECT_NE(s.find("Recall"), std::string::npos);
+  // All lines have equal width.
+  size_t width = s.find('\n');
+  for (size_t pos = 0; pos < s.size();) {
+    const size_t next = s.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(TableTest, CsvExport) {
+  Table t({"Method", "Recall"});
+  t.AddRow({"DB-LSH", "0.93"});
+  t.AddRow({"weird,name", "says \"hi\""});
+  const std::string csv = t.ToCsv();
+  EXPECT_EQ(csv,
+            "Method,Recall\n"
+            "DB-LSH,0.93\n"
+            "\"weird,name\",\"says \"\"hi\"\"\"\n");
+}
+
+TEST(TableTest, FmtHelpers) {
+  EXPECT_EQ(Table::Fmt(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::FmtMs(0.5), "0.500ms");
+  EXPECT_EQ(Table::FmtMs(2500.0), "2.50s");
+}
+
+// ---------------------------------------------------------------- Runner --
+
+TEST(RunnerTest, WorkloadSplitsAndComputesGroundTruth) {
+  const Workload w = MakeWorkload(
+      "test", GenerateUniform(500, 8, 10.0, 70), 20, 5);
+  EXPECT_EQ(w.queries.rows(), 20u);
+  EXPECT_EQ(w.data.rows(), 480u);
+  ASSERT_EQ(w.ground_truth.size(), 20u);
+  EXPECT_EQ(w.ground_truth[0].size(), 5u);
+}
+
+TEST(RunnerTest, LinearScanScoresPerfectly) {
+  const Workload w = MakeWorkload(
+      "test", GenerateClustered({.n = 600, .dim = 16, .seed = 71}), 10, 5);
+  LinearScan scan;
+  auto result = RunMethod(&scan, w);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().recall, 1.0);
+  EXPECT_DOUBLE_EQ(result.value().overall_ratio, 1.0);
+  EXPECT_GT(result.value().avg_query_ms, 0.0);
+  EXPECT_GE(result.value().indexing_time_sec, 0.0);
+}
+
+TEST(RunnerTest, BuildFailurePropagates) {
+  Workload w;  // empty data
+  w.k = 5;
+  LinearScan scan;
+  EXPECT_FALSE(RunMethod(&scan, w).ok());
+}
+
+TEST(RunnerTest, PaperLineupHasAllMethods) {
+  const auto methods = MakePaperMethods(10000);
+  ASSERT_EQ(methods.size(), 8u);
+  EXPECT_EQ(methods[0]->Name(), "DB-LSH");
+  EXPECT_EQ(methods[1]->Name(), "FB-LSH");
+}
+
+}  // namespace
+}  // namespace dblsh::eval

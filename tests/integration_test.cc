@@ -1,0 +1,81 @@
+// End-to-end tests running every index through the shared harness on one
+// workload, mirroring how the bench binaries drive the library.
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "eval/runner.h"
+
+namespace dblsh::eval {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new Workload(MakeWorkload(
+        "integration",
+        GenerateClustered({.n = 4000, .dim = 48, .clusters = 16, .seed = 80}),
+        20, 10));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+  }
+  static Workload* workload_;
+};
+
+Workload* IntegrationTest::workload_ = nullptr;
+
+TEST_F(IntegrationTest, AllPaperMethodsRunAndProduceSaneMetrics) {
+  const auto methods = MakePaperMethods(workload_->data.rows());
+  for (const auto& method : methods) {
+    auto result = RunMethod(method.get(), *workload_);
+    ASSERT_TRUE(result.ok()) << method->Name() << ": "
+                             << result.status().ToString();
+    const MethodResult& r = result.value();
+    EXPECT_GE(r.recall, 0.0) << r.method;
+    EXPECT_LE(r.recall, 1.0) << r.method;
+    EXPECT_GE(r.overall_ratio, 1.0) << r.method;
+    EXPECT_GT(r.avg_query_ms, 0.0) << r.method;
+    EXPECT_GT(r.indexing_time_sec, 0.0) << r.method;
+    EXPECT_GT(r.avg_candidates, 0.0) << r.method;
+  }
+}
+
+TEST_F(IntegrationTest, DbLshReachesCompetitiveRecall) {
+  const auto methods = MakePaperMethods(workload_->data.rows());
+  auto db_result = RunMethod(methods[0].get(), *workload_);
+  ASSERT_TRUE(db_result.ok());
+  // The paper reports 80-95% recall at default settings on most datasets.
+  EXPECT_GT(db_result.value().recall, 0.7);
+  EXPECT_LT(db_result.value().overall_ratio, 1.1);
+}
+
+TEST_F(IntegrationTest, CandidateCountsExplainCostModel) {
+  // DB-LSH's candidate budget (2tL + k) should be far below a linear scan,
+  // which is the whole point of sub-linear query cost.
+  const auto methods = MakePaperMethods(workload_->data.rows());
+  auto db_result = RunMethod(methods[0].get(), *workload_);
+  ASSERT_TRUE(db_result.ok());
+  EXPECT_LT(db_result.value().avg_candidates,
+            0.5 * static_cast<double>(workload_->data.rows()));
+}
+
+TEST_F(IntegrationTest, VaryingNPreservesRecallShape) {
+  // Fig. 6: recall stays roughly stable as cardinality grows (distribution
+  // unchanged). Check DB-LSH recall does not collapse between 0.5n and n.
+  const FloatMatrix full = GenerateClustered(
+      {.n = 3000, .dim = 32, .clusters = 12, .seed = 81});
+  double recalls[2];
+  size_t idx = 0;
+  for (const size_t n : {1500, 3000}) {
+    Workload w = MakeWorkload("vary_n", full.Prefix(n), 15, 10);
+    const auto methods = MakePaperMethods(w.data.rows());
+    auto r = RunMethod(methods[0].get(), w);
+    ASSERT_TRUE(r.ok());
+    recalls[idx++] = r.value().recall;
+  }
+  EXPECT_GT(recalls[1], recalls[0] - 0.25);
+}
+
+}  // namespace
+}  // namespace dblsh::eval

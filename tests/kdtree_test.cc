@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+#include "kdtree/kd_tree.h"
+#include "util/random.h"
+
+namespace dblsh::kdtree {
+namespace {
+
+TEST(KdTreeTest, KnnMatchesBruteForce) {
+  const FloatMatrix points = GenerateUniform(2000, 6, 50.0, 41);
+  KdTree tree(&points);
+  const FloatMatrix queries = GenerateUniform(20, 6, 50.0, 42);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto got = tree.Knn(queries.row(q), 10);
+    const auto expected = ExactKnn(points, queries.row(q), 10);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].dist, expected[i].dist, 1e-4) << "rank " << i;
+    }
+  }
+}
+
+TEST(KdTreeTest, KnnOnClusteredData) {
+  const FloatMatrix points = GenerateClustered(
+      {.n = 3000, .dim = 12, .clusters = 10, .seed = 43});
+  KdTree tree(&points);
+  const auto got = tree.Knn(points.row(7), 5);
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_EQ(got[0].id, 7u);  // the point itself is its own 1-NN
+  EXPECT_FLOAT_EQ(got[0].dist, 0.f);
+}
+
+TEST(KdTreeTest, CursorYieldsAscendingDistances) {
+  const FloatMatrix points = GenerateUniform(1000, 4, 20.0, 44);
+  KdTree tree(&points);
+  const FloatMatrix queries = GenerateUniform(5, 4, 20.0, 45);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    KdTree::NnCursor cursor(&tree, queries.row(q));
+    Neighbor nb;
+    float last = 0.f;
+    size_t count = 0;
+    while (cursor.Next(&nb)) {
+      EXPECT_GE(nb.dist, last - 1e-5f);
+      last = nb.dist;
+      ++count;
+    }
+    EXPECT_EQ(count, points.rows());  // full enumeration, no duplicates
+  }
+}
+
+TEST(KdTreeTest, CursorPrefixMatchesKnn) {
+  const FloatMatrix points = GenerateClustered(
+      {.n = 1500, .dim = 8, .clusters = 6, .seed = 46});
+  KdTree tree(&points);
+  const float* q = points.row(3);
+  KdTree::NnCursor cursor(&tree, q);
+  const auto knn = tree.Knn(q, 20);
+  for (size_t i = 0; i < 20; ++i) {
+    Neighbor nb;
+    ASSERT_TRUE(cursor.Next(&nb));
+    EXPECT_NEAR(nb.dist, knn[i].dist, 1e-4) << "rank " << i;
+  }
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  FloatMatrix points(0, 3);
+  KdTree tree(&points);
+  const float q[3] = {0, 0, 0};
+  EXPECT_TRUE(tree.Knn(q, 5).empty());
+  KdTree::NnCursor cursor(&tree, q);
+  Neighbor nb;
+  EXPECT_FALSE(cursor.Next(&nb));
+}
+
+TEST(KdTreeTest, AllIdenticalPoints) {
+  FloatMatrix points(100, 3);  // all zeros
+  KdTree tree(&points);
+  const float q[3] = {1, 1, 1};
+  const auto knn = tree.Knn(q, 10);
+  ASSERT_EQ(knn.size(), 10u);
+  for (const auto& nb : knn) EXPECT_NEAR(nb.dist, std::sqrt(3.f), 1e-5);
+}
+
+TEST(KdTreeTest, KGreaterThanN) {
+  const FloatMatrix points = GenerateUniform(7, 2, 10.0, 47);
+  KdTree tree(&points);
+  const float q[2] = {5, 5};
+  EXPECT_EQ(tree.Knn(q, 50).size(), 7u);
+}
+
+TEST(KdTreeTest, WindowQueryMatchesBruteForce) {
+  const FloatMatrix points = GenerateClustered(
+      {.n = 2000, .dim = 5, .clusters = 8, .seed = 49});
+  KdTree tree(&points);
+  Rng rng(50);
+  for (int trial = 0; trial < 40; ++trial) {
+    const uint32_t anchor = static_cast<uint32_t>(rng.UniformInt(2000));
+    const double half = rng.Uniform(0.5, 25.0);
+    std::vector<float> lo(5), hi(5);
+    for (size_t j = 0; j < 5; ++j) {
+      lo[j] = points.at(anchor, j) - static_cast<float>(half);
+      hi[j] = points.at(anchor, j) + static_cast<float>(half);
+    }
+    std::vector<uint32_t> got;
+    tree.WindowQuery(lo.data(), hi.data(), &got);
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < points.rows(); ++i) {
+      bool inside = true;
+      for (size_t j = 0; j < 5; ++j) {
+        if (points.at(i, j) < lo[j] || points.at(i, j) > hi[j]) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) expected.push_back(i);
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST(KdTreeTest, WindowCursorStreamsWithoutDuplicates) {
+  const FloatMatrix points = GenerateUniform(1500, 4, 50.0, 51);
+  KdTree tree(&points);
+  std::vector<float> lo(4, 10.f), hi(4, 40.f);
+  KdTree::WindowCursor cursor(&tree, lo.data(), hi.data());
+  std::vector<uint32_t> streamed;
+  uint32_t id;
+  while (cursor.Next(&id)) streamed.push_back(id);
+  std::vector<uint32_t> batch;
+  tree.WindowQuery(lo.data(), hi.data(), &batch);
+  std::sort(streamed.begin(), streamed.end());
+  std::sort(batch.begin(), batch.end());
+  EXPECT_EQ(streamed, batch);
+  EXPECT_EQ(std::unique(streamed.begin(), streamed.end()), streamed.end());
+}
+
+TEST(KdTreeTest, EmptyWindowYieldsNothing) {
+  const FloatMatrix points = GenerateUniform(500, 3, 10.0, 52);
+  KdTree tree(&points);
+  std::vector<float> lo(3, 100.f), hi(3, 200.f);  // outside the data
+  std::vector<uint32_t> out;
+  tree.WindowQuery(lo.data(), hi.data(), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(KdTreeTest, LeafSizeOneWorks) {
+  const FloatMatrix points = GenerateUniform(300, 3, 10.0, 48);
+  KdTree tree(&points, 1);
+  const auto got = tree.Knn(points.row(0), 3);
+  const auto expected = ExactKnn(points, points.row(0), 3);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(got[i].dist, expected[i].dist, 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace dblsh::kdtree

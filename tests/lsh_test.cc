@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataset/synthetic.h"
+#include "lsh/collision.h"
+#include "lsh/gaussian.h"
+#include "lsh/params.h"
+#include "lsh/projection.h"
+#include "util/random.h"
+
+namespace dblsh::lsh {
+namespace {
+
+// --------------------------------------------------------------- Gaussian --
+
+TEST(GaussianTest, PdfKnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_NEAR(NormalPdf(1.0), 0.2419707245, 1e-9);
+  EXPECT_NEAR(NormalPdf(-1.0), NormalPdf(1.0), 1e-12);
+}
+
+TEST(GaussianTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.9750021049, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.0249978951, 1e-6);
+}
+
+TEST(GaussianTest, TailComplementsCdf) {
+  for (double x : {-3.0, -1.0, 0.0, 0.5, 2.0, 4.0}) {
+    EXPECT_NEAR(NormalUpperTail(x), 1.0 - NormalCdf(x), 1e-12);
+  }
+}
+
+// -------------------------------------------------------------- Collision --
+
+TEST(CollisionTest, QueryCentricAtZeroDistanceIsOne) {
+  EXPECT_DOUBLE_EQ(CollisionProbQueryCentric(0.0, 4.0), 1.0);
+}
+
+TEST(CollisionTest, QueryCentricMonotoneDecreasingInTau) {
+  double prev = 1.1;
+  for (double tau = 0.1; tau < 20.0; tau += 0.3) {
+    const double p = CollisionProbQueryCentric(tau, 4.0);
+    EXPECT_LT(p, prev);
+    EXPECT_GT(p, 0.0);
+    prev = p;
+  }
+}
+
+TEST(CollisionTest, QueryCentricIncreasingInWidth) {
+  double prev = 0.0;
+  for (double w = 0.5; w < 50.0; w *= 2.0) {
+    const double p = CollisionProbQueryCentric(2.0, w);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(CollisionTest, QueryCentricClosedFormMatchesDefinition) {
+  // Eq. 4: p = Integral_{-w/2tau}^{w/2tau} f(t) dt = 2 Phi(w/2tau) - 1.
+  for (double tau : {0.5, 1.0, 3.0}) {
+    for (double w : {1.0, 4.0, 9.0}) {
+      const double expected = NormalCdf(w / (2 * tau)) -
+                              NormalCdf(-w / (2 * tau));
+      EXPECT_NEAR(CollisionProbQueryCentric(tau, w), expected, 1e-12);
+    }
+  }
+}
+
+TEST(CollisionTest, StaticMatchesNumericIntegration) {
+  // Eq. 2 by midpoint quadrature vs the closed form used in the library.
+  for (double tau : {0.5, 1.0, 2.0, 5.0}) {
+    for (double w : {1.0, 4.0, 16.0}) {
+      const int steps = 20000;
+      double integral = 0.0;
+      for (int s = 0; s < steps; ++s) {
+        const double t = (s + 0.5) * w / steps;
+        integral += (1.0 / tau) * NormalPdf(t / tau) * (1.0 - t / w) *
+                    (w / steps);
+      }
+      EXPECT_NEAR(CollisionProbStatic(tau, w), 2.0 * integral, 1e-4)
+          << "tau=" << tau << " w=" << w;
+    }
+  }
+}
+
+TEST(CollisionTest, StaticBelowQueryCentricForSameWidth) {
+  // Static buckets suffer boundary losses, so their collision probability
+  // is strictly lower at equal width.
+  for (double tau : {0.5, 1.0, 2.0}) {
+    EXPECT_LT(CollisionProbStatic(tau, 4.0),
+              CollisionProbQueryCentric(tau, 4.0));
+  }
+}
+
+TEST(CollisionTest, Observation1ScaleInvariance) {
+  // p(r; w0*r) == p(1; w0) for any r: the key fact enabling one index for
+  // all radii.
+  const double w0 = 9.0;
+  const double base = CollisionProbQueryCentric(1.0, w0);
+  for (double r : {0.25, 1.0, 7.0, 113.0}) {
+    EXPECT_NEAR(CollisionProbQueryCentric(r, w0 * r), base, 1e-12);
+  }
+}
+
+TEST(CollisionTest, EmpiricalCollisionMatchesFormula) {
+  // Monte Carlo check of Eq. 4 with real projections: points at controlled
+  // distance tau collide (|h(o1)-h(o2)| <= w/2) at the predicted rate.
+  const size_t dim = 32;
+  const double tau = 2.0;
+  const double w = 6.0;
+  Rng rng(21);
+  const size_t trials = 4000;
+  ProjectionBank bank(trials, dim, 17);
+  std::vector<float> o1(dim), o2(dim);
+  for (size_t j = 0; j < dim; ++j) o1[j] = static_cast<float>(rng.Gaussian());
+  // o2 = o1 + tau * e where e is a random unit vector.
+  std::vector<float> e(dim);
+  double norm = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    e[j] = static_cast<float>(rng.Gaussian());
+    norm += e[j] * e[j];
+  }
+  norm = std::sqrt(norm);
+  for (size_t j = 0; j < dim; ++j) {
+    o2[j] = o1[j] + static_cast<float>(tau * e[j] / norm);
+  }
+  size_t collisions = 0;
+  for (size_t f = 0; f < trials; ++f) {
+    const float d = bank.Project(f, o1.data()) - bank.Project(f, o2.data());
+    if (std::fabs(d) <= w / 2.0) ++collisions;
+  }
+  const double expected = CollisionProbQueryCentric(tau, w);
+  EXPECT_NEAR(double(collisions) / trials, expected, 0.03);
+}
+
+// ------------------------------------------------------------------- Rho --
+
+TEST(RhoTest, RhoStarBelowOneOverCForPaperWidth) {
+  // With w0 = 4c^2 (gamma = 2), rho* is far below 1/c (paper Fig. 4b).
+  for (double c : {1.5, 2.0, 3.0}) {
+    const double w0 = 4.0 * c * c;
+    EXPECT_LT(RhoQueryCentric(1.0, c, w0), 1.0 / c);
+  }
+}
+
+TEST(RhoTest, AlphaAtGamma2MatchesPaper) {
+  // Lemma 3: alpha = 4.746 at gamma = 2 (w0 = 4c^2).
+  EXPECT_NEAR(AlphaForGamma(2.0), 4.746, 5e-3);
+}
+
+TEST(RhoTest, AlphaIncreasesWithGamma) {
+  double prev = 0.0;
+  for (double g = 0.2; g < 5.0; g += 0.2) {
+    const double a = AlphaForGamma(g);
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+}
+
+TEST(RhoTest, AlphaCrossesOneNearPaperThreshold) {
+  // "xi(gamma) > 1 holds when gamma > 0.7518" (Sec. V-B).
+  EXPECT_LT(AlphaForGamma(0.74), 1.0);
+  EXPECT_GT(AlphaForGamma(0.76), 1.0);
+}
+
+TEST(RhoTest, RhoStarBoundedByLemma3) {
+  // rho* <= 1/c^alpha for w0 = 2 gamma c^2 (checked across c and gamma).
+  for (double gamma : {1.0, 2.0, 3.0}) {
+    for (double c = 1.1; c <= 4.0; c += 0.3) {
+      const double w0 = 2.0 * gamma * c * c;
+      const double rho_star = RhoQueryCentric(1.0, c, w0);
+      EXPECT_LE(rho_star, RhoStarBound(c, gamma) + 1e-9)
+          << "c=" << c << " gamma=" << gamma;
+    }
+  }
+}
+
+TEST(RhoTest, RhoStarBelowStaticRhoAtPaperWidth) {
+  // Fig. 4(b): with w = 4c^2 the dynamic exponent is decisively smaller.
+  for (double c = 1.2; c <= 4.0; c += 0.4) {
+    const double w0 = 4.0 * c * c;
+    EXPECT_LT(RhoQueryCentric(1.0, c, w0), RhoStatic(1.0, c, w0));
+  }
+}
+
+// ---------------------------------------------------------------- Params --
+
+TEST(ParamsTest, DeriveMatchesFormulas) {
+  const size_t n = 100000;
+  const double c = 2.0;
+  const double w0 = 16.0;
+  const size_t t = 100;
+  auto r = DeriveParams(n, c, w0, t);
+  ASSERT_TRUE(r.ok());
+  const auto& p = r.value();
+  EXPECT_NEAR(p.p1, CollisionProbQueryCentric(1.0, w0), 1e-12);
+  EXPECT_NEAR(p.p2, CollisionProbQueryCentric(c, w0), 1e-12);
+  const double ratio = double(n) / double(t);
+  EXPECT_EQ(p.k, static_cast<size_t>(
+                     std::ceil(std::log(ratio) / std::log(1.0 / p.p2))));
+  EXPECT_EQ(p.l,
+            static_cast<size_t>(std::ceil(std::pow(ratio, p.rho_star))));
+}
+
+TEST(ParamsTest, LargerCNeedsFewerTables) {
+  const auto r1 = DeriveParams(1000000, 1.5, 9.0, 100);
+  const auto r2 = DeriveParams(1000000, 3.0, 36.0, 100);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_LT(r2.value().rho_star, r1.value().rho_star);
+  EXPECT_LE(r2.value().l, r1.value().l);
+}
+
+TEST(ParamsTest, RejectsInvalidArguments) {
+  EXPECT_FALSE(DeriveParams(1000, 1.0, 9.0, 10).ok());   // c == 1
+  EXPECT_FALSE(DeriveParams(1000, 2.0, 0.0, 10).ok());   // w0 == 0
+  EXPECT_FALSE(DeriveParams(1000, 2.0, 9.0, 0).ok());    // t == 0
+  EXPECT_FALSE(DeriveParams(10, 2.0, 9.0, 10).ok());     // n <= t
+}
+
+// ------------------------------------------------------------- Projection --
+
+TEST(ProjectionTest, DeterministicPerSeed) {
+  ProjectionBank a(4, 8, 33), b(4, 8, 33), c(4, 8, 34);
+  const float point[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (size_t f = 0; f < 4; ++f) {
+    EXPECT_FLOAT_EQ(a.Project(f, point), b.Project(f, point));
+  }
+  bool any_diff = false;
+  for (size_t f = 0; f < 4; ++f) {
+    any_diff |= (a.Project(f, point) != c.Project(f, point));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ProjectionTest, LinearityOfProjection) {
+  ProjectionBank bank(3, 5, 11);
+  float x[5] = {1, 0, 2, -1, 3};
+  float y[5] = {0, 1, -2, 1, 0};
+  float sum[5];
+  for (int j = 0; j < 5; ++j) sum[j] = x[j] + y[j];
+  for (size_t f = 0; f < 3; ++f) {
+    EXPECT_NEAR(bank.Project(f, sum),
+                bank.Project(f, x) + bank.Project(f, y), 1e-4);
+  }
+}
+
+TEST(ProjectionTest, ProjectDatasetMatchesPerPoint) {
+  const FloatMatrix data = GenerateUniform(20, 6, 5.0, 2);
+  ProjectionBank bank(4, 6, 9);
+  const FloatMatrix proj = bank.ProjectDataset(data);
+  ASSERT_EQ(proj.rows(), 20u);
+  ASSERT_EQ(proj.cols(), 4u);
+  for (size_t i = 0; i < 20; ++i) {
+    for (size_t f = 0; f < 4; ++f) {
+      EXPECT_FLOAT_EQ(proj.at(i, f), bank.Project(f, data.row(i)));
+    }
+  }
+}
+
+TEST(ProjectionTest, TwoStableDistancePreservation) {
+  // For 2-stable projections, h(o1)-h(o2) ~ N(0, ||o1-o2||^2): check the
+  // empirical variance of projected differences against the true distance.
+  const size_t dim = 24;
+  Rng rng(3);
+  std::vector<float> o1(dim), o2(dim);
+  for (size_t j = 0; j < dim; ++j) {
+    o1[j] = static_cast<float>(rng.Uniform(0, 10));
+    o2[j] = static_cast<float>(rng.Uniform(0, 10));
+  }
+  double true_d2 = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    true_d2 += (o1[j] - o2[j]) * (o1[j] - o2[j]);
+  }
+  const size_t trials = 8000;
+  ProjectionBank bank(trials, dim, 5);
+  double sum_sq = 0.0;
+  for (size_t f = 0; f < trials; ++f) {
+    const double d = bank.Project(f, o1.data()) - bank.Project(f, o2.data());
+    sum_sq += d * d;
+  }
+  EXPECT_NEAR(sum_sq / trials / true_d2, 1.0, 0.08);
+}
+
+TEST(StaticHashFamilyTest, BucketsShiftWithOffset) {
+  StaticHashFamily fam(8, 4, 2.0, 77);
+  const float p[4] = {1.f, 2.f, 3.f, 4.f};
+  const float q[4] = {1.f, 2.f, 3.f, 4.f};
+  for (size_t f = 0; f < 8; ++f) {
+    EXPECT_EQ(fam.Hash(f, p), fam.Hash(f, q));  // identical points collide
+  }
+}
+
+TEST(StaticHashFamilyTest, EmpiricalCollisionMatchesEq2) {
+  // Monte Carlo validation of the static-family collision probability.
+  const size_t dim = 32;
+  const double tau = 1.5;
+  const double w = 6.0;
+  Rng rng(19);
+  std::vector<float> o1(dim), o2(dim), e(dim);
+  for (size_t j = 0; j < dim; ++j) o1[j] = static_cast<float>(rng.Gaussian());
+  double norm = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    e[j] = static_cast<float>(rng.Gaussian());
+    norm += e[j] * e[j];
+  }
+  norm = std::sqrt(norm);
+  for (size_t j = 0; j < dim; ++j) {
+    o2[j] = o1[j] + static_cast<float>(tau * e[j] / norm);
+  }
+  const size_t trials = 6000;
+  StaticHashFamily fam(trials, dim, w, 23);
+  size_t collisions = 0;
+  for (size_t f = 0; f < trials; ++f) {
+    if (fam.Hash(f, o1.data()) == fam.Hash(f, o2.data())) ++collisions;
+  }
+  EXPECT_NEAR(double(collisions) / trials, CollisionProbStatic(tau, w), 0.03);
+}
+
+}  // namespace
+}  // namespace dblsh::lsh

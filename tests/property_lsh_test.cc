@@ -1,0 +1,192 @@
+// Parameterized property sweeps over the LSH math: the collision
+// probability formulas, the locality-sensitivity conditions of
+// Definition 3, Observation 1's scale invariance, and the rho*/alpha
+// relationships of Lemma 3 — each checked across grids of (tau, w, c,
+// gamma) rather than single values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "lsh/collision.h"
+#include "lsh/gaussian.h"
+#include "lsh/params.h"
+
+namespace dblsh::lsh {
+namespace {
+
+// ------------------------------------------------ collision probability --
+
+class CollisionSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CollisionSweep, ProbabilitiesAreValidAndOrdered) {
+  const auto [tau, w] = GetParam();
+  const double qc = CollisionProbQueryCentric(tau, w);
+  const double st = CollisionProbStatic(tau, w);
+  EXPECT_GT(qc, 0.0);
+  EXPECT_LE(qc, 1.0);
+  EXPECT_GT(st, 0.0);
+  EXPECT_LT(st, 1.0);
+  // Static buckets lose boundary mass: strictly below query-centric.
+  EXPECT_LT(st, qc);
+}
+
+TEST_P(CollisionSweep, LocalitySensitivityDefinition3) {
+  // For any c > 1, p(tau) > p(c * tau): closer pairs collide more often —
+  // the family is (tau, c*tau, p1, p2)-sensitive with p1 > p2. Strictness
+  // is relaxed where both probabilities saturate to 1 in double precision
+  // (w >> tau).
+  const auto [tau, w] = GetParam();
+  for (double c : {1.2, 1.7, 2.5}) {
+    const double near = CollisionProbQueryCentric(tau, w);
+    const double far = CollisionProbQueryCentric(c * tau, w);
+    if (far < 1.0 - 1e-12) {
+      EXPECT_GT(near, far);
+    } else {
+      EXPECT_GE(near, far);
+    }
+    EXPECT_GT(CollisionProbStatic(tau, w),
+              CollisionProbStatic(c * tau, w));
+  }
+}
+
+TEST_P(CollisionSweep, Observation1HoldsEverywhere) {
+  const auto [tau, w] = GetParam();
+  const double base = CollisionProbQueryCentric(tau, w);
+  for (double scale : {0.01, 0.5, 3.0, 250.0}) {
+    EXPECT_NEAR(CollisionProbQueryCentric(tau * scale, w * scale), base,
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CollisionSweep,
+    ::testing::Combine(::testing::Values(0.25, 1.0, 2.0, 5.0, 20.0),
+                       ::testing::Values(1.0, 4.0, 9.0, 36.0)),
+    [](const auto& info) {
+      return "tau" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 100)) +
+             "_w" + std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+// --------------------------------------------------------- rho* / alpha --
+
+class RhoSweep : public ::testing::TestWithParam<std::tuple<double, double>> {
+};
+
+TEST_P(RhoSweep, RhoStarWithinLemma3Bound) {
+  const auto [c, gamma] = GetParam();
+  const double w0 = 2.0 * gamma * c * c;
+  const double rho_star = RhoQueryCentric(1.0, c, w0);
+  EXPECT_GT(rho_star, -1e-12);
+  EXPECT_LE(rho_star, RhoStarBound(c, gamma) + 1e-9);
+}
+
+TEST_P(RhoSweep, RhoStarScaleInvariantInR) {
+  // rho*(r, c, w0*r) is independent of r — the dynamic index serves all
+  // radii with the same exponent.
+  const auto [c, gamma] = GetParam();
+  const double w0 = 2.0 * gamma * c * c;
+  const double base = RhoQueryCentric(1.0, c, w0);
+  for (double r : {0.1, 2.0, 40.0}) {
+    EXPECT_NEAR(RhoQueryCentric(r, c, w0 * r), base, 1e-9);
+  }
+}
+
+TEST_P(RhoSweep, DynamicBeatsStaticAtEqualWidth) {
+  const auto [c, gamma] = GetParam();
+  const double w0 = 2.0 * gamma * c * c;
+  EXPECT_LT(RhoQueryCentric(1.0, c, w0), RhoStatic(1.0, c, w0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RhoSweep,
+    ::testing::Combine(::testing::Values(1.2, 1.5, 2.0, 3.0, 4.0),
+                       ::testing::Values(0.5, 1.0, 2.0, 3.0)),
+    [](const auto& info) {
+      return "c" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 10)) +
+             "_gamma" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+    });
+
+// ------------------------------------------------------- derived params --
+
+class DeriveSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(DeriveSweep, KAndLBehaveMonotonically) {
+  const auto [n, c] = GetParam();
+  const double w0 = 4.0 * c * c;
+  const auto base = DeriveParams(n, c, w0, 100);
+  ASSERT_TRUE(base.ok());
+  // More points need (weakly) more hash bits and tables.
+  const auto bigger = DeriveParams(n * 10, c, w0, 100);
+  ASSERT_TRUE(bigger.ok());
+  EXPECT_GE(bigger.value().k, base.value().k);
+  EXPECT_GE(bigger.value().l, base.value().l);
+  // A larger candidate budget t shrinks both.
+  const auto lazier = DeriveParams(n, c, w0, 1000);
+  ASSERT_TRUE(lazier.ok());
+  EXPECT_LE(lazier.value().k, base.value().k);
+  EXPECT_LE(lazier.value().l, base.value().l);
+}
+
+TEST_P(DeriveSweep, SuccessProbabilityMachineryIsConsistent) {
+  // The derivation must reproduce Lemma 1's quantities: p2^K <= t/n
+  // (bounding far-point collisions) and (1 - p1^K)^L <= 1/e (bounding the
+  // miss probability of event E1).
+  const auto [n, c] = GetParam();
+  const double w0 = 4.0 * c * c;
+  const auto derived = DeriveParams(n, c, w0, 100);
+  ASSERT_TRUE(derived.ok());
+  const auto& p = derived.value();
+  const double far_rate =
+      std::pow(p.p2, static_cast<double>(p.k)) * (double(n) / 100.0);
+  EXPECT_LE(far_rate, 1.0 + 1e-9);
+  const double miss =
+      std::pow(1.0 - std::pow(p.p1, static_cast<double>(p.k)),
+               static_cast<double>(p.l));
+  EXPECT_LE(miss, 1.0 / M_E + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DeriveSweep,
+    ::testing::Combine(::testing::Values<size_t>(10000, 1000000),
+                       ::testing::Values(1.3, 1.5, 2.0)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_c" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+    });
+
+// ----------------------------------------------------- alpha edge cases --
+
+TEST(AlphaTest, KnownReferenceValues) {
+  // xi(v) = v f(v) / tail(v) at selected points, cross-checked against
+  // direct evaluation of the defining expression.
+  for (double gamma : {0.1, 0.7518, 1.0, 2.0, 4.0}) {
+    const double expected =
+        gamma * NormalPdf(gamma) / NormalUpperTail(gamma);
+    EXPECT_NEAR(AlphaForGamma(gamma), expected, 1e-12);
+  }
+}
+
+TEST(AlphaTest, BoundDecreasesInBothArguments) {
+  // 1/c^alpha(gamma) falls when either c or gamma grows.
+  double prev = 1.0;
+  for (double c = 1.1; c < 4.0; c += 0.3) {
+    const double b = RhoStarBound(c, 2.0);
+    EXPECT_LT(b, prev);
+    prev = b;
+  }
+  prev = 1.0;
+  for (double gamma = 0.5; gamma < 4.0; gamma += 0.25) {
+    const double b = RhoStarBound(2.0, gamma);
+    EXPECT_LT(b, prev);
+    prev = b;
+  }
+}
+
+}  // namespace
+}  // namespace dblsh::lsh

@@ -1,0 +1,181 @@
+// Property tests for the R*-tree: for every combination of dimensionality,
+// node capacity and construction mode, the tree must agree exactly with a
+// brute-force scan on random window queries and preserve its structural
+// invariants under mixed insert/remove workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "dataset/synthetic.h"
+#include "rtree/rtree.h"
+#include "util/random.h"
+
+namespace dblsh::rtree {
+namespace {
+
+struct Config {
+  size_t dim;
+  size_t max_entries;
+  bool bulk;
+};
+
+class RTreePropertyTest : public ::testing::TestWithParam<Config> {
+ protected:
+  static FloatMatrix MakeData(size_t n, size_t dim) {
+    return GenerateClustered({.n = n,
+                              .dim = dim,
+                              .clusters = 8,
+                              .center_spread = 50.0,
+                              .cluster_stddev = 3.0,
+                              .seed = dim * 1000 + n});
+  }
+
+  static std::vector<uint32_t> Brute(const FloatMatrix& points,
+                                     const Rect& window) {
+    std::vector<uint32_t> out;
+    for (size_t i = 0; i < points.rows(); ++i) {
+      if (window.ContainsPoint(points.row(i))) {
+        out.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    return out;
+  }
+};
+
+TEST_P(RTreePropertyTest, WindowQueriesMatchBruteForce) {
+  const Config& cfg = GetParam();
+  const FloatMatrix points = MakeData(1200, cfg.dim);
+  RTreeOptions options;
+  options.max_entries = cfg.max_entries;
+  RStarTree tree(&points, options);
+  if (cfg.bulk) {
+    ASSERT_TRUE(tree.BulkLoadAll().ok());
+  } else {
+    for (uint32_t i = 0; i < points.rows(); ++i) {
+      ASSERT_TRUE(tree.Insert(i).ok());
+    }
+  }
+  ASSERT_EQ(tree.CheckInvariants(), 0u);
+
+  Rng rng(cfg.dim * 31 + cfg.max_entries);
+  for (int trial = 0; trial < 25; ++trial) {
+    const uint32_t anchor =
+        static_cast<uint32_t>(rng.UniformInt(points.rows()));
+    const Rect window = Rect::Window(points.row(anchor), cfg.dim,
+                                     rng.Uniform(0.5, 40.0));
+    std::vector<uint32_t> got;
+    tree.WindowQuery(window, &got);
+    std::vector<uint32_t> expected = Brute(points, window);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST_P(RTreePropertyTest, MixedInsertRemoveKeepsInvariants) {
+  const Config& cfg = GetParam();
+  const FloatMatrix points = MakeData(600, cfg.dim);
+  RTreeOptions options;
+  options.max_entries = cfg.max_entries;
+  RStarTree tree(&points, options);
+  Rng rng(cfg.dim * 71 + cfg.max_entries);
+  std::set<uint32_t> present;
+  if (cfg.bulk) {
+    std::vector<uint32_t> half;
+    for (uint32_t i = 0; i < 300; ++i) half.push_back(i);
+    ASSERT_TRUE(tree.BulkLoad(half).ok());
+    present.insert(half.begin(), half.end());
+  }
+  for (int op = 0; op < 800; ++op) {
+    const uint32_t id = static_cast<uint32_t>(rng.UniformInt(600));
+    if (present.count(id)) {
+      ASSERT_TRUE(tree.Remove(id).ok()) << "remove " << id;
+      present.erase(id);
+    } else {
+      ASSERT_TRUE(tree.Insert(id).ok()) << "insert " << id;
+      present.insert(id);
+    }
+    if (op % 100 == 99) {
+      ASSERT_EQ(tree.CheckInvariants(), 0u) << "op " << op;
+    }
+  }
+  EXPECT_EQ(tree.size(), present.size());
+  // Full-space window sees exactly the present set.
+  Rect everything(cfg.dim);
+  for (size_t j = 0; j < cfg.dim; ++j) {
+    everything.lo(j) = -1e9f;
+    everything.hi(j) = 1e9f;
+  }
+  std::vector<uint32_t> got;
+  tree.WindowQuery(everything, &got);
+  std::sort(got.begin(), got.end());
+  std::vector<uint32_t> expected(present.begin(), present.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(RTreePropertyTest, CursorAgreesWithBatchQuery) {
+  const Config& cfg = GetParam();
+  const FloatMatrix points = MakeData(900, cfg.dim);
+  RTreeOptions options;
+  options.max_entries = cfg.max_entries;
+  RStarTree tree(&points, options);
+  if (cfg.bulk) {
+    ASSERT_TRUE(tree.BulkLoadAll().ok());
+  } else {
+    for (uint32_t i = 0; i < points.rows(); ++i) {
+      ASSERT_TRUE(tree.Insert(i).ok());
+    }
+  }
+  Rng rng(cfg.dim * 13 + cfg.max_entries);
+  for (int trial = 0; trial < 10; ++trial) {
+    const uint32_t anchor =
+        static_cast<uint32_t>(rng.UniformInt(points.rows()));
+    const Rect window = Rect::Window(points.row(anchor), cfg.dim,
+                                     rng.Uniform(1.0, 30.0));
+    std::vector<uint32_t> batch;
+    tree.WindowQuery(window, &batch);
+    std::vector<uint32_t> streamed;
+    RStarTree::WindowCursor cursor(&tree, window);
+    uint32_t id;
+    while (cursor.Next(&id)) streamed.push_back(id);
+    std::sort(batch.begin(), batch.end());
+    std::sort(streamed.begin(), streamed.end());
+    EXPECT_EQ(batch, streamed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RTreePropertyTest,
+    ::testing::Values(Config{2, 8, true}, Config{2, 8, false},
+                      Config{2, 32, true}, Config{4, 16, true},
+                      Config{4, 16, false}, Config{8, 32, true},
+                      Config{8, 32, false}, Config{12, 48, true},
+                      Config{16, 32, true}),
+    [](const auto& info) {
+      return "dim" + std::to_string(info.param.dim) + "_cap" +
+             std::to_string(info.param.max_entries) +
+             (info.param.bulk ? "_bulk" : "_insert");
+    });
+
+// Early-stop visitor contract, independent of the sweep.
+TEST(RTreeVisitTest, VisitorCanStopEarly) {
+  const FloatMatrix points = GenerateUniform(2000, 3, 50.0, 44);
+  RStarTree tree(&points);
+  ASSERT_TRUE(tree.BulkLoadAll().ok());
+  Rect everything(3);
+  for (size_t j = 0; j < 3; ++j) {
+    everything.lo(j) = -1e9f;
+    everything.hi(j) = 1e9f;
+  }
+  size_t visited = 0;
+  tree.WindowQueryVisit(everything, [&](uint32_t) {
+    ++visited;
+    return visited < 17;
+  });
+  EXPECT_EQ(visited, 17u);
+}
+
+}  // namespace
+}  // namespace dblsh::rtree
