@@ -7,12 +7,11 @@
 //   w0_sweep   - initial bucket width w0 = 2 gamma c^2 of Lemma 3
 // Run all by default or one via --exp=<name>.
 #include <cstdio>
+#include <string>
 
 #include "bench/common.h"
-#include "core/db_lsh.h"
 #include "eval/runner.h"
 #include "eval/table.h"
-#include "util/timer.h"
 
 namespace dblsh {
 namespace {
@@ -22,14 +21,9 @@ void RunBucketing(const eval::Workload& workload) {
   eval::Table table({"Bucketing", "QueryTime", "Recall", "OverallRatio",
                      "AvgCandidates"});
   for (const bool dynamic : {true, false}) {
-    DbLshParams params;
-    params.k = 8;
-    params.l = 5;
-    params.t = 40;
-    params.bucketing = dynamic ? BucketingMode::kDynamicQueryCentric
-                               : BucketingMode::kFixedGrid;
-    DbLsh index(params);
-    auto result = eval::RunMethod(&index, workload);
+    const std::string spec = std::string("DB-LSH,k=8,l=5,t=40,bucketing=") +
+                             (dynamic ? "dynamic" : "fixed");
+    auto result = eval::RunSpec(spec, workload);
     if (!result.ok()) continue;
     const auto& r = result.value();
     table.AddRow({dynamic ? "dynamic (DB-LSH)" : "fixed grid (FB-LSH)",
@@ -47,10 +41,9 @@ void RunBulkLoad(const eval::Workload& workload) {
   eval::Table table({"Construction", "IndexingTime(s)", "QueryTime",
                      "Recall"});
   for (const bool bulk : {true, false}) {
-    DbLshParams params;
-    params.bulk_load = bulk;
-    DbLsh index(params);
-    auto result = eval::RunMethod(&index, workload);
+    const std::string spec =
+        std::string("DB-LSH,bulk_load=") + (bulk ? "1" : "0");
+    auto result = eval::RunSpec(spec, workload);
     if (!result.ok()) continue;
     const auto& r = result.value();
     table.AddRow({bulk ? "STR bulk load" : "one-by-one R* insert",
@@ -67,14 +60,12 @@ void RunTSweep(const eval::Workload& workload) {
   eval::Table table({"t", "Budget 2tL+k", "QueryTime", "Recall",
                      "OverallRatio"});
   for (const size_t t : {5, 10, 20, 40, 80, 160, 320}) {
-    DbLshParams params;
-    params.t = t;
-    DbLsh index(params);
-    auto result = eval::RunMethod(&index, workload);
+    auto result =
+        eval::RunSpec("DB-LSH,l=5,t=" + std::to_string(t), workload);
     if (!result.ok()) continue;
     const auto& r = result.value();
     table.AddRow({std::to_string(t),
-                  std::to_string(2 * t * index.params().l + workload.k),
+                  std::to_string(2 * t * 5 + workload.k),
                   eval::Table::FmtMs(r.avg_query_ms),
                   eval::Table::Fmt(r.recall, 4),
                   eval::Table::Fmt(r.overall_ratio, 4)});
@@ -86,16 +77,13 @@ void RunTSweep(const eval::Workload& workload) {
 void RunBackend(const eval::Workload& workload) {
   std::printf("--- Ablation: window-query index backend ---\n");
   eval::Table table({"Backend", "IndexingTime(s)", "QueryTime", "Recall"});
-  for (const IndexBackend backend :
-       {IndexBackend::kRStarTree, IndexBackend::kKdTree}) {
-    DbLshParams params;
-    params.backend = backend;
-    DbLsh index(params);
-    auto result = eval::RunMethod(&index, workload);
+  for (const bool rtree : {true, false}) {
+    const std::string spec =
+        std::string("DB-LSH,backend=") + (rtree ? "rtree" : "kdtree");
+    auto result = eval::RunSpec(spec, workload);
     if (!result.ok()) continue;
     const auto& r = result.value();
-    table.AddRow({backend == IndexBackend::kRStarTree ? "R*-tree (paper)"
-                                                      : "kd-tree",
+    table.AddRow({rtree ? "R*-tree (paper)" : "kd-tree",
                   eval::Table::Fmt(r.indexing_time_sec, 3),
                   eval::Table::FmtMs(r.avg_query_ms),
                   eval::Table::Fmt(r.recall, 4)});
@@ -110,10 +98,8 @@ void RunEarlyStop(const eval::Workload& workload) {
   eval::Table table({"Slack", "QueryTime", "Recall", "OverallRatio",
                      "AvgCandidates"});
   for (const double slack : {1.0, 1.25, 1.5, 2.0, 3.0}) {
-    DbLshParams params;
-    params.early_stop_slack = slack;
-    DbLsh index(params);
-    auto result = eval::RunMethod(&index, workload);
+    auto result = eval::RunSpec(
+        "DB-LSH,early_stop_slack=" + eval::Table::Fmt(slack, 2), workload);
     if (!result.ok()) continue;
     const auto& r = result.value();
     table.AddRow({eval::Table::Fmt(slack, 2),
@@ -132,15 +118,14 @@ void RunW0Sweep(const eval::Workload& workload) {
                      "AvgCandidates"});
   const double c = 1.5;
   for (const double gamma : {0.5, 1.0, 2.0, 3.0, 4.0}) {
-    DbLshParams params;
-    params.c = c;
-    params.w0 = 2.0 * gamma * c * c;
-    DbLsh index(params);
-    auto result = eval::RunMethod(&index, workload);
+    const double w0 = 2.0 * gamma * c * c;
+    auto result = eval::RunSpec("DB-LSH,c=" + eval::Table::Fmt(c, 2) +
+                                    ",w0=" + eval::Table::Fmt(w0, 3),
+                                workload);
     if (!result.ok()) continue;
     const auto& r = result.value();
     table.AddRow({eval::Table::Fmt(gamma, 1),
-                  eval::Table::Fmt(params.w0, 2),
+                  eval::Table::Fmt(w0, 2),
                   eval::Table::FmtMs(r.avg_query_ms),
                   eval::Table::Fmt(r.recall, 4),
                   eval::Table::Fmt(r.overall_ratio, 4),

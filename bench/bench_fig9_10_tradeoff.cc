@@ -5,81 +5,42 @@
 // DB-LSH needs the least time to reach any given recall/ratio (10-70% less
 // than the second best), and every curve improves monotonically with time.
 #include <cstdio>
-#include <memory>
 
-#include "baselines/fb_lsh.h"
-#include "baselines/lccs_lsh.h"
-#include "baselines/lsb_forest.h"
-#include "baselines/pm_lsh.h"
-#include "baselines/qalsh.h"
-#include "baselines/r2lsh.h"
-#include "baselines/vhp.h"
 #include "bench/common.h"
-#include "core/db_lsh.h"
 #include "eval/runner.h"
 #include "eval/table.h"
 
 namespace dblsh {
 namespace {
 
-/// One point of a method's trade-off curve: a configured index plus the
-/// knob value that produced it.
+/// One point of a method's trade-off curve: the factory spec of the
+/// configured index plus the knob setting that produced it.
 struct CurvePoint {
   std::string knob;
-  std::unique_ptr<AnnIndex> index;
+  std::string spec;
 };
 
+/// Each method's accuracy knob swept as factory-spec overrides: the
+/// candidate budget t for DB-LSH/FB-LSH, the verification budget beta for
+/// the budgeted baselines, and the probe count for LCCS-LSH.
 std::vector<CurvePoint> MakeCurve(const std::string& method, size_t n) {
   std::vector<CurvePoint> points;
   if (method == "DB-LSH" || method == "FB-LSH") {
+    const std::string hint =
+        method == "FB-LSH" ? ",n=" + std::to_string(n) : "";
     for (size_t t : {5, 15, 40, 100, 250}) {
-      DbLshParams params = method == "FB-LSH" ? FbLshDefaultParams(n)
-                                              : DbLshParams();
-      params.t = t;
-      points.push_back(
-          {"t=" + std::to_string(t), std::make_unique<DbLsh>(params)});
-    }
-  } else if (method == "PM-LSH") {
-    for (double beta : {0.005, 0.02, 0.08, 0.2, 0.5}) {
-      PmLshParams params;
-      params.beta = beta;
-      points.push_back({"beta=" + eval::Table::Fmt(beta, 3),
-                        std::make_unique<PmLsh>(params)});
-    }
-  } else if (method == "QALSH") {
-    for (double beta : {0.005, 0.02, 0.08, 0.2, 0.5}) {
-      QalshParams params;
-      params.beta = beta;
-      points.push_back({"beta=" + eval::Table::Fmt(beta, 3),
-                        std::make_unique<Qalsh>(params)});
-    }
-  } else if (method == "R2LSH") {
-    for (double beta : {0.005, 0.02, 0.08, 0.2, 0.5}) {
-      R2LshParams params;
-      params.beta = beta;
-      points.push_back({"beta=" + eval::Table::Fmt(beta, 3),
-                        std::make_unique<R2Lsh>(params)});
-    }
-  } else if (method == "VHP") {
-    for (double beta : {0.005, 0.02, 0.08, 0.2, 0.5}) {
-      VhpParams params;
-      params.beta = beta;
-      points.push_back({"beta=" + eval::Table::Fmt(beta, 3),
-                        std::make_unique<Vhp>(params)});
-    }
-  } else if (method == "LSB-Forest") {
-    for (double beta : {0.005, 0.02, 0.08, 0.2, 0.5}) {
-      LsbForestParams params;
-      params.beta = beta;
-      points.push_back({"beta=" + eval::Table::Fmt(beta, 3),
-                        std::make_unique<LsbForest>(params)});
+      points.push_back({"t=" + std::to_string(t),
+                        method + hint + ",t=" + std::to_string(t)});
     }
   } else if (method == "LCCS-LSH") {
     for (size_t probes : {64, 256, 1024, 4096, 16384}) {
-      LccsLshParams params;
-      params.probes = probes;
       points.push_back({"probes=" + std::to_string(probes),
-                        std::make_unique<LccsLsh>(params)});
+                        method + ",probes=" + std::to_string(probes)});
+    }
+  } else {
+    for (double beta : {0.005, 0.02, 0.08, 0.2, 0.5}) {
+      points.push_back({"beta=" + eval::Table::Fmt(beta, 3),
+                        method + ",beta=" + eval::Table::Fmt(beta, 3)});
     }
   }
   return points;
@@ -97,8 +58,8 @@ void RunDataset(const std::string& name, double scale, size_t queries,
        {std::string("DB-LSH"), std::string("FB-LSH"), std::string("LCCS-LSH"),
         std::string("PM-LSH"), std::string("R2LSH"), std::string("VHP"),
         std::string("LSB-Forest"), std::string("QALSH")}) {
-    for (auto& point : MakeCurve(method, workload.data.rows())) {
-      auto result = eval::RunMethod(point.index.get(), workload);
+    for (const auto& point : MakeCurve(method, workload.data.rows())) {
+      auto result = eval::RunSpec(point.spec, workload);
       if (!result.ok()) continue;
       const auto& r = result.value();
       table.AddRow({method, point.knob, eval::Table::FmtMs(r.avg_query_ms),

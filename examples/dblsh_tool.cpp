@@ -1,20 +1,28 @@
 // dblsh_tool: command-line front end for the library, the workflow a
 // downstream user runs without writing C++:
 //
+//   dblsh_tool methods
 //   dblsh_tool gen   --out=data.fvecs --n=20000 --dim=64 [--clusters=32]
-//   dblsh_tool build --data=data.fvecs --index=data.idx [--c=1.5] [--l=5]
-//   dblsh_tool query --data=data.fvecs --index=data.idx
-//                    --queries=q.fvecs --k=10 [--gt]
+//   dblsh_tool build --data=data.fvecs --index=data.idx
+//                    [--method="DB-LSH,c=1.5,l=5"]
+//   dblsh_tool query --data=data.fvecs --queries=q.fvecs --k=10 [--gt]
+//                    [--budget=T] (--index=data.idx | --method="PM-LSH,m=8")
 //   dblsh_tool stats --data=data.fvecs
 //
+// `methods` lists every registered index method and its spec keys' home.
 // `query` prints per-query neighbors; with --gt it also computes exact
-// ground truth and reports recall / overall ratio.
+// ground truth and reports recall / overall ratio. With --method the index
+// is built in memory from the spec, so any registered method can serve the
+// same workload (persistence via --index remains DB-LSH-family only).
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "core/db_lsh.h"
+#include "core/index_factory.h"
 #include "dataset/ground_truth.h"
 #include "dataset/io.h"
 #include "dataset/stats.h"
@@ -59,16 +67,33 @@ class Args {
 };
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: dblsh_tool <gen|build|query|stats> [--flags]\n"
-               "  gen    --out=F.fvecs --n=N --dim=D [--clusters=C] "
-               "[--spread=S] [--seed=X]\n"
-               "  build  --data=F.fvecs --index=F.idx [--c=1.5] [--l=5] "
-               "[--k=0] [--t=0]\n"
-               "  query  --data=F.fvecs --index=F.idx --queries=Q.fvecs "
-               "[--k=10] [--gt]\n"
-               "  stats  --data=F.fvecs\n");
+  std::fprintf(
+      stderr,
+      "usage: dblsh_tool <methods|gen|build|query|stats> [--flags]\n"
+      "  methods  list registered index methods for --method specs\n"
+      "  gen    --out=F.fvecs --n=N --dim=D [--clusters=C] "
+      "[--spread=S] [--seed=X]\n"
+      "  build  --data=F.fvecs --index=F.idx [--method=SPEC] [--c=1.5] "
+      "[--l=5] [--k=0] [--t=0]\n"
+      "  query  --data=F.fvecs --queries=Q.fvecs (--index=F.idx | "
+      "--method=SPEC) [--k=10] [--budget=T] [--gt]\n"
+      "  stats  --data=F.fvecs\n"
+      "SPEC is an IndexFactory string, e.g. \"DB-LSH,c=1.5,t=40\" or "
+      "\"PM-LSH,m=8\".\n"
+      "--budget overrides DB-LSH's candidate budget t per query without "
+      "rebuilding.\n");
   return 2;
+}
+
+int RunMethods() {
+  std::printf("Registered index methods (IndexFactory::Make specs):\n");
+  for (const std::string& name : IndexFactory::ListMethods()) {
+    auto description = IndexFactory::Describe(name);
+    std::printf("  %-12s %s\n", name.c_str(),
+                description.ok() ? description.value().c_str() : "");
+  }
+  std::printf("\nSpec grammar: \"Name,key=value,...\" — see README.md.\n");
+  return 0;
 }
 
 int RunGen(const Args& args) {
@@ -99,21 +124,52 @@ int RunBuild(const Args& args) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
     return 1;
   }
-  DbLshParams params;
-  params.c = args.GetDouble("c", 1.5);
-  params.l = static_cast<size_t>(args.GetInt("l", 5));
-  params.k = static_cast<size_t>(args.GetInt("k", 0));
-  params.t = static_cast<size_t>(args.GetInt("t", 0));
-  DbLsh index(params);
+  // Either a full factory spec via --method, or the legacy --c/--l/--k/--t
+  // flags applied to the default DB-LSH spec (with --method, put the
+  // parameters in the spec itself; mixing the two is rejected so a flag
+  // can't silently fight a spec key).
+  std::string spec = args.Get("method", "");
+  if (spec.empty()) {
+    spec = "DB-LSH";
+    for (const char* flag : {"c", "l", "k", "t"}) {
+      if (args.Has(flag)) {
+        spec += std::string(",") + flag + "=" + args.Get(flag, "");
+      }
+    }
+  } else {
+    for (const char* flag : {"c", "l", "k", "t"}) {
+      if (args.Has(flag)) {
+        std::fprintf(stderr,
+                     "--%s cannot be combined with --method; add %s=... to "
+                     "the spec instead\n",
+                     flag, flag);
+        return 2;
+      }
+    }
+  }
+  auto made = IndexFactory::Make(spec);
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  // Persistence check before the (potentially long) build, not after.
+  auto* db = dynamic_cast<DbLsh*>(made.value().get());
+  if (db == nullptr) {
+    std::fprintf(stderr,
+                 "persistence is DB-LSH-family only; use `query "
+                 "--method=...` to serve %s in memory\n",
+                 made.value()->Name().c_str());
+    return 1;
+  }
   Timer timer;
-  if (Status s = index.Build(&data.value()); !s.ok()) {
+  if (Status s = made.value()->Build(&data.value()); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("built DB-LSH over %zu points in %.3f s (K=%zu L=%zu t=%zu)\n",
-              data.value().rows(), timer.ElapsedSec(), index.params().k,
-              index.params().l, index.params().t);
-  if (Status s = index.Save(index_path); !s.ok()) {
+  std::printf("built %s over %zu points in %.3f s (%zu hash functions)\n",
+              made.value()->Name().c_str(), data.value().rows(),
+              timer.ElapsedSec(), made.value()->NumHashFunctions());
+  if (Status s = db->Save(index_path); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
@@ -124,8 +180,10 @@ int RunBuild(const Args& args) {
 int RunQuery(const Args& args) {
   const std::string data_path = args.Get("data", "");
   const std::string index_path = args.Get("index", "");
+  const std::string method_spec = args.Get("method", "");
   const std::string query_path = args.Get("queries", "");
-  if (data_path.empty() || index_path.empty() || query_path.empty()) {
+  if (data_path.empty() || query_path.empty() ||
+      (index_path.empty() == method_spec.empty())) {
     return Usage();
   }
   auto data = LoadFvecs(data_path);
@@ -138,32 +196,68 @@ int RunQuery(const Args& args) {
     std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
     return 1;
   }
-  auto index = DbLsh::Load(index_path, &data.value());
-  if (!index.ok()) {
-    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
-    return 1;
+
+  // Either restore a persisted DB-LSH index or build any registered
+  // method in memory from its --method spec.
+  std::optional<DbLsh> loaded_index;
+  std::unique_ptr<AnnIndex> built_index;
+  AnnIndex* index = nullptr;
+  if (!index_path.empty()) {
+    auto loaded = DbLsh::Load(index_path, &data.value());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    loaded_index.emplace(std::move(loaded).value());
+    index = &*loaded_index;
+  } else {
+    auto made = IndexFactory::Make(method_spec);
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+      return 1;
+    }
+    built_index = std::move(made).value();
+    index = built_index.get();
+    Timer build_timer;
+    if (Status s = index->Build(&data.value()); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("built %s in %.3f s\n", index->Name().c_str(),
+                build_timer.ElapsedSec());
   }
-  const auto k = static_cast<size_t>(args.GetInt("k", 10));
+
+  QueryRequest request;
+  request.k = static_cast<size_t>(args.GetInt("k", 10));
+  request.candidate_budget = static_cast<size_t>(args.GetInt("budget", 0));
   const bool with_gt = args.Has("gt");
-  double total_ms = 0.0, recall = 0.0, ratio = 0.0;
-  for (size_t q = 0; q < queries.value().rows(); ++q) {
-    Timer timer;
-    const auto result = index.value().Query(queries.value().row(q), k);
-    total_ms += timer.ElapsedMs();
+  Timer timer;
+  const auto responses =
+      index->QueryBatch(queries.value(), request, /*num_threads=*/1);
+  const double total_ms = timer.ElapsedMs();
+
+  double recall = 0.0, ratio = 0.0, candidates = 0.0;
+  for (size_t q = 0; q < responses.size(); ++q) {
     std::printf("query %zu:", q);
-    for (const auto& nb : result) std::printf(" %u(%.4f)", nb.id, nb.dist);
+    for (const auto& nb : responses[q].neighbors) {
+      std::printf(" %u(%.4f)", nb.id, nb.dist);
+    }
     std::printf("\n");
+    candidates += double(responses[q].stats.candidates_verified);
     if (with_gt) {
-      const auto gt = ExactKnn(data.value(), queries.value().row(q), k);
-      recall += eval::Recall(result, gt);
-      ratio += eval::OverallRatio(result, gt);
+      const auto gt =
+          ExactKnn(data.value(), queries.value().row(q), request.k);
+      recall += eval::Recall(responses[q].neighbors, gt);
+      ratio += eval::OverallRatio(responses[q].neighbors, gt);
     }
   }
-  const auto denom = static_cast<double>(queries.value().rows());
-  std::printf("avg query time: %.3f ms\n", total_ms / denom);
+  const auto denom = static_cast<double>(
+      queries.value().rows() ? queries.value().rows() : 1);
+  std::printf("avg query time: %.3f ms  avg candidates: %.0f\n",
+              total_ms / denom, candidates / denom);
   if (with_gt) {
-    std::printf("recall@%zu: %.4f  overall ratio: %.4f\n", k, recall / denom,
-                ratio / denom);
+    std::printf("recall@%zu: %.4f  overall ratio: %.4f\n", request.k,
+                recall / denom, ratio / denom);
   }
   return 0;
 }
@@ -194,6 +288,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return dblsh::Usage();
   const dblsh::Args args(argc, argv);
   const std::string command = argv[1];
+  if (command == "methods") return dblsh::RunMethods();
   if (command == "gen") return dblsh::RunGen(args);
   if (command == "build") return dblsh::RunBuild(args);
   if (command == "query") return dblsh::RunQuery(args);

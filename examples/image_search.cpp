@@ -1,15 +1,16 @@
 // Image-descriptor retrieval: the workload the paper's introduction
 // motivates. A GIST-like descriptor collection is indexed once and then
 // serves top-k similar-image queries; DB-LSH is compared in place against
-// an exact scan to show the accuracy/latency trade.
+// an exact scan to show the accuracy/latency trade. Both methods are
+// constructed through the IndexFactory and queried through the batched
+// request/response API — swap the spec string to compare any other method.
 //
-//   ./examples/image_search [n] [dim]
+//   ./image_search [n] [dim]
 //
 #include <cstdio>
 #include <cstdlib>
 
-#include "baselines/linear_scan.h"
-#include "core/db_lsh.h"
+#include "core/index_factory.h"
 #include "dataset/synthetic.h"
 #include "eval/metrics.h"
 #include "eval/runner.h"
@@ -28,26 +29,34 @@ int main(int argc, char** argv) {
       GenerateClustered({.n = n, .dim = dim, .clusters = 64, .seed = 2024}),
       50, 10);
 
-  DbLsh index;
+  auto ann = IndexFactory::Make("DB-LSH");
+  auto exact = IndexFactory::Make("LinearScan");
+  if (!ann.ok() || !exact.ok()) {
+    std::fprintf(stderr, "factory error\n");
+    return 1;
+  }
   Timer build_timer;
-  if (Status s = index.Build(&workload.data); !s.ok()) {
+  if (Status s = ann.value()->Build(&workload.data); !s.ok()) {
     std::fprintf(stderr, "build failed: %s\n", s.ToString().c_str());
     return 1;
   }
   std::printf("DB-LSH built in %.3f s\n\n", build_timer.ElapsedSec());
+  (void)exact.value()->Build(&workload.data);
 
-  LinearScan exact;
-  (void)exact.Build(&workload.data);
+  QueryRequest request;
+  request.k = 10;
+  Timer ann_timer;
+  const auto approx =
+      ann.value()->QueryBatch(workload.queries, request, /*num_threads=*/1);
+  const double ann_ms = ann_timer.ElapsedMs();
+  Timer exact_timer;
+  (void)exact.value()->QueryBatch(workload.queries, request,
+                                  /*num_threads=*/1);
+  const double exact_ms = exact_timer.ElapsedMs();
 
-  double ann_ms = 0, exact_ms = 0, recall = 0;
+  double recall = 0;
   for (size_t q = 0; q < workload.queries.rows(); ++q) {
-    Timer t1;
-    const auto approx = index.Query(workload.queries.row(q), 10);
-    ann_ms += t1.ElapsedMs();
-    Timer t2;
-    (void)exact.Query(workload.queries.row(q), 10);
-    exact_ms += t2.ElapsedMs();
-    recall += eval::Recall(approx, workload.ground_truth[q]);
+    recall += eval::Recall(approx[q].neighbors, workload.ground_truth[q]);
   }
   const double denom = double(workload.queries.rows());
   std::printf("Similar-image search over %zu queries:\n",

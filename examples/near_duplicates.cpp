@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/db_lsh.h"
+#include "core/index_factory.h"
 #include "dataset/synthetic.h"
 #include "util/random.h"
 
@@ -20,10 +21,16 @@ int main() {
   FloatMatrix corpus = GenerateClustered(
       {.n = 10000, .dim = dim, .clusters = 40, .seed = 99});
 
-  DbLshParams params;
-  params.c = 1.5;
-  DbLsh index(params);
-  if (Status s = index.Build(&corpus); !s.ok()) {
+  // The decision-version RcNnQuery is DB-LSH-specific, so downcast the
+  // factory-made index to reach it.
+  auto made = IndexFactory::Make("DB-LSH,c=1.5");
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  const std::unique_ptr<AnnIndex> owned = std::move(made).value();
+  const DbLsh& index = dynamic_cast<const DbLsh&>(*owned);
+  if (Status s = owned->Build(&corpus); !s.ok()) {
     std::fprintf(stderr, "build failed: %s\n", s.ToString().c_str());
     return 1;
   }

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/db_lsh.h"
+#include "core/index_factory.h"
 #include "dataset/ground_truth.h"
 #include "dataset/synthetic.h"
 #include "eval/metrics.h"
@@ -42,20 +43,26 @@ int main() {
       GenerateClustered({.n = 20000, .dim = 64, .clusters = 32, .seed = 7}),
       30, 10);
   std::printf("  %6s %10s %10s %8s\n", "t", "budget", "ms/query", "recall");
+  // One index, many budgets: the QueryRequest's candidate_budget override
+  // replays the t sweep without rebuilding (the old API rebuilt per t).
+  auto made = IndexFactory::Make("DB-LSH");
+  if (!made.ok() || !made.value()->Build(&workload.data).ok()) return 1;
+  const auto& index = *made.value();
+  const size_t l = dynamic_cast<const DbLsh&>(index).params().l;
   for (size_t t : {5, 20, 80, 320}) {
-    DbLshParams params;
-    params.t = t;
-    DbLsh index(params);
-    if (!index.Build(&workload.data).ok()) continue;
+    QueryRequest request;
+    request.k = 10;
+    request.candidate_budget = t;
     Timer timer;
+    const auto responses =
+        index.QueryBatch(workload.queries, request, /*num_threads=*/1);
+    const double ms = timer.ElapsedMs();
     double recall = 0;
     for (size_t q = 0; q < workload.queries.rows(); ++q) {
-      recall += eval::Recall(index.Query(workload.queries.row(q), 10),
-                             workload.ground_truth[q]);
+      recall += eval::Recall(responses[q].neighbors, workload.ground_truth[q]);
     }
-    std::printf("  %6zu %10zu %10.3f %8.3f\n", t,
-                2 * t * index.params().l + 10,
-                timer.ElapsedMs() / double(workload.queries.rows()),
+    std::printf("  %6zu %10zu %10.3f %8.3f\n", t, 2 * t * l + 10,
+                ms / double(workload.queries.rows()),
                 recall / double(workload.queries.rows()));
   }
   std::printf("\nGuidance: recall saturates once 2tL covers the query's "

@@ -1,11 +1,12 @@
 // Quickstart: build a DB-LSH index over a synthetic dataset and answer
 // (c,k)-ANN queries through the public API.
 //
-//   ./examples/quickstart
+//   ./quickstart
 //
 #include <cstdio>
 
 #include "core/db_lsh.h"
+#include "core/index_factory.h"
 #include "dataset/ground_truth.h"
 #include "dataset/synthetic.h"
 
@@ -20,36 +21,41 @@ int main() {
   spec.clusters = 32;
   const FloatMatrix data = GenerateClustered(spec);
 
-  // 2. Configure and build the index. Defaults follow the paper
-  //    (c = 1.5, w0 = 4c^2, L = 5, K = 10); everything is overridable.
-  DbLshParams params;
-  params.c = 1.5;
-  DbLsh index(params);
-  const Status build_status = index.Build(&data);
-  if (!build_status.ok()) {
-    std::fprintf(stderr, "build failed: %s\n",
-                 build_status.ToString().c_str());
+  // 2. Construct the index from a spec string. Defaults follow the paper
+  //    (c = 1.5, w0 = 4c^2, L = 5, K = 10); any parameter is overridable
+  //    via key=value — run `dblsh_tool methods` for the full registry.
+  auto made = IndexFactory::Make("DB-LSH,c=1.5");
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
     return 1;
   }
-  std::printf("Built DB-LSH over %zu points: K=%zu, L=%zu, w0=%.2f, t=%zu\n",
-              data.rows(), index.params().k, index.params().l,
-              index.params().w0, index.params().t);
+  const std::unique_ptr<AnnIndex> index = std::move(made).value();
+  if (Status s = index->Build(&data); !s.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const auto& params = dynamic_cast<const DbLsh*>(index.get())->params();
+  std::printf("Built %s over %zu points: K=%zu, L=%zu, w0=%.2f, t=%zu\n",
+              index->Name().c_str(), data.rows(), params.k, params.l,
+              params.w0, params.t);
 
   // 3. Query. Ask for the 10 approximate nearest neighbors of point 123's
-  //    slightly perturbed copy.
+  //    slightly perturbed copy; the response carries the per-query stats.
   std::vector<float> query(data.row(123), data.row(123) + data.cols());
   query[0] += 0.25f;
 
-  QueryStats stats;
-  const std::vector<Neighbor> result = index.Query(query.data(), 10, &stats);
+  QueryRequest request;
+  request.k = 10;
+  const QueryResponse response = index->Search(query.data(), request);
 
   std::printf("\nTop-10 ANN of perturbed point 123 "
               "(%zu candidates verified, %zu rounds):\n",
-              stats.candidates_verified, stats.rounds);
+              response.stats.candidates_verified, response.stats.rounds);
   const auto exact = ExactKnn(data, query.data(), 10);
-  for (size_t i = 0; i < result.size(); ++i) {
+  for (size_t i = 0; i < response.neighbors.size(); ++i) {
     std::printf("  #%zu: id=%u dist=%.4f (exact #%zu dist=%.4f)\n", i + 1,
-                result[i].id, result[i].dist, i + 1, exact[i].dist);
+                response.neighbors[i].id, response.neighbors[i].dist, i + 1,
+                exact[i].dist);
   }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "baselines/e2lsh.h"
 
+#include "core/index_factory.h"
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -133,5 +134,25 @@ std::vector<Neighbor> E2Lsh::Query(const float* query, size_t k,
   }
   return heap.TakeSorted();
 }
+
+DBLSH_REGISTER_INDEX(
+    kRegisterE2Lsh, "E2LSH",
+    "E2LSH (Datar et al. 2004): static query-oblivious (K,L)-index with "
+    "one bucket table suite per radius level",
+    [](const IndexFactory::Spec& spec)
+        -> Result<std::unique_ptr<AnnIndex>> {
+      E2LshParams params;
+      SpecReader reader(spec);
+      reader.Key("c", &params.c);
+      reader.Key("k", &params.k);
+      reader.Key("l", &params.l);
+      reader.Key("levels", &params.levels);
+      reader.Key("w0", &params.w0);
+      reader.Key("beta", &params.beta);
+      reader.Key("seed", &params.seed);
+      DBLSH_RETURN_IF_ERROR(reader.Finish());
+      std::unique_ptr<AnnIndex> index = std::make_unique<E2Lsh>(params);
+      return index;
+    });
 
 }  // namespace dblsh

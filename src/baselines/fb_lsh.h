@@ -18,11 +18,6 @@ inline DbLshParams FbLshDefaultParams(size_t n) {
   return params;
 }
 
-/// Convenience factory matching the other baselines' construction style.
-inline std::unique_ptr<DbLsh> MakeFbLsh(size_t n) {
-  return std::make_unique<DbLsh>(FbLshDefaultParams(n));
-}
-
 }  // namespace dblsh
 
 #endif  // DBLSH_BASELINES_FB_LSH_H_

@@ -1,5 +1,6 @@
 #include "baselines/lccs_lsh.h"
 
+#include "core/index_factory.h"
 #include <algorithm>
 #include <cassert>
 #include <numeric>
@@ -127,5 +128,23 @@ std::vector<Neighbor> LccsLsh::Query(const float* query, size_t k,
   if (stats != nullptr) stats->rounds = 1;
   return heap.TakeSorted();
 }
+
+DBLSH_REGISTER_INDEX(
+    kRegisterLccsLsh, "LCCS-LSH",
+    "LCCS-LSH (Lei et al., SIGMOD 2020): circular shift array over "
+    "packed E2LSH symbol codes",
+    [](const IndexFactory::Spec& spec)
+        -> Result<std::unique_ptr<AnnIndex>> {
+      LccsLshParams params;
+      SpecReader reader(spec);
+      reader.Key("m", &params.m);
+      reader.Key("probes", &params.probes);
+      reader.Key("scan_per_shift", &params.scan_per_shift);
+      reader.Key("w_scale", &params.w_scale);
+      reader.Key("seed", &params.seed);
+      DBLSH_RETURN_IF_ERROR(reader.Finish());
+      std::unique_ptr<AnnIndex> index = std::make_unique<LccsLsh>(params);
+      return index;
+    });
 
 }  // namespace dblsh

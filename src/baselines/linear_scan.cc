@@ -1,5 +1,6 @@
 #include "baselines/linear_scan.h"
 
+#include "core/index_factory.h"
 #include "util/distance.h"
 
 namespace dblsh {
@@ -25,5 +26,17 @@ std::vector<Neighbor> LinearScan::Query(const float* query, size_t k,
   }
   return heap.TakeSorted();
 }
+
+DBLSH_REGISTER_INDEX(
+    kRegisterLinearScan, "LinearScan",
+    "Exact brute-force scan: the ground-truth oracle and linear-cost "
+    "reference point",
+    [](const IndexFactory::Spec& spec)
+        -> Result<std::unique_ptr<AnnIndex>> {
+      SpecReader reader(spec);
+      DBLSH_RETURN_IF_ERROR(reader.Finish());
+      std::unique_ptr<AnnIndex> index = std::make_unique<LinearScan>();
+      return index;
+    });
 
 }  // namespace dblsh

@@ -15,6 +15,9 @@ class LinearScan : public AnnIndex {
   Status Build(const FloatMatrix* data) override;
   std::vector<Neighbor> Query(const float* query, size_t k,
                               QueryStats* stats = nullptr) const override;
+  /// The scan keeps no per-query scratch, so the base-class QueryBatch may
+  /// fan queries out over threads.
+  bool SupportsConcurrentQueries() const override { return true; }
   size_t NumHashFunctions() const override { return 0; }
 
  private:

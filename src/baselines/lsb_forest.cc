@@ -1,5 +1,6 @@
 #include "baselines/lsb_forest.h"
 
+#include "core/index_factory.h"
 #include <algorithm>
 #include <bit>
 #include <cassert>
@@ -170,5 +171,24 @@ std::vector<Neighbor> LsbForest::Query(const float* query, size_t k,
   if (stats != nullptr) stats->rounds = 1;
   return heap.TakeSorted();
 }
+
+DBLSH_REGISTER_INDEX(
+    kRegisterLsbForest, "LSB-Forest",
+    "LSB-Forest (Tao et al., SIGMOD 2009): Z-order-coded LSB-trees with "
+    "bucket-merging search",
+    [](const IndexFactory::Spec& spec)
+        -> Result<std::unique_ptr<AnnIndex>> {
+      LsbForestParams params;
+      SpecReader reader(spec);
+      reader.Key("l", &params.l);
+      reader.Key("k", &params.k);
+      reader.Key("bits", &params.bits);
+      reader.Key("w0", &params.w0);
+      reader.Key("beta", &params.beta);
+      reader.Key("seed", &params.seed);
+      DBLSH_RETURN_IF_ERROR(reader.Finish());
+      std::unique_ptr<AnnIndex> index = std::make_unique<LsbForest>(params);
+      return index;
+    });
 
 }  // namespace dblsh

@@ -1,5 +1,6 @@
 #include "baselines/multiprobe_lsh.h"
 
+#include "core/index_factory.h"
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -175,5 +176,24 @@ std::vector<Neighbor> MultiProbeLsh::Query(const float* query, size_t k,
   }
   return heap.TakeSorted();
 }
+
+DBLSH_REGISTER_INDEX(
+    kRegisterMultiProbeLsh, "MultiProbe",
+    "Multi-Probe LSH (Lv et al., VLDB 2007): single (K,L) table suite "
+    "probing nearby buckets per table",
+    [](const IndexFactory::Spec& spec)
+        -> Result<std::unique_ptr<AnnIndex>> {
+      MultiProbeParams params;
+      SpecReader reader(spec);
+      reader.Key("k", &params.k);
+      reader.Key("l", &params.l);
+      reader.Key("probes", &params.probes);
+      reader.Key("w0", &params.w0);
+      reader.Key("beta", &params.beta);
+      reader.Key("seed", &params.seed);
+      DBLSH_RETURN_IF_ERROR(reader.Finish());
+      std::unique_ptr<AnnIndex> index = std::make_unique<MultiProbeLsh>(params);
+      return index;
+    });
 
 }  // namespace dblsh

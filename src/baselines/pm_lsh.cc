@@ -1,5 +1,6 @@
 #include "baselines/pm_lsh.h"
 
+#include "core/index_factory.h"
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -67,5 +68,23 @@ std::vector<Neighbor> PmLsh::Query(const float* query, size_t k,
   }
   return heap.TakeSorted();
 }
+
+DBLSH_REGISTER_INDEX(
+    kRegisterPmLsh, "PM-LSH",
+    "PM-LSH (Zheng et al., PVLDB 2020): 2-stable projection to m dims + "
+    "exact NN search in the projected space",
+    [](const IndexFactory::Spec& spec)
+        -> Result<std::unique_ptr<AnnIndex>> {
+      PmLshParams params;
+      SpecReader reader(spec);
+      reader.Key("c", &params.c);
+      reader.Key("m", &params.m);
+      reader.Key("beta", &params.beta);
+      reader.Key("t_factor", &params.t_factor);
+      reader.Key("seed", &params.seed);
+      DBLSH_RETURN_IF_ERROR(reader.Finish());
+      std::unique_ptr<AnnIndex> index = std::make_unique<PmLsh>(params);
+      return index;
+    });
 
 }  // namespace dblsh

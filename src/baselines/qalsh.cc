@@ -1,5 +1,6 @@
 #include "baselines/qalsh.h"
 
+#include "core/index_factory.h"
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -146,5 +147,24 @@ std::vector<Neighbor> Qalsh::Query(const float* query, size_t k,
   }
   return heap.TakeSorted();
 }
+
+DBLSH_REGISTER_INDEX(
+    kRegisterQalsh, "QALSH",
+    "QALSH (Huang et al., PVLDB 2015): query-aware 1-d buckets with "
+    "collision counting over m B+-trees",
+    [](const IndexFactory::Spec& spec)
+        -> Result<std::unique_ptr<AnnIndex>> {
+      QalshParams params;
+      SpecReader reader(spec);
+      reader.Key("c", &params.c);
+      reader.Key("w", &params.w);
+      reader.Key("m", &params.m);
+      reader.Key("collision_fraction", &params.collision_fraction);
+      reader.Key("beta", &params.beta);
+      reader.Key("seed", &params.seed);
+      DBLSH_RETURN_IF_ERROR(reader.Finish());
+      std::unique_ptr<AnnIndex> index = std::make_unique<Qalsh>(params);
+      return index;
+    });
 
 }  // namespace dblsh

@@ -1,5 +1,6 @@
 #include "baselines/r2lsh.h"
 
+#include "core/index_factory.h"
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -171,5 +172,23 @@ std::vector<Neighbor> R2Lsh::Query(const float* query, size_t k,
   }
   return heap.TakeSorted();
 }
+
+DBLSH_REGISTER_INDEX(
+    kRegisterR2Lsh, "R2LSH",
+    "R2LSH (Lu & Kudo, ICDE 2020): collision counting over "
+    "two-dimensional projected spaces",
+    [](const IndexFactory::Spec& spec)
+        -> Result<std::unique_ptr<AnnIndex>> {
+      R2LshParams params;
+      SpecReader reader(spec);
+      reader.Key("c", &params.c);
+      reader.Key("m", &params.m);
+      reader.Key("collision_fraction", &params.collision_fraction);
+      reader.Key("beta", &params.beta);
+      reader.Key("seed", &params.seed);
+      DBLSH_RETURN_IF_ERROR(reader.Finish());
+      std::unique_ptr<AnnIndex> index = std::make_unique<R2Lsh>(params);
+      return index;
+    });
 
 }  // namespace dblsh

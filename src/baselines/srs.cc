@@ -1,5 +1,6 @@
 #include "baselines/srs.h"
 
+#include "core/index_factory.h"
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -66,5 +67,23 @@ std::vector<Neighbor> Srs::Query(const float* query, size_t k,
   }
   return heap.TakeSorted();
 }
+
+DBLSH_REGISTER_INDEX(
+    kRegisterSrs, "SRS",
+    "SRS (Sun et al., PVLDB 2014): tiny-index incremental NN search in "
+    "an m ~ 6 dim projection",
+    [](const IndexFactory::Spec& spec)
+        -> Result<std::unique_ptr<AnnIndex>> {
+      SrsParams params;
+      SpecReader reader(spec);
+      reader.Key("c", &params.c);
+      reader.Key("m", &params.m);
+      reader.Key("beta", &params.beta);
+      reader.Key("threshold", &params.threshold);
+      reader.Key("seed", &params.seed);
+      DBLSH_RETURN_IF_ERROR(reader.Finish());
+      std::unique_ptr<AnnIndex> index = std::make_unique<Srs>(params);
+      return index;
+    });
 
 }  // namespace dblsh

@@ -1,5 +1,6 @@
 #include "baselines/vhp.h"
 
+#include "core/index_factory.h"
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -144,5 +145,24 @@ std::vector<Neighbor> Vhp::Query(const float* query, size_t k,
   }
   return heap.TakeSorted();
 }
+
+DBLSH_REGISTER_INDEX(
+    kRegisterVhp, "VHP",
+    "VHP (Lu et al., PVLDB 2020): virtual hypersphere partitioning with "
+    "widened per-dimension windows",
+    [](const IndexFactory::Spec& spec)
+        -> Result<std::unique_ptr<AnnIndex>> {
+      VhpParams params;
+      SpecReader reader(spec);
+      reader.Key("c", &params.c);
+      reader.Key("m", &params.m);
+      reader.Key("t0", &params.t0);
+      reader.Key("collision_fraction", &params.collision_fraction);
+      reader.Key("beta", &params.beta);
+      reader.Key("seed", &params.seed);
+      DBLSH_RETURN_IF_ERROR(reader.Finish());
+      std::unique_ptr<AnnIndex> index = std::make_unique<Vhp>(params);
+      return index;
+    });
 
 }  // namespace dblsh

@@ -1,0 +1,61 @@
+#include "core/ann_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace dblsh {
+
+namespace detail {
+
+void FanOut(size_t count, size_t num_threads,
+            const std::function<std::function<void(size_t)>()>& make_worker) {
+  std::atomic<size_t> next{0};
+  auto run = [&]() {
+    const std::function<void(size_t)> work = make_worker();
+    for (size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+      work(i);
+    }
+  };
+  if (num_threads <= 1) {
+    run();
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(run);
+  for (auto& thread : threads) thread.join();
+}
+
+}  // namespace detail
+
+QueryResponse AnnIndex::Search(const float* query,
+                               const QueryRequest& request) const {
+  QueryResponse response;
+  response.neighbors = Query(query, request.k, &response.stats);
+  return response;
+}
+
+std::vector<QueryResponse> AnnIndex::QueryBatch(const FloatMatrix& queries,
+                                                const QueryRequest& request,
+                                                size_t num_threads) const {
+  const size_t q_count = queries.rows();
+  std::vector<QueryResponse> responses(q_count);
+  if (q_count == 0) return responses;
+
+  if (!SupportsConcurrentQueries()) {
+    num_threads = 1;
+  } else if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, q_count);
+
+  detail::FanOut(q_count, num_threads, [&]() {
+    return [this, &queries, &request, &responses](size_t q) {
+      responses[q] = Search(queries.row(q), request);
+    };
+  });
+  return responses;
+}
+
+}  // namespace dblsh

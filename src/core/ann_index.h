@@ -2,27 +2,25 @@
 #define DBLSH_CORE_ANN_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "core/query.h"
 #include "dataset/float_matrix.h"
 #include "util/status.h"
 #include "util/top_k_heap.h"
 
 namespace dblsh {
 
-/// Per-query instrumentation filled in by every index. The evaluation
-/// harness aggregates these to explain *why* a method is fast or slow
-/// (candidate counts are the LSH cost model's main term).
-struct QueryStats {
-  size_t candidates_verified = 0;  ///< exact distance computations
-  size_t points_accessed = 0;      ///< index entries touched (incl. repeats)
-  size_t rounds = 0;               ///< (r,c)-NN rounds / radius expansions
-  size_t window_queries = 0;       ///< index probes issued
-};
-
 /// Common interface implemented by DB-LSH and every baseline so the
 /// evaluation harness and the benches can sweep methods uniformly.
+///
+/// Lifecycle: construct (usually via IndexFactory::Make("Name,key=value")),
+/// Build() over a dataset, then answer queries through Search() /
+/// QueryBatch(). The narrow `Query(ptr, k, stats*)` virtual remains as the
+/// per-method implementation hook; new callers use the request/response
+/// API, which folds QueryStats into the result.
 class AnnIndex {
  public:
   virtual ~AnnIndex() = default;
@@ -35,14 +33,51 @@ class AnnIndex {
 
   /// Returns (up to) the k approximate nearest neighbors of `query`,
   /// ascending by distance. `stats`, if non-null, receives per-query
-  /// instrumentation.
+  /// instrumentation. Implementation hook — prefer Search().
   virtual std::vector<Neighbor> Query(const float* query, size_t k,
                                       QueryStats* stats = nullptr) const = 0;
+
+  /// Answers one query described by `request`. The base implementation
+  /// forwards to Query(query, request.k); methods with per-query knobs
+  /// (DB-LSH's candidate budget / starting radius) override it to honor
+  /// the request's overrides.
+  virtual QueryResponse Search(const float* query,
+                               const QueryRequest& request) const;
+
+  /// Answers every row of `queries` under one request; responses are in
+  /// query order. The base implementation fans the rows out over
+  /// `num_threads` workers when the index declares its read path
+  /// thread-safe (SupportsConcurrentQueries) and degrades to a sequential
+  /// loop otherwise, so it is always safe to call. `num_threads = 0` uses
+  /// the hardware concurrency; pass 1 when timing per-query latency.
+  virtual std::vector<QueryResponse> QueryBatch(const FloatMatrix& queries,
+                                                const QueryRequest& request,
+                                                size_t num_threads = 0) const;
+
+  /// True when concurrent Search() calls on one built index are safe. The
+  /// default is false: most LSH methods (DB-LSH's default-scratch Search
+  /// included) keep epoch-stamped per-query scratch in `mutable` members,
+  /// making them thread-compatible but not thread-safe. LinearScan, whose
+  /// read path is reentrant, opts in. For parallel DB-LSH queries use
+  /// QueryBatch, which it overrides with one QueryScratch per worker.
+  virtual bool SupportsConcurrentQueries() const { return false; }
 
   /// Number of hash functions held, the paper's proxy for index size
   /// (IndexSize = n x #HashFunctions for all methods except LSB-Forest).
   virtual size_t NumHashFunctions() const = 0;
 };
+
+namespace detail {
+
+/// Shared worker-pool loop behind the QueryBatch implementations: runs
+/// `work(i)` for every i in [0, count) across `num_threads` workers, where
+/// `make_worker()` is called once per worker so each can capture its own
+/// per-thread state (e.g. a DbLsh::QueryScratch). `num_threads <= 1` runs
+/// inline.
+void FanOut(size_t count, size_t num_threads,
+            const std::function<std::function<void(size_t)>()>& make_worker);
+
+}  // namespace detail
 
 }  // namespace dblsh
 

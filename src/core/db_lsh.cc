@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <numeric>
+#include <thread>
+
+#include "core/index_factory.h"
 
 #include "dataset/ground_truth.h"
 #include "util/distance.h"
@@ -206,14 +210,56 @@ std::vector<Neighbor> DbLsh::Query(const float* query, size_t k,
 std::vector<Neighbor> DbLsh::Query(const float* query, size_t k,
                                    QueryStats* stats,
                                    QueryScratch* scratch) const {
+  return QueryImpl(query, k, params_.t, auto_r0_, stats, scratch);
+}
+
+QueryResponse DbLsh::Search(const float* query,
+                            const QueryRequest& request) const {
+  QueryResponse response;
+  const size_t t =
+      request.candidate_budget > 0 ? request.candidate_budget : params_.t;
+  const double r0 = request.r0 > 0.0 ? request.r0 : auto_r0_;
+  response.neighbors = QueryImpl(query, request.k, t, r0, &response.stats,
+                                 &default_scratch_);
+  return response;
+}
+
+std::vector<QueryResponse> DbLsh::QueryBatch(const FloatMatrix& queries,
+                                             const QueryRequest& request,
+                                             size_t num_threads) const {
+  const size_t q_count = queries.rows();
+  std::vector<QueryResponse> responses(q_count);
+  if (q_count == 0) return responses;
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, q_count);
+
+  const size_t t =
+      request.candidate_budget > 0 ? request.candidate_budget : params_.t;
+  const double r0 = request.r0 > 0.0 ? request.r0 : auto_r0_;
+  detail::FanOut(q_count, num_threads, [&]() {
+    // One scratch per worker: the fully thread-safe read path.
+    auto scratch = std::make_shared<QueryScratch>();
+    return [this, scratch, &queries, &request, &responses, t, r0](size_t q) {
+      responses[q].neighbors = QueryImpl(queries.row(q), request.k, t, r0,
+                                         &responses[q].stats, scratch.get());
+    };
+  });
+  return responses;
+}
+
+std::vector<Neighbor> DbLsh::QueryImpl(const float* query, size_t k, size_t t,
+                                       double r0, QueryStats* stats,
+                                       QueryScratch* scratch) const {
   assert(data_ != nullptr && "Build() must succeed before Query()");
   if (k == 0 || data_ == nullptr) return {};
 
   const uint32_t epoch = PrepareScratch(scratch);
-  const size_t budget = 2 * params_.t * params_.l + k;
+  const size_t budget = 2 * t * params_.l + k;
   TopKHeap heap(k);
   size_t verified = 0;
-  double r = auto_r0_;
+  double r = r0;
   // The radius ladder r0, c*r0, c^2*r0, ... terminates via the Algorithm 1
   // conditions; the iteration cap only guards degenerate inputs (it allows
   // the window to outgrow any float data spread).
@@ -255,5 +301,58 @@ size_t DbLsh::IndexEntries() const {
   for (const auto& tree : kd_trees_) total += tree->size();
   return total;
 }
+
+Result<DbLshParams> DbLshParamsFromSpec(const IndexFactory::Spec& spec,
+                                        DbLshParams base) {
+  SpecReader reader(spec);
+  reader.Key("c", &base.c);
+  reader.Key("w0", &base.w0);
+  reader.Key("k", &base.k);
+  reader.Key("l", &base.l);
+  reader.Key("t", &base.t);
+  reader.Key("r0", &base.r0);
+  reader.Key("early_stop_slack", &base.early_stop_slack);
+  reader.Key("seed", &base.seed);
+  reader.Key("bulk_load", &base.bulk_load);
+  std::string bucketing;
+  std::string backend;
+  reader.Key("bucketing", &bucketing);
+  reader.Key("backend", &backend);
+  DBLSH_RETURN_IF_ERROR(reader.Finish());
+  if (!bucketing.empty()) {
+    if (bucketing == "dynamic") {
+      base.bucketing = BucketingMode::kDynamicQueryCentric;
+    } else if (bucketing == "fixed") {
+      base.bucketing = BucketingMode::kFixedGrid;
+    } else {
+      return Status::InvalidArgument(
+          "bucketing must be \"dynamic\" or \"fixed\", got \"" + bucketing +
+          "\"");
+    }
+  }
+  if (!backend.empty()) {
+    if (backend == "rtree") {
+      base.backend = IndexBackend::kRStarTree;
+    } else if (backend == "kdtree") {
+      base.backend = IndexBackend::kKdTree;
+    } else {
+      return Status::InvalidArgument(
+          "backend must be \"rtree\" or \"kdtree\", got \"" + backend + "\"");
+    }
+  }
+  return base;
+}
+
+DBLSH_REGISTER_INDEX(
+    kRegisterDbLsh, "DB-LSH",
+    "DB-LSH (Tian et al., ICDE 2022): dynamic query-centric bucketing over "
+    "L R*-tree-indexed K-dim projected spaces",
+    [](const IndexFactory::Spec& spec) -> Result<std::unique_ptr<AnnIndex>> {
+      auto params = DbLshParamsFromSpec(spec, DbLshParams());
+      if (!params.ok()) return params.status();
+      std::unique_ptr<AnnIndex> index =
+          std::make_unique<DbLsh>(params.value());
+      return index;
+    });
 
 }  // namespace dblsh

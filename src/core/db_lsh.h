@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/ann_index.h"
+#include "core/index_factory.h"
 #include "dataset/float_matrix.h"
 #include "kdtree/kd_tree.h"
 #include "lsh/projection.h"
@@ -95,6 +96,16 @@ class DbLsh : public AnnIndex {
   /// Thread-safe variant: all mutable state lives in `scratch`.
   std::vector<Neighbor> Query(const float* query, size_t k, QueryStats* stats,
                               QueryScratch* scratch) const;
+  /// Honors the request's candidate-budget (`t` of Remark 2) and starting
+  /// radius overrides, so one built index serves per-query accuracy/latency
+  /// trades without rebuilding.
+  QueryResponse Search(const float* query,
+                       const QueryRequest& request) const override;
+  /// Fully parallel batch: one QueryScratch per worker thread over the
+  /// immutable read path; responses are identical to sequential execution.
+  std::vector<QueryResponse> QueryBatch(const FloatMatrix& queries,
+                                        const QueryRequest& request,
+                                        size_t num_threads = 0) const override;
   size_t NumHashFunctions() const override { return params_.k * params_.l; }
 
   /// One (r,c)-NN round (Algorithm 1), exposed for tests and for the
@@ -134,6 +145,13 @@ class DbLsh : public AnnIndex {
   /// epoch to stamp visited points with.
   uint32_t PrepareScratch(QueryScratch* scratch) const;
 
+  /// Shared query path: the (r,c)-NN cascade with an explicit candidate
+  /// budget constant `t` and starting radius `r0` (the per-query override
+  /// hooks of the QueryRequest API).
+  std::vector<Neighbor> QueryImpl(const float* query, size_t k, size_t t,
+                                  double r0, QueryStats* stats,
+                                  QueryScratch* scratch) const;
+
   rtree::Rect MakeBucket(const float* proj_center, size_t tree_index,
                          double width) const;
 
@@ -152,6 +170,12 @@ class DbLsh : public AnnIndex {
   // thread-compatible only — concurrent callers use their own scratch.
   mutable QueryScratch default_scratch_;
 };
+
+/// Applies spec keys (c, w0, k, l, t, r0, early_stop_slack, seed,
+/// bulk_load, bucketing=dynamic|fixed, backend=rtree|kdtree) on top of
+/// `base`. Shared by the DB-LSH and FB-LSH factory registrations.
+Result<DbLshParams> DbLshParamsFromSpec(const IndexFactory::Spec& spec,
+                                        DbLshParams base);
 
 }  // namespace dblsh
 

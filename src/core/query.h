@@ -1,0 +1,47 @@
+#ifndef DBLSH_CORE_QUERY_H_
+#define DBLSH_CORE_QUERY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/top_k_heap.h"
+
+namespace dblsh {
+
+/// Per-query instrumentation filled in by every index. The evaluation
+/// harness aggregates these to explain *why* a method is fast or slow
+/// (candidate counts are the LSH cost model's main term).
+struct QueryStats {
+  size_t candidates_verified = 0;  ///< exact distance computations
+  size_t points_accessed = 0;      ///< index entries touched (incl. repeats)
+  size_t rounds = 0;               ///< (r,c)-NN rounds / radius expansions
+  size_t window_queries = 0;       ///< index probes issued
+};
+
+/// One (c,k)-ANN query with optional per-query overrides of the index's
+/// tuning knobs. Fields an index does not support are silently ignored
+/// (a serving layer can attach the same request to every method in a
+/// lineup); zero always means "use the index's configured default".
+struct QueryRequest {
+  size_t k = 10;  ///< neighbors requested
+
+  /// Candidate-budget override: DB-LSH/FB-LSH's `t` of Remark 2 (budget
+  /// 2tL + k). Lets one built index trade accuracy for latency per query
+  /// without rebuilding. 0 = the index's configured t.
+  size_t candidate_budget = 0;
+
+  /// Starting radius override for the (r,c)-NN cascade of radius-ladder
+  /// methods (DB-LSH/FB-LSH). 0 = the index's auto-estimated r0.
+  double r0 = 0.0;
+};
+
+/// Result of one query: neighbors ascending by distance, with the
+/// instrumentation folded in (no out-pointer threading).
+struct QueryResponse {
+  std::vector<Neighbor> neighbors;
+  QueryStats stats;
+};
+
+}  // namespace dblsh
+
+#endif  // DBLSH_CORE_QUERY_H_

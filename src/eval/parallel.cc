@@ -1,7 +1,6 @@
 #include "eval/parallel.h"
 
-#include <atomic>
-#include <thread>
+#include <utility>
 
 namespace dblsh::eval {
 
@@ -9,29 +8,15 @@ std::vector<std::vector<Neighbor>> ParallelQuery(const DbLsh& index,
                                                  const FloatMatrix& queries,
                                                  size_t k,
                                                  size_t num_threads) {
-  const size_t q_count = queries.rows();
-  std::vector<std::vector<Neighbor>> results(q_count);
-  if (q_count == 0) return results;
-  if (num_threads == 0) {
-    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  QueryRequest request;
+  request.k = k;
+  std::vector<QueryResponse> responses =
+      index.QueryBatch(queries, request, num_threads);
+  std::vector<std::vector<Neighbor>> results;
+  results.reserve(responses.size());
+  for (QueryResponse& response : responses) {
+    results.push_back(std::move(response.neighbors));
   }
-  num_threads = std::min(num_threads, q_count);
-
-  std::atomic<size_t> next{0};
-  auto worker = [&]() {
-    DbLsh::QueryScratch scratch;  // one per thread: fully thread-safe path
-    for (size_t q = next.fetch_add(1); q < q_count; q = next.fetch_add(1)) {
-      results[q] = index.Query(queries.row(q), k, nullptr, &scratch);
-    }
-  };
-  if (num_threads == 1) {
-    worker();
-    return results;
-  }
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
-  for (auto& thread : threads) thread.join();
   return results;
 }
 

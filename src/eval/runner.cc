@@ -1,14 +1,9 @@
 #include "eval/runner.h"
 
+#include <cassert>
 #include <utility>
 
-#include "baselines/fb_lsh.h"
-#include "baselines/lccs_lsh.h"
-#include "baselines/lsb_forest.h"
-#include "baselines/pm_lsh.h"
-#include "baselines/qalsh.h"
-#include "baselines/r2lsh.h"
-#include "baselines/vhp.h"
+#include "core/index_factory.h"
 #include "dataset/ground_truth.h"
 #include "dataset/synthetic.h"
 #include "eval/metrics.h"
@@ -36,19 +31,22 @@ Result<MethodResult> RunMethod(AnnIndex* index, const Workload& workload) {
   result.hash_functions = index->NumHashFunctions();
 
   const size_t q_count = workload.queries.rows();
-  double total_ms = 0.0;
+  QueryRequest request;
+  request.k = workload.k;
+  Timer query_timer;
+  const std::vector<QueryResponse> responses =
+      index->QueryBatch(workload.queries, request, /*num_threads=*/1);
+  const double total_ms = query_timer.ElapsedMs();
+
   double total_recall = 0.0;
   double total_ratio = 0.0;
   double total_candidates = 0.0;
   for (size_t q = 0; q < q_count; ++q) {
-    QueryStats stats;
-    Timer query_timer;
-    const std::vector<Neighbor> answer =
-        index->Query(workload.queries.row(q), workload.k, &stats);
-    total_ms += query_timer.ElapsedMs();
-    total_recall += Recall(answer, workload.ground_truth[q]);
-    total_ratio += OverallRatio(answer, workload.ground_truth[q]);
-    total_candidates += static_cast<double>(stats.candidates_verified);
+    const QueryResponse& response = responses[q];
+    total_recall += Recall(response.neighbors, workload.ground_truth[q]);
+    total_ratio += OverallRatio(response.neighbors, workload.ground_truth[q]);
+    total_candidates +=
+        static_cast<double>(response.stats.candidates_verified);
   }
   const auto denom = static_cast<double>(q_count ? q_count : 1);
   result.avg_query_ms = total_ms / denom;
@@ -58,39 +56,34 @@ Result<MethodResult> RunMethod(AnnIndex* index, const Workload& workload) {
   return result;
 }
 
+Result<MethodResult> RunSpec(const std::string& spec,
+                             const Workload& workload) {
+  auto index = IndexFactory::Make(spec);
+  if (!index.ok()) return index.status();
+  return RunMethod(index.value().get(), workload);
+}
+
+std::vector<std::string> PaperMethodSpecs(size_t n, double c) {
+  const std::string c_kv = ",c=" + std::to_string(c);
+  return {
+      "DB-LSH" + c_kv,
+      "FB-LSH" + c_kv + ",n=" + std::to_string(n),
+      "LCCS-LSH",
+      "PM-LSH" + c_kv,
+      "R2LSH" + c_kv,
+      "VHP" + c_kv,
+      "LSB-Forest",
+      "QALSH" + c_kv,
+  };
+}
+
 std::vector<std::unique_ptr<AnnIndex>> MakePaperMethods(size_t n, double c) {
   std::vector<std::unique_ptr<AnnIndex>> methods;
-
-  DbLshParams db_params;
-  db_params.c = c;
-  methods.push_back(std::make_unique<DbLsh>(db_params));
-
-  DbLshParams fb_params = FbLshDefaultParams(n);
-  fb_params.c = c;
-  methods.push_back(std::make_unique<DbLsh>(fb_params));
-
-  LccsLshParams lccs;
-  methods.push_back(std::make_unique<LccsLsh>(lccs));
-
-  PmLshParams pm;
-  pm.c = c;
-  methods.push_back(std::make_unique<PmLsh>(pm));
-
-  R2LshParams r2;
-  r2.c = c;
-  methods.push_back(std::make_unique<R2Lsh>(r2));
-
-  VhpParams vhp;
-  vhp.c = c;
-  methods.push_back(std::make_unique<Vhp>(vhp));
-
-  LsbForestParams lsb;
-  methods.push_back(std::make_unique<LsbForest>(lsb));
-
-  QalshParams qalsh;
-  qalsh.c = c;
-  methods.push_back(std::make_unique<Qalsh>(qalsh));
-
+  for (const std::string& spec : PaperMethodSpecs(n, c)) {
+    auto index = IndexFactory::Make(spec);
+    assert(index.ok() && "paper-default specs must parse");
+    if (index.ok()) methods.push_back(std::move(index).value());
+  }
   return methods;
 }
 

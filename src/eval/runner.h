@@ -38,13 +38,23 @@ struct MethodResult {
   size_t hash_functions = 0;
 };
 
-/// Builds `index` on the workload's data and runs every query, averaging
-/// metrics. On build failure the error is returned.
+/// Builds `index` on the workload's data and runs every query through the
+/// batched request/response API (single-threaded, so per-query latency
+/// stays meaningful), averaging metrics. On build failure the error is
+/// returned.
 Result<MethodResult> RunMethod(AnnIndex* index, const Workload& workload);
 
+/// Constructs the index from an IndexFactory spec string and runs it.
+Result<MethodResult> RunSpec(const std::string& spec,
+                             const Workload& workload);
+
+/// IndexFactory specs of the paper's standard method lineup (Table IV
+/// order) for a dataset of size n — the single source of the per-method
+/// paper-default parameters the benches sweep.
+std::vector<std::string> PaperMethodSpecs(size_t n, double c = 1.5);
+
 /// The standard method lineup of the paper's evaluation (Table IV order),
-/// constructed with the paper's default parameters for a dataset of size n.
-/// `include_slow` adds methods the paper drops on large inputs.
+/// built through IndexFactory from PaperMethodSpecs.
 std::vector<std::unique_ptr<AnnIndex>> MakePaperMethods(size_t n,
                                                         double c = 1.5);
 
