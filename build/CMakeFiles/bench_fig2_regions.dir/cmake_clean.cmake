@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_regions.dir/bench/bench_fig2_regions.cc.o"
+  "CMakeFiles/bench_fig2_regions.dir/bench/bench_fig2_regions.cc.o.d"
+  "bench_fig2_regions"
+  "bench_fig2_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_rho.dir/bench/bench_fig4_rho.cc.o"
+  "CMakeFiles/bench_fig4_rho.dir/bench/bench_fig4_rho.cc.o.d"
+  "bench_fig4_rho"
+  "bench_fig4_rho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_rho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_7_vary_n.dir/bench/bench_fig5_7_vary_n.cc.o"
+  "CMakeFiles/bench_fig5_7_vary_n.dir/bench/bench_fig5_7_vary_n.cc.o.d"
+  "bench_fig5_7_vary_n"
+  "bench_fig5_7_vary_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_7_vary_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

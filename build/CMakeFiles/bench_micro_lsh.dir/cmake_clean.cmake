@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_lsh.dir/bench/bench_micro_lsh.cc.o"
+  "CMakeFiles/bench_micro_lsh.dir/bench/bench_micro_lsh.cc.o.d"
+  "bench_micro_lsh"
+  "bench_micro_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

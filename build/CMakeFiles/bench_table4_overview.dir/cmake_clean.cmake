@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_overview.dir/bench/bench_table4_overview.cc.o"
+  "CMakeFiles/bench_table4_overview.dir/bench/bench_table4_overview.cc.o.d"
+  "bench_table4_overview"
+  "bench_table4_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

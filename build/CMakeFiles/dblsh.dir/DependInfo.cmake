@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/e2lsh.cc" "CMakeFiles/dblsh.dir/src/baselines/e2lsh.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/baselines/e2lsh.cc.o.d"
+  "/root/repo/src/baselines/fb_lsh.cc" "CMakeFiles/dblsh.dir/src/baselines/fb_lsh.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/baselines/fb_lsh.cc.o.d"
+  "/root/repo/src/baselines/lccs_lsh.cc" "CMakeFiles/dblsh.dir/src/baselines/lccs_lsh.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/baselines/lccs_lsh.cc.o.d"
+  "/root/repo/src/baselines/linear_scan.cc" "CMakeFiles/dblsh.dir/src/baselines/linear_scan.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/baselines/linear_scan.cc.o.d"
+  "/root/repo/src/baselines/lsb_forest.cc" "CMakeFiles/dblsh.dir/src/baselines/lsb_forest.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/baselines/lsb_forest.cc.o.d"
+  "/root/repo/src/baselines/multiprobe_lsh.cc" "CMakeFiles/dblsh.dir/src/baselines/multiprobe_lsh.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/baselines/multiprobe_lsh.cc.o.d"
+  "/root/repo/src/baselines/pm_lsh.cc" "CMakeFiles/dblsh.dir/src/baselines/pm_lsh.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/baselines/pm_lsh.cc.o.d"
+  "/root/repo/src/baselines/qalsh.cc" "CMakeFiles/dblsh.dir/src/baselines/qalsh.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/baselines/qalsh.cc.o.d"
+  "/root/repo/src/baselines/r2lsh.cc" "CMakeFiles/dblsh.dir/src/baselines/r2lsh.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/baselines/r2lsh.cc.o.d"
+  "/root/repo/src/baselines/srs.cc" "CMakeFiles/dblsh.dir/src/baselines/srs.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/baselines/srs.cc.o.d"
+  "/root/repo/src/baselines/vhp.cc" "CMakeFiles/dblsh.dir/src/baselines/vhp.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/baselines/vhp.cc.o.d"
+  "/root/repo/src/bptree/bplus_tree.cc" "CMakeFiles/dblsh.dir/src/bptree/bplus_tree.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/bptree/bplus_tree.cc.o.d"
+  "/root/repo/src/core/ann_index.cc" "CMakeFiles/dblsh.dir/src/core/ann_index.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/core/ann_index.cc.o.d"
+  "/root/repo/src/core/db_lsh.cc" "CMakeFiles/dblsh.dir/src/core/db_lsh.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/core/db_lsh.cc.o.d"
+  "/root/repo/src/core/db_lsh_io.cc" "CMakeFiles/dblsh.dir/src/core/db_lsh_io.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/core/db_lsh_io.cc.o.d"
+  "/root/repo/src/core/index_factory.cc" "CMakeFiles/dblsh.dir/src/core/index_factory.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/core/index_factory.cc.o.d"
+  "/root/repo/src/dataset/ground_truth.cc" "CMakeFiles/dblsh.dir/src/dataset/ground_truth.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/dataset/ground_truth.cc.o.d"
+  "/root/repo/src/dataset/io.cc" "CMakeFiles/dblsh.dir/src/dataset/io.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/dataset/io.cc.o.d"
+  "/root/repo/src/dataset/stats.cc" "CMakeFiles/dblsh.dir/src/dataset/stats.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/dataset/stats.cc.o.d"
+  "/root/repo/src/dataset/synthetic.cc" "CMakeFiles/dblsh.dir/src/dataset/synthetic.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/dataset/synthetic.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "CMakeFiles/dblsh.dir/src/eval/metrics.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/parallel.cc" "CMakeFiles/dblsh.dir/src/eval/parallel.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/eval/parallel.cc.o.d"
+  "/root/repo/src/eval/runner.cc" "CMakeFiles/dblsh.dir/src/eval/runner.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/eval/runner.cc.o.d"
+  "/root/repo/src/eval/table.cc" "CMakeFiles/dblsh.dir/src/eval/table.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/eval/table.cc.o.d"
+  "/root/repo/src/kdtree/kd_tree.cc" "CMakeFiles/dblsh.dir/src/kdtree/kd_tree.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/kdtree/kd_tree.cc.o.d"
+  "/root/repo/src/lsh/collision.cc" "CMakeFiles/dblsh.dir/src/lsh/collision.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/lsh/collision.cc.o.d"
+  "/root/repo/src/lsh/params.cc" "CMakeFiles/dblsh.dir/src/lsh/params.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/lsh/params.cc.o.d"
+  "/root/repo/src/lsh/projection.cc" "CMakeFiles/dblsh.dir/src/lsh/projection.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/lsh/projection.cc.o.d"
+  "/root/repo/src/rtree/rtree.cc" "CMakeFiles/dblsh.dir/src/rtree/rtree.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/rtree/rtree.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/dblsh.dir/src/util/status.cc.o" "gcc" "CMakeFiles/dblsh.dir/src/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

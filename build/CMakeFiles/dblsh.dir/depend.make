@@ -1,0 +1,2 @@
+# Empty dependencies file for dblsh.
+# This may be replaced when dependencies are built.

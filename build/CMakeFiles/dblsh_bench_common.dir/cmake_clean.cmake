@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblsh_bench_common.dir/bench/common.cc.o"
+  "CMakeFiles/dblsh_bench_common.dir/bench/common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblsh_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

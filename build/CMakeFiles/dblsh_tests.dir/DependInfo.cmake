@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "CMakeFiles/dblsh_tests.dir/tests/baselines_test.cc.o" "gcc" "CMakeFiles/dblsh_tests.dir/tests/baselines_test.cc.o.d"
+  "/root/repo/tests/bptree_test.cc" "CMakeFiles/dblsh_tests.dir/tests/bptree_test.cc.o" "gcc" "CMakeFiles/dblsh_tests.dir/tests/bptree_test.cc.o.d"
+  "/root/repo/tests/dataset_test.cc" "CMakeFiles/dblsh_tests.dir/tests/dataset_test.cc.o" "gcc" "CMakeFiles/dblsh_tests.dir/tests/dataset_test.cc.o.d"
+  "/root/repo/tests/db_lsh_test.cc" "CMakeFiles/dblsh_tests.dir/tests/db_lsh_test.cc.o" "gcc" "CMakeFiles/dblsh_tests.dir/tests/db_lsh_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "CMakeFiles/dblsh_tests.dir/tests/eval_test.cc.o" "gcc" "CMakeFiles/dblsh_tests.dir/tests/eval_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "CMakeFiles/dblsh_tests.dir/tests/extensions_test.cc.o" "gcc" "CMakeFiles/dblsh_tests.dir/tests/extensions_test.cc.o.d"
+  "/root/repo/tests/factory_test.cc" "CMakeFiles/dblsh_tests.dir/tests/factory_test.cc.o" "gcc" "CMakeFiles/dblsh_tests.dir/tests/factory_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "CMakeFiles/dblsh_tests.dir/tests/integration_test.cc.o" "gcc" "CMakeFiles/dblsh_tests.dir/tests/integration_test.cc.o.d"
+  "/root/repo/tests/kdtree_test.cc" "CMakeFiles/dblsh_tests.dir/tests/kdtree_test.cc.o" "gcc" "CMakeFiles/dblsh_tests.dir/tests/kdtree_test.cc.o.d"
+  "/root/repo/tests/lsh_test.cc" "CMakeFiles/dblsh_tests.dir/tests/lsh_test.cc.o" "gcc" "CMakeFiles/dblsh_tests.dir/tests/lsh_test.cc.o.d"
+  "/root/repo/tests/property_dblsh_test.cc" "CMakeFiles/dblsh_tests.dir/tests/property_dblsh_test.cc.o" "gcc" "CMakeFiles/dblsh_tests.dir/tests/property_dblsh_test.cc.o.d"
+  "/root/repo/tests/property_lsh_test.cc" "CMakeFiles/dblsh_tests.dir/tests/property_lsh_test.cc.o" "gcc" "CMakeFiles/dblsh_tests.dir/tests/property_lsh_test.cc.o.d"
+  "/root/repo/tests/property_rtree_test.cc" "CMakeFiles/dblsh_tests.dir/tests/property_rtree_test.cc.o" "gcc" "CMakeFiles/dblsh_tests.dir/tests/property_rtree_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "CMakeFiles/dblsh_tests.dir/tests/robustness_test.cc.o" "gcc" "CMakeFiles/dblsh_tests.dir/tests/robustness_test.cc.o.d"
+  "/root/repo/tests/rtree_test.cc" "CMakeFiles/dblsh_tests.dir/tests/rtree_test.cc.o" "gcc" "CMakeFiles/dblsh_tests.dir/tests/rtree_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "CMakeFiles/dblsh_tests.dir/tests/util_test.cc.o" "gcc" "CMakeFiles/dblsh_tests.dir/tests/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblsh_tool.dir/examples/dblsh_tool.cpp.o"
+  "CMakeFiles/dblsh_tool.dir/examples/dblsh_tool.cpp.o.d"
+  "dblsh_tool"
+  "dblsh_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblsh_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

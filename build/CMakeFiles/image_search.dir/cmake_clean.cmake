@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_search.dir/examples/image_search.cpp.o"
+  "CMakeFiles/image_search.dir/examples/image_search.cpp.o.d"
+  "image_search"
+  "image_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/near_duplicates.dir/examples/near_duplicates.cpp.o"
+  "CMakeFiles/near_duplicates.dir/examples/near_duplicates.cpp.o.d"
+  "near_duplicates"
+  "near_duplicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/near_duplicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

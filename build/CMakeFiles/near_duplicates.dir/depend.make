@@ -1,0 +1,2 @@
+# Empty dependencies file for near_duplicates.
+# This may be replaced when dependencies are built.

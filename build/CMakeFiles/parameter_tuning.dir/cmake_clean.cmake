@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_tuning.dir/examples/parameter_tuning.cpp.o"
+  "CMakeFiles/parameter_tuning.dir/examples/parameter_tuning.cpp.o.d"
+  "parameter_tuning"
+  "parameter_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
