@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/verify.h"
 #include "dataset/ground_truth.h"
 #include "util/distance.h"
 #include "util/random.h"
@@ -106,10 +107,12 @@ std::vector<Neighbor> E2Lsh::Query(const float* query, size_t k,
                                                 static_cast<double>(n))) +
       k;
   TopKHeap heap(k);
-  size_t verified = 0;
+  CandidateVerifier verifier(query, data_, &heap, stats);
+  verifier.set_budget(budget);
   double r = r0_;
   for (size_t level = 0; level < params_.levels; ++level, r *= params_.c) {
     if (stats != nullptr) ++stats->rounds;
+    verifier.set_dist_bound(params_.c * r);
     bool done = false;
     for (size_t table = 0; table < params_.l && !done; ++table) {
       if (stats != nullptr) ++stats->window_queries;
@@ -120,17 +123,14 @@ std::vector<Neighbor> E2Lsh::Query(const float* query, size_t k,
         if (stats != nullptr) ++stats->points_accessed;
         if (verified_epoch_[id] == epoch_) continue;
         verified_epoch_[id] = epoch_;
-        heap.Push(L2Distance(data_->row(id), query, data_->cols()), id);
-        ++verified;
-        if (stats != nullptr) ++stats->candidates_verified;
-        if (verified >= budget ||
-            (heap.Full() && heap.Threshold() <= params_.c * r)) {
+        if (verifier.Offer(id)) {
           done = true;
           break;
         }
       }
+      if (!done && verifier.Flush()) done = true;
     }
-    if (done || verified >= n) break;
+    if (done || verifier.verified() >= n) break;
   }
   return heap.TakeSorted();
 }

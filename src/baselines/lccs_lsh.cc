@@ -5,6 +5,7 @@
 #include <cassert>
 #include <numeric>
 
+#include "core/verify.h"
 #include "dataset/ground_truth.h"
 #include "util/distance.h"
 
@@ -87,19 +88,17 @@ std::vector<Neighbor> LccsLsh::Query(const float* query, size_t k,
   const uint64_t qcode = CodeOf(query);
   const size_t budget = params_.probes + k;
   TopKHeap heap(k);
-  size_t verified = 0;
+  CandidateVerifier verifier(query, data_, &heap, stats);
+  verifier.set_budget(budget);
 
   auto verify = [&](uint32_t id) -> bool {
     if (stats != nullptr) ++stats->points_accessed;
     if (verified_epoch_[id] == epoch_) return false;
     verified_epoch_[id] = epoch_;
-    heap.Push(L2Distance(data_->row(id), query, data_->cols()), id);
-    ++verified;
-    if (stats != nullptr) ++stats->candidates_verified;
-    return verified >= budget;
+    return verifier.Offer(id);
   };
 
-  for (size_t s = 0; s < num_symbols_ && verified < budget; ++s) {
+  for (size_t s = 0; s < num_symbols_ && !verifier.done(); ++s) {
     if (stats != nullptr) ++stats->window_queries;
     const auto rot = static_cast<unsigned>(4 * s);
     const uint64_t rq = RotL(qcode, rot);
@@ -124,7 +123,9 @@ std::vector<Neighbor> LccsLsh::Query(const float* query, size_t k,
       }
       if (upper >= static_cast<ptrdiff_t>(n) && lower < 0) break;
     }
+    verifier.Flush();  // shift boundary: settle the budget exit
   }
+  verifier.Flush();
   if (stats != nullptr) stats->rounds = 1;
   return heap.TakeSorted();
 }

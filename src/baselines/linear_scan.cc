@@ -1,7 +1,7 @@
 #include "baselines/linear_scan.h"
 
 #include "core/index_factory.h"
-#include "util/distance.h"
+#include "core/verify.h"
 
 namespace dblsh {
 
@@ -16,12 +16,11 @@ Status LinearScan::Build(const FloatMatrix* data) {
 std::vector<Neighbor> LinearScan::Query(const float* query, size_t k,
                                         QueryStats* stats) const {
   TopKHeap heap(k);
-  for (size_t i = 0; i < data_->rows(); ++i) {
-    heap.Push(L2Distance(data_->row(i), query, data_->cols()),
-              static_cast<uint32_t>(i));
-  }
+  // Contiguous scan over all rows through the batched SIMD kernel;
+  // candidates_verified is counted per push by the helper.
+  VerifyCandidates(query, *data_, /*ids=*/nullptr, data_->rows(),
+                   VerifyOptions(), &heap, stats);
   if (stats != nullptr) {
-    stats->candidates_verified += data_->rows();
     stats->points_accessed += data_->rows();
   }
   return heap.TakeSorted();

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <queue>
 
+#include "core/verify.h"
 #include "dataset/ground_truth.h"
 #include "util/distance.h"
 
@@ -147,8 +148,9 @@ std::vector<Neighbor> LsbForest::Query(const float* query, size_t k,
                                                 static_cast<double>(n))) +
       k;
   TopKHeap heap(k);
-  size_t verified = 0;
-  while (!heads.empty() && verified < budget) {
+  CandidateVerifier verifier(query, data_, &heap, stats);
+  verifier.set_budget(budget);
+  while (!heads.empty() && !verifier.done()) {
     const Head head = heads.top();
     heads.pop();
     const auto& entries = sorted_[head.tree];
@@ -157,9 +159,7 @@ std::vector<Neighbor> LsbForest::Query(const float* query, size_t k,
     if (stats != nullptr) ++stats->points_accessed;
     if (verified_epoch_[id] != epoch_) {
       verified_epoch_[id] = epoch_;
-      heap.Push(L2Distance(data_->row(id), query, data_->cols()), id);
-      ++verified;
-      if (stats != nullptr) ++stats->candidates_verified;
+      verifier.Offer(id);
     }
     if (head.upward) {
       ++up[head.tree];
@@ -168,6 +168,7 @@ std::vector<Neighbor> LsbForest::Query(const float* query, size_t k,
     }
     push_head(head.tree, head.upward);
   }
+  verifier.Flush();
   if (stats != nullptr) stats->rounds = 1;
   return heap.TakeSorted();
 }

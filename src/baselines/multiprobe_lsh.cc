@@ -6,6 +6,7 @@
 #include <cmath>
 #include <queue>
 
+#include "core/verify.h"
 #include "dataset/ground_truth.h"
 #include "util/distance.h"
 #include "util/random.h"
@@ -92,7 +93,8 @@ std::vector<Neighbor> MultiProbeLsh::Query(const float* query, size_t k,
                                                 static_cast<double>(n))) +
       k;
   TopKHeap heap(k);
-  size_t verified = 0;
+  CandidateVerifier verifier(query, data_, &heap, stats);
+  verifier.set_budget(budget);
 
   auto verify_bucket = [&](const Table& table, uint64_t key) -> bool {
     const auto it = table.find(key);
@@ -101,10 +103,7 @@ std::vector<Neighbor> MultiProbeLsh::Query(const float* query, size_t k,
       if (stats != nullptr) ++stats->points_accessed;
       if (verified_epoch_[id] == epoch_) continue;
       verified_epoch_[id] = epoch_;
-      heap.Push(L2Distance(data_->row(id), query, data_->cols()), id);
-      ++verified;
-      if (stats != nullptr) ++stats->candidates_verified;
-      if (verified >= budget) return true;
+      if (verifier.Offer(id)) return true;
     }
     return false;
   };
@@ -173,7 +172,9 @@ std::vector<Neighbor> MultiProbeLsh::Query(const float* query, size_t k,
       if (probes_used >= params_.probes) break;
     }
     if (done) break;
+    if (verifier.Flush()) break;  // table boundary: settle the budget exit
   }
+  verifier.Flush();
   return heap.TakeSorted();
 }
 

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/verify.h"
 #include "util/distance.h"
 
 namespace dblsh {
@@ -45,13 +46,17 @@ std::vector<Neighbor> PmLsh::Query(const float* query, size_t k,
   const double stop_scale = params_.t_factor * std::sqrt(double(params_.m));
 
   TopKHeap heap(k);
+  // The projected-distance stop test below reads the heap threshold before
+  // every candidate, so verification is immediate (batch of one) — the
+  // shared helper still supplies the SIMD one-to-one kernel.
+  CandidateVerifier verifier(query, data_, &heap, stats);
+  verifier.set_budget(budget);
   kdtree::KdTree::NnCursor cursor(tree_.get(), proj_q.data());
   if (stats != nullptr) {
     ++stats->window_queries;
     ++stats->rounds;
   }
   Neighbor projected_neighbor;
-  size_t verified = 0;
   while (cursor.Next(&projected_neighbor)) {
     if (stats != nullptr) ++stats->points_accessed;
     // Early stop: the projected radius already certifies the current top-k
@@ -60,11 +65,7 @@ std::vector<Neighbor> PmLsh::Query(const float* query, size_t k,
         projected_neighbor.dist > stop_scale * heap.Threshold()) {
       break;
     }
-    const uint32_t id = projected_neighbor.id;
-    heap.Push(L2Distance(data_->row(id), query, data_->cols()), id);
-    ++verified;
-    if (stats != nullptr) ++stats->candidates_verified;
-    if (verified >= budget) break;
+    if (verifier.VerifyNow(projected_neighbor.id)) break;
   }
   return heap.TakeSorted();
 }

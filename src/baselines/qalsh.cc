@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/verify.h"
 #include "dataset/ground_truth.h"
 #include "lsh/collision.h"
 #include "util/distance.h"
@@ -94,7 +95,8 @@ std::vector<Neighbor> Qalsh::Query(const float* query, size_t k,
                                                 static_cast<double>(n))) +
       k;
   TopKHeap heap(k);
-  size_t verified = 0;
+  CandidateVerifier verifier(query, data_, &heap, stats);
+  verifier.set_budget(budget);
   // Real-space radius ladder; the per-dimension window at radius R has
   // half-width w*R / (2 * r_unit-normalization already folded into w).
   double radius = 1.0;
@@ -109,10 +111,7 @@ std::vector<Neighbor> Qalsh::Query(const float* query, size_t k,
     if (++collision_count_[id] < collision_threshold_) return false;
     if (verified_epoch_[id] == epoch_) return false;
     verified_epoch_[id] = epoch_;
-    heap.Push(L2Distance(data_->row(id), query, data_->cols()), id);
-    ++verified;
-    if (stats != nullptr) ++stats->candidates_verified;
-    return verified >= budget;
+    return verifier.Offer(id);
   };
 
   for (size_t round = 0; round < 64; ++round) {
@@ -139,10 +138,11 @@ std::vector<Neighbor> Qalsh::Query(const float* query, size_t k,
         }
         l_it.Prev();
       }
+      if (!budget_hit && verifier.Flush()) budget_hit = true;
     }
     if (budget_hit) break;
     if (heap.Full() && heap.Threshold() <= c * radius * r_unit_) break;
-    if (verified >= n) break;
+    if (verifier.verified() >= n) break;
     radius *= c;
   }
   return heap.TakeSorted();

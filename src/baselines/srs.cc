@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/verify.h"
 #include "util/distance.h"
 
 namespace dblsh {
@@ -46,24 +47,23 @@ std::vector<Neighbor> Srs::Query(const float* query, size_t k,
       std::sqrt(params_.threshold * static_cast<double>(params_.m));
 
   TopKHeap heap(k);
+  // Per-candidate threshold reads, as in PM-LSH: verify immediately so the
+  // stop test always sees an up-to-date k-th distance.
+  CandidateVerifier verifier(query, data_, &heap, stats);
+  verifier.set_budget(budget);
   kdtree::KdTree::NnCursor cursor(tree_.get(), proj_q.data());
   if (stats != nullptr) {
     ++stats->window_queries;
     ++stats->rounds;
   }
   Neighbor projected_neighbor;
-  size_t verified = 0;
   while (cursor.Next(&projected_neighbor)) {
     if (stats != nullptr) ++stats->points_accessed;
     if (heap.Full() &&
         projected_neighbor.dist > stop_scale * heap.Threshold()) {
       break;  // SRS early-stop test on the projected/true distance ratio
     }
-    const uint32_t id = projected_neighbor.id;
-    heap.Push(L2Distance(data_->row(id), query, data_->cols()), id);
-    ++verified;
-    if (stats != nullptr) ++stats->candidates_verified;
-    if (verified >= budget) break;
+    if (verifier.VerifyNow(projected_neighbor.id)) break;
   }
   return heap.TakeSorted();
 }

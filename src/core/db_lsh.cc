@@ -147,31 +147,29 @@ rtree::Rect DbLsh::MakeBucket(const float* proj_center, size_t tree_index,
   return cell;
 }
 
-bool DbLsh::RunRound(const float* query, double r, size_t /*k*/,
-                     size_t budget,
-                     TopKHeap* heap, std::vector<uint32_t>* visited_mark,
-                     uint32_t query_epoch, size_t* verified,
-                     QueryStats* stats) const {
+bool DbLsh::RunRound(const float* query, double r,
+                     CandidateVerifier* verifier,
+                     std::vector<uint32_t>* visited_mark,
+                     uint32_t query_epoch, QueryStats* stats) const {
   const double width = params_.w0 * r;
   const double c = params_.c;
   std::vector<float> proj(params_.l * params_.k);
   bank_->ProjectAll(query, proj.data());
 
-  // Per-candidate verification shared by both index backends. Returns true
-  // when Algorithm 1 may terminate: candidate budget exhausted, or the k-th
-  // best distance already certifies a (r,c)-NN result (optionally relaxed
-  // by the early-stop slack).
+  // Algorithm 1's termination tests — candidate budget exhausted, or the
+  // k-th best distance certifying a (r,c)-NN result (optionally relaxed by
+  // the early-stop slack) — live inside the verifier and are evaluated per
+  // candidate in arrival order, so batching through the SIMD kernel leaves
+  // the terminating candidate (and thus the heap) unchanged.
+  verifier->set_dist_bound(params_.early_stop_slack * c * r);
+
+  // Per-candidate dedup shared by both index backends; unseen ids are fed
+  // to the batch verifier. Returns true when Algorithm 1 may terminate.
   auto process = [&](uint32_t id) -> bool {
     if (stats != nullptr) ++stats->points_accessed;
     if ((*visited_mark)[id] == query_epoch) return false;
     (*visited_mark)[id] = query_epoch;
-    const float dist = L2Distance(data_->row(id), query, data_->cols());
-    ++*verified;
-    if (stats != nullptr) ++stats->candidates_verified;
-    heap->Push(dist, id);
-    if (*verified >= budget) return true;
-    return heap->Full() &&
-           heap->Threshold() <= params_.early_stop_slack * c * r;
+    return verifier->Offer(id);
   };
 
   for (size_t i = 0; i < params_.l; ++i) {
@@ -196,10 +194,11 @@ bool DbLsh::RunRound(const float* query, double r, size_t /*k*/,
         if (process(id)) return true;
       }
     }
+    if (verifier->Flush()) return true;  // window boundary: settle exits
   }
   // All L windows drained without termination: round reports "not done".
   // (If every point has been verified there is nothing left to find.)
-  return *verified >= data_->rows();
+  return verifier->verified() >= data_->rows();
 }
 
 std::vector<Neighbor> DbLsh::Query(const float* query, size_t k,
@@ -256,17 +255,17 @@ std::vector<Neighbor> DbLsh::QueryImpl(const float* query, size_t k, size_t t,
   if (k == 0 || data_ == nullptr) return {};
 
   const uint32_t epoch = PrepareScratch(scratch);
-  const size_t budget = 2 * t * params_.l + k;
   TopKHeap heap(k);
-  size_t verified = 0;
+  CandidateVerifier verifier(query, data_, &heap, stats);
+  verifier.set_budget(2 * t * params_.l + k);
   double r = r0;
   // The radius ladder r0, c*r0, c^2*r0, ... terminates via the Algorithm 1
   // conditions; the iteration cap only guards degenerate inputs (it allows
   // the window to outgrow any float data spread).
   for (size_t round = 0; round < 256; ++round) {
     if (stats != nullptr) ++stats->rounds;
-    if (RunRound(query, r, k, budget, &heap, &scratch->visited_epoch_, epoch,
-                 &verified, stats)) {
+    if (RunRound(query, r, &verifier, &scratch->visited_epoch_, epoch,
+                 stats)) {
       break;
     }
     r *= params_.c;
@@ -280,18 +279,20 @@ std::optional<Neighbor> DbLsh::RcNnQuery(const float* query, double r,
   const uint32_t epoch = PrepareScratch(&default_scratch_);
   const size_t budget = 2 * params_.t * params_.l + 1;
   TopKHeap heap(1);
-  size_t verified = 0;
+  CandidateVerifier verifier(query, data_, &heap, stats);
+  verifier.set_budget(budget);
   if (stats != nullptr) ++stats->rounds;
-  const bool done =
-      RunRound(query, r, 1, budget, &heap, &default_scratch_.visited_epoch_,
-               epoch, &verified, stats);
+  const bool done = RunRound(query, r, &verifier,
+                             &default_scratch_.visited_epoch_, epoch, stats);
   if (!done && heap.Size() == 0) return std::nullopt;
   std::vector<Neighbor> best = heap.TakeSorted();
   if (best.empty()) return std::nullopt;
   // Definition 2: report a point only when it certifies the (r,c)-NN
   // answer (within c*r) or the candidate budget tripped (event E2 then
   // guarantees the point is within c*r with constant probability).
-  if (best[0].dist <= params_.c * r || verified >= budget) return best[0];
+  if (best[0].dist <= params_.c * r || verifier.verified() >= budget) {
+    return best[0];
+  }
   return std::nullopt;
 }
 

@@ -8,6 +8,7 @@
 
 #include "core/ann_index.h"
 #include "core/index_factory.h"
+#include "core/verify.h"
 #include "dataset/float_matrix.h"
 #include "kdtree/kd_tree.h"
 #include "lsh/projection.h"
@@ -134,11 +135,11 @@ class DbLsh : public AnnIndex {
 
  private:
   /// Runs one round of L window queries at radius r, feeding candidates into
-  /// `heap` until the budget is exhausted or the k-th distance drops below
-  /// c*r. Returns true when the query can terminate.
-  bool RunRound(const float* query, double r, size_t k, size_t budget,
-                TopKHeap* heap, std::vector<uint32_t>* visited_mark,
-                uint32_t query_epoch, size_t* verified,
+  /// `verifier` (which owns the heap, budget and certification bound) until
+  /// the budget is exhausted or the k-th distance drops below c*r. Returns
+  /// true when the query can terminate.
+  bool RunRound(const float* query, double r, CandidateVerifier* verifier,
+                std::vector<uint32_t>* visited_mark, uint32_t query_epoch,
                 QueryStats* stats) const;
 
   /// Sizes `scratch` for this index and advances its epoch; returns the

@@ -1,0 +1,74 @@
+#include "core/verify.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simd/simd.h"
+
+namespace dblsh {
+
+VerifyResult VerifyCandidates(const float* query, const FloatMatrix& data,
+                              const uint32_t* ids, size_t n,
+                              const VerifyOptions& options, TopKHeap* heap,
+                              QueryStats* stats) {
+  // Chunk sizing: with an early exit armed, small chunks bound the wasted
+  // distance computations past the exit point; when no exit can fire (full
+  // scans — LinearScan, ground truth) larger chunks keep the batch
+  // kernel's prefetch lookahead warm across more rows.
+  constexpr size_t kExitChunk = 32;
+  constexpr size_t kScanChunk = 256;
+  const bool exit_possible = options.dist_bound >= 0.0 || options.budget < n;
+  const size_t chunk = exit_possible ? kExitChunk : kScanChunk;
+  float d2[kScanChunk];
+  VerifyResult result;
+  const auto& kernels = simd::Active();
+  const float* base = data.data().data();
+  const size_t dim = data.cols();
+  for (size_t off = 0; off < n && !result.exited; off += chunk) {
+    const size_t m = std::min(chunk, n - off);
+    if (ids != nullptr) {
+      kernels.l2_squared_batch(query, base, dim, ids + off, m, d2);
+    } else {
+      // Contiguous rows: advance the base pointer instead of materializing
+      // sequential ids.
+      kernels.l2_squared_batch(query, base + off * dim, dim, nullptr, m, d2);
+    }
+    for (size_t j = 0; j < m; ++j) {
+      const uint32_t id =
+          ids != nullptr ? ids[off + j] : static_cast<uint32_t>(off + j);
+      heap->Push(std::sqrt(d2[j]), id);
+      ++result.pushed;
+      if (stats != nullptr) ++stats->candidates_verified;
+      if (result.pushed >= options.budget ||
+          (options.dist_bound >= 0.0 && heap->Full() &&
+           heap->Threshold() <= options.dist_bound)) {
+        result.exited = true;
+        break;  // drop the rest of the chunk, exactly like the old loops
+      }
+    }
+  }
+  return result;
+}
+
+bool CandidateVerifier::Flush() {
+  const size_t pending = buffered_;
+  buffered_ = 0;
+  if (pending == 0 || done_) return done_;
+  if (budget_ <= verified_) {
+    // Budget already consumed (possible only if a caller lowers it
+    // mid-query): exit without verifying anything further.
+    done_ = true;
+    return true;
+  }
+  VerifyOptions options;
+  options.budget = budget_ - verified_;
+  options.dist_bound = dist_bound_;
+  const VerifyResult result = VerifyCandidates(query_, *data_, buffer_,
+                                               pending, options, heap_,
+                                               stats_);
+  verified_ += result.pushed;
+  if (result.exited) done_ = true;
+  return done_;
+}
+
+}  // namespace dblsh

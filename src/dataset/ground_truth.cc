@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "core/verify.h"
 #include "util/distance.h"
 #include "util/random.h"
 
@@ -12,10 +13,8 @@ namespace dblsh {
 std::vector<Neighbor> ExactKnn(const FloatMatrix& data, const float* query,
                                size_t k) {
   TopKHeap heap(k);
-  for (size_t i = 0; i < data.rows(); ++i) {
-    heap.Push(L2Distance(data.row(i), query, data.cols()),
-              static_cast<uint32_t>(i));
-  }
+  VerifyCandidates(query, data, /*ids=*/nullptr, data.rows(), VerifyOptions(),
+                   &heap, /*stats=*/nullptr);
   return heap.TakeSorted();
 }
 

@@ -1,0 +1,56 @@
+#ifndef DBLSH_SIMD_KERNELS_H_
+#define DBLSH_SIMD_KERNELS_H_
+
+// Internal: raw kernel entry points implemented in the per-ISA translation
+// units (l2_avx2.cc, l2_avx512.cc). Only simd.cc should include this; user
+// code goes through simd::Active().
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dblsh {
+namespace simd {
+namespace internal {
+
+/// Shared one-to-many driver: instantiated inside each per-ISA translation
+/// unit with that tier's one-to-one kernel, so the prefetch policy and the
+/// ids-vs-contiguous row logic exist exactly once while still compiling
+/// under each tier's flags. `ids == nullptr` means rows 0..n-1.
+template <float (*KernelFn)(const float*, const float*, size_t)>
+void L2SquaredBatchImpl(const float* query, const float* base, size_t dim,
+                        const uint32_t* ids, size_t n, float* out) {
+  constexpr size_t kAhead = 4;       // rows of prefetch distance
+  constexpr size_t kMaxPrefetch = 512;  // bytes per row worth fetching ahead
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kAhead < n) {
+      const size_t next = ids ? ids[i + kAhead] : i + kAhead;
+      const char* p = reinterpret_cast<const char*>(base + next * dim);
+      const size_t bytes = dim * sizeof(float);
+      for (size_t off = 0; off < bytes && off < kMaxPrefetch; off += 64) {
+        __builtin_prefetch(p + off, 0, 3);
+      }
+    }
+    const size_t row = ids ? ids[i] : i;
+    out[i] = KernelFn(query, base + row * dim, dim);
+  }
+}
+
+#if defined(DBLSH_HAVE_AVX2)
+float L2SquaredAvx2(const float* a, const float* b, size_t dim);
+float DotAvx2(const float* a, const float* b, size_t dim);
+void L2SquaredBatchAvx2(const float* query, const float* base, size_t dim,
+                        const uint32_t* ids, size_t n, float* out);
+#endif
+
+#if defined(DBLSH_HAVE_AVX512)
+float L2SquaredAvx512(const float* a, const float* b, size_t dim);
+float DotAvx512(const float* a, const float* b, size_t dim);
+void L2SquaredBatchAvx512(const float* query, const float* base, size_t dim,
+                          const uint32_t* ids, size_t n, float* out);
+#endif
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace dblsh
+
+#endif  // DBLSH_SIMD_KERNELS_H_

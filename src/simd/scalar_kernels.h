@@ -1,0 +1,54 @@
+#ifndef DBLSH_SIMD_SCALAR_KERNELS_H_
+#define DBLSH_SIMD_SCALAR_KERNELS_H_
+
+// The portable 4-way-unrolled scalar kernels, shared verbatim by the
+// kScalar dispatch tier (simd.cc) and the small-dim inline fast path in
+// util/distance.h. Keeping one definition is what makes "forced scalar is
+// bit-identical to the historical results" a structural guarantee instead
+// of a comment. Header-only and dependency-free on purpose: distance.h
+// includes it, so it must not pull in simd.h or anything heavier.
+
+#include <cstddef>
+
+namespace dblsh {
+namespace simd {
+
+inline float ScalarL2Squared(const float* a, const float* b, size_t dim) {
+  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  for (; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    acc0 += d * d;
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+inline float ScalarDot(const float* a, const float* b, size_t dim) {
+  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < dim; ++i) {
+    acc0 += a[i] * b[i];
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+}  // namespace simd
+}  // namespace dblsh
+
+#endif  // DBLSH_SIMD_SCALAR_KERNELS_H_

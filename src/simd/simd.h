@@ -1,0 +1,70 @@
+#ifndef DBLSH_SIMD_SIMD_H_
+#define DBLSH_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace dblsh {
+namespace simd {
+
+/// The instruction-set tiers a distance kernel can be compiled for. Which
+/// tiers exist in the binary is a compile-time fact (per-TU -mavx2 /
+/// -mavx512f, see CMakeLists); which tier runs is decided once at startup
+/// from CPUID and can be overridden via ForceKernel() or the DBLSH_SIMD
+/// environment variable (scalar | avx2 | avx512 | auto).
+enum class KernelKind : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// One dispatch table entry: every member computes over `dim`-length float
+/// vectors with no alignment requirement.
+struct DistanceKernels {
+  /// Squared Euclidean distance ||a - b||^2.
+  float (*l2_squared)(const float* a, const float* b, size_t dim);
+
+  /// Inner product <a, b>.
+  float (*dot)(const float* a, const float* b, size_t dim);
+
+  /// One-to-many batch: out[i] = ||query - base_row(ids[i])||^2 for
+  /// i in [0, n), where base is a row-major matrix whose row r starts at
+  /// `base + r * dim`. `ids == nullptr` means rows 0..n-1 of `base` (the
+  /// contiguous-scan case). Rows ahead of the current candidate are
+  /// software-prefetched, which is where the batch entry point beats n
+  /// calls of `l2_squared` on index-emitted (random-order) candidates.
+  void (*l2_squared_batch)(const float* query, const float* base, size_t dim,
+                           const uint32_t* ids, size_t n, float* out);
+
+  KernelKind kind;
+  const char* name;
+};
+
+/// The dispatch table selected for this process. First use probes CPUID
+/// (and the DBLSH_SIMD override); subsequent calls are a single relaxed
+/// atomic load.
+const DistanceKernels& Active();
+
+/// True when `kind` is both compiled into this binary and supported by the
+/// running CPU.
+bool Supported(KernelKind kind);
+
+/// Pins the active kernel, e.g. to cross-check variants in tests or
+/// benches. Fails with InvalidArgument when `kind` is not Supported().
+Status ForceKernel(KernelKind kind);
+
+/// Reverts ForceKernel() pinning to the startup selection: the best
+/// CPUID-supported tier, still honoring a DBLSH_SIMD environment override
+/// if one is set (a process-wide operator choice outlives programmatic
+/// pinning).
+void UseAutoKernel();
+
+/// Human-readable tier name ("scalar", "avx2", "avx512").
+const char* KernelName(KernelKind kind);
+
+}  // namespace simd
+}  // namespace dblsh
+
+#endif  // DBLSH_SIMD_SIMD_H_

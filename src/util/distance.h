@@ -4,29 +4,29 @@
 #include <cmath>
 #include <cstddef>
 
+#include "simd/scalar_kernels.h"
+#include "simd/simd.h"
+
 namespace dblsh {
 
+// These wrappers forward to the runtime-dispatched kernel subsystem
+// (src/simd/) so every existing call site picks up AVX2/AVX-512 without
+// source changes. Batch verification should use the one-to-many entry
+// points in core/verify.h instead of looping over these.
+//
+// Below kSimdDispatchMinDim the dispatch indirection (atomic load +
+// non-inlinable function-pointer call) costs as much as the distance
+// itself, so short vectors — the kd-tree/projected-space hot loops, whose
+// configured dimensionality is m ~ 6-12 for every method here — keep the
+// historical inline 4-way unrolled loop, which the scalar kernel tier
+// reproduces bit-for-bit. From one full vector register (16 floats) up,
+// the SIMD kernels win despite the call overhead.
+inline constexpr size_t kSimdDispatchMinDim = 16;
+
 /// Squared Euclidean distance between two length-`dim` float vectors.
-/// The 4-way unrolled accumulation lets the compiler vectorize without
-/// requiring -ffast-math.
 inline float L2DistanceSquared(const float* a, const float* b, size_t dim) {
-  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
-  size_t i = 0;
-  for (; i + 4 <= dim; i += 4) {
-    const float d0 = a[i] - b[i];
-    const float d1 = a[i + 1] - b[i + 1];
-    const float d2 = a[i + 2] - b[i + 2];
-    const float d3 = a[i + 3] - b[i + 3];
-    acc0 += d0 * d0;
-    acc1 += d1 * d1;
-    acc2 += d2 * d2;
-    acc3 += d3 * d3;
-  }
-  for (; i < dim; ++i) {
-    const float d = a[i] - b[i];
-    acc0 += d * d;
-  }
-  return (acc0 + acc1) + (acc2 + acc3);
+  if (dim >= kSimdDispatchMinDim) return simd::Active().l2_squared(a, b, dim);
+  return simd::ScalarL2Squared(a, b, dim);
 }
 
 /// Euclidean distance.
@@ -36,18 +36,8 @@ inline float L2Distance(const float* a, const float* b, size_t dim) {
 
 /// Inner product <a, b>.
 inline float DotProduct(const float* a, const float* b, size_t dim) {
-  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
-  size_t i = 0;
-  for (; i + 4 <= dim; i += 4) {
-    acc0 += a[i] * b[i];
-    acc1 += a[i + 1] * b[i + 1];
-    acc2 += a[i + 2] * b[i + 2];
-    acc3 += a[i + 3] * b[i + 3];
-  }
-  for (; i < dim; ++i) {
-    acc0 += a[i] * b[i];
-  }
-  return (acc0 + acc1) + (acc2 + acc3);
+  if (dim >= kSimdDispatchMinDim) return simd::Active().dot(a, b, dim);
+  return simd::ScalarDot(a, b, dim);
 }
 
 /// Squared L2 norm of a vector.

@@ -31,13 +31,17 @@ class TopKHeap {
   explicit TopKHeap(size_t k) : k_(k) {}
 
   /// Offers a candidate; keeps it only if it is among the k best so far.
-  /// Duplicate ids are the caller's responsibility to filter.
+  /// Duplicate ids are the caller's responsibility to filter. Replacement
+  /// at a full heap uses Neighbor's full ordering (distance, then id), so
+  /// an equal-distance candidate with a smaller id evicts the current
+  /// worst — equal-distance result sets are therefore identical across
+  /// methods and candidate orderings.
   void Push(float dist, uint32_t id) {
     if (k_ == 0) return;
     if (heap_.size() < k_) {
       heap_.push_back({dist, id});
       std::push_heap(heap_.begin(), heap_.end());
-    } else if (dist < heap_.front().dist) {
+    } else if (Neighbor{dist, id} < heap_.front()) {
       std::pop_heap(heap_.begin(), heap_.end());
       heap_.back() = {dist, id};
       std::push_heap(heap_.begin(), heap_.end());

@@ -211,6 +211,41 @@ TEST(TopKHeapTest, TieBreaksById) {
   EXPECT_EQ(result[1].id, 7u);
 }
 
+// Regression: Push at a full heap used to compare by distance only, so an
+// equal-distance candidate with a smaller id was rejected and the result
+// set depended on candidate arrival order. The full Neighbor ordering
+// (dist, then id) must decide replacement too.
+TEST(TopKHeapTest, FullHeapReplacementUsesIdTieBreak) {
+  TopKHeap heap(2);
+  heap.Push(1.f, 4);
+  heap.Push(2.f, 9);
+  EXPECT_TRUE(heap.Full());
+  heap.Push(2.f, 6);  // ties the threshold with a smaller id: must evict 9
+  auto result = heap.TakeSorted();
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].id, 4u);
+  EXPECT_EQ(result[1].id, 6u);
+
+  // A larger id at the threshold distance must still be rejected.
+  TopKHeap heap2(2);
+  heap2.Push(1.f, 4);
+  heap2.Push(2.f, 6);
+  heap2.Push(2.f, 9);
+  result = heap2.TakeSorted();
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].id, 4u);
+  EXPECT_EQ(result[1].id, 6u);
+
+  // Arrival order of equal-distance candidates no longer matters.
+  TopKHeap heap3(1);
+  heap3.Push(5.f, 8);
+  heap3.Push(5.f, 2);
+  heap3.Push(5.f, 5);
+  result = heap3.TakeSorted();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, 2u);
+}
+
 // ----------------------------------------------------------------- Timer --
 
 TEST(TimerTest, MeasuresElapsedTime) {
