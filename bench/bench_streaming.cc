@@ -1,0 +1,205 @@
+// Streaming-workload bench: the scenario DB-LSH's updatable structure
+// opens that the static LSH baselines close off. A 90/5/5 mix of
+// queries/inserts/erases runs against ONE DB-LSH index that absorbs every
+// mutation in place (R* insert, delete-with-reinsertion, dataset
+// tombstones) — no rebuild at any point during the run. The reference is
+// the strongest alternative a static scheme has: a full rebuild over the
+// final dataset state at the same parameters. The claim measured here:
+// after thousands of interleaved mutations, the streaming index's recall
+// stays within ~2% of the freshly rebuilt one while the rebuild costs
+// seconds of index downtime the streaming path never pays.
+//
+// Flags: --n (initial points, default 100000), --dim, --ops (mixed
+// operations, default 4000), --k, --eval-queries, --seed.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/db_lsh.h"
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace dblsh {
+namespace {
+
+struct EvalResult {
+  double recall = 0.0;
+  double ratio = 0.0;
+  double avg_ms = 0.0;
+};
+
+// Recall / overall-ratio / latency of `index` over the query set, against
+// exact (tombstone-filtered) ground truth computed on the mutated data.
+EvalResult Evaluate(const DbLsh& index, const FloatMatrix& data,
+                    const FloatMatrix& queries, size_t k) {
+  EvalResult r;
+  double query_ms = 0.0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    Timer timer;
+    const auto answer = index.Query(queries.row(q), k);
+    query_ms += timer.ElapsedMs();  // GT scan below stays untimed
+    const auto gt = ExactKnn(data, queries.row(q), k);
+    r.recall += eval::Recall(answer, gt);
+    r.ratio += eval::OverallRatio(answer, gt);
+  }
+  const auto denom = static_cast<double>(queries.rows() ? queries.rows() : 1);
+  r.avg_ms = query_ms / denom;
+  r.recall /= denom;
+  r.ratio /= denom;
+  return r;
+}
+
+int Run(const bench::Flags& flags) {
+  const auto n = static_cast<size_t>(flags.GetInt("n", 100000));
+  const auto dim = static_cast<size_t>(flags.GetInt("dim", 32));
+  const auto ops = static_cast<size_t>(flags.GetInt("ops", 4000));
+  const auto k = static_cast<size_t>(flags.GetInt("k", 10));
+  const auto eval_queries =
+      static_cast<size_t>(flags.GetInt("eval-queries", 50));
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+
+  // One clustered cloud supplies everything: the initial index content,
+  // the pool of vectors the insert ops stream in, and the query points
+  // (perturbed live points drawn per query).
+  const size_t insert_ops = ops / 20;          // 5%
+  const size_t erase_ops = ops / 20;           // 5%
+  const size_t query_ops = ops - insert_ops - erase_ops;  // ~90%
+  ClusteredSpec spec;
+  spec.n = n + insert_ops;
+  spec.dim = dim;
+  spec.clusters = 32;
+  spec.seed = seed;
+  const FloatMatrix cloud = GenerateClustered(spec);
+  FloatMatrix data = cloud.Prefix(n);
+
+  std::printf("initial n = %zu, dim = %zu; ops = %zu "
+              "(%zu queries / %zu inserts / %zu erases)\n\n",
+              n, dim, ops, query_ops, insert_ops, erase_ops);
+
+  DbLsh streaming;
+  Timer build_timer;
+  if (Status s = streaming.Build(&data); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  const double initial_build_sec = build_timer.ElapsedSec();
+  std::printf("initial build: %.3f s (t = %zu, l = %zu, k = %zu)\n",
+              initial_build_sec, streaming.params().t, streaming.params().l,
+              streaming.params().k);
+
+  // The mixed phase. The op schedule is interleaved deterministically at
+  // the 90/5/5 ratio (an insert and an erase every 20 ops); queries probe
+  // perturbed live points so they track the evolving distribution.
+  Rng rng(seed ^ 0x57EAAULL);
+  std::vector<float> query_buf(dim);
+  auto random_live_id = [&]() -> uint32_t {
+    while (true) {
+      const auto id = static_cast<uint32_t>(rng.UniformInt(data.rows()));
+      if (!data.IsDeleted(id)) return id;
+    }
+  };
+  size_t next_pool_row = n;
+  double query_ms = 0.0, insert_ms = 0.0, erase_ms = 0.0;
+  size_t queries_run = 0, inserts_run = 0, erases_run = 0;
+  for (size_t op = 0; op < ops; ++op) {
+    const size_t phase = op % 20;
+    if (phase == 7 && inserts_run < insert_ops) {
+      Timer t;
+      const uint32_t id = data.InsertRow(cloud.row(next_pool_row++), dim);
+      if (Status s = streaming.Insert(id); !s.ok()) {
+        std::fprintf(stderr, "insert failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      insert_ms += t.ElapsedMs();
+      ++inserts_run;
+    } else if (phase == 13 && erases_run < erase_ops) {
+      const uint32_t id = random_live_id();
+      Timer t;
+      if (Status s = data.EraseRow(id); !s.ok()) {
+        std::fprintf(stderr, "erase failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      if (Status s = streaming.Erase(id); !s.ok()) {
+        std::fprintf(stderr, "erase failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      erase_ms += t.ElapsedMs();
+      ++erases_run;
+    } else {
+      const uint32_t id = random_live_id();
+      const float* base = data.row(id);
+      for (size_t j = 0; j < dim; ++j) {
+        query_buf[j] =
+            base[j] + static_cast<float>(rng.Gaussian() * spec.cluster_stddev);
+      }
+      Timer t;
+      const auto answer = streaming.Query(query_buf.data(), k);
+      query_ms += t.ElapsedMs();
+      (void)answer;
+      ++queries_run;
+    }
+  }
+  std::printf("mixed phase: %zu queries (%.3f ms avg), %zu inserts "
+              "(%.3f ms avg), %zu erases (%.3f ms avg)\n",
+              queries_run, query_ms / std::max<size_t>(1, queries_run),
+              inserts_run, insert_ms / std::max<size_t>(1, inserts_run),
+              erases_run, erase_ms / std::max<size_t>(1, erases_run));
+  std::printf("streaming QPS (query ops only): %.0f\n\n",
+              1000.0 * double(queries_run) / std::max(query_ms, 1e-9));
+
+  // Final accuracy: streaming index vs a full rebuild at the *same*
+  // effective parameters over the same mutated dataset.
+  FloatMatrix eval_set(eval_queries, dim);
+  for (size_t q = 0; q < eval_queries; ++q) {
+    const float* base = data.row(random_live_id());
+    for (size_t j = 0; j < dim; ++j) {
+      eval_set.at(q, j) =
+          base[j] + static_cast<float>(rng.Gaussian() * spec.cluster_stddev);
+    }
+  }
+  const EvalResult streamed = Evaluate(streaming, data, eval_set, k);
+
+  DbLsh rebuilt(streaming.params());
+  Timer rebuild_timer;
+  if (Status s = rebuilt.Build(&data); !s.ok()) {
+    std::fprintf(stderr, "rebuild failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const double rebuild_sec = rebuild_timer.ElapsedSec();
+  const EvalResult fresh = Evaluate(rebuilt, data, eval_set, k);
+
+  eval::Table table({"Index", "Recall@" + std::to_string(k), "Ratio",
+                     "ms/query", "(Re)build s"});
+  table.AddRow({"streaming (no rebuild)", eval::Table::Fmt(streamed.recall, 3),
+                eval::Table::Fmt(streamed.ratio, 4),
+                eval::Table::Fmt(streamed.avg_ms, 3), "0.000"});
+  table.AddRow({"full rebuild", eval::Table::Fmt(fresh.recall, 3),
+                eval::Table::Fmt(fresh.ratio, 4),
+                eval::Table::Fmt(fresh.avg_ms, 3),
+                eval::Table::Fmt(rebuild_sec, 3)});
+  table.Print();
+  std::printf("\nrecall delta (rebuild - streaming): %+.3f  "
+              "(target: within 0.02)\n",
+              fresh.recall - streamed.recall);
+  std::printf("live points at end: %zu (of %zu slots)\n", data.live_rows(),
+              data.rows());
+  return 0;
+}
+
+}  // namespace
+}  // namespace dblsh
+
+int main(int argc, char** argv) {
+  dblsh::bench::Flags flags(argc, argv);
+  dblsh::bench::PrintBanner(
+      "Streaming workload: 90/5/5 query/insert/erase mix",
+      "DB-LSH's R*-tree hash tables absorb online inserts and erases in "
+      "place; after the full mixed run its recall stays within ~2% of a "
+      "freshly rebuilt index, with zero rebuild downtime.");
+  return dblsh::Run(flags);
+}

@@ -7,6 +7,8 @@
 //                    [--method="DB-LSH,c=1.5,l=5"]
 //   dblsh_tool query --data=data.fvecs --queries=q.fvecs --k=10 [--gt]
 //                    [--budget=T] (--index=data.idx | --method="PM-LSH,m=8")
+//   dblsh_tool insert --data=data.fvecs --index=data.idx --vectors=v.fvecs
+//   dblsh_tool erase  --data=data.fvecs --index=data.idx --ids=3,17,42
 //   dblsh_tool stats --data=data.fvecs
 //
 // `methods` lists every registered index method and its spec keys' home.
@@ -14,8 +16,15 @@
 // ground truth and reports recall / overall ratio. With --method the index
 // is built in memory from the spec, so any registered method can serve the
 // same workload (persistence via --index remains DB-LSH-family only).
+// `insert` and `erase` mutate a persisted DB-LSH index in place — no
+// rebuild: vectors are appended (or recycled into erased slots) in the
+// data file and R*-inserted into the index; erased ids are tombstoned and
+// removed from the trees. Both rewrite the touched files on success.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
@@ -77,11 +86,15 @@ int Usage() {
       "[--l=5] [--k=0] [--t=0]\n"
       "  query  --data=F.fvecs --queries=Q.fvecs (--index=F.idx | "
       "--method=SPEC) [--k=10] [--budget=T] [--gt]\n"
+      "  insert --data=F.fvecs --index=F.idx --vectors=V.fvecs\n"
+      "  erase  --data=F.fvecs --index=F.idx --ids=3,17,42\n"
       "  stats  --data=F.fvecs\n"
       "SPEC is an IndexFactory string, e.g. \"DB-LSH,c=1.5,t=40\" or "
       "\"PM-LSH,m=8\".\n"
       "--budget overrides DB-LSH's candidate budget t per query without "
-      "rebuilding.\n");
+      "rebuilding.\n"
+      "insert/erase update the data and index files in place (no "
+      "rebuild).\n");
   return 2;
 }
 
@@ -262,6 +275,120 @@ int RunQuery(const Args& args) {
   return 0;
 }
 
+// Shared front half of insert/erase: load the data file and restore the
+// persisted index over it. `data` must outlive the returned index.
+std::optional<DbLsh> LoadDataAndIndex(const Args& args, FloatMatrix* data,
+                                      std::string* data_path,
+                                      std::string* index_path) {
+  *data_path = args.Get("data", "");
+  *index_path = args.Get("index", "");
+  if (data_path->empty() || index_path->empty()) return std::nullopt;
+  auto loaded_data = LoadFvecs(*data_path);
+  if (!loaded_data.ok()) {
+    std::fprintf(stderr, "%s\n", loaded_data.status().ToString().c_str());
+    return std::nullopt;
+  }
+  *data = std::move(loaded_data).value();
+  auto loaded = DbLsh::Load(*index_path, data);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return std::nullopt;
+  }
+  return std::move(loaded).value();
+}
+
+int RunInsert(const Args& args) {
+  const std::string vectors_path = args.Get("vectors", "");
+  if (vectors_path.empty()) return Usage();
+  FloatMatrix data;
+  std::string data_path, index_path;
+  auto index = LoadDataAndIndex(args, &data, &data_path, &index_path);
+  if (!index.has_value()) return data_path.empty() ? Usage() : 1;
+  auto vectors = LoadFvecs(vectors_path);
+  if (!vectors.ok()) {
+    std::fprintf(stderr, "%s\n", vectors.status().ToString().c_str());
+    return 1;
+  }
+  if (vectors.value().cols() != data.cols()) {
+    std::fprintf(stderr,
+                 "dimension mismatch: vectors are %zu-d, dataset is %zu-d\n",
+                 vectors.value().cols(), data.cols());
+    return 1;
+  }
+  Timer timer;
+  std::printf("inserted ids:");
+  for (size_t r = 0; r < vectors.value().rows(); ++r) {
+    const uint32_t id = data.InsertRow(vectors.value().row(r), data.cols());
+    if (Status s = index->Insert(id); !s.ok()) {
+      std::fprintf(stderr, "\n%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf(" %u", id);
+  }
+  std::printf("\ninserted %zu vectors in %.3f s (index now spans %zu live "
+              "points)\n",
+              vectors.value().rows(), timer.ElapsedSec(), data.live_rows());
+  if (Status s = SaveFvecs(data, data_path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = index->Save(index_path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("updated %s and %s\n", data_path.c_str(), index_path.c_str());
+  return 0;
+}
+
+int RunErase(const Args& args) {
+  const std::string ids_arg = args.Get("ids", "");
+  if (ids_arg.empty()) return Usage();
+  FloatMatrix data;
+  std::string data_path, index_path;
+  auto index = LoadDataAndIndex(args, &data, &data_path, &index_path);
+  if (!index.has_value()) return data_path.empty() ? Usage() : 1;
+  size_t erased = 0;
+  for (size_t pos = 0; pos < ids_arg.size();) {
+    const size_t comma = ids_arg.find(',', pos);
+    const std::string token =
+        ids_arg.substr(pos, comma == std::string::npos ? std::string::npos
+                                                       : comma - pos);
+    pos = comma == std::string::npos ? ids_arg.size() : comma + 1;
+    if (token.empty()) continue;
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' || errno == ERANGE ||
+        value > std::numeric_limits<uint32_t>::max()) {
+      std::fprintf(stderr, "--ids: \"%s\" is not a valid point id\n",
+                   token.c_str());
+      return 2;
+    }
+    const auto id = static_cast<uint32_t>(value);
+    // Dataset tombstone first (makes the id unreturnable everywhere), then
+    // the structural removal that frees the slot for recycling.
+    if (Status s = data.EraseRow(id); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (Status s = index->Erase(id); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    ++erased;
+  }
+  std::printf("erased %zu ids (%zu live points remain)\n", erased,
+              data.live_rows());
+  if (Status s = index->Save(index_path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("updated %s (tombstones are stored in the index file; the "
+              "data file is unchanged)\n",
+              index_path.c_str());
+  return 0;
+}
+
 int RunStats(const Args& args) {
   const std::string data_path = args.Get("data", "");
   if (data_path.empty()) return Usage();
@@ -292,6 +419,8 @@ int main(int argc, char** argv) {
   if (command == "gen") return dblsh::RunGen(args);
   if (command == "build") return dblsh::RunBuild(args);
   if (command == "query") return dblsh::RunQuery(args);
+  if (command == "insert") return dblsh::RunInsert(args);
+  if (command == "erase") return dblsh::RunErase(args);
   if (command == "stats") return dblsh::RunStats(args);
   return dblsh::Usage();
 }

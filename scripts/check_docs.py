@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Documentation gates for CI.
+
+1. Intra-repo markdown link check: every relative link target in a *.md
+   file must exist (http/mailto/pure-anchor links are skipped).
+2. Doc-comment coverage over the public core/SIMD headers: every public
+   function declaration in src/core/*.h and src/simd/*.h must be preceded
+   by a `///` contract comment.
+
+Exit code 0 when both gates pass; 1 with a listing of violations.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SKIP_DIRS = {"build", ".git", ".claude"}
+
+# ----------------------------------------------------------------- links --
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_markdown_links():
+    errors = []
+    for root, dirs, files in os.walk(REPO):
+        dirs[:] = [d for d in dirs if d not in SKIP_DIRS]
+        for name in files:
+            if not name.endswith(".md"):
+                continue
+            path = os.path.join(root, name)
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+            # Drop fenced code blocks: sample snippets are not links.
+            text = re.sub(r"```.*?```", "", text, flags=re.S)
+            for target in MD_LINK.findall(text):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(root, target.split("#", 1)[0]))
+                if not os.path.exists(resolved):
+                    rel = os.path.relpath(path, REPO)
+                    errors.append(f"{rel}: broken link -> {target}")
+    return errors
+
+
+# -------------------------------------------------------- doc coverage ----
+
+HEADER_GLOBS = ("src/core", "src/simd")
+
+# A line that starts a function declaration/definition at class-public or
+# namespace scope in this codebase's style (2-space members, 0-space free
+# functions; bodies are indented deeper and get filtered by the keyword
+# and assignment checks below).
+DECL = re.compile(
+    r"^(?P<indent> {0,2})"
+    r"(?:template\s*<[^>]*>\s*)?"
+    r"(?:(?:virtual|static|explicit|constexpr|inline|friend)\s+)*"
+    r"[A-Za-z_][\w:<>,&*\s]*?"
+    r"\s[~A-Za-z_]\w*\s*\("
+)
+NOT_DECL = re.compile(
+    r"^\s*(?:if|for|while|switch|return|assert|sizeof|do|else|case|catch|"
+    r"DBLSH_|EXPECT_|ASSERT_|TEST)\b"
+    r"|^\s*//"
+    # Assignment statements (`foo = Bar(x);`), but NOT default arguments —
+    # anchored so an `=` later in a declaration line doesn't exempt it.
+    r"|^\s*[\w.\[\]>-]+\s*[+\-*/|&^]?=[^=]"
+)
+
+
+def public_decl_lines(lines):
+    """Yield (index, line) for public declarations needing a /// comment."""
+    access = "file"  # namespace scope counts as public
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if re.match(r"^(class|struct)\s+\w+", stripped) and "; " not in stripped:
+            # Class bodies default private, struct bodies public; track the
+            # explicit specifiers instead of perfect brace parsing.
+            access = "private" if stripped.startswith("class") else "public"
+        if stripped in ("public:", "protected:"):
+            access = "public" if stripped == "public:" else "private"
+        elif stripped == "private:":
+            access = "private"
+        elif stripped.startswith("};"):
+            access = "file"
+        if access == "private":
+            continue
+        if not DECL.match(line) or NOT_DECL.search(line):
+            continue
+        # Constructors/operators/defaulted members don't need a contract.
+        if "operator" in line or "= default" in line or "= delete" in line:
+            continue
+        yield i, line
+
+
+def has_doc_above(lines, i):
+    j = i - 1
+    while j >= 0:
+        s = lines[j].strip()
+        if s.startswith("///"):
+            return True
+        if s == "" or s.endswith("&&") or s.startswith(")"):
+            j -= 1
+            continue
+        # Multi-line declaration: walk up through its continuation lines.
+        if not s.endswith((";", "{", "}")) and j > 0:
+            j -= 1
+            continue
+        return False
+    return False
+
+
+def check_doc_coverage():
+    errors = []
+    for rel_dir in HEADER_GLOBS:
+        full = os.path.join(REPO, rel_dir)
+        for name in sorted(os.listdir(full)):
+            if not name.endswith(".h"):
+                continue
+            path = os.path.join(full, name)
+            with open(path, encoding="utf-8") as f:
+                lines = f.read().splitlines()
+            for i, line in public_decl_lines(lines):
+                if not has_doc_above(lines, i):
+                    rel = os.path.relpath(path, REPO)
+                    errors.append(
+                        f"{rel}:{i + 1}: public declaration lacks a /// "
+                        f"contract comment: {line.strip()[:70]}")
+    return errors
+
+
+def main():
+    errors = check_markdown_links() + check_doc_coverage()
+    if errors:
+        print(f"docs check FAILED ({len(errors)} problem(s)):")
+        for e in errors:
+            print("  " + e)
+        return 1
+    print("docs check passed: markdown links resolve, core/simd headers "
+          "are documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,30 @@ Status LinearScan::Build(const FloatMatrix* data) {
   return Status::OK();
 }
 
+Status LinearScan::Insert(uint32_t id) {
+  if (data_ == nullptr) {
+    return Status::InvalidArgument("Insert() requires a built index");
+  }
+  if (id >= data_->rows() || data_->IsDeleted(id)) {
+    return Status::InvalidArgument(
+        "Insert(" + std::to_string(id) +
+        "): not a live row of the backing dataset (insert the vector with "
+        "FloatMatrix::InsertRow first)");
+  }
+  return Status::OK();  // nothing to update: the scan reads rows live
+}
+
+Status LinearScan::Erase(uint32_t id) {
+  if (data_ == nullptr) {
+    return Status::InvalidArgument("Erase() requires a built index");
+  }
+  if (id >= data_->rows()) {
+    return Status::NotFound("Erase(" + std::to_string(id) +
+                            "): id was never indexed");
+  }
+  return Status::OK();  // tombstone filtering happens in VerifyCandidates
+}
+
 std::vector<Neighbor> LinearScan::Query(const float* query, size_t k,
                                         QueryStats* stats) const {
   TopKHeap heap(k);

@@ -18,6 +18,15 @@ class LinearScan : public AnnIndex {
   /// The scan keeps no per-query scratch, so the base-class QueryBatch may
   /// fan queries out over threads.
   bool SupportsConcurrentQueries() const override { return true; }
+
+  /// The scan holds no structures: it reads the matrix's current rows on
+  /// every query and the shared verification path filters tombstones, so
+  /// Insert/Erase only validate their argument. This makes LinearScan the
+  /// exact reference oracle for mutation/query interleavings in tests.
+  bool SupportsUpdates() const override { return true; }
+  Status Insert(uint32_t id) override;
+  Status Erase(uint32_t id) override;
+
   size_t NumHashFunctions() const override { return 0; }
 
  private:

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "baselines/update_common.h"
 #include "core/verify.h"
 #include "dataset/ground_truth.h"
 #include "lsh/collision.h"
@@ -53,10 +54,16 @@ Status Qalsh::Build(const FloatMatrix* data) {
 
   trees_.clear();
   trees_.reserve(params_.m);
-  std::vector<bptree::BPlusTree::Entry> entries(n);
+  std::vector<bptree::BPlusTree::Entry> entries;
+  entries.reserve(data->live_rows());
   for (size_t f = 0; f < params_.m; ++f) {
+    entries.clear();
+    // Live rows only: a tombstoned slot must stay out of the trees so a
+    // later InsertRow recycle + Insert(id) cannot create a stale duplicate
+    // entry under the slot's old projection.
     for (size_t i = 0; i < n; ++i) {
-      entries[i] = {projected_.at(i, f), static_cast<uint32_t>(i)};
+      if (data->IsDeleted(i)) continue;
+      entries.push_back({projected_.at(i, f), static_cast<uint32_t>(i)});
     }
     trees_.emplace_back();
     DBLSH_RETURN_IF_ERROR(trees_.back().BulkLoad(entries));
@@ -66,6 +73,26 @@ Status Qalsh::Build(const FloatMatrix* data) {
   count_epoch_.assign(n, 0);
   verified_epoch_.assign(n, 0);
   epoch_ = 0;
+  return Status::OK();
+}
+
+Status Qalsh::Insert(uint32_t id) {
+  std::vector<float> proj;
+  DBLSH_RETURN_IF_ERROR(
+      ProjectRowForInsert(data_, bank_.get(), id, &projected_, &proj));
+  for (size_t f = 0; f < params_.m; ++f) {
+    trees_[f].Insert(projected_.at(id, f), id);
+  }
+  EnsureEpochScratch(projected_.rows(), &collision_count_, &count_epoch_,
+                     &verified_epoch_);
+  return Status::OK();
+}
+
+Status Qalsh::Erase(uint32_t id) {
+  DBLSH_RETURN_IF_ERROR(CheckEraseTarget(data_, projected_, id));
+  for (size_t f = 0; f < params_.m; ++f) {
+    DBLSH_RETURN_IF_ERROR(trees_[f].Erase(projected_.at(id, f), id));
+  }
   return Status::OK();
 }
 
@@ -142,7 +169,7 @@ std::vector<Neighbor> Qalsh::Query(const float* query, size_t k,
     }
     if (budget_hit) break;
     if (heap.Full() && heap.Threshold() <= c * radius * r_unit_) break;
-    if (verifier.verified() >= n) break;
+    if (verifier.verified() >= data_->live_rows()) break;
     radius *= c;
   }
   return heap.TakeSorted();

@@ -46,6 +46,15 @@ class Qalsh : public AnnIndex {
                               QueryStats* stats = nullptr) const override;
   size_t NumHashFunctions() const override { return params_.m; }
 
+  /// QALSH's B+-trees are ordinary secondary indexes, so updates are plain
+  /// tree insert/delete — the updatability argument of its paper (Sec. 1).
+  bool SupportsUpdates() const override { return true; }
+  /// Projects row `id` and inserts (projection, id) into all m B+-trees.
+  /// See AnnIndex::Insert for the dataset-first update protocol.
+  Status Insert(uint32_t id) override;
+  /// Deletes `id` from all m B+-trees (underflow-merging tree deletion).
+  Status Erase(uint32_t id) override;
+
   const QalshParams& params() const { return params_; }
 
  private:

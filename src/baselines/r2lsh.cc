@@ -6,6 +6,7 @@
 #include <cmath>
 #include <queue>
 
+#include "baselines/update_common.h"
 #include "core/verify.h"
 #include "dataset/ground_truth.h"
 #include "lsh/collision.h"
@@ -57,10 +58,15 @@ Status R2Lsh::Build(const FloatMatrix* data) {
 
   trees_.clear();
   trees_.reserve(num_spaces_);
-  std::vector<bptree::BPlusTree::Entry> entries(n);
+  std::vector<bptree::BPlusTree::Entry> entries;
+  entries.reserve(data->live_rows());
   for (size_t s = 0; s < num_spaces_; ++s) {
+    entries.clear();
+    // Live rows only, so a recycled slot cannot leave a stale duplicate
+    // tree entry under its old projection (see Qalsh::Build).
     for (size_t i = 0; i < n; ++i) {
-      entries[i] = {projected_.at(i, 2 * s), static_cast<uint32_t>(i)};
+      if (data->IsDeleted(i)) continue;
+      entries.push_back({projected_.at(i, 2 * s), static_cast<uint32_t>(i)});
     }
     trees_.emplace_back();
     DBLSH_RETURN_IF_ERROR(trees_.back().BulkLoad(entries));
@@ -70,6 +76,26 @@ Status R2Lsh::Build(const FloatMatrix* data) {
   count_epoch_.assign(n, 0);
   verified_epoch_.assign(n, 0);
   epoch_ = 0;
+  return Status::OK();
+}
+
+Status R2Lsh::Insert(uint32_t id) {
+  std::vector<float> proj;
+  DBLSH_RETURN_IF_ERROR(
+      ProjectRowForInsert(data_, bank_.get(), id, &projected_, &proj));
+  for (size_t s = 0; s < num_spaces_; ++s) {
+    trees_[s].Insert(projected_.at(id, 2 * s), id);
+  }
+  EnsureEpochScratch(projected_.rows(), &collision_count_, &count_epoch_,
+                     &verified_epoch_);
+  return Status::OK();
+}
+
+Status R2Lsh::Erase(uint32_t id) {
+  DBLSH_RETURN_IF_ERROR(CheckEraseTarget(data_, projected_, id));
+  for (size_t s = 0; s < num_spaces_; ++s) {
+    DBLSH_RETURN_IF_ERROR(trees_[s].Erase(projected_.at(id, 2 * s), id));
+  }
   return Status::OK();
 }
 
@@ -167,7 +193,7 @@ std::vector<Neighbor> R2Lsh::Query(const float* query, size_t k,
     }
     if (budget_hit) break;
     if (heap.Full() && heap.Threshold() <= c * radius * r_unit_) break;
-    if (verifier.verified() >= n) break;
+    if (verifier.verified() >= data_->live_rows()) break;
     radius *= c;
   }
   return heap.TakeSorted();

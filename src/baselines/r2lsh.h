@@ -37,6 +37,13 @@ class R2Lsh : public AnnIndex {
                               QueryStats* stats = nullptr) const override;
   size_t NumHashFunctions() const override { return params_.m; }
 
+  /// B+-tree-backed like QALSH, so updates are plain tree insert/delete on
+  /// each 2D space's tree (keyed by the space's first coordinate).
+  bool SupportsUpdates() const override { return true; }
+  /// See AnnIndex::Insert for the dataset-first update protocol.
+  Status Insert(uint32_t id) override;
+  Status Erase(uint32_t id) override;
+
  private:
   R2LshParams params_;
   size_t num_spaces_ = 0;

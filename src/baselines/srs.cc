@@ -27,6 +27,63 @@ Status Srs::Build(const FloatMatrix* data) {
                                                 params_.seed);
   projected_ = bank_->ProjectDataset(*data);
   tree_ = std::make_unique<kdtree::KdTree>(&projected_);
+  tree_rows_ = projected_.rows();
+  delta_ids_.clear();
+  in_delta_.clear();
+  return Status::OK();
+}
+
+Status Srs::Insert(uint32_t id) {
+  if (data_ == nullptr) {
+    return Status::InvalidArgument("Insert() requires a built index");
+  }
+  if (id >= data_->rows() || data_->IsDeleted(id)) {
+    return Status::InvalidArgument(
+        "Insert(" + std::to_string(id) +
+        "): not a live row of the backing dataset (insert the vector with "
+        "FloatMatrix::InsertRow first)");
+  }
+  if (id > projected_.rows()) {
+    return Status::InvalidArgument(
+        "Insert(" + std::to_string(id) +
+        "): appended ids must arrive densely (next expected id is " +
+        std::to_string(projected_.rows()) + ")");
+  }
+  std::vector<float> proj(params_.m);
+  bank_->ProjectAll(data_->row(id), proj.data());
+  if (id == projected_.rows()) {
+    projected_.AppendRow(proj.data(), params_.m);
+  } else {
+    // Recycled slot. A slot below tree_rows_ stays tree-resident (the
+    // cursor reads projections live, so it surfaces the new vector —
+    // possibly later than a fresh tree would, but never dropped); a slot
+    // at or above tree_rows_ was a delta point and rejoins the delta below.
+    std::copy(proj.begin(), proj.end(), projected_.mutable_row(id));
+  }
+  if (id >= tree_rows_) {
+    if (in_delta_.size() <= id) in_delta_.resize(id + 1, 0);
+    if (in_delta_[id] == 0) {
+      in_delta_[id] = 1;
+      delta_ids_.push_back(id);
+    }
+  }
+  return Status::OK();
+}
+
+Status Srs::Erase(uint32_t id) {
+  if (data_ == nullptr) {
+    return Status::InvalidArgument("Erase() requires a built index");
+  }
+  if (id >= projected_.rows()) {
+    return Status::NotFound("Erase(" + std::to_string(id) +
+                            "): id was never indexed");
+  }
+  if (id < in_delta_.size() && in_delta_[id] != 0) {
+    in_delta_[id] = 0;
+    delta_ids_.erase(std::find(delta_ids_.begin(), delta_ids_.end(), id));
+  }
+  // Tree-resident ids cannot be cut out of the bulk-built kd-tree; the
+  // dataset tombstone (EraseRow) keeps them out of every result.
   return Status::OK();
 }
 
@@ -51,6 +108,15 @@ std::vector<Neighbor> Srs::Query(const float* query, size_t k,
   // stop test always sees an up-to-date k-th distance.
   CandidateVerifier verifier(query, data_, &heap, stats);
   verifier.set_budget(budget);
+  // The delta region (points inserted after Build) is tiny relative to the
+  // tree and has no projected-space ordering, so it is verified up front —
+  // the cursor below only ever emits tree-resident ids, so there is no
+  // overlap to dedup.
+  for (uint32_t id : delta_ids_) {
+    if (stats != nullptr) ++stats->points_accessed;
+    if (verifier.Offer(id)) return heap.TakeSorted();
+  }
+  if (verifier.Flush()) return heap.TakeSorted();
   kdtree::KdTree::NnCursor cursor(tree_.get(), proj_q.data());
   if (stats != nullptr) {
     ++stats->window_queries;

@@ -40,12 +40,31 @@ class Srs : public AnnIndex {
                               QueryStats* stats = nullptr) const override;
   size_t NumHashFunctions() const override { return params_.m; }
 
+  /// SRS's paper argues updatability from its tree-backed projected index;
+  /// this reproduction's kd-tree is bulk-built, so inserts land in a small
+  /// *delta region* that queries verify exhaustively before walking the
+  /// tree (memtable-plus-static-index style). Erases of delta points drop
+  /// them from the delta; erases of tree-resident points rely on the
+  /// dataset tombstone filter in the shared verification path.
+  bool SupportsUpdates() const override { return true; }
+  /// See AnnIndex::Insert for the dataset-first update protocol.
+  Status Insert(uint32_t id) override;
+  Status Erase(uint32_t id) override;
+
  private:
   SrsParams params_;
   const FloatMatrix* data_ = nullptr;
   std::unique_ptr<lsh::ProjectionBank> bank_;
   FloatMatrix projected_;
   std::unique_ptr<kdtree::KdTree> tree_;
+  // Rows covered by the bulk-built kd-tree (ids below this that are
+  // recycled stay tree-resident; ids at/above it live in the delta).
+  size_t tree_rows_ = 0;
+  // Dynamic-update state: ids inserted after Build and not in the kd-tree.
+  // `in_delta_` is an id-indexed membership flag (sized lazily) so the
+  // query loop can dedup tree hits against the delta in O(1).
+  std::vector<uint32_t> delta_ids_;
+  std::vector<uint8_t> in_delta_;
 };
 
 }  // namespace dblsh

@@ -41,6 +41,12 @@ class Vhp : public AnnIndex {
                               QueryStats* stats = nullptr) const override;
   size_t NumHashFunctions() const override { return params_.m; }
 
+  /// B+-tree-backed like QALSH, so updates are plain tree insert/delete.
+  bool SupportsUpdates() const override { return true; }
+  /// See AnnIndex::Insert for the dataset-first update protocol.
+  Status Insert(uint32_t id) override;
+  Status Erase(uint32_t id) override;
+
  private:
   VhpParams params_;
   size_t collision_threshold_ = 0;

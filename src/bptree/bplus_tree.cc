@@ -174,6 +174,140 @@ void BPlusTree::Insert(float key, uint32_t id) {
   }
 }
 
+Status BPlusTree::Erase(float key, uint32_t id) {
+  const Entry target{key, id};
+  if (root_ == nullptr || size_ == 0) {
+    return Status::NotFound("BPlusTree::Erase: tree is empty");
+  }
+
+  // Descend along the router that can contain (key, id), tracking the path.
+  std::vector<Node*> path;
+  std::vector<size_t> slots;
+  Node* node = root_;
+  while (!node->is_leaf) {
+    size_t i = static_cast<size_t>(
+        std::upper_bound(node->routers.begin(), node->routers.end(), target) -
+        node->routers.begin());
+    if (i > 0) --i;
+    path.push_back(node);
+    slots.push_back(i);
+    node = node->children[i];
+  }
+  const auto it =
+      std::lower_bound(node->entries.begin(), node->entries.end(), target);
+  if (it == node->entries.end() || it->key != key || it->id != id) {
+    return Status::NotFound("BPlusTree::Erase: (key, id) not present");
+  }
+  node->entries.erase(it);
+  --size_;
+
+  // Walk back up repairing routers and resolving underflow: an underfull
+  // child borrows from or merges with an adjacent sibling under the same
+  // parent. Merging removes the child from the parent, which can in turn
+  // underflow the parent — handled by the next loop iteration.
+  const size_t min_fill = std::max<size_t>(1, fanout_ / 4);
+  Node* child = node;
+  for (size_t d = path.size(); d-- > 0;) {
+    Node* parent = path[d];
+    const size_t slot = slots[d];
+    assert(parent->children[slot] == child);
+    if (child->count() == 0) {
+      // Only reachable for leaves (internal nodes merge before emptying):
+      // unlink from the leaf chain and drop from the parent.
+      if (child->is_leaf) {
+        if (child->prev != nullptr) child->prev->next = child->next;
+        if (child->next != nullptr) child->next->prev = child->prev;
+      }
+      parent->children.erase(parent->children.begin() +
+                             static_cast<ptrdiff_t>(slot));
+      parent->routers.erase(parent->routers.begin() +
+                            static_cast<ptrdiff_t>(slot));
+      delete child;
+    } else if (child->count() < min_fill && parent->children.size() > 1) {
+      const size_t sib_slot = slot > 0 ? slot - 1 : slot + 1;
+      Node* sib = parent->children[sib_slot];
+      const bool sib_left = sib_slot < slot;
+      if (sib->count() + child->count() <= fanout_) {
+        // Merge child into its sibling, preserving key order.
+        if (child->is_leaf) {
+          if (sib_left) {
+            sib->entries.insert(sib->entries.end(), child->entries.begin(),
+                                child->entries.end());
+          } else {
+            sib->entries.insert(sib->entries.begin(), child->entries.begin(),
+                                child->entries.end());
+          }
+          if (child->prev != nullptr) child->prev->next = child->next;
+          if (child->next != nullptr) child->next->prev = child->prev;
+        } else {
+          if (sib_left) {
+            sib->children.insert(sib->children.end(), child->children.begin(),
+                                 child->children.end());
+            sib->routers.insert(sib->routers.end(), child->routers.begin(),
+                                child->routers.end());
+          } else {
+            sib->children.insert(sib->children.begin(),
+                                 child->children.begin(),
+                                 child->children.end());
+            sib->routers.insert(sib->routers.begin(), child->routers.begin(),
+                                child->routers.end());
+          }
+          child->children.clear();  // now owned by sib; don't double-free
+        }
+        parent->children.erase(parent->children.begin() +
+                               static_cast<ptrdiff_t>(slot));
+        parent->routers.erase(parent->routers.begin() +
+                              static_cast<ptrdiff_t>(slot));
+        delete child;
+        const size_t merged_slot = sib_left ? sib_slot : slot;
+        parent->routers[merged_slot] = sib->MinEntry();
+      } else {
+        // Sibling is rich (> fanout - min_fill entries): borrow one.
+        if (child->is_leaf) {
+          if (sib_left) {
+            child->entries.insert(child->entries.begin(),
+                                  sib->entries.back());
+            sib->entries.pop_back();
+          } else {
+            child->entries.push_back(sib->entries.front());
+            sib->entries.erase(sib->entries.begin());
+          }
+        } else {
+          if (sib_left) {
+            child->children.insert(child->children.begin(),
+                                   sib->children.back());
+            child->routers.insert(child->routers.begin(),
+                                  sib->routers.back());
+            sib->children.pop_back();
+            sib->routers.pop_back();
+          } else {
+            child->children.push_back(sib->children.front());
+            child->routers.push_back(sib->routers.front());
+            sib->children.erase(sib->children.begin());
+            sib->routers.erase(sib->routers.begin());
+          }
+        }
+        parent->routers[slot] = child->MinEntry();
+        parent->routers[sib_slot] = sib->MinEntry();
+      }
+    } else {
+      // No structural change at this level; keep the router exact (the
+      // erased entry may have been the subtree minimum).
+      parent->routers[slot] = child->MinEntry();
+    }
+    child = parent;
+  }
+
+  // Collapse a chain of single-child internal roots.
+  while (!root_->is_leaf && root_->children.size() == 1) {
+    Node* old_root = root_;
+    root_ = root_->children.front();
+    old_root->children.clear();
+    delete old_root;
+  }
+  return Status::OK();
+}
+
 BPlusTree::Iterator BPlusTree::LowerBound(float key) const {
   Iterator it;
   if (root_ == nullptr || size_ == 0) return it;

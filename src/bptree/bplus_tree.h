@@ -40,6 +40,14 @@ class BPlusTree {
   /// Inserts a single (key, id) pair (top-down split insertion).
   void Insert(float key, uint32_t id);
 
+  /// Removes the (key, id) entry; NotFound when absent. Underflow is
+  /// handled B-tree style: a node that drops below fanout/4 entries either
+  /// borrows one entry from an adjacent sibling or merges into it when the
+  /// two fit in one node, cascading upward; an internal root with a single
+  /// child collapses. `key` must be the exact key the id was inserted
+  /// under (for the LSH baselines: the point's stored projection value).
+  Status Erase(float key, uint32_t id);
+
   size_t size() const { return size_; }
   size_t height() const;
 

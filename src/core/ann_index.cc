@@ -29,6 +29,22 @@ void FanOut(size_t count, size_t num_threads,
 
 }  // namespace detail
 
+Status AnnIndex::Insert(uint32_t /*id*/) {
+  return Status::Unimplemented(
+      Name() +
+      " does not support dynamic updates (SupportsUpdates() == false); "
+      "rebuild the index to absorb new points");
+}
+
+Status AnnIndex::Erase(uint32_t /*id*/) {
+  return Status::Unimplemented(
+      Name() +
+      " does not support dynamic updates (SupportsUpdates() == false); "
+      "tombstone the row with FloatMatrix::EraseRow — the shared "
+      "verification path already keeps it out of this index's results — "
+      "and rebuild before recycling the slot");
+}
+
 QueryResponse AnnIndex::Search(const float* query,
                                const QueryRequest& request) const {
   QueryResponse response;

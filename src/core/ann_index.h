@@ -62,6 +62,46 @@ class AnnIndex {
   /// QueryBatch, which it overrides with one QueryScratch per worker.
   virtual bool SupportsConcurrentQueries() const { return false; }
 
+  /// True when this built index implements Insert()/Erase() natively, i.e.
+  /// its structures can absorb point mutations without a rebuild. Methods
+  /// whose structures are R-trees/B+-trees (DB-LSH, QALSH, R2LSH, VHP) or
+  /// that keep a scanned delta region (SRS) opt in; purely static layouts
+  /// return false and their Insert()/Erase() return Unimplemented.
+  ///
+  /// Erasure note: even for SupportsUpdates() == false methods, tombstoning
+  /// a row in the backing FloatMatrix (FloatMatrix::EraseRow) guarantees
+  /// the id never appears in results — the shared verification path filters
+  /// it. What Unimplemented means is only that the *structure* cannot be
+  /// updated in place (inserted points stay invisible, erased slots cannot
+  /// be recycled safely) and a rebuild is required to resync.
+  virtual bool SupportsUpdates() const { return false; }
+
+  /// Makes row `id` of the backing dataset visible to this index's queries.
+  ///
+  /// Update protocol (one mutable dataset shared by any number of indexes):
+  ///   1. uint32_t id = data.InsertRow(vec, dim);   // storage + id
+  ///   2. for every built index: index->Insert(id); // structures
+  /// Preconditions: the index is built, `id` is a live row, and `id` is not
+  /// currently held by this index's structures (fresh append, or a recycled
+  /// slot this index Erase()d first). Appended ids must arrive densely (in
+  /// increasing order without gaps), which InsertRow guarantees.
+  /// Returns Unimplemented when SupportsUpdates() is false, InvalidArgument
+  /// on protocol violations. Not thread-safe with concurrent queries.
+  virtual Status Insert(uint32_t id);
+
+  /// Removes row `id` from this index's structures so its slot can later be
+  /// recycled by FloatMatrix::InsertRow.
+  ///
+  /// Update protocol:
+  ///   1. data.EraseRow(id);                        // tombstone: id stops
+  ///      // surfacing from every index sharing `data`, updatable or not
+  ///   2. for every built index: index->Erase(id);  // structural removal
+  /// Step 2 must happen before the slot is reused — stale structure entries
+  /// for a *recycled* slot would resurface under the new vector's identity.
+  /// Returns Unimplemented when SupportsUpdates() is false, NotFound when
+  /// the id is not held. Not thread-safe with concurrent queries.
+  virtual Status Erase(uint32_t id);
+
   /// Number of hash functions held, the paper's proxy for index size
   /// (IndexSize = n x #HashFunctions for all methods except LSB-Forest).
   virtual size_t NumHashFunctions() const = 0;

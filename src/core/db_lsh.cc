@@ -81,13 +81,28 @@ Status DbLsh::Build(const FloatMatrix* data) {
   trees_.clear();
   kd_trees_.clear();
   if (params_.backend == IndexBackend::kRStarTree) {
+    // Building over a mutated dataset (e.g. the streaming bench's rebuild
+    // baseline) indexes live rows only; tombstoned slots stay out of the
+    // trees so they can be recycled by InsertRow + Insert later.
+    std::vector<uint32_t> live;
+    if (data->has_tombstones()) {
+      live.reserve(data->live_rows());
+      for (uint32_t id = 0; id < n; ++id) {
+        if (!data->IsDeleted(id)) live.push_back(id);
+      }
+    }
     trees_.reserve(params_.l);
     for (size_t i = 0; i < params_.l; ++i) {
       trees_.emplace_back(&projected_[i], params_.rtree_options);
       if (params_.bulk_load) {
-        DBLSH_RETURN_IF_ERROR(trees_.back().BulkLoadAll());
+        if (data->has_tombstones()) {
+          DBLSH_RETURN_IF_ERROR(trees_.back().BulkLoad(live));
+        } else {
+          DBLSH_RETURN_IF_ERROR(trees_.back().BulkLoadAll());
+        }
       } else {
         for (uint32_t id = 0; id < n; ++id) {
+          if (data->IsDeleted(id)) continue;
           DBLSH_RETURN_IF_ERROR(trees_.back().Insert(id));
         }
       }
@@ -197,8 +212,8 @@ bool DbLsh::RunRound(const float* query, double r,
     if (verifier->Flush()) return true;  // window boundary: settle exits
   }
   // All L windows drained without termination: round reports "not done".
-  // (If every point has been verified there is nothing left to find.)
-  return verifier->verified() >= data_->rows();
+  // (If every live point has been verified there is nothing left to find.)
+  return verifier->verified() >= data_->live_rows();
 }
 
 std::vector<Neighbor> DbLsh::Query(const float* query, size_t k,
@@ -294,6 +309,63 @@ std::optional<Neighbor> DbLsh::RcNnQuery(const float* query, double r,
     return best[0];
   }
   return std::nullopt;
+}
+
+bool DbLsh::SupportsUpdates() const {
+  return params_.backend == IndexBackend::kRStarTree;
+}
+
+Status DbLsh::Insert(uint32_t id) {
+  if (data_ == nullptr) {
+    return Status::InvalidArgument("Insert() requires a built index");
+  }
+  if (params_.backend != IndexBackend::kRStarTree) {
+    return Status::Unimplemented(
+        "the kd-tree backend is bulk-built and static; rebuild, or use "
+        "backend=rtree for dynamic updates");
+  }
+  if (id >= data_->rows() || data_->IsDeleted(id)) {
+    return Status::InvalidArgument(
+        "Insert(" + std::to_string(id) +
+        "): not a live row of the backing dataset (insert the vector with "
+        "FloatMatrix::InsertRow first)");
+  }
+  if (id > projected_[0].rows()) {
+    return Status::InvalidArgument(
+        "Insert(" + std::to_string(id) +
+        "): appended ids must arrive densely (next expected id is " +
+        std::to_string(projected_[0].rows()) + ")");
+  }
+  std::vector<float> proj(params_.l * params_.k);
+  bank_->ProjectAll(data_->row(id), proj.data());
+  for (size_t i = 0; i < params_.l; ++i) {
+    FloatMatrix& space = projected_[i];
+    const float* src = proj.data() + i * params_.k;
+    if (id == space.rows()) {
+      space.AppendRow(src, params_.k);
+    } else {
+      // Recycled slot: the caller Erase()d it from the trees earlier, so
+      // overwriting the projected row cannot invalidate any stored entry.
+      std::copy_n(src, params_.k, space.mutable_row(id));
+    }
+    DBLSH_RETURN_IF_ERROR(trees_[i].Insert(id));
+  }
+  return Status::OK();
+}
+
+Status DbLsh::Erase(uint32_t id) {
+  if (data_ == nullptr) {
+    return Status::InvalidArgument("Erase() requires a built index");
+  }
+  if (params_.backend != IndexBackend::kRStarTree) {
+    return Status::Unimplemented(
+        "the kd-tree backend is bulk-built and static; tombstone the row "
+        "with FloatMatrix::EraseRow and rebuild before recycling the slot");
+  }
+  for (size_t i = 0; i < params_.l; ++i) {
+    DBLSH_RETURN_IF_ERROR(trees_[i].Remove(id));
+  }
+  return Status::OK();
 }
 
 size_t DbLsh::IndexEntries() const {

@@ -74,6 +74,8 @@ struct DbLshParams {
 /// width w0*r (Algorithms 1 and 2).
 class DbLsh : public AnnIndex {
  public:
+  /// Stores `params`; auto-derived fields (w0, k, t, r0) are resolved by
+  /// Build(), so params() is only meaningful after a successful build.
   explicit DbLsh(DbLshParams params = DbLshParams());
 
   /// Reusable per-caller query state (visited-point stamps). `Query()`
@@ -90,8 +92,14 @@ class DbLsh : public AnnIndex {
     uint32_t epoch_ = 0;
   };
 
+  /// "DB-LSH", or "FB-LSH" under the fixed-grid ablation bucketing.
   std::string Name() const override;
+  /// Derives auto parameters (w0, K, t, r0), projects the dataset into the
+  /// L spaces and builds one index per space. Live rows only when `data`
+  /// carries tombstones. `data` must outlive the index.
   Status Build(const FloatMatrix* data) override;
+  /// c-ANN query via the (r,c)-NN cascade. Uses the index-internal scratch:
+  /// thread-compatible, not thread-safe (see the scratch overload below).
   std::vector<Neighbor> Query(const float* query, size_t k,
                               QueryStats* stats = nullptr) const override;
   /// Thread-safe variant: all mutable state lives in `scratch`.
@@ -107,7 +115,19 @@ class DbLsh : public AnnIndex {
   std::vector<QueryResponse> QueryBatch(const FloatMatrix& queries,
                                         const QueryRequest& request,
                                         size_t num_threads = 0) const override;
+  /// K*L: the paper's index-size proxy (n entries per hash function).
   size_t NumHashFunctions() const override { return params_.k * params_.l; }
+
+  /// Dynamic updates — the structural payoff of "hash tables are just
+  /// R*-trees": true for the R*-tree backend (incremental R* insertion and
+  /// deletion-with-reinsertion), false for the static kd-tree backend.
+  bool SupportsUpdates() const override;
+  /// Projects row `id` into the L spaces and R*-inserts it into each tree.
+  /// See AnnIndex::Insert for the dataset-first update protocol.
+  Status Insert(uint32_t id) override;
+  /// Removes `id` from all L trees (condense + orphan reinsertion). Call
+  /// before the slot is recycled by FloatMatrix::InsertRow.
+  Status Erase(uint32_t id) override;
 
   /// One (r,c)-NN round (Algorithm 1), exposed for tests and for the
   /// theoretical-guarantee property tests: returns a point within c*r of
@@ -123,15 +143,22 @@ class DbLsh : public AnnIndex {
   size_t IndexEntries() const;
 
   /// Persists the built index (parameters, projection directions, projected
-  /// points) to `path`. The backing dataset itself is NOT stored — pass the
-  /// same data to Load(). Trees are rebuilt by bulk loading on load, which
-  /// is fast and keeps the file format simple and portable.
+  /// points, and the dataset's tombstone set) to `path`. The backing
+  /// dataset itself is NOT stored — pass the same data to Load(); a
+  /// checksum over its raw bytes is stored so a mismatched dataset is
+  /// rejected rather than silently served. Trees are rebuilt by bulk
+  /// loading on load, which is fast and keeps the file format simple and
+  /// portable. Appended rows round-trip naturally (they are ordinary rows
+  /// of the projected matrices by save time).
   Status Save(const std::string& path) const;
 
-  /// Restores an index saved with Save(). `data` must be the dataset the
-  /// index was built over (validated by cardinality/dimensionality) and
-  /// must outlive the returned index.
-  static Result<DbLsh> Load(const std::string& path, const FloatMatrix* data);
+  /// Restores an index saved with Save(). `data` must hold the same bytes
+  /// as the dataset the index was saved over — row count, dimensionality
+  /// and content checksum are validated, returning InvalidArgument on any
+  /// mismatch — and must outlive the returned index. The pointer is
+  /// non-const because Load re-applies the saved tombstone set to `data`
+  /// (erased rows are not persisted by fvecs files).
+  static Result<DbLsh> Load(const std::string& path, FloatMatrix* data);
 
  private:
   /// Runs one round of L window queries at radius r, feeding candidates into

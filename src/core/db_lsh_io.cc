@@ -1,14 +1,21 @@
-// Persistence for DbLsh. Format (host-endian, version 1):
+// Persistence for DbLsh. Format (host-endian, version 2):
 //   magic "DBLSHIDX" | u32 version
-//   u64 n | u64 dim
+//   u64 n | u64 dim | u64 data_checksum (FNV-1a over the raw float bytes)
 //   f64 c | f64 w0 | u64 k | u64 l | u64 t | u64 seed | u8 bucketing
 //   u8 backend | f64 auto_r0 | f64 early_stop_slack
 //   directions matrix (u64 rows, u64 cols, floats)
 //   grid offsets (u64 count, floats)
 //   l projected matrices (u64 rows, u64 cols, floats each)
+//   tombstones: u64 count | u32 ids in erasure order (the free-list stack)
 // The R*-trees are rebuilt by STR bulk loading at load time: they are a
 // deterministic function of the projected matrices, bulk loading is fast
 // (the paper's own construction path), and the file stays portable.
+// The checksum pins the index to the exact dataset bytes it was saved
+// over: EraseRow leaves row bytes intact, so erase-only mutation histories
+// keep validating, while a wrong/reordered/edited dataset is rejected with
+// InvalidArgument instead of silently serving wrong neighbors. Tombstones
+// are re-applied to the caller's dataset on load, restoring the free-list
+// in its original order so InsertRow keeps recycling deterministically.
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -20,7 +27,20 @@ namespace dblsh {
 namespace {
 
 constexpr char kMagic[8] = {'D', 'B', 'L', 'S', 'H', 'I', 'D', 'X'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
+
+// FNV-1a over the matrix's raw float bytes: cheap, order-sensitive, and
+// stable across erase-only mutations (EraseRow never touches row bytes).
+uint64_t DataChecksum(const FloatMatrix& m) {
+  uint64_t h = 1469598103934665603ULL;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(m.data().data());
+  const size_t count = m.data().size() * sizeof(float);
+  for (size_t i = 0; i < count; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
 
 template <typename T>
 void WritePod(std::ofstream& out, const T& value) {
@@ -70,6 +90,7 @@ Status DbLsh::Save(const std::string& path) const {
   WritePod(out, kVersion);
   WritePod<uint64_t>(out, data_->rows());
   WritePod<uint64_t>(out, data_->cols());
+  WritePod<uint64_t>(out, DataChecksum(*data_));
   WritePod<double>(out, params_.c);
   WritePod<double>(out, params_.w0);
   WritePod<uint64_t>(out, params_.k);
@@ -86,11 +107,16 @@ Status DbLsh::Save(const std::string& path) const {
             static_cast<std::streamsize>(grid_offsets_.size() *
                                          sizeof(float)));
   for (const FloatMatrix& space : projected_) WriteMatrix(out, space);
+  const std::vector<uint32_t>& tombstones = data_->free_slots();
+  WritePod<uint64_t>(out, tombstones.size());
+  out.write(reinterpret_cast<const char*>(tombstones.data()),
+            static_cast<std::streamsize>(tombstones.size() *
+                                         sizeof(uint32_t)));
   if (!out) return Status::IoError("short write to " + path);
   return Status::OK();
 }
 
-Result<DbLsh> DbLsh::Load(const std::string& path, const FloatMatrix* data) {
+Result<DbLsh> DbLsh::Load(const std::string& path, FloatMatrix* data) {
   if (data == nullptr || data->rows() == 0) {
     return Status::InvalidArgument("Load() requires the backing dataset");
   }
@@ -106,8 +132,8 @@ Result<DbLsh> DbLsh::Load(const std::string& path, const FloatMatrix* data) {
   if (!ReadPod(in, &version) || version != kVersion) {
     return Status::Corruption(path + ": unsupported index version");
   }
-  uint64_t n = 0, dim = 0;
-  if (!ReadPod(in, &n) || !ReadPod(in, &dim)) {
+  uint64_t n = 0, dim = 0, checksum = 0;
+  if (!ReadPod(in, &n) || !ReadPod(in, &dim) || !ReadPod(in, &checksum)) {
     return Status::Corruption(path + ": truncated header");
   }
   if (n != data->rows() || dim != data->cols()) {
@@ -116,6 +142,11 @@ Result<DbLsh> DbLsh::Load(const std::string& path, const FloatMatrix* data) {
         std::to_string(n) + "x" + std::to_string(dim) + " vs " +
         std::to_string(data->rows()) + "x" + std::to_string(data->cols()) +
         ")");
+  }
+  if (checksum != DataChecksum(*data)) {
+    return Status::InvalidArgument(
+        path + ": dataset content checksum mismatch — the provided data is "
+               "not the dataset this index was saved over");
   }
 
   DbLshParams params;
@@ -172,11 +203,38 @@ Result<DbLsh> DbLsh::Load(const std::string& path, const FloatMatrix* data) {
     }
     index.projected_.push_back(std::move(space).value());
   }
+  uint64_t tombstone_count = 0;
+  if (!ReadPod(in, &tombstone_count) || tombstone_count > n) {
+    return Status::Corruption(path + ": truncated/implausible tombstones");
+  }
+  std::vector<uint32_t> tombstones(tombstone_count);
+  if (tombstone_count > 0 &&
+      !in.read(reinterpret_cast<char*>(tombstones.data()),
+               static_cast<std::streamsize>(tombstone_count *
+                                            sizeof(uint32_t)))) {
+    return Status::Corruption(path + ": truncated tombstone ids");
+  }
+  // Re-apply in erasure order so the dataset's free-list stack matches the
+  // saved state exactly (InsertRow recycles the same slots in the same
+  // order as it would have before the save).
+  for (uint32_t id : tombstones) {
+    if (id >= n) return Status::Corruption(path + ": tombstone id range");
+    if (!data->IsDeleted(id)) {
+      DBLSH_RETURN_IF_ERROR(data->EraseRow(id));
+    }
+  }
   if (params.backend == IndexBackend::kRStarTree) {
+    // Bulk load live rows only: tombstoned slots stay out of the trees, so
+    // post-load Erase/InsertRow slot recycling behaves as before the save.
+    std::vector<uint32_t> live;
+    live.reserve(data->live_rows());
+    for (uint32_t id = 0; id < n; ++id) {
+      if (!data->IsDeleted(id)) live.push_back(id);
+    }
     index.trees_.reserve(params.l);
     for (size_t i = 0; i < params.l; ++i) {
       index.trees_.emplace_back(&index.projected_[i], params.rtree_options);
-      DBLSH_RETURN_IF_ERROR(index.trees_.back().BulkLoadAll());
+      DBLSH_RETURN_IF_ERROR(index.trees_.back().BulkLoad(live));
     }
   } else {
     index.kd_trees_.reserve(params.l);

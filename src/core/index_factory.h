@@ -91,10 +91,16 @@ class IndexFactory {
 ///   DBLSH_RETURN_IF_ERROR(reader.Finish());
 class SpecReader {
  public:
+  /// Binds to `spec`, which must outlive the reader.
   explicit SpecReader(const IndexFactory::Spec& spec) : spec_(spec) {}
 
+  /// Each Key() overload writes the spec's value for `key` into `out` when
+  /// present (leaving the default otherwise) and marks the key consumed;
+  /// parse failures are deferred and reported by Finish().
   void Key(const std::string& key, double* out);
+  /// Boolean keys accept 0/1/true/false.
   void Key(const std::string& key, bool* out);
+  /// Raw-token keys (e.g. bucketing=dynamic); no parsing beyond lookup.
   void Key(const std::string& key, std::string* out);
 
   /// Unsigned-integer keys (size_t, uint64_t, ...). bool and the exact

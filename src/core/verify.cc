@@ -24,6 +24,11 @@ VerifyResult VerifyCandidates(const float* query, const FloatMatrix& data,
   const auto& kernels = simd::Active();
   const float* base = data.data().data();
   const size_t dim = data.cols();
+  // Tombstone filter: erased rows are dropped after the batch distance
+  // computation, before the push — they consume neither budget nor
+  // candidates_verified. The flag is hoisted so the static (no-mutation)
+  // path is byte-for-byte the historical loop.
+  const bool tombstones = data.has_tombstones();
   for (size_t off = 0; off < n && !result.exited; off += chunk) {
     const size_t m = std::min(chunk, n - off);
     if (ids != nullptr) {
@@ -36,6 +41,7 @@ VerifyResult VerifyCandidates(const float* query, const FloatMatrix& data,
     for (size_t j = 0; j < m; ++j) {
       const uint32_t id =
           ids != nullptr ? ids[off + j] : static_cast<uint32_t>(off + j);
+      if (tombstones && data.IsDeleted(id)) continue;
       heap->Push(std::sqrt(d2[j]), id);
       ++result.pushed;
       if (stats != nullptr) ++stats->candidates_verified;

@@ -38,6 +38,17 @@ struct VerifyResult {
 /// contiguous-scan case, used by LinearScan and the ground-truth oracle.
 /// Increments stats->candidates_verified per push when `stats` is non-null.
 /// Candidates after an early exit are neither pushed nor counted.
+///
+/// Tombstones: candidates whose row is erased in `data`
+/// (FloatMatrix::IsDeleted) are silently dropped — not pushed, not counted
+/// against the budget, not reported in stats. Because every method's
+/// verification funnels through this function, a dataset-level erase is
+/// enough to guarantee the id never appears in any index's results, even
+/// when the index's internal structures still reference it.
+///
+/// Thread-safety: safe to call concurrently for distinct (heap, stats)
+/// pairs over one immutable `data`; not safe concurrently with dataset
+/// mutations.
 VerifyResult VerifyCandidates(const float* query, const FloatMatrix& data,
                               const uint32_t* ids, size_t n,
                               const VerifyOptions& options, TopKHeap* heap,

@@ -1,11 +1,15 @@
 #ifndef DBLSH_DATASET_FLOAT_MATRIX_H_
 #define DBLSH_DATASET_FLOAT_MATRIX_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
+
+#include "util/status.h"
 
 namespace dblsh {
 
@@ -13,6 +17,22 @@ namespace dblsh {
 /// This is the canonical in-memory representation of a dataset and of
 /// projected spaces. Copyable and movable; rows are contiguous so a row
 /// pointer can be handed to the distance kernels directly.
+///
+/// Dynamic workloads mutate the matrix through two extra pieces of state:
+///
+/// - a **tombstone set**: EraseRow(i) marks row i deleted without moving any
+///   bytes, so every id handed out earlier stays stable. The shared
+///   verification path (core/verify.h) consults IsDeleted() and never
+///   surfaces a tombstoned row, which makes erasure effective for *every*
+///   index built over the matrix — including ones whose internal structures
+///   still reference the id.
+/// - a **free-list / append region**: InsertRow() recycles the most recently
+///   tombstoned slot when one exists (so id space does not grow under
+///   churn) and appends a fresh row otherwise.
+///
+/// Thread-safety: mutations are not synchronized with readers; callers must
+/// not run InsertRow/EraseRow/AppendRow concurrently with queries over the
+/// same matrix.
 class FloatMatrix {
  public:
   FloatMatrix() = default;
@@ -23,9 +43,19 @@ class FloatMatrix {
     assert(data_.size() == rows_ * cols_);
   }
 
+  /// Physical row count, including tombstoned slots.
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
   bool empty() const { return rows_ == 0; }
+
+  /// Rows that are not tombstoned (the logical dataset size).
+  size_t live_rows() const { return rows_ - deleted_count_; }
+  /// True when at least one row is tombstoned (fast static-path check).
+  bool has_tombstones() const { return deleted_count_ > 0; }
+  /// True when row `i` has been erased and its slot not yet recycled.
+  bool IsDeleted(size_t i) const {
+    return deleted_count_ > 0 && i < deleted_.size() && deleted_[i] != 0;
+  }
 
   const float* row(size_t i) const {
     assert(i < rows_);
@@ -49,28 +79,89 @@ class FloatMatrix {
   std::vector<float>& mutable_data() { return data_; }
 
   /// Appends one row; `values` must have length `cols()` (or define the
-  /// matrix's width when it is still empty).
+  /// matrix's width when it is still empty). Does not consult the
+  /// free-list — use InsertRow() for churn-friendly insertion.
   void AppendRow(const float* values, size_t len) {
     if (rows_ == 0 && cols_ == 0) cols_ = len;
     assert(len == cols_);
     data_.insert(data_.end(), values, values + len);
     ++rows_;
+    if (!deleted_.empty()) deleted_.push_back(0);
   }
 
+  /// Inserts one vector of length `cols()`, recycling the most recently
+  /// tombstoned slot if any (its id is reassigned to the new vector) and
+  /// appending otherwise. Returns the id now holding the vector. Callers
+  /// keeping index structures over this matrix must Erase() the recycled id
+  /// from them *before* the slot is reused (see AnnIndex::Erase).
+  uint32_t InsertRow(const float* values, size_t len) {
+    if (!free_slots_.empty()) {
+      const uint32_t id = free_slots_.back();
+      free_slots_.pop_back();
+      assert(len == cols_ && deleted_[id] != 0);
+      std::copy(values, values + len, mutable_row(id));
+      deleted_[id] = 0;
+      --deleted_count_;
+      return id;
+    }
+    AppendRow(values, len);
+    return static_cast<uint32_t>(rows_ - 1);
+  }
+
+  /// Tombstones row `i`: the id keeps its slot (bytes are left intact so
+  /// persisted checksums stay stable) but IsDeleted(i) turns true and the
+  /// slot joins the free-list for InsertRow() reuse. Returns NotFound when
+  /// the row is already tombstoned, InvalidArgument when out of range.
+  Status EraseRow(size_t i) {
+    if (i >= rows_) {
+      return Status::InvalidArgument("EraseRow: row " + std::to_string(i) +
+                                     " out of range (rows = " +
+                                     std::to_string(rows_) + ")");
+    }
+    if (deleted_.empty()) deleted_.assign(rows_, 0);
+    if (deleted_[i] != 0) {
+      return Status::NotFound("EraseRow: row " + std::to_string(i) +
+                              " is already erased");
+    }
+    deleted_[i] = 1;
+    ++deleted_count_;
+    free_slots_.push_back(static_cast<uint32_t>(i));
+    return Status::OK();
+  }
+
+  /// Tombstoned slots in erasure order (the InsertRow() reuse stack, most
+  /// recent last). Exposed so persistence layers can round-trip the
+  /// tombstone set exactly (see DbLsh::Save).
+  const std::vector<uint32_t>& free_slots() const { return free_slots_; }
+
   /// Returns a copy containing only the first `n` rows (used by the vary-n
-  /// experiment sweeps).
+  /// experiment sweeps). Tombstone state carries over for the kept rows.
   FloatMatrix Prefix(size_t n) const {
     assert(n <= rows_);
-    return FloatMatrix(
+    FloatMatrix out(
         n, cols_,
         std::vector<float>(data_.begin(),
                            data_.begin() + static_cast<ptrdiff_t>(n * cols_)));
+    if (deleted_count_ > 0) {
+      for (uint32_t slot : free_slots_) {
+        if (slot < n) {
+          Status s = out.EraseRow(slot);
+          (void)s;  // fresh copy: the slot cannot already be erased
+        }
+      }
+    }
+    return out;
   }
 
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
   std::vector<float> data_;
+  // Tombstone state. `deleted_` is sized lazily on the first EraseRow so the
+  // (common) static case carries no per-row overhead.
+  std::vector<uint8_t> deleted_;
+  std::vector<uint32_t> free_slots_;
+  size_t deleted_count_ = 0;
 };
 
 }  // namespace dblsh

@@ -35,16 +35,27 @@ void L2SquaredBatchImpl(const float* query, const float* base, size_t dim,
   }
 }
 
+// Per-ISA raw entry points. Contracts are uniform — no alignment
+// requirement, any dim (tail handled scalar), results match the scalar
+// tier to float rounding — so they are documented once here rather than
+// per prototype. Call only after CPUID says the tier is supported (the
+// dispatcher in simd.cc guarantees this).
 #if defined(DBLSH_HAVE_AVX2)
+/// ||a - b||^2 with 8-lane FMA accumulation.
 float L2SquaredAvx2(const float* a, const float* b, size_t dim);
+/// <a, b> with 8-lane FMA accumulation.
 float DotAvx2(const float* a, const float* b, size_t dim);
+/// One-to-many ||query - row||^2 (see L2SquaredBatchImpl for semantics).
 void L2SquaredBatchAvx2(const float* query, const float* base, size_t dim,
                         const uint32_t* ids, size_t n, float* out);
 #endif
 
 #if defined(DBLSH_HAVE_AVX512)
+/// ||a - b||^2 with 16-lane masked-tail accumulation.
 float L2SquaredAvx512(const float* a, const float* b, size_t dim);
+/// <a, b> with 16-lane masked-tail accumulation.
 float DotAvx512(const float* a, const float* b, size_t dim);
+/// One-to-many ||query - row||^2 (see L2SquaredBatchImpl for semantics).
 void L2SquaredBatchAvx512(const float* query, const float* base, size_t dim,
                           const uint32_t* ids, size_t n, float* out);
 #endif

@@ -13,6 +13,9 @@
 namespace dblsh {
 namespace simd {
 
+/// ||a - b||^2 in float with 4 independent accumulators (fixed summation
+/// order: the reference the vector tiers are property-tested against).
+/// No alignment requirement; any dim.
 inline float ScalarL2Squared(const float* a, const float* b, size_t dim) {
   float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
   size_t i = 0;
@@ -33,6 +36,7 @@ inline float ScalarL2Squared(const float* a, const float* b, size_t dim) {
   return (acc0 + acc1) + (acc2 + acc3);
 }
 
+/// <a, b> in float, same unroll/summation structure as ScalarL2Squared.
 inline float ScalarDot(const float* a, const float* b, size_t dim) {
   float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
   size_t i = 0;

@@ -44,15 +44,20 @@ struct DistanceKernels {
 
 /// The dispatch table selected for this process. First use probes CPUID
 /// (and the DBLSH_SIMD override); subsequent calls are a single relaxed
-/// atomic load.
+/// atomic load. Thread-safe; the returned reference points at static
+/// storage and never dangles.
 const DistanceKernels& Active();
 
 /// True when `kind` is both compiled into this binary and supported by the
-/// running CPU.
+/// running CPU. Thread-safe, read-only.
 bool Supported(KernelKind kind);
 
-/// Pins the active kernel, e.g. to cross-check variants in tests or
-/// benches. Fails with InvalidArgument when `kind` is not Supported().
+/// Pins the active kernel process-wide, e.g. to cross-check variants in
+/// tests or benches, or to take an apples-to-apples scalar baseline.
+/// Fails with InvalidArgument when `kind` is not Supported(), leaving the
+/// previous selection in place. Safe to call concurrently with queries
+/// (the switch is atomic), but a query already mid-verification finishes
+/// on the tier it started with; don't interleave pinning with timed runs.
 Status ForceKernel(KernelKind kind);
 
 /// Reverts ForceKernel() pinning to the startup selection: the best

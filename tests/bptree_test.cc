@@ -187,5 +187,93 @@ TEST(BPlusTreeTest, MoveSemantics) {
   EXPECT_EQ(moved.CheckInvariants(), 0u);
 }
 
+TEST(BPlusTreeTest, EraseRemovesOnlyTheNamedEntry) {
+  auto entries = RandomEntries(2000, 77);
+  BPlusTree tree;
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+  ASSERT_TRUE(tree.Erase(entries[42].key, entries[42].id).ok());
+  EXPECT_EQ(tree.size(), 1999u);
+  EXPECT_EQ(tree.CheckInvariants(), 0u);
+  // Erasing again (or a never-present pair) reports NotFound.
+  EXPECT_EQ(tree.Erase(entries[42].key, entries[42].id).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(tree.Erase(12345.f, 99999).code(), StatusCode::kNotFound);
+  // Every other entry is still enumerable.
+  std::vector<uint32_t> got;
+  tree.RangeQuery(-1e9f, 1e9f, &got);
+  EXPECT_EQ(got.size(), 1999u);
+}
+
+TEST(BPlusTreeTest, EraseToEmptyAndReinsert) {
+  auto entries = RandomEntries(500, 78);
+  BPlusTree tree(/*fanout=*/8);  // small fanout: deep tree, many merges
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+  for (const auto& e : entries) {
+    ASSERT_TRUE(tree.Erase(e.key, e.id).ok());
+    EXPECT_EQ(tree.CheckInvariants(), 0u);
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Begin().Valid());
+  // The emptied tree accepts fresh inserts.
+  tree.Insert(1.5f, 7);
+  tree.Insert(-2.5f, 8);
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(tree.CheckInvariants(), 0u);
+  std::vector<uint32_t> got;
+  tree.RangeQuery(-10.f, 10.f, &got);
+  EXPECT_EQ(got.size(), 2u);
+}
+
+TEST(BPlusTreeTest, RandomInsertEraseMixKeepsInvariants) {
+  // Property test: a shuffled insert/erase interleaving against a sorted
+  // mirror; invariants and full-range enumeration must hold throughout.
+  Rng rng(79);
+  BPlusTree tree(/*fanout=*/6);
+  ASSERT_TRUE(tree.BulkLoad({}).ok());
+  std::vector<BPlusTree::Entry> mirror;
+  uint32_t next_id = 0;
+  for (size_t step = 0; step < 3000; ++step) {
+    if (mirror.empty() || rng.NextDouble() < 0.6) {
+      const auto key = static_cast<float>(rng.Uniform(-50.0, 50.0));
+      tree.Insert(key, next_id);
+      mirror.push_back({key, next_id});
+      ++next_id;
+    } else {
+      const size_t victim = rng.UniformInt(mirror.size());
+      ASSERT_TRUE(tree.Erase(mirror[victim].key, mirror[victim].id).ok());
+      mirror[victim] = mirror.back();
+      mirror.pop_back();
+    }
+    if (step % 256 == 0) {
+      ASSERT_EQ(tree.CheckInvariants(), 0u);
+    }
+  }
+  ASSERT_EQ(tree.CheckInvariants(), 0u);
+  ASSERT_EQ(tree.size(), mirror.size());
+  std::sort(mirror.begin(), mirror.end());
+  size_t i = 0;
+  for (auto it = tree.Begin(); it.Valid(); it.Next(), ++i) {
+    ASSERT_LT(i, mirror.size());
+    EXPECT_EQ(it.key(), mirror[i].key);
+    EXPECT_EQ(it.id(), mirror[i].id);
+  }
+  EXPECT_EQ(i, mirror.size());
+}
+
+TEST(BPlusTreeTest, EraseWithDuplicateKeysTargetsTheRightId) {
+  BPlusTree tree(/*fanout=*/4);
+  ASSERT_TRUE(tree.BulkLoad({}).ok());
+  for (uint32_t id = 0; id < 64; ++id) tree.Insert(1.0f, id);
+  for (uint32_t id = 0; id < 64; id += 2) {
+    ASSERT_TRUE(tree.Erase(1.0f, id).ok());
+  }
+  EXPECT_EQ(tree.size(), 32u);
+  EXPECT_EQ(tree.CheckInvariants(), 0u);
+  std::vector<uint32_t> got;
+  tree.RangeQuery(1.0f, 1.0f, &got);
+  ASSERT_EQ(got.size(), 32u);
+  for (uint32_t id : got) EXPECT_EQ(id % 2, 1u) << "even ids were erased";
+}
+
 }  // namespace
 }  // namespace dblsh::bptree

@@ -109,7 +109,7 @@ TEST(E2LshTest, HashBoundaryHurtsVsDbLsh) {
 // ------------------------------------------------------------ Persistence --
 
 TEST(PersistenceTest, RoundTripProducesIdenticalResults) {
-  const FloatMatrix data = EasyData(2000);
+  FloatMatrix data = EasyData(2000);
   DbLsh original;
   ASSERT_TRUE(original.Build(&data).ok());
   const std::string path = TempPath("dblsh_roundtrip.idx");
@@ -144,7 +144,7 @@ TEST(PersistenceTest, LoadRejectsWrongDataset) {
   ASSERT_TRUE(index.Build(&data).ok());
   const std::string path = TempPath("dblsh_wrongdata.idx");
   ASSERT_TRUE(index.Save(path).ok());
-  const FloatMatrix other = EasyData(999);
+  FloatMatrix other = EasyData(999);
   auto r = DbLsh::Load(path, &other);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
@@ -157,7 +157,7 @@ TEST(PersistenceTest, LoadRejectsGarbageFile) {
     std::ofstream out(path, std::ios::binary);
     out << "this is not an index";
   }
-  const FloatMatrix data = EasyData(100);
+  FloatMatrix data = EasyData(100);
   auto r = DbLsh::Load(path, &data);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
@@ -165,7 +165,7 @@ TEST(PersistenceTest, LoadRejectsGarbageFile) {
 }
 
 TEST(PersistenceTest, LoadRejectsTruncatedFile) {
-  const FloatMatrix data = EasyData(1000);
+  FloatMatrix data = EasyData(1000);
   DbLsh index;
   ASSERT_TRUE(index.Build(&data).ok());
   const std::string path = TempPath("dblsh_truncated.idx");
@@ -180,14 +180,14 @@ TEST(PersistenceTest, LoadRejectsTruncatedFile) {
 }
 
 TEST(PersistenceTest, LoadRejectsMissingFile) {
-  const FloatMatrix data = EasyData(100);
+  FloatMatrix data = EasyData(100);
   auto r = DbLsh::Load("/nonexistent/missing.idx", &data);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
 }
 
 TEST(PersistenceTest, FbLshModeSurvivesRoundTrip) {
-  const FloatMatrix data = EasyData(1000);
+  FloatMatrix data = EasyData(1000);
   DbLshParams params;
   params.bucketing = BucketingMode::kFixedGrid;
   params.k = 5;
@@ -290,7 +290,7 @@ TEST(BackendTest, KdTreeBackendFindsExactDuplicate) {
 }
 
 TEST(BackendTest, KdTreeBackendSurvivesPersistence) {
-  const FloatMatrix data = EasyData(800);
+  FloatMatrix data = EasyData(800);
   DbLshParams params;
   params.backend = IndexBackend::kKdTree;
   DbLsh original(params);
