@@ -1,0 +1,185 @@
+// Serving bench: concurrent read throughput of a Collection under a
+// 95/5 read/write mix — the workload shape the Collection façade exists
+// for. One writer thread streams Upsert/Delete traffic (paced at ~5% of
+// the measured read rate) while N reader threads hammer Search on the
+// collection's DB-LSH index, whose thread-safe read path lets readers fan
+// out without serializing; the writer-priority lock keeps mutations
+// committing promptly under read saturation. For each reader count the
+// table reports aggregate read QPS with the writer idle (read-only
+// baseline) and with the writer active, plus the achieved write rate —
+// the cost of coherent concurrent mutability is the gap between the two
+// columns.
+//
+// Flags: --n (initial points, default 50000), --dim (32), --k (10),
+// --readers (max reader threads, default 8; the sweep doubles from 1),
+// --duration-ms (per measurement cell, default 1000), --seed.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/collection.h"
+#include "dataset/synthetic.h"
+#include "eval/table.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace dblsh {
+namespace {
+
+struct MixResult {
+  double read_qps = 0.0;
+  double avg_read_ms = 0.0;
+  double write_ops_per_sec = 0.0;
+};
+
+// Runs `readers` query threads for ~duration_ms; when `write_interval_ms`
+// is positive, the calling thread concurrently performs one mutation per
+// interval (alternating upsert/delete so the live count stays flat).
+MixResult RunMix(Collection& collection, const FloatMatrix& cloud,
+                 size_t readers, size_t k, double duration_ms,
+                 double write_interval_ms, uint64_t seed) {
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> reads{0};
+  std::vector<std::thread> threads;
+  threads.reserve(readers);
+  const size_t dim = cloud.cols();
+  for (size_t r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r]() {
+      Rng rng(seed ^ (0xFEED + r));
+      std::vector<float> q(dim);
+      QueryRequest request;
+      request.k = k;
+      size_t local = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const float* base = cloud.row(rng.UniformInt(cloud.rows()));
+        for (size_t j = 0; j < dim; ++j) {
+          q[j] = base[j] + static_cast<float>(rng.Gaussian() * 2.0);
+        }
+        auto got = collection.Search(q.data(), request, "serving");
+        if (!got.ok()) break;  // surfaced by the near-zero QPS row
+        ++local;
+      }
+      reads.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  // Writer loop on this thread: pace mutations at the requested interval,
+  // sleeping between ops so the mix stays at the target ratio.
+  Rng rng(seed ^ 0xB055);
+  size_t writes = 0;
+  std::vector<uint32_t> inserted;
+  Timer wall;
+  if (write_interval_ms > 0.0) {
+    double next_write_ms = write_interval_ms;
+    while (wall.ElapsedMs() < duration_ms) {
+      if (wall.ElapsedMs() < next_write_ms) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        continue;
+      }
+      next_write_ms += write_interval_ms;
+      if (inserted.size() > 64 && rng.NextDouble() < 0.5) {
+        const size_t pick = rng.UniformInt(inserted.size());
+        if (collection.Delete(inserted[pick]).ok()) ++writes;
+        inserted[pick] = inserted.back();
+        inserted.pop_back();
+      } else {
+        auto up =
+            collection.Upsert(cloud.row(rng.UniformInt(cloud.rows())), dim);
+        if (up.ok()) {
+          inserted.push_back(up.value());
+          ++writes;
+        }
+      }
+    }
+  } else {
+    while (wall.ElapsedMs() < duration_ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  const double elapsed_ms = wall.ElapsedMs();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  MixResult result;
+  const auto total_reads = static_cast<double>(reads.load());
+  result.read_qps = 1000.0 * total_reads / elapsed_ms;
+  result.avg_read_ms =
+      total_reads > 0 ? double(readers) * elapsed_ms / total_reads : 0.0;
+  result.write_ops_per_sec = 1000.0 * double(writes) / elapsed_ms;
+  return result;
+}
+
+int Run(const bench::Flags& flags) {
+  const auto n = static_cast<size_t>(flags.GetInt("n", 50000));
+  const auto dim = static_cast<size_t>(flags.GetInt("dim", 32));
+  const auto k = static_cast<size_t>(flags.GetInt("k", 10));
+  const auto max_readers = static_cast<size_t>(flags.GetInt("readers", 8));
+  const auto duration_ms =
+      static_cast<double>(flags.GetInt("duration-ms", 1000));
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+
+  ClusteredSpec spec;
+  spec.n = n;
+  spec.dim = dim;
+  spec.clusters = 32;
+  spec.seed = seed;
+  const FloatMatrix cloud = GenerateClustered(spec);
+
+  Timer build_timer;
+  auto made = Collection::FromSpec(
+      "collection: DB-LSH,name=serving",
+      std::make_unique<FloatMatrix>(cloud));
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  Collection& collection = *made.value();
+  std::printf("n = %zu, dim = %zu, k = %zu; built in %.3f s; "
+              "%.0f ms per measurement cell\n\n",
+              n, dim, k, build_timer.ElapsedSec(), duration_ms);
+
+  eval::Table table({"Readers", "Read-only QPS", "95/5 QPS", "ms/query",
+                     "Writes/s", "QPS kept"});
+  for (size_t readers = 1; readers <= max_readers; readers *= 2) {
+    const MixResult baseline = RunMix(collection, cloud, readers, k,
+                                      duration_ms, 0.0, seed);
+    // Target: writes = 5% of total ops => one write per 19 reads.
+    const double write_interval_ms =
+        baseline.read_qps > 0.0 ? 1000.0 / (baseline.read_qps / 19.0) : 10.0;
+    const MixResult mixed = RunMix(collection, cloud, readers, k,
+                                   duration_ms, write_interval_ms, seed + 1);
+    table.AddRow({std::to_string(readers),
+                  eval::Table::Fmt(baseline.read_qps, 0),
+                  eval::Table::Fmt(mixed.read_qps, 0),
+                  eval::Table::Fmt(mixed.avg_read_ms, 3),
+                  eval::Table::Fmt(mixed.write_ops_per_sec, 1),
+                  eval::Table::Fmt(
+                      baseline.read_qps > 0.0
+                          ? 100.0 * mixed.read_qps / baseline.read_qps
+                          : 0.0, 1) + "%"});
+  }
+  table.Print();
+  std::printf("\nlive points at end: %zu; epoch %llu (committed "
+              "mutations)\n", collection.size(),
+              static_cast<unsigned long long>(collection.epoch()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace dblsh
+
+int main(int argc, char** argv) {
+  dblsh::bench::Flags flags(argc, argv);
+  dblsh::bench::PrintBanner(
+      "Serving workload: concurrent readers under a 95/5 read/write mix",
+      "The Collection façade serves DB-LSH's thread-safe read path to N "
+      "reader threads while one writer streams transactional upserts and "
+      "deletes; the writer-priority lock keeps mutations committing under "
+      "read saturation.");
+  return dblsh::Run(flags);
+}

@@ -1,21 +1,26 @@
 // Streaming-workload bench: the scenario DB-LSH's updatable structure
 // opens that the static LSH baselines close off. A 90/5/5 mix of
-// queries/inserts/erases runs against ONE DB-LSH index that absorbs every
-// mutation in place (R* insert, delete-with-reinsertion, dataset
-// tombstones) — no rebuild at any point during the run. The reference is
-// the strongest alternative a static scheme has: a full rebuild over the
-// final dataset state at the same parameters. The claim measured here:
-// after thousands of interleaved mutations, the streaming index's recall
-// stays within ~2% of the freshly rebuilt one while the rebuild costs
-// seconds of index downtime the streaming path never pays.
+// queries/upserts/deletes runs against a Collection serving ONE DB-LSH
+// index that absorbs every mutation in place (R* insert,
+// delete-with-reinsertion, dataset tombstones) — no rebuild at any point
+// during the run. The Collection façade sequences the update protocol and
+// commits each mutation transactionally; this bench drives the same API a
+// serving process would (see bench_serving for the concurrent version).
+// The reference is the strongest alternative a static scheme has: a full
+// rebuild over the final dataset state at the same parameters. The claim
+// measured here: after thousands of interleaved mutations, the streaming
+// index's recall stays within ~2% of the freshly rebuilt one while the
+// rebuild costs seconds of index downtime the streaming path never pays.
 //
 // Flags: --n (initial points, default 100000), --dim, --ops (mixed
 // operations, default 4000), --k, --eval-queries, --seed.
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench/common.h"
+#include "core/collection.h"
 #include "core/db_lsh.h"
 #include "dataset/ground_truth.h"
 #include "dataset/synthetic.h"
@@ -33,15 +38,18 @@ struct EvalResult {
   double avg_ms = 0.0;
 };
 
-// Recall / overall-ratio / latency of `index` over the query set, against
-// exact (tombstone-filtered) ground truth computed on the mutated data.
-EvalResult Evaluate(const DbLsh& index, const FloatMatrix& data,
+// Recall / overall-ratio / latency over the query set, against exact
+// (tombstone-filtered) ground truth computed on the mutated data. The
+// query callback abstracts over "the collection's index" vs "a freshly
+// rebuilt index".
+template <typename QueryFn>
+EvalResult Evaluate(const QueryFn& query_fn, const FloatMatrix& data,
                     const FloatMatrix& queries, size_t k) {
   EvalResult r;
   double query_ms = 0.0;
   for (size_t q = 0; q < queries.rows(); ++q) {
     Timer timer;
-    const auto answer = index.Query(queries.row(q), k);
+    const std::vector<Neighbor> answer = query_fn(queries.row(q), k);
     query_ms += timer.ElapsedMs();  // GT scan below stays untimed
     const auto gt = ExactKnn(data, queries.row(q), k);
     r.recall += eval::Recall(answer, gt);
@@ -63,115 +71,149 @@ int Run(const bench::Flags& flags) {
       static_cast<size_t>(flags.GetInt("eval-queries", 50));
   const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
 
-  // One clustered cloud supplies everything: the initial index content,
-  // the pool of vectors the insert ops stream in, and the query points
-  // (perturbed live points drawn per query).
-  const size_t insert_ops = ops / 20;          // 5%
-  const size_t erase_ops = ops / 20;           // 5%
-  const size_t query_ops = ops - insert_ops - erase_ops;  // ~90%
+  // One clustered cloud supplies everything: the initial collection
+  // content, the pool of vectors the upsert ops stream in, and the query
+  // points (perturbed live points drawn per query).
+  const size_t upsert_ops = ops / 20;          // 5%
+  const size_t delete_ops = ops / 20;          // 5%
+  const size_t query_ops = ops - upsert_ops - delete_ops;  // ~90%
   ClusteredSpec spec;
-  spec.n = n + insert_ops;
+  spec.n = n + upsert_ops;
   spec.dim = dim;
   spec.clusters = 32;
   spec.seed = seed;
   const FloatMatrix cloud = GenerateClustered(spec);
-  FloatMatrix data = cloud.Prefix(n);
 
   std::printf("initial n = %zu, dim = %zu; ops = %zu "
-              "(%zu queries / %zu inserts / %zu erases)\n\n",
-              n, dim, ops, query_ops, insert_ops, erase_ops);
+              "(%zu queries / %zu upserts / %zu deletes)\n\n",
+              n, dim, ops, query_ops, upsert_ops, delete_ops);
 
-  DbLsh streaming;
   Timer build_timer;
-  if (Status s = streaming.Build(&data); !s.ok()) {
-    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  auto made = Collection::FromSpec(
+      "collection: DB-LSH,name=streaming",
+      std::make_unique<FloatMatrix>(cloud.Prefix(n)));
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
     return 1;
   }
+  Collection& collection = *made.value();
+  const auto* streaming =
+      dynamic_cast<const DbLsh*>(collection.GetIndex("streaming"));
   const double initial_build_sec = build_timer.ElapsedSec();
   std::printf("initial build: %.3f s (t = %zu, l = %zu, k = %zu)\n",
-              initial_build_sec, streaming.params().t, streaming.params().l,
-              streaming.params().k);
+              initial_build_sec, streaming->params().t,
+              streaming->params().l, streaming->params().k);
 
   // The mixed phase. The op schedule is interleaved deterministically at
-  // the 90/5/5 ratio (an insert and an erase every 20 ops); queries probe
-  // perturbed live points so they track the evolving distribution.
+  // the 90/5/5 ratio (an upsert and a delete every 20 ops); queries probe
+  // perturbed live points so they track the evolving distribution. The
+  // local live-id list mirrors what the collection serves (ids are stable
+  // under Collection's tombstone/recycle discipline).
   Rng rng(seed ^ 0x57EAAULL);
   std::vector<float> query_buf(dim);
-  auto random_live_id = [&]() -> uint32_t {
-    while (true) {
-      const auto id = static_cast<uint32_t>(rng.UniformInt(data.rows()));
-      if (!data.IsDeleted(id)) return id;
-    }
-  };
+  // Parallel mirrors of the collection's live set: the id (stable under
+  // tombstone/recycle) and the vector the id serves (every vector comes
+  // from `cloud`, so a row pointer suffices — no snapshot copies needed
+  // on the hot path).
+  std::vector<uint32_t> live;
+  std::vector<const float*> live_vec;
+  live.reserve(n + upsert_ops);
+  live_vec.reserve(n + upsert_ops);
+  for (uint32_t id = 0; id < n; ++id) {
+    live.push_back(id);
+    live_vec.push_back(cloud.row(id));
+  }
+
+  QueryRequest request;
+  request.k = k;
   size_t next_pool_row = n;
-  double query_ms = 0.0, insert_ms = 0.0, erase_ms = 0.0;
-  size_t queries_run = 0, inserts_run = 0, erases_run = 0;
+  double query_ms = 0.0, upsert_ms = 0.0, delete_ms = 0.0;
+  size_t queries_run = 0, upserts_run = 0, deletes_run = 0;
   for (size_t op = 0; op < ops; ++op) {
     const size_t phase = op % 20;
-    if (phase == 7 && inserts_run < insert_ops) {
+    if (phase == 7 && upserts_run < upsert_ops) {
+      const float* vec = cloud.row(next_pool_row++);
       Timer t;
-      const uint32_t id = data.InsertRow(cloud.row(next_pool_row++), dim);
-      if (Status s = streaming.Insert(id); !s.ok()) {
-        std::fprintf(stderr, "insert failed: %s\n", s.ToString().c_str());
+      auto up = collection.Upsert(vec, dim);
+      if (!up.ok()) {
+        std::fprintf(stderr, "upsert failed: %s\n",
+                     up.status().ToString().c_str());
         return 1;
       }
-      insert_ms += t.ElapsedMs();
-      ++inserts_run;
-    } else if (phase == 13 && erases_run < erase_ops) {
-      const uint32_t id = random_live_id();
+      upsert_ms += t.ElapsedMs();
+      live.push_back(up.value());
+      live_vec.push_back(vec);
+      ++upserts_run;
+    } else if (phase == 13 && deletes_run < delete_ops) {
+      const size_t pick = rng.UniformInt(live.size());
+      const uint32_t id = live[pick];
       Timer t;
-      if (Status s = data.EraseRow(id); !s.ok()) {
-        std::fprintf(stderr, "erase failed: %s\n", s.ToString().c_str());
+      if (Status s = collection.Delete(id); !s.ok()) {
+        std::fprintf(stderr, "delete failed: %s\n", s.ToString().c_str());
         return 1;
       }
-      if (Status s = streaming.Erase(id); !s.ok()) {
-        std::fprintf(stderr, "erase failed: %s\n", s.ToString().c_str());
-        return 1;
-      }
-      erase_ms += t.ElapsedMs();
-      ++erases_run;
+      delete_ms += t.ElapsedMs();
+      live[pick] = live.back();
+      live.pop_back();
+      live_vec[pick] = live_vec.back();
+      live_vec.pop_back();
+      ++deletes_run;
     } else {
-      const uint32_t id = random_live_id();
-      const float* base = data.row(id);
+      const float* base = live_vec[rng.UniformInt(live_vec.size())];
       for (size_t j = 0; j < dim; ++j) {
         query_buf[j] =
             base[j] + static_cast<float>(rng.Gaussian() * spec.cluster_stddev);
       }
       Timer t;
-      const auto answer = streaming.Query(query_buf.data(), k);
+      auto answer = collection.Search(query_buf.data(), request, "streaming");
       query_ms += t.ElapsedMs();
-      (void)answer;
+      if (!answer.ok()) {
+        std::fprintf(stderr, "search failed: %s\n",
+                     answer.status().ToString().c_str());
+        return 1;
+      }
       ++queries_run;
     }
   }
-  std::printf("mixed phase: %zu queries (%.3f ms avg), %zu inserts "
-              "(%.3f ms avg), %zu erases (%.3f ms avg)\n",
+  std::printf("mixed phase: %zu queries (%.3f ms avg), %zu upserts "
+              "(%.3f ms avg), %zu deletes (%.3f ms avg)\n",
               queries_run, query_ms / std::max<size_t>(1, queries_run),
-              inserts_run, insert_ms / std::max<size_t>(1, inserts_run),
-              erases_run, erase_ms / std::max<size_t>(1, erases_run));
+              upserts_run, upsert_ms / std::max<size_t>(1, upserts_run),
+              deletes_run, delete_ms / std::max<size_t>(1, deletes_run));
   std::printf("streaming QPS (query ops only): %.0f\n\n",
               1000.0 * double(queries_run) / std::max(query_ms, 1e-9));
 
-  // Final accuracy: streaming index vs a full rebuild at the *same*
-  // effective parameters over the same mutated dataset.
+  // Final accuracy: the collection's streaming index vs a full rebuild at
+  // the *same* effective parameters over the same mutated dataset.
+  const FloatMatrix final_data = collection.Snapshot();
   FloatMatrix eval_set(eval_queries, dim);
   for (size_t q = 0; q < eval_queries; ++q) {
-    const float* base = data.row(random_live_id());
+    const float* base = final_data.row(live[rng.UniformInt(live.size())]);
     for (size_t j = 0; j < dim; ++j) {
       eval_set.at(q, j) =
           base[j] + static_cast<float>(rng.Gaussian() * spec.cluster_stddev);
     }
   }
-  const EvalResult streamed = Evaluate(streaming, data, eval_set, k);
+  const EvalResult streamed = Evaluate(
+      [&](const float* q, size_t kk) {
+        QueryRequest r;
+        r.k = kk;
+        auto response = collection.Search(q, r, "streaming");
+        return response.ok() ? std::move(response.value().neighbors)
+                             : std::vector<Neighbor>{};
+      },
+      final_data, eval_set, k);
 
-  DbLsh rebuilt(streaming.params());
+  DbLsh rebuilt(streaming->params());
   Timer rebuild_timer;
-  if (Status s = rebuilt.Build(&data); !s.ok()) {
+  if (Status s = rebuilt.Build(&final_data); !s.ok()) {
     std::fprintf(stderr, "rebuild failed: %s\n", s.ToString().c_str());
     return 1;
   }
   const double rebuild_sec = rebuild_timer.ElapsedSec();
-  const EvalResult fresh = Evaluate(rebuilt, data, eval_set, k);
+  const EvalResult fresh = Evaluate(
+      [&](const float* q, size_t kk) { return rebuilt.Query(q, kk); },
+      final_data, eval_set, k);
 
   eval::Table table({"Index", "Recall@" + std::to_string(k), "Ratio",
                      "ms/query", "(Re)build s"});
@@ -186,8 +228,8 @@ int Run(const bench::Flags& flags) {
   std::printf("\nrecall delta (rebuild - streaming): %+.3f  "
               "(target: within 0.02)\n",
               fresh.recall - streamed.recall);
-  std::printf("live points at end: %zu (of %zu slots)\n", data.live_rows(),
-              data.rows());
+  std::printf("live points at end: %zu (of %zu slots)\n",
+              collection.size(), final_data.rows());
   return 0;
 }
 
@@ -197,8 +239,8 @@ int Run(const bench::Flags& flags) {
 int main(int argc, char** argv) {
   dblsh::bench::Flags flags(argc, argv);
   dblsh::bench::PrintBanner(
-      "Streaming workload: 90/5/5 query/insert/erase mix",
-      "DB-LSH's R*-tree hash tables absorb online inserts and erases in "
+      "Streaming workload: 90/5/5 query/upsert/delete mix",
+      "A Collection serving DB-LSH absorbs online upserts and deletes in "
       "place; after the full mixed run its recall stays within ~2% of a "
       "freshly rebuilt index, with zero rebuild downtime.");
   return dblsh::Run(flags);

@@ -7,8 +7,13 @@
 //                    [--method="DB-LSH,c=1.5,l=5"]
 //   dblsh_tool query --data=data.fvecs --queries=q.fvecs --k=10 [--gt]
 //                    [--budget=T] (--index=data.idx | --method="PM-LSH,m=8")
-//   dblsh_tool insert --data=data.fvecs --index=data.idx --vectors=v.fvecs
-//   dblsh_tool erase  --data=data.fvecs --index=data.idx --ids=3,17,42
+//   dblsh_tool collection upsert --data=data.fvecs --index=data.idx
+//                                --vectors=v.fvecs
+//   dblsh_tool collection delete --data=data.fvecs --index=data.idx
+//                                --ids=3,17,42
+//   dblsh_tool collection search --data=data.fvecs --queries=q.fvecs
+//                                [--indexes="DB-LSH; LinearScan"]
+//                                [--use=NAME] [--filter=deny:3,17] [--gt]
 //   dblsh_tool stats --data=data.fvecs
 //
 // `methods` lists every registered index method and its spec keys' home.
@@ -16,10 +21,17 @@
 // ground truth and reports recall / overall ratio. With --method the index
 // is built in memory from the spec, so any registered method can serve the
 // same workload (persistence via --index remains DB-LSH-family only).
-// `insert` and `erase` mutate a persisted DB-LSH index in place — no
-// rebuild: vectors are appended (or recycled into erased slots) in the
-// data file and R*-inserted into the index; erased ids are tombstoned and
-// removed from the trees. Both rewrite the touched files on success.
+//
+// The `collection` subcommands drive the Collection façade
+// (core/collection.h). `upsert` and `delete` mutate a persisted DB-LSH
+// index in place — no rebuild: the collection sequences the dataset write
+// and the structural update transactionally, and the touched files are
+// rewritten on success. `search` serves any lineup of registered methods
+// (`--indexes` is a ';'-separated list of factory specs) with optional
+// per-query id filtering: `--filter=deny:IDS` excludes the ids,
+// `--filter=allow:IDS` (or a bare id list) restricts results to them.
+// The PR-3 commands `insert`/`erase` remain as deprecated aliases of
+// `collection upsert`/`collection delete`.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -29,7 +41,9 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "core/collection.h"
 #include "core/db_lsh.h"
 #include "core/index_factory.h"
 #include "dataset/ground_truth.h"
@@ -78,7 +92,8 @@ class Args {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: dblsh_tool <methods|gen|build|query|stats> [--flags]\n"
+      "usage: dblsh_tool <methods|gen|build|query|collection|stats> "
+      "[--flags]\n"
       "  methods  list registered index methods for --method specs\n"
       "  gen    --out=F.fvecs --n=N --dim=D [--clusters=C] "
       "[--spread=S] [--seed=X]\n"
@@ -86,16 +101,69 @@ int Usage() {
       "[--l=5] [--k=0] [--t=0]\n"
       "  query  --data=F.fvecs --queries=Q.fvecs (--index=F.idx | "
       "--method=SPEC) [--k=10] [--budget=T] [--gt]\n"
-      "  insert --data=F.fvecs --index=F.idx --vectors=V.fvecs\n"
-      "  erase  --data=F.fvecs --index=F.idx --ids=3,17,42\n"
+      "  collection upsert --data=F.fvecs --index=F.idx "
+      "--vectors=V.fvecs\n"
+      "  collection delete --data=F.fvecs --index=F.idx --ids=3,17,42\n"
+      "  collection search --data=F.fvecs --queries=Q.fvecs "
+      "[--indexes=\"SPEC; SPEC\"] [--use=NAME]\n"
+      "                    [--k=10] [--budget=T] "
+      "[--filter=[allow:|deny:]IDS] [--gt]\n"
       "  stats  --data=F.fvecs\n"
       "SPEC is an IndexFactory string, e.g. \"DB-LSH,c=1.5,t=40\" or "
-      "\"PM-LSH,m=8\".\n"
+      "\"PM-LSH,m=8\";\n"
+      "collection specs also accept name= and rebuild_threshold= keys.\n"
       "--budget overrides DB-LSH's candidate budget t per query without "
       "rebuilding.\n"
-      "insert/erase update the data and index files in place (no "
-      "rebuild).\n");
+      "collection upsert/delete update the data and index files in place "
+      "(no rebuild);\n"
+      "the legacy spellings `insert`/`erase` are deprecated aliases.\n");
   return 2;
+}
+
+// Parses a comma-separated id list ("3,17,42") into `out`; prints the
+// offending token and returns false on garbage.
+bool ParseIdList(const std::string& text, const char* flag,
+                 std::vector<uint32_t>* out) {
+  for (size_t pos = 0; pos < text.size();) {
+    const size_t comma = text.find(',', pos);
+    const std::string token =
+        text.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    pos = comma == std::string::npos ? text.size() : comma + 1;
+    if (token.empty()) continue;
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' || errno == ERANGE ||
+        value > std::numeric_limits<uint32_t>::max()) {
+      std::fprintf(stderr, "%s: \"%s\" is not a valid point id\n", flag,
+                   token.c_str());
+      return false;
+    }
+    out->push_back(static_cast<uint32_t>(value));
+  }
+  return true;
+}
+
+// Parses --filter=[allow:|deny:]IDS into a QueryFilter (bare id lists are
+// allow-lists). Returns false on parse failure.
+bool ParseFilter(const std::string& text, QueryFilter* out) {
+  std::string ids = text;
+  bool deny = false;
+  if (ids.rfind("deny:", 0) == 0) {
+    deny = true;
+    ids = ids.substr(5);
+  } else if (ids.rfind("allow:", 0) == 0) {
+    ids = ids.substr(6);
+  }
+  std::vector<uint32_t> parsed;
+  if (!ParseIdList(ids, "--filter", &parsed)) return false;
+  if (parsed.empty()) {
+    std::fprintf(stderr, "--filter: no ids given\n");
+    return false;
+  }
+  *out = deny ? QueryFilter::Deny(parsed) : QueryFilter::AllowOnly(parsed);
+  return true;
 }
 
 int RunMethods() {
@@ -275,118 +343,202 @@ int RunQuery(const Args& args) {
   return 0;
 }
 
-// Shared front half of insert/erase: load the data file and restore the
-// persisted index over it. `data` must outlive the returned index.
-std::optional<DbLsh> LoadDataAndIndex(const Args& args, FloatMatrix* data,
-                                      std::string* data_path,
-                                      std::string* index_path) {
+// Shared front half of collection upsert/delete: load the data file, adopt
+// the persisted DB-LSH index into a Collection under the slot name "main"
+// — no rebuild, the loaded structures serve as-is.
+std::unique_ptr<Collection> LoadCollection(const Args& args,
+                                           std::string* data_path,
+                                           std::string* index_path) {
   *data_path = args.Get("data", "");
   *index_path = args.Get("index", "");
-  if (data_path->empty() || index_path->empty()) return std::nullopt;
+  if (data_path->empty() || index_path->empty()) return nullptr;
   auto loaded_data = LoadFvecs(*data_path);
   if (!loaded_data.ok()) {
     std::fprintf(stderr, "%s\n", loaded_data.status().ToString().c_str());
-    return std::nullopt;
+    return nullptr;
   }
-  *data = std::move(loaded_data).value();
-  auto loaded = DbLsh::Load(*index_path, data);
+  auto data =
+      std::make_unique<FloatMatrix>(std::move(loaded_data).value());
+  auto loaded = DbLsh::Load(*index_path, data.get());
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-    return std::nullopt;
+    return nullptr;
   }
-  return std::move(loaded).value();
+  auto collection = std::make_unique<Collection>(std::move(data));
+  Status s = collection->AddPrebuiltIndex(
+      "main", std::make_unique<DbLsh>(std::move(loaded).value()));
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return nullptr;
+  }
+  return collection;
 }
 
-int RunInsert(const Args& args) {
+// Persists the collection's state back to the files the session loaded:
+// the data file when `rewrite_data` (upserts change rows), and always the
+// index file (it stores the tombstone set).
+int SaveCollection(const Collection& collection, const std::string& data_path,
+                   const std::string& index_path, bool rewrite_data) {
+  if (rewrite_data) {
+    if (Status s = SaveFvecs(collection.Snapshot(), data_path); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  const auto* db = dynamic_cast<const DbLsh*>(collection.GetIndex("main"));
+  if (Status s = db->Save(index_path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int RunCollectionUpsert(const Args& args) {
   const std::string vectors_path = args.Get("vectors", "");
   if (vectors_path.empty()) return Usage();
-  FloatMatrix data;
   std::string data_path, index_path;
-  auto index = LoadDataAndIndex(args, &data, &data_path, &index_path);
-  if (!index.has_value()) return data_path.empty() ? Usage() : 1;
+  auto collection = LoadCollection(args, &data_path, &index_path);
+  if (collection == nullptr) return data_path.empty() ? Usage() : 1;
   auto vectors = LoadFvecs(vectors_path);
   if (!vectors.ok()) {
     std::fprintf(stderr, "%s\n", vectors.status().ToString().c_str());
     return 1;
   }
-  if (vectors.value().cols() != data.cols()) {
-    std::fprintf(stderr,
-                 "dimension mismatch: vectors are %zu-d, dataset is %zu-d\n",
-                 vectors.value().cols(), data.cols());
-    return 1;
-  }
   Timer timer;
-  std::printf("inserted ids:");
+  std::printf("upserted ids:");
   for (size_t r = 0; r < vectors.value().rows(); ++r) {
-    const uint32_t id = data.InsertRow(vectors.value().row(r), data.cols());
-    if (Status s = index->Insert(id); !s.ok()) {
-      std::fprintf(stderr, "\n%s\n", s.ToString().c_str());
+    auto up = collection->Upsert(vectors.value().row(r),
+                                 vectors.value().cols());
+    if (!up.ok()) {
+      std::fprintf(stderr, "\n%s\n", up.status().ToString().c_str());
       return 1;
     }
-    std::printf(" %u", id);
+    std::printf(" %u", up.value());
   }
-  std::printf("\ninserted %zu vectors in %.3f s (index now spans %zu live "
-              "points)\n",
-              vectors.value().rows(), timer.ElapsedSec(), data.live_rows());
-  if (Status s = SaveFvecs(data, data_path); !s.ok()) {
-    std::fprintf(stderr, "%s\n", s.ToString().c_str());
-    return 1;
-  }
-  if (Status s = index->Save(index_path); !s.ok()) {
-    std::fprintf(stderr, "%s\n", s.ToString().c_str());
-    return 1;
+  std::printf("\nupserted %zu vectors in %.3f s (collection now serves %zu "
+              "live points)\n",
+              vectors.value().rows(), timer.ElapsedSec(),
+              collection->size());
+  if (int rc = SaveCollection(*collection, data_path, index_path,
+                              /*rewrite_data=*/true); rc != 0) {
+    return rc;
   }
   std::printf("updated %s and %s\n", data_path.c_str(), index_path.c_str());
   return 0;
 }
 
-int RunErase(const Args& args) {
+int RunCollectionDelete(const Args& args) {
   const std::string ids_arg = args.Get("ids", "");
   if (ids_arg.empty()) return Usage();
-  FloatMatrix data;
   std::string data_path, index_path;
-  auto index = LoadDataAndIndex(args, &data, &data_path, &index_path);
-  if (!index.has_value()) return data_path.empty() ? Usage() : 1;
-  size_t erased = 0;
-  for (size_t pos = 0; pos < ids_arg.size();) {
-    const size_t comma = ids_arg.find(',', pos);
-    const std::string token =
-        ids_arg.substr(pos, comma == std::string::npos ? std::string::npos
-                                                       : comma - pos);
-    pos = comma == std::string::npos ? ids_arg.size() : comma + 1;
-    if (token.empty()) continue;
-    char* end = nullptr;
-    errno = 0;
-    const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
-    if (end == token.c_str() || *end != '\0' || errno == ERANGE ||
-        value > std::numeric_limits<uint32_t>::max()) {
-      std::fprintf(stderr, "--ids: \"%s\" is not a valid point id\n",
-                   token.c_str());
-      return 2;
-    }
-    const auto id = static_cast<uint32_t>(value);
-    // Dataset tombstone first (makes the id unreturnable everywhere), then
-    // the structural removal that frees the slot for recycling.
-    if (Status s = data.EraseRow(id); !s.ok()) {
+  auto collection = LoadCollection(args, &data_path, &index_path);
+  if (collection == nullptr) return data_path.empty() ? Usage() : 1;
+  std::vector<uint32_t> ids;
+  if (!ParseIdList(ids_arg, "--ids", &ids)) return 2;
+  for (const uint32_t id : ids) {
+    if (Status s = collection->Delete(id); !s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
     }
-    if (Status s = index->Erase(id); !s.ok()) {
-      std::fprintf(stderr, "%s\n", s.ToString().c_str());
-      return 1;
-    }
-    ++erased;
   }
-  std::printf("erased %zu ids (%zu live points remain)\n", erased,
-              data.live_rows());
-  if (Status s = index->Save(index_path); !s.ok()) {
-    std::fprintf(stderr, "%s\n", s.ToString().c_str());
-    return 1;
+  std::printf("deleted %zu ids (%zu live points remain)\n", ids.size(),
+              collection->size());
+  if (int rc = SaveCollection(*collection, data_path, index_path,
+                              /*rewrite_data=*/false); rc != 0) {
+    return rc;
   }
   std::printf("updated %s (tombstones are stored in the index file; the "
               "data file is unchanged)\n",
               index_path.c_str());
   return 0;
+}
+
+int RunCollectionSearch(const Args& args) {
+  const std::string data_path = args.Get("data", "");
+  const std::string query_path = args.Get("queries", "");
+  if (data_path.empty() || query_path.empty()) return Usage();
+  auto data = LoadFvecs(data_path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  auto queries = LoadFvecs(query_path);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+
+  QueryRequest request;
+  request.k = static_cast<size_t>(args.GetInt("k", 10));
+  request.candidate_budget = static_cast<size_t>(args.GetInt("budget", 0));
+  const std::string filter_arg = args.Get("filter", "");
+  if (!filter_arg.empty() && !ParseFilter(filter_arg, &request.filter)) {
+    return 2;
+  }
+
+  const std::string indexes = args.Get("indexes", "DB-LSH");
+  Timer build_timer;
+  auto made = Collection::FromSpec(
+      "collection: " + indexes,
+      std::make_unique<FloatMatrix>(std::move(data).value()));
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  Collection& collection = *made.value();
+  std::printf("collection over %zu points built in %.3f s; serving via %s\n",
+              collection.size(), build_timer.ElapsedSec(),
+              args.Has("use") ? args.Get("use", "").c_str()
+                              : "best-capable index");
+
+  const std::string use = args.Get("use", "");
+  const bool with_gt = args.Has("gt");
+  Timer timer;
+  auto responses =
+      collection.SearchBatch(queries.value(), request, use,
+                             /*num_threads=*/1);
+  const double total_ms = timer.ElapsedMs();
+  if (!responses.ok()) {
+    std::fprintf(stderr, "%s\n", responses.status().ToString().c_str());
+    return 1;
+  }
+
+  // Ground truth respects the same filter (the oracle a filtered serving
+  // path is judged against).
+  const FloatMatrix snapshot = with_gt ? collection.Snapshot() : FloatMatrix();
+  double recall = 0.0, ratio = 0.0, candidates = 0.0;
+  for (size_t q = 0; q < responses.value().size(); ++q) {
+    const QueryResponse& response = responses.value()[q];
+    std::printf("query %zu:", q);
+    for (const auto& nb : response.neighbors) {
+      std::printf(" %u(%.4f)", nb.id, nb.dist);
+    }
+    std::printf("\n");
+    candidates += double(response.stats.candidates_verified);
+    if (with_gt) {
+      ScopedQueryFilter gt_filter(&request.filter);
+      const auto gt = ExactKnn(snapshot, queries.value().row(q), request.k);
+      recall += eval::Recall(response.neighbors, gt);
+      ratio += eval::OverallRatio(response.neighbors, gt);
+    }
+  }
+  const auto denom = static_cast<double>(
+      queries.value().rows() ? queries.value().rows() : 1);
+  std::printf("avg query time: %.3f ms  avg candidates: %.0f\n",
+              total_ms / denom, candidates / denom);
+  if (with_gt) {
+    std::printf("recall@%zu: %.4f  overall ratio: %.4f\n", request.k,
+                recall / denom, ratio / denom);
+  }
+  return 0;
+}
+
+int RunCollection(int argc, char** argv, const Args& args) {
+  const std::string sub = argc >= 3 ? argv[2] : "";
+  if (sub == "upsert") return RunCollectionUpsert(args);
+  if (sub == "delete") return RunCollectionDelete(args);
+  if (sub == "search") return RunCollectionSearch(args);
+  return Usage();
 }
 
 int RunStats(const Args& args) {
@@ -419,8 +571,18 @@ int main(int argc, char** argv) {
   if (command == "gen") return dblsh::RunGen(args);
   if (command == "build") return dblsh::RunBuild(args);
   if (command == "query") return dblsh::RunQuery(args);
-  if (command == "insert") return dblsh::RunInsert(args);
-  if (command == "erase") return dblsh::RunErase(args);
+  if (command == "collection") return dblsh::RunCollection(argc, argv, args);
+  // PR-3 spellings, kept as deprecation aliases of the collection path.
+  if (command == "insert") {
+    std::fprintf(stderr, "note: `insert` is deprecated; use `dblsh_tool "
+                         "collection upsert`\n");
+    return dblsh::RunCollectionUpsert(args);
+  }
+  if (command == "erase") {
+    std::fprintf(stderr, "note: `erase` is deprecated; use `dblsh_tool "
+                         "collection delete`\n");
+    return dblsh::RunCollectionDelete(args);
+  }
   if (command == "stats") return dblsh::RunStats(args);
   return dblsh::Usage();
 }

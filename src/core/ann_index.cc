@@ -4,6 +4,8 @@
 #include <atomic>
 #include <thread>
 
+#include "core/verify.h"
+
 namespace dblsh {
 
 namespace detail {
@@ -48,6 +50,10 @@ Status AnnIndex::Erase(uint32_t /*id*/) {
 QueryResponse AnnIndex::Search(const float* query,
                                const QueryRequest& request) const {
   QueryResponse response;
+  // Push the request's filter down into the shared verification path for
+  // the duration of the per-method Query() hook (thread-local, so batched
+  // workers each install their own).
+  ScopedQueryFilter filter_scope(&request.filter);
   response.neighbors = Query(query, request.k, &response.stats);
   return response;
 }

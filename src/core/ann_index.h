@@ -21,6 +21,14 @@ namespace dblsh {
 /// QueryBatch(). The narrow `Query(ptr, k, stats*)` virtual remains as the
 /// per-method implementation hook; new callers use the request/response
 /// API, which folds QueryStats into the result.
+///
+/// Serving note: AnnIndex is the per-method plumbing layer. Applications
+/// that own a mutable dataset, want several methods over it, need
+/// concurrent reads under writes, or want the update protocol sequenced
+/// for them should use dblsh::Collection (core/collection.h) — the façade
+/// that wraps any number of AnnIndex instances behind one transactional
+/// Upsert/Delete/Search surface. The raw Insert()/Erase() protocol below
+/// remains available for single-index, single-threaded callers.
 class AnnIndex {
  public:
   virtual ~AnnIndex() = default;
@@ -40,7 +48,11 @@ class AnnIndex {
   /// Answers one query described by `request`. The base implementation
   /// forwards to Query(query, request.k); methods with per-query knobs
   /// (DB-LSH's candidate budget / starting radius) override it to honor
-  /// the request's overrides.
+  /// the request's overrides. Every implementation (base and overrides)
+  /// installs `request.filter` into the shared verification path for the
+  /// duration of the call, so filtered search works identically for all
+  /// methods — overriders must do the same (see core/verify.h's
+  /// ScopedQueryFilter).
   virtual QueryResponse Search(const float* query,
                                const QueryRequest& request) const;
 
@@ -55,11 +67,12 @@ class AnnIndex {
                                                 size_t num_threads = 0) const;
 
   /// True when concurrent Search() calls on one built index are safe. The
-  /// default is false: most LSH methods (DB-LSH's default-scratch Search
-  /// included) keep epoch-stamped per-query scratch in `mutable` members,
-  /// making them thread-compatible but not thread-safe. LinearScan, whose
-  /// read path is reentrant, opts in. For parallel DB-LSH queries use
-  /// QueryBatch, which it overrides with one QueryScratch per worker.
+  /// default is false: most LSH baselines keep epoch-stamped per-query
+  /// scratch in `mutable` members, making them thread-compatible but not
+  /// thread-safe. LinearScan (reentrant read path) and DB-LSH/FB-LSH
+  /// (thread-local query scratch) opt in, which is what lets a Collection
+  /// serve them to many reader threads under one shared lock; Collection
+  /// serializes queries to the remaining methods per index.
   virtual bool SupportsConcurrentQueries() const { return false; }
 
   /// True when this built index implements Insert()/Erase() natively, i.e.

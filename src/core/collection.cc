@@ -1,0 +1,373 @@
+#include "core/collection.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#include "core/index_factory.h"
+#include "util/text.h"
+
+namespace dblsh {
+
+Collection::Collection(size_t dim)
+    : data_(std::make_unique<FloatMatrix>(0, dim)) {}
+
+Collection::Collection(std::unique_ptr<FloatMatrix> data)
+    : data_(std::move(data)) {
+  assert(data_ != nullptr);
+}
+
+Result<std::unique_ptr<Collection>> Collection::FromSpec(
+    const std::string& spec, std::unique_ptr<FloatMatrix> data) {
+  static const char* kGrammar =
+      "collection spec grammar: \"collection: INDEX_SPEC (; INDEX_SPEC)*\", "
+      "e.g. \"collection: DB-LSH,c=1.5; PM-LSH,rebuild_threshold=500\"";
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos ||
+      !text::EqualsIgnoreCase(text::Trim(spec.substr(0, colon)),
+                              "collection")) {
+    return Status::InvalidArgument(
+        "missing \"collection:\" prefix in \"" + spec + "\"; " + kGrammar);
+  }
+  auto collection = std::make_unique<Collection>(std::move(data));
+  const std::string body = spec.substr(colon + 1);
+  size_t added = 0;
+  size_t pos = 0;
+  while (pos <= body.size()) {
+    const size_t semi = body.find(';', pos);
+    const std::string part = text::Trim(
+        body.substr(pos, semi == std::string::npos ? std::string::npos
+                                                   : semi - pos));
+    pos = (semi == std::string::npos) ? body.size() + 1 : semi + 1;
+    if (part.empty()) {
+      return Status::InvalidArgument("empty index spec in \"" + spec +
+                                     "\"; " + std::string(kGrammar));
+    }
+    DBLSH_RETURN_IF_ERROR(collection->AddIndex(part));
+    ++added;
+  }
+  if (added == 0) {
+    return Status::InvalidArgument("collection spec names no indexes; " +
+                                   std::string(kGrammar));
+  }
+  return collection;
+}
+
+Status Collection::AddIndex(const std::string& index_spec) {
+  auto parsed = IndexFactory::Spec::Parse(index_spec);
+  if (!parsed.ok()) return parsed.status();
+  const IndexFactory::Spec& spec = parsed.value();
+
+  // Peel off the collection-level keys before the factory sees the spec.
+  std::string slot_name;
+  size_t rebuild_threshold = kDefaultRebuildThreshold;
+  std::string method_spec = spec.name();
+  for (const auto& [key, value] : spec.values()) {
+    if (key == "name") {
+      slot_name = value;
+      continue;
+    }
+    if (key == "rebuild_threshold") {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || value.front() == '-') {
+        return Status::InvalidArgument(
+            "collection key \"rebuild_threshold\" expects a non-negative "
+            "integer, got \"" + value + "\"");
+      }
+      rebuild_threshold = std::max<size_t>(1, static_cast<size_t>(n));
+      continue;
+    }
+    method_spec += "," + key + "=" + value;
+  }
+
+  auto made = IndexFactory::Make(method_spec);
+  if (!made.ok()) return made.status();
+  if (slot_name.empty()) slot_name = made.value()->Name();
+
+  std::unique_lock lock(mutex_);
+  for (const Slot& slot : slots_) {
+    if (slot.name == slot_name) {
+      return Status::InvalidArgument(
+          "collection already has an index named \"" + slot_name +
+          "\"; disambiguate with a name= spec key");
+    }
+  }
+  Slot slot;
+  slot.name = std::move(slot_name);
+  slot.method_spec = method_spec;
+  slot.index = std::move(made).value();
+  slot.rebuild_threshold = rebuild_threshold;
+  slot.query_mutex = std::make_unique<std::mutex>();
+  if (data_->live_rows() > 0) {
+    DBLSH_RETURN_IF_ERROR(slot.index->Build(data_.get()));
+    slot.built = true;
+  }
+  // Empty collection: stay unbuilt; the first mutation triggers the lazy
+  // build (MaybeRebuildLocked).
+  slots_.push_back(std::move(slot));
+  return Status::OK();
+}
+
+Status Collection::AddPrebuiltIndex(const std::string& name,
+                                    std::unique_ptr<AnnIndex> index,
+                                    size_t rebuild_threshold) {
+  if (index == nullptr) {
+    return Status::InvalidArgument("AddPrebuiltIndex: index is null");
+  }
+  std::unique_lock lock(mutex_);
+  for (const Slot& slot : slots_) {
+    if (slot.name == name) {
+      return Status::InvalidArgument(
+          "collection already has an index named \"" + name + "\"");
+    }
+  }
+  Slot slot;
+  slot.name = name;
+  slot.method_spec = index->Name() + " (prebuilt)";
+  slot.index = std::move(index);
+  slot.built = true;
+  slot.rebuild_threshold = std::max<size_t>(1, rebuild_threshold);
+  slot.query_mutex = std::make_unique<std::mutex>();
+  slots_.push_back(std::move(slot));
+  return Status::OK();
+}
+
+void Collection::MaybeRebuildLocked() {
+  for (Slot& slot : slots_) {
+    const bool lazy_first_build = !slot.built && data_->live_rows() > 0;
+    const bool threshold_hit =
+        slot.built && slot.staleness >= slot.rebuild_threshold;
+    if (!lazy_first_build && !threshold_hit) continue;
+    if (Status s = slot.index->Build(data_.get()); !s.ok()) {
+      // A failed (re)build leaves the slot out of service but the
+      // collection consistent: mark unbuilt so routing skips it, record
+      // the error for Indexes(), and retry at the next mutation. The
+      // mutation that got us here stays committed.
+      slot.built = false;
+      slot.build_error = s.ToString();
+      continue;
+    }
+    if (slot.built) ++slot.rebuilds;  // lazy first builds are not rebuilds
+    slot.built = true;
+    slot.staleness = 0;
+    slot.build_error.clear();
+  }
+}
+
+void Collection::CommitMutationLocked() {
+  for (Slot& slot : slots_) {
+    // Updatable built slots absorbed the mutation structurally (the caller
+    // ran Insert/Erase on them); everyone else just got staler.
+    if (!(slot.built && slot.index->SupportsUpdates())) ++slot.staleness;
+  }
+  MaybeRebuildLocked();
+  // Committed: exactly one epoch per successful mutation, build failures
+  // notwithstanding (failing slots are out of service, not blocking).
+  ++epoch_;
+}
+
+Result<uint32_t> Collection::Upsert(const float* vec, size_t len) {
+  std::unique_lock lock(mutex_);
+  if (len != data_->cols()) {
+    return Status::InvalidArgument(
+        "Upsert: vector has dimension " + std::to_string(len) +
+        ", collection serves " + std::to_string(data_->cols()));
+  }
+  const uint32_t id = data_->InsertRow(vec, len);
+  for (Slot& slot : slots_) {
+    if (!slot.built || !slot.index->SupportsUpdates()) continue;
+    if (Status s = slot.index->Insert(id); !s.ok()) {
+      // Self-heal: a structural insert failure leaves that one index
+      // missing the id; forcing its staleness to the threshold makes
+      // CommitMutationLocked rebuild it over the live rows, restoring
+      // coherence without unwinding the committed dataset state.
+      slot.staleness = slot.rebuild_threshold;
+    }
+  }
+  CommitMutationLocked();
+  return id;
+}
+
+Result<uint32_t> Collection::Upsert(uint32_t id, const float* vec,
+                                    size_t len) {
+  std::unique_lock lock(mutex_);
+  if (len != data_->cols()) {
+    return Status::InvalidArgument(
+        "Upsert: vector has dimension " + std::to_string(len) +
+        ", collection serves " + std::to_string(data_->cols()));
+  }
+  if (id >= data_->rows() || data_->IsDeleted(id)) {
+    return Status::NotFound("Upsert: id " + std::to_string(id) +
+                            " is not a live vector");
+  }
+  // Fused replace: tombstone + structural erase, then recycle the slot —
+  // FloatMatrix's free-list is LIFO, so InsertRow hands the same id back —
+  // and re-insert. All under one write transaction: no reader ever sees
+  // the id missing.
+  DBLSH_RETURN_IF_ERROR(data_->EraseRow(id));
+  for (Slot& slot : slots_) {
+    if (!slot.built || !slot.index->SupportsUpdates()) continue;
+    if (Status s = slot.index->Erase(id); !s.ok()) {
+      slot.staleness = slot.rebuild_threshold;  // self-heal via rebuild
+      continue;
+    }
+    // Erased cleanly: the matching Insert below restores the id.
+  }
+  const uint32_t recycled = data_->InsertRow(vec, len);
+  assert(recycled == id && "LIFO free-list must hand the slot straight back");
+  for (Slot& slot : slots_) {
+    if (!slot.built || !slot.index->SupportsUpdates()) continue;
+    if (slot.staleness >= slot.rebuild_threshold) continue;  // rebuilding
+    if (Status s = slot.index->Insert(recycled); !s.ok()) {
+      slot.staleness = slot.rebuild_threshold;
+    }
+  }
+  CommitMutationLocked();
+  return recycled;
+}
+
+Status Collection::Delete(uint32_t id) {
+  std::unique_lock lock(mutex_);
+  if (id >= data_->rows()) {
+    return Status::NotFound("Delete: id " + std::to_string(id) +
+                            " was never assigned");
+  }
+  DBLSH_RETURN_IF_ERROR(data_->EraseRow(id));  // NotFound when already gone
+  for (Slot& slot : slots_) {
+    if (!slot.built || !slot.index->SupportsUpdates()) continue;
+    if (Status s = slot.index->Erase(id); !s.ok()) {
+      slot.staleness = slot.rebuild_threshold;  // self-heal via rebuild
+    }
+  }
+  CommitMutationLocked();
+  return Status::OK();
+}
+
+int Collection::RouteLocked(const std::string& index_name,
+                            Status* why) const {
+  if (!index_name.empty()) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].name != index_name) continue;
+      if (!slots_[i].built) {
+        *why = Status::InvalidArgument(
+            "collection index \"" + index_name +
+            "\" is not built yet (collection was empty when it was added)");
+        return -1;
+      }
+      return static_cast<int>(i);
+    }
+    *why = Status::NotFound("collection has no index named \"" + index_name +
+                            "\"");
+    return -1;
+  }
+  // Best-capable routing: the freshest built slot, insertion order as the
+  // tie-break (so callers list their preferred method first).
+  int best = -1;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].built) continue;
+    if (best < 0 || slots_[i].staleness <
+                        slots_[static_cast<size_t>(best)].staleness) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) {
+    *why = Status::InvalidArgument(
+        slots_.empty() ? "collection has no indexes; AddIndex first"
+                       : "collection has no built index yet; Upsert data "
+                         "first");
+  }
+  return best;
+}
+
+Result<QueryResponse> Collection::Search(const float* query,
+                                         const QueryRequest& request,
+                                         const std::string& index_name) const {
+  std::shared_lock lock(mutex_);
+  Status why = Status::OK();
+  const int route = RouteLocked(index_name, &why);
+  if (route < 0) return why;
+  const Slot& slot = slots_[static_cast<size_t>(route)];
+  if (slot.index->SupportsConcurrentQueries()) {
+    return slot.index->Search(query, request);
+  }
+  // Thread-compatible read path: readers of this slot serialize among
+  // themselves (writers are already excluded by the shared lock).
+  std::lock_guard slot_lock(*slot.query_mutex);
+  return slot.index->Search(query, request);
+}
+
+Result<std::vector<QueryResponse>> Collection::SearchBatch(
+    const FloatMatrix& queries, const QueryRequest& request,
+    const std::string& index_name, size_t num_threads) const {
+  std::shared_lock lock(mutex_);
+  if (!queries.empty() && queries.cols() != data_->cols()) {
+    return Status::InvalidArgument(
+        "SearchBatch: queries have dimension " +
+        std::to_string(queries.cols()) + ", collection serves " +
+        std::to_string(data_->cols()));
+  }
+  Status why = Status::OK();
+  const int route = RouteLocked(index_name, &why);
+  if (route < 0) return why;
+  const Slot& slot = slots_[static_cast<size_t>(route)];
+  if (slot.index->SupportsConcurrentQueries()) {
+    return slot.index->QueryBatch(queries, request, num_threads);
+  }
+  std::lock_guard slot_lock(*slot.query_mutex);
+  return slot.index->QueryBatch(queries, request, num_threads);
+}
+
+size_t Collection::size() const {
+  std::shared_lock lock(mutex_);
+  return data_->live_rows();
+}
+
+size_t Collection::dim() const {
+  std::shared_lock lock(mutex_);
+  return data_->cols();
+}
+
+uint64_t Collection::epoch() const {
+  std::shared_lock lock(mutex_);
+  return epoch_;
+}
+
+std::vector<CollectionIndexInfo> Collection::Indexes() const {
+  std::shared_lock lock(mutex_);
+  std::vector<CollectionIndexInfo> infos;
+  infos.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    CollectionIndexInfo info;
+    info.name = slot.name;
+    info.method = slot.index->Name();
+    info.supports_updates = slot.index->SupportsUpdates();
+    info.concurrent_queries = slot.index->SupportsConcurrentQueries();
+    info.built = slot.built;
+    info.staleness = slot.staleness;
+    info.rebuild_threshold = slot.rebuild_threshold;
+    info.rebuilds = slot.rebuilds;
+    info.build_error = slot.build_error;
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+const AnnIndex* Collection::GetIndex(const std::string& name) const {
+  std::shared_lock lock(mutex_);
+  for (const Slot& slot : slots_) {
+    if (slot.name == name) return slot.index.get();
+  }
+  return nullptr;
+}
+
+FloatMatrix Collection::Snapshot() const {
+  std::shared_lock lock(mutex_);
+  return *data_;
+}
+
+}  // namespace dblsh

@@ -1,0 +1,295 @@
+#ifndef DBLSH_CORE_COLLECTION_H_
+#define DBLSH_CORE_COLLECTION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/ann_index.h"
+#include "core/query.h"
+#include "dataset/float_matrix.h"
+#include "util/status.h"
+
+namespace dblsh {
+
+/// Writer-priority shared mutex for the Collection's single-writer /
+/// multi-reader discipline. std::shared_mutex is reader-preferring on
+/// glibc: a saturating stream of readers holds the lock permanently
+/// read-locked and starves the writer forever — the exact traffic shape a
+/// serving collection sees. This lock instead parks new readers as soon as
+/// a writer is waiting, so mutations commit promptly and readers resume on
+/// the new epoch. In-flight readers always drain first (a writer never
+/// preempts a running query). Meets the Lockable / SharedLockable
+/// requirements used by std::unique_lock / std::shared_lock.
+///
+/// The mirror-image hazard (a saturating writer starving readers) does not
+/// arise in the intended single-writer deployment; callers running many
+/// writer threads should batch their mutations instead.
+class WriterPriorityMutex {
+ public:
+  /// Shared (reader) acquisition; blocks while a writer holds or awaits
+  /// the lock.
+  void lock_shared() {
+    std::unique_lock lock(mutex_);
+    reader_cv_.wait(lock,
+                    [&] { return !writer_active_ && writers_waiting_ == 0; });
+    ++readers_;
+  }
+
+  /// Shared release; wakes a waiting writer once the last reader drains.
+  void unlock_shared() {
+    std::unique_lock lock(mutex_);
+    if (--readers_ == 0) writer_cv_.notify_one();
+  }
+
+  /// Exclusive (writer) acquisition; new readers queue behind it.
+  void lock() {
+    std::unique_lock lock(mutex_);
+    ++writers_waiting_;
+    writer_cv_.wait(lock, [&] { return !writer_active_ && readers_ == 0; });
+    --writers_waiting_;
+    writer_active_ = true;
+  }
+
+  /// Exclusive release; preferentially hands off to the next writer.
+  void unlock() {
+    std::unique_lock lock(mutex_);
+    writer_active_ = false;
+    if (writers_waiting_ > 0) {
+      writer_cv_.notify_one();
+    } else {
+      reader_cv_.notify_all();
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable reader_cv_;
+  std::condition_variable writer_cv_;
+  size_t readers_ = 0;
+  size_t writers_waiting_ = 0;
+  bool writer_active_ = false;
+};
+
+/// Public snapshot of one index slot of a Collection (see
+/// Collection::Indexes()).
+struct CollectionIndexInfo {
+  std::string name;          ///< slot name (`name=` spec key or method name)
+  std::string method;        ///< AnnIndex::Name() of the wrapped index
+  bool supports_updates = false;    ///< absorbs mutations in place
+  bool concurrent_queries = false;  ///< readers fan out without serializing
+  bool built = false;        ///< false until the first (lazy) build succeeds
+  size_t staleness = 0;      ///< mutations not yet absorbed by the structure
+  size_t rebuild_threshold = 0;  ///< staleness level that triggers a rebuild
+  size_t rebuilds = 0;       ///< automatic rebuilds performed so far
+  /// Message of the last failed automatic (re)build, empty when healthy.
+  /// A failing slot is out of service (routing skips it) until a later
+  /// mutation's retry succeeds; the mutation that triggered the build
+  /// still commits (see Upsert/Delete).
+  std::string build_error;
+};
+
+/// The serving façade: one mutable dataset plus any number of named ANN
+/// indexes over it, behind a single transactional surface —
+///
+///   auto made = Collection::FromSpec(
+///       "collection: DB-LSH,c=1.5; PM-LSH,rebuild_threshold=500",
+///       std::make_unique<FloatMatrix>(std::move(seed)));
+///   Collection& c = *made.value();
+///   uint32_t id = c.Upsert(vec.data(), dim).value();
+///   auto hits  = c.Search(query, request);             // best-capable index
+///   auto exact = c.Search(query, request, "PM-LSH");   // explicit routing
+///   c.Delete(id);
+///
+/// Compared with driving AnnIndex directly, the Collection sequences the
+/// PR-3 update protocol (dataset mutation first, then every index) for the
+/// caller, keeps N indexes coherent over one id space, and adds the two
+/// things serving needs:
+///
+/// **Concurrency — single writer / many readers, epoch-guarded.** All
+/// mutations (Upsert/Delete/AddIndex and automatic rebuilds) run under the
+/// collection's exclusive lock; Search/SearchBatch run under the shared
+/// lock. A reader therefore never observes a half-applied update: every
+/// query sees the dataset and every index exactly as some committed epoch
+/// left them. Each committed mutation advances the epoch counter
+/// (epoch()), which tests and monitoring use to tag what a reader saw.
+/// Reads on indexes whose SupportsConcurrentQueries() is false are
+/// additionally serialized per slot by a query mutex; DB-LSH/FB-LSH and
+/// LinearScan fan out freely.
+///
+/// **Rebuild scheduling.** Indexes with SupportsUpdates() == true absorb
+/// every mutation in place and are always current. For static methods the
+/// slot counts staleness — mutations the structure has not absorbed
+/// (deletes stay invisible thanks to the tombstone filter; inserts are
+/// simply not findable through that index until it rebuilds) — and the
+/// collection rebuilds the index over the live rows once staleness reaches
+/// the slot's `rebuild_threshold` (spec key; default
+/// kDefaultRebuildThreshold, minimum 1). Rebuilds run inside the same
+/// write transaction, so readers never see a partially built index.
+///
+/// Filtered search: requests pass through unchanged, so
+/// `QueryRequest::filter` (and the other per-query overrides) work for
+/// every index in the collection.
+class Collection {
+ public:
+  /// Default `rebuild_threshold` for index slots that do not set the spec
+  /// key: a static index is rebuilt after this many unabsorbed mutations.
+  static constexpr size_t kDefaultRebuildThreshold = 256;
+
+  /// An empty collection of `dim`-dimensional vectors (populate with
+  /// Upsert). Indexes added while the collection is empty build lazily on
+  /// the first mutation.
+  explicit Collection(size_t dim);
+
+  /// Takes ownership of `data` (seed rows; may carry tombstones). The
+  /// unique_ptr keeps the matrix's address stable, so indexes that were
+  /// built over *data before the hand-off stay valid — see
+  /// AddPrebuiltIndex().
+  explicit Collection(std::unique_ptr<FloatMatrix> data);
+
+  /// Builds a collection from the collection-level spec grammar
+  ///
+  ///   "collection: INDEX_SPEC (';' INDEX_SPEC)*"
+  ///
+  /// where each INDEX_SPEC is an IndexFactory spec ("DB-LSH,c=1.5") that
+  /// may additionally carry the collection-level keys `name=` (slot name;
+  /// defaults to the method name) and `rebuild_threshold=N`. Takes
+  /// ownership of `data` and adds every index, building each over the seed
+  /// rows; any parse or build error is returned and the partial collection
+  /// discarded. Returns by unique_ptr: a Collection owns synchronization
+  /// state and is not movable.
+  static Result<std::unique_ptr<Collection>> FromSpec(
+      const std::string& spec, std::unique_ptr<FloatMatrix> data);
+
+  Collection(const Collection&) = delete;
+  Collection& operator=(const Collection&) = delete;
+
+  /// Adds one index from an IndexFactory spec plus the optional
+  /// collection-level keys `name=` / `rebuild_threshold=` (stripped before
+  /// the factory sees the spec). Builds over the live rows now when the
+  /// collection is non-empty, lazily at the next mutation otherwise.
+  /// Duplicate slot names are InvalidArgument. Runs as a write
+  /// transaction.
+  Status AddIndex(const std::string& index_spec);
+
+  /// Registers an already-built index (e.g. restored via DbLsh::Load)
+  /// under `name` without rebuild downtime. Precondition: `index` was
+  /// built over this collection's matrix — the one passed to
+  /// Collection(std::unique_ptr<FloatMatrix>) — and is not used directly
+  /// afterwards.
+  Status AddPrebuiltIndex(const std::string& name,
+                          std::unique_ptr<AnnIndex> index,
+                          size_t rebuild_threshold = kDefaultRebuildThreshold);
+
+  /// Inserts one vector of length dim(), recycling a tombstoned slot when
+  /// one exists, and makes it visible to every updatable index; static
+  /// indexes count staleness and rebuild at their threshold. Returns the
+  /// id now serving the vector. The whole update commits atomically with
+  /// respect to readers.
+  ///
+  /// The returned status reports the *mutation*: once the arguments
+  /// validate, the vector is committed and the id returned. A failing
+  /// index (re)build scheduled by the mutation does not fail the
+  /// mutation — the slot drops out of service, the error is surfaced via
+  /// Indexes().build_error, and the build is retried at the next
+  /// mutation. (Same for Delete.)
+  Result<uint32_t> Upsert(const float* vec, size_t len);
+
+  /// Replaces the vector at live id `id` in place (the id keeps serving,
+  /// now with the new vector). Structurally: erase + insert fused into one
+  /// write transaction, so no reader ever sees the id absent. NotFound
+  /// when `id` is not live.
+  Result<uint32_t> Upsert(uint32_t id, const float* vec, size_t len);
+
+  /// Deletes live id `id`: tombstones the row (so no index, updatable or
+  /// not, can return it — enforced by the shared verification path) and
+  /// removes it from every updatable index's structures so the slot can be
+  /// recycled. NotFound when `id` is not live.
+  Status Delete(uint32_t id);
+
+  /// Serves one query from the named index, or — with `index_name` empty —
+  /// from the best-capable one: the built slot with the lowest staleness
+  /// (ties resolve to insertion order, so put the preferred method first).
+  /// Runs under the shared lock: safe to call from any number of threads
+  /// concurrently with one writer. NotFound for an unknown name,
+  /// InvalidArgument when no index is built yet.
+  Result<QueryResponse> Search(const float* query, const QueryRequest& request,
+                               const std::string& index_name = "") const;
+
+  /// Batched Search over every row of `queries` (one routing decision,
+  /// one lock acquisition); fans out over worker threads when the serving
+  /// index supports concurrent queries. `num_threads = 0` uses hardware
+  /// concurrency.
+  Result<std::vector<QueryResponse>> SearchBatch(
+      const FloatMatrix& queries, const QueryRequest& request,
+      const std::string& index_name = "", size_t num_threads = 0) const;
+
+  /// Live vectors currently served.
+  size_t size() const;
+
+  /// Vector dimensionality.
+  size_t dim() const;
+
+  /// Committed-mutation counter: advances by exactly one per successful
+  /// Upsert/Delete. Two equal observations bracket a mutation-free
+  /// interval (the test suite uses this to validate read consistency).
+  uint64_t epoch() const;
+
+  /// Per-slot status snapshot, in insertion order.
+  std::vector<CollectionIndexInfo> Indexes() const;
+
+  /// The named index, or nullptr. The pointer stays valid for the
+  /// collection's lifetime, but using it directly bypasses the collection's
+  /// locking — only touch it while no other thread mutates (intended for
+  /// persistence, e.g. dynamic_cast to DbLsh + Save()).
+  const AnnIndex* GetIndex(const std::string& name) const;
+
+  /// Copy of the backing matrix (rows, tombstones and all) taken under the
+  /// shared lock — a consistent basis for oracle checks and backups.
+  FloatMatrix Snapshot() const;
+
+ private:
+  struct Slot {
+    std::string name;
+    std::string method_spec;  ///< factory spec the index was made from
+    std::unique_ptr<AnnIndex> index;
+    bool built = false;
+    size_t staleness = 0;
+    size_t rebuild_threshold = kDefaultRebuildThreshold;
+    size_t rebuilds = 0;
+    std::string build_error;  ///< last failed automatic build, "" = healthy
+    /// Serializes queries on indexes whose read path is only
+    /// thread-compatible (SupportsConcurrentQueries() == false).
+    std::unique_ptr<std::mutex> query_mutex;
+  };
+
+  /// Applies one committed mutation to every slot: updatable built slots
+  /// already absorbed it structurally (callers do that), so this advances
+  /// staleness of static/unbuilt slots, triggers threshold rebuilds and
+  /// lazy first builds, and bumps the epoch. Caller holds the write lock.
+  void CommitMutationLocked();
+
+  /// Rebuilds every slot whose staleness reached its threshold and
+  /// first-builds lazy slots, over the current live rows. Build failures
+  /// take the slot out of service (recorded in Slot::build_error, retried
+  /// at the next mutation) without unwinding the committed dataset state.
+  /// Caller holds the write lock.
+  void MaybeRebuildLocked();
+
+  /// Index of the slot serving `index_name` (or the best-capable slot when
+  /// empty); negative on routing failure, with `*why` set. Caller holds at
+  /// least the shared lock.
+  int RouteLocked(const std::string& index_name, Status* why) const;
+
+  mutable WriterPriorityMutex mutex_;
+  std::unique_ptr<FloatMatrix> data_;
+  std::vector<Slot> slots_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace dblsh
+
+#endif  // DBLSH_CORE_COLLECTION_H_

@@ -124,8 +124,15 @@ Status DbLsh::Build(const FloatMatrix* data) {
     }
   }
 
-  default_scratch_ = QueryScratch();
   return Status::OK();
+}
+
+DbLsh::QueryScratch& DbLsh::ThreadLocalScratch() {
+  // Shared across instances on the thread; PrepareScratch re-sizes on row
+  // count mismatch (e.g. after a rebuild or when alternating indexes) and
+  // the monotone epoch keeps stale stamps inert.
+  static thread_local QueryScratch scratch;
+  return scratch;
 }
 
 uint32_t DbLsh::PrepareScratch(QueryScratch* scratch) const {
@@ -212,13 +219,17 @@ bool DbLsh::RunRound(const float* query, double r,
     if (verifier->Flush()) return true;  // window boundary: settle exits
   }
   // All L windows drained without termination: round reports "not done".
-  // (If every live point has been verified there is nothing left to find.)
-  return verifier->verified() >= data_->live_rows();
+  // (If every live point has been consumed — pushed, or dropped by the
+  // request's filter — there is nothing left to find. Counting filtered
+  // drops matters: a restrictive filter keeps the heap from filling and
+  // the budget from tripping, and without this exit the radius ladder
+  // would run its full 256 rounds of ever-larger window scans.)
+  return verifier->verified() + verifier->filtered() >= data_->live_rows();
 }
 
 std::vector<Neighbor> DbLsh::Query(const float* query, size_t k,
                                    QueryStats* stats) const {
-  return Query(query, k, stats, &default_scratch_);
+  return Query(query, k, stats, &ThreadLocalScratch());
 }
 
 std::vector<Neighbor> DbLsh::Query(const float* query, size_t k,
@@ -233,8 +244,9 @@ QueryResponse DbLsh::Search(const float* query,
   const size_t t =
       request.candidate_budget > 0 ? request.candidate_budget : params_.t;
   const double r0 = request.r0 > 0.0 ? request.r0 : auto_r0_;
+  ScopedQueryFilter filter_scope(&request.filter);
   response.neighbors = QueryImpl(query, request.k, t, r0, &response.stats,
-                                 &default_scratch_);
+                                 &ThreadLocalScratch());
   return response;
 }
 
@@ -256,6 +268,8 @@ std::vector<QueryResponse> DbLsh::QueryBatch(const FloatMatrix& queries,
     // One scratch per worker: the fully thread-safe read path.
     auto scratch = std::make_shared<QueryScratch>();
     return [this, scratch, &queries, &request, &responses, t, r0](size_t q) {
+      // Per-call scope on the worker thread: the filter is thread-local.
+      ScopedQueryFilter filter_scope(&request.filter);
       responses[q].neighbors = QueryImpl(queries.row(q), request.k, t, r0,
                                          &responses[q].stats, scratch.get());
     };
@@ -291,14 +305,15 @@ std::vector<Neighbor> DbLsh::QueryImpl(const float* query, size_t k, size_t t,
 std::optional<Neighbor> DbLsh::RcNnQuery(const float* query, double r,
                                          QueryStats* stats) const {
   assert(data_ != nullptr && "Build() must succeed before Query()");
-  const uint32_t epoch = PrepareScratch(&default_scratch_);
+  QueryScratch& scratch = ThreadLocalScratch();
+  const uint32_t epoch = PrepareScratch(&scratch);
   const size_t budget = 2 * params_.t * params_.l + 1;
   TopKHeap heap(1);
   CandidateVerifier verifier(query, data_, &heap, stats);
   verifier.set_budget(budget);
   if (stats != nullptr) ++stats->rounds;
   const bool done = RunRound(query, r, &verifier,
-                             &default_scratch_.visited_epoch_, epoch, stats);
+                             &scratch.visited_epoch_, epoch, stats);
   if (!done && heap.Size() == 0) return std::nullopt;
   std::vector<Neighbor> best = heap.TakeSorted();
   if (best.empty()) return std::nullopt;

@@ -79,9 +79,10 @@ class DbLsh : public AnnIndex {
   explicit DbLsh(DbLshParams params = DbLshParams());
 
   /// Reusable per-caller query state (visited-point stamps). `Query()`
-  /// without a scratch uses an index-internal one and is therefore only
-  /// thread-compatible; concurrent callers pass their own scratch to get a
-  /// fully thread-safe read path (see eval::ParallelQuery).
+  /// without a scratch uses a thread-local one, making the scratch-less
+  /// read path fully thread-safe; callers that want to control scratch
+  /// reuse across queries (eval::ParallelQuery, QueryBatch workers) pass
+  /// their own.
   class QueryScratch {
    public:
     QueryScratch() = default;
@@ -98,8 +99,8 @@ class DbLsh : public AnnIndex {
   /// L spaces and builds one index per space. Live rows only when `data`
   /// carries tombstones. `data` must outlive the index.
   Status Build(const FloatMatrix* data) override;
-  /// c-ANN query via the (r,c)-NN cascade. Uses the index-internal scratch:
-  /// thread-compatible, not thread-safe (see the scratch overload below).
+  /// c-ANN query via the (r,c)-NN cascade. Uses a thread-local scratch, so
+  /// concurrent calls from different threads are safe.
   std::vector<Neighbor> Query(const float* query, size_t k,
                               QueryStats* stats = nullptr) const override;
   /// Thread-safe variant: all mutable state lives in `scratch`.
@@ -115,6 +116,11 @@ class DbLsh : public AnnIndex {
   std::vector<QueryResponse> QueryBatch(const FloatMatrix& queries,
                                         const QueryRequest& request,
                                         size_t num_threads = 0) const override;
+  /// The read path is thread-safe: all per-query state lives in a scratch
+  /// (thread-local for the scratch-less overloads), every structure access
+  /// is const. This is what lets a Collection fan reader threads into one
+  /// built DB-LSH under its shared lock.
+  bool SupportsConcurrentQueries() const override { return true; }
   /// K*L: the paper's index-size proxy (n entries per hash function).
   size_t NumHashFunctions() const override { return params_.k * params_.l; }
 
@@ -183,6 +189,15 @@ class DbLsh : public AnnIndex {
   rtree::Rect MakeBucket(const float* proj_center, size_t tree_index,
                          double width) const;
 
+  /// The calling thread's scratch for the scratch-less Query()/Search()
+  /// overloads. One scratch is shared by every DbLsh instance on the
+  /// thread: PrepareScratch re-assigns the stamp buffer on row-count
+  /// mismatch (growing or shrinking — a thread parks at most one
+  /// dataset's worth of stamps, not a high-water mark) and its epoch is
+  /// monotone per scratch, so stamps written through one index can never
+  /// alias another index's current epoch.
+  static QueryScratch& ThreadLocalScratch();
+
   DbLshParams params_;
   const FloatMatrix* data_ = nullptr;
   std::unique_ptr<lsh::ProjectionBank> bank_;  // l*k functions
@@ -193,10 +208,6 @@ class DbLsh : public AnnIndex {
   /// FB-LSH fixed-grid mode so cell boundaries are unbiased.
   std::vector<float> grid_offsets_;
   double auto_r0_ = 1.0;
-  // Default scratch for the scratch-less Query() overload; epoch-stamped so
-  // consecutive queries need no clearing. Makes that overload
-  // thread-compatible only — concurrent callers use their own scratch.
-  mutable QueryScratch default_scratch_;
 };
 
 /// Applies spec keys (c, w0, k, l, t, r0, early_stop_slack, seed,

@@ -243,7 +243,6 @@ Result<DbLsh> DbLsh::Load(const std::string& path, FloatMatrix* data) {
           std::make_unique<kdtree::KdTree>(&index.projected_[i]));
     }
   }
-  index.default_scratch_ = QueryScratch();
   return index;
 }
 

@@ -5,8 +5,13 @@
 #include <cstdlib>
 #include <utility>
 
+#include "util/text.h"
+
 namespace dblsh {
 namespace {
+
+using text::Lower;
+using text::Trim;
 
 /// Lookup key for method names: upper-case, '-'/'_'/' ' stripped, so user
 /// spellings like "db-lsh", "DB_LSH" and "DBLSH" all resolve.
@@ -19,27 +24,6 @@ std::string CanonicalName(const std::string& name) {
         static_cast<char>(std::toupper(static_cast<unsigned char>(ch))));
   }
   return canonical;
-}
-
-std::string Trim(const std::string& text) {
-  size_t begin = 0;
-  size_t end = text.size();
-  while (begin < end &&
-         std::isspace(static_cast<unsigned char>(text[begin]))) {
-    ++begin;
-  }
-  while (end > begin &&
-         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
-    --end;
-  }
-  return text.substr(begin, end - begin);
-}
-
-std::string Lower(std::string text) {
-  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
-    return static_cast<char>(std::tolower(c));
-  });
-  return text;
 }
 
 struct Entry {

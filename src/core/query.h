@@ -1,7 +1,11 @@
 #ifndef DBLSH_CORE_QUERY_H_
 #define DBLSH_CORE_QUERY_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "util/top_k_heap.h"
@@ -18,10 +22,128 @@ struct QueryStats {
   size_t window_queries = 0;       ///< index probes issued
 };
 
+/// Per-query id filter attached to a QueryRequest. A default-constructed
+/// filter is *empty* and admits every id (the index default, consistent
+/// with the request's zero-means-default convention). Non-empty filters
+/// are enforced in the shared verification path (core/verify.h), so they
+/// apply identically to every registered method with no per-method code:
+/// a rejected id is dropped before the heap push — it consumes neither
+/// candidate budget nor `candidates_verified`, exactly like a tombstoned
+/// row.
+///
+/// Three flavors cover the common serving shapes:
+///  - AllowOnly(ids): results may contain ONLY the listed ids (metadata
+///    pre-filtering — "search within this user's documents").
+///  - Deny(ids): the listed ids never appear (exclusion lists, "hide what
+///    the user already saw").
+///  - Of(predicate): arbitrary admit callback for filters too dynamic to
+///    materialize; called per surviving candidate on the query thread.
+///
+/// Id-list flavors store a dense byte-map (O(1) per candidate) when the
+/// largest id is small enough, and fall back to a sorted list with binary
+/// search when it is not — so a sparse list with one huge (or garbage) id
+/// costs O(list) memory, never O(max id). Both are cheap to copy between
+/// requests; predicates carry whatever the std::function captures.
+class QueryFilter {
+ public:
+  /// Empty filter: admits every id.
+  QueryFilter() = default;
+
+  /// Admit only the listed ids (allow-list). An empty list produces an
+  /// empty *filter* (admit everything), not an admit-nothing one — empty
+  /// always means "index default".
+  static QueryFilter AllowOnly(const std::vector<uint32_t>& ids) {
+    QueryFilter f;
+    if (ids.empty()) return f;
+    f.mode_ = Mode::kAllow;
+    f.BuildSet(ids);
+    return f;
+  }
+
+  /// Never return the listed ids (deny-list). An empty list produces an
+  /// empty filter.
+  static QueryFilter Deny(const std::vector<uint32_t>& ids) {
+    QueryFilter f;
+    if (ids.empty()) return f;
+    f.mode_ = Mode::kDeny;
+    f.BuildSet(ids);
+    return f;
+  }
+
+  /// Admit ids for which `admit` returns true. A null callback produces an
+  /// empty filter.
+  static QueryFilter Of(std::function<bool(uint32_t)> admit) {
+    QueryFilter f;
+    if (!admit) return f;
+    f.mode_ = Mode::kPredicate;
+    f.admit_ = std::move(admit);
+    return f;
+  }
+
+  /// True when the filter admits every id (the default).
+  bool empty() const { return mode_ == Mode::kNone; }
+
+  /// True when `id` may appear in results. Ids outside the stored set
+  /// (e.g. rows appended after the filter was built) are denied by an
+  /// allow-list and admitted by a deny-list — the natural reading of each.
+  bool Admits(uint32_t id) const {
+    switch (mode_) {
+      case Mode::kNone:
+        return true;
+      case Mode::kAllow:
+        return Contains(id);
+      case Mode::kDeny:
+        return !Contains(id);
+      case Mode::kPredicate:
+        return admit_(id);
+    }
+    return true;  // unreachable
+  }
+
+ private:
+  enum class Mode : uint8_t { kNone, kAllow, kDeny, kPredicate };
+
+  /// Largest id the dense byte-map representation may span (4 MiB); id
+  /// sets reaching past it switch to the sorted-list representation so a
+  /// single stray huge id cannot balloon the filter.
+  static constexpr uint32_t kDenseLimit = 1u << 22;
+
+  void BuildSet(const std::vector<uint32_t>& ids) {
+    uint32_t max_id = 0;
+    for (const uint32_t id : ids) max_id = std::max(max_id, id);
+    if (max_id < kDenseLimit) {
+      bitmap_.assign(static_cast<size_t>(max_id) + 1, 0);
+      for (const uint32_t id : ids) bitmap_[id] = 1;
+      return;
+    }
+    sorted_ = ids;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_.erase(std::unique(sorted_.begin(), sorted_.end()),
+                  sorted_.end());
+  }
+
+  bool Contains(uint32_t id) const {
+    if (!bitmap_.empty()) return id < bitmap_.size() && bitmap_[id] != 0;
+    return std::binary_search(sorted_.begin(), sorted_.end(), id);
+  }
+
+  Mode mode_ = Mode::kNone;
+  std::vector<uint8_t> bitmap_;          // kAllow / kDeny, dense ids
+  std::vector<uint32_t> sorted_;         // kAllow / kDeny, sparse ids
+  std::function<bool(uint32_t)> admit_;  // kPredicate
+};
+
 /// One (c,k)-ANN query with optional per-query overrides of the index's
 /// tuning knobs. Fields an index does not support are silently ignored
 /// (a serving layer can attach the same request to every method in a
-/// lineup); zero always means "use the index's configured default".
+/// lineup).
+///
+/// Composition contract: the override fields are independent and compose —
+/// each is consulted on its own, so any subset may be set in one request.
+/// Zero (for numeric fields) / empty (for `filter`) always means "use the
+/// index's configured default", and a request left at the defaults is
+/// behaviorally identical to the plain Query() hook (round-tripped by
+/// tests/factory_test.cc).
 struct QueryRequest {
   size_t k = 10;  ///< neighbors requested
 
@@ -33,6 +155,10 @@ struct QueryRequest {
   /// Starting radius override for the (r,c)-NN cascade of radius-ladder
   /// methods (DB-LSH/FB-LSH). 0 = the index's auto-estimated r0.
   double r0 = 0.0;
+
+  /// Per-query id filter, enforced for every method by the shared
+  /// verification path. Empty (default) = no filtering.
+  QueryFilter filter;
 };
 
 /// Result of one query: neighbors ascending by distance, with the

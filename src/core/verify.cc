@@ -6,6 +6,23 @@
 #include "simd/simd.h"
 
 namespace dblsh {
+namespace {
+
+/// The calling thread's active per-query filter (see ScopedQueryFilter).
+/// Plain thread_local pointer: install/lookup are a handful of instructions
+/// on the query hot path and need no synchronization.
+thread_local const QueryFilter* g_active_filter = nullptr;
+
+}  // namespace
+
+ScopedQueryFilter::ScopedQueryFilter(const QueryFilter* filter)
+    : previous_(g_active_filter) {
+  g_active_filter = (filter != nullptr && !filter->empty()) ? filter : nullptr;
+}
+
+ScopedQueryFilter::~ScopedQueryFilter() { g_active_filter = previous_; }
+
+const QueryFilter* ScopedQueryFilter::Active() { return g_active_filter; }
 
 VerifyResult VerifyCandidates(const float* query, const FloatMatrix& data,
                               const uint32_t* ids, size_t n,
@@ -27,10 +44,45 @@ VerifyResult VerifyCandidates(const float* query, const FloatMatrix& data,
   // Tombstone filter: erased rows are dropped after the batch distance
   // computation, before the push — they consume neither budget nor
   // candidates_verified. The flag is hoisted so the static (no-mutation)
-  // path is byte-for-byte the historical loop.
+  // path is byte-for-byte the historical loop. The thread's active query
+  // filter (request push-down) gets identical drop semantics.
   const bool tombstones = data.has_tombstones();
+  const QueryFilter* filter = ScopedQueryFilter::Active();
   for (size_t off = 0; off < n && !result.exited; off += chunk) {
     const size_t m = std::min(chunk, n - off);
+    if (filter != nullptr) {
+      // Filtered path: reject before the distance kernel — a restrictive
+      // allow-list must not pay SIMD work for candidates it will drop.
+      // Tombstones are tested first so a dead row never counts as a
+      // filtered *live* candidate (result.filtered feeds coverage-based
+      // termination against live_rows()).
+      uint32_t keep[kScanChunk];
+      size_t kept = 0;
+      for (size_t j = 0; j < m; ++j) {
+        const uint32_t id =
+            ids != nullptr ? ids[off + j] : static_cast<uint32_t>(off + j);
+        if (tombstones && data.IsDeleted(id)) continue;
+        if (!filter->Admits(id)) {
+          ++result.filtered;
+          continue;
+        }
+        keep[kept++] = id;
+      }
+      if (kept == 0) continue;
+      kernels.l2_squared_batch(query, base, dim, keep, kept, d2);
+      for (size_t j = 0; j < kept; ++j) {
+        heap->Push(std::sqrt(d2[j]), keep[j]);
+        ++result.pushed;
+        if (stats != nullptr) ++stats->candidates_verified;
+        if (result.pushed >= options.budget ||
+            (options.dist_bound >= 0.0 && heap->Full() &&
+             heap->Threshold() <= options.dist_bound)) {
+          result.exited = true;
+          break;
+        }
+      }
+      continue;
+    }
     if (ids != nullptr) {
       kernels.l2_squared_batch(query, base, dim, ids + off, m, d2);
     } else {
@@ -73,6 +125,7 @@ bool CandidateVerifier::Flush() {
                                                pending, options, heap_,
                                                stats_);
   verified_ += result.pushed;
+  filtered_ += result.filtered;
   if (result.exited) done_ = true;
   return done_;
 }

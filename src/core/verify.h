@@ -29,6 +29,12 @@ struct VerifyOptions {
 
 struct VerifyResult {
   size_t pushed = 0;   ///< candidates actually pushed into the heap
+  /// Live candidates dropped by the thread's active query filter (not
+  /// tombstones). pushed + filtered is every distinct live candidate this
+  /// call consumed — the count coverage-based termination tests need,
+  /// since a restrictive filter keeps `pushed` from ever reaching the
+  /// live-row count.
+  size_t filtered = 0;
   bool exited = false; ///< true when budget or dist_bound tripped
 };
 
@@ -46,6 +52,16 @@ struct VerifyResult {
 /// enough to guarantee the id never appears in any index's results, even
 /// when the index's internal structures still reference it.
 ///
+/// Query filters: candidates rejected by the calling thread's active
+/// QueryFilter (installed by ScopedQueryFilter below; the Search()
+/// entrypoints install the request's filter automatically) are dropped
+/// with exactly the tombstone semantics — not pushed, not counted against
+/// the budget or stats — and the rejection happens *before* the distance
+/// kernel, so restrictive filters skip the SIMD work for rejected
+/// candidates. This is how `QueryRequest::filter` reaches all 12 methods
+/// with zero per-method code. Dropped live candidates are tallied in
+/// VerifyResult::filtered for coverage-based termination tests.
+///
 /// Thread-safety: safe to call concurrently for distinct (heap, stats)
 /// pairs over one immutable `data`; not safe concurrently with dataset
 /// mutations.
@@ -53,6 +69,35 @@ VerifyResult VerifyCandidates(const float* query, const FloatMatrix& data,
                               const uint32_t* ids, size_t n,
                               const VerifyOptions& options, TopKHeap* heap,
                               QueryStats* stats);
+
+/// RAII push-down of a per-query id filter into every VerifyCandidates /
+/// CandidateVerifier call made by the current thread while the scope is
+/// alive. The Search()/QueryBatch() entrypoints wrap the per-method Query()
+/// hook in one of these, which is what makes `QueryRequest::filter` work
+/// identically across all methods without touching their query code.
+///
+/// Scopes nest (the previous filter is restored on destruction) and are
+/// strictly thread-local: a filter installed on one thread is invisible to
+/// every other thread, so concurrent queries with different filters never
+/// interfere. A null or empty filter deactivates filtering for the scope.
+class ScopedQueryFilter {
+ public:
+  /// Installs `filter` (borrowed; must outlive the scope) as the calling
+  /// thread's active filter. nullptr or an empty filter installs "no
+  /// filtering".
+  explicit ScopedQueryFilter(const QueryFilter* filter);
+  ~ScopedQueryFilter();
+
+  ScopedQueryFilter(const ScopedQueryFilter&) = delete;
+  ScopedQueryFilter& operator=(const ScopedQueryFilter&) = delete;
+
+  /// The calling thread's active filter, or nullptr when none is installed
+  /// (consulted by VerifyCandidates; exposed for tests).
+  static const QueryFilter* Active();
+
+ private:
+  const QueryFilter* previous_;
+};
 
 /// Streaming adapter over VerifyCandidates for index traversals that emit
 /// candidates one at a time (cursors, bucket chains, B+-tree frontiers).
@@ -116,6 +161,12 @@ class CandidateVerifier {
   /// first when using this in a loop condition.
   size_t verified() const { return verified_; }
 
+  /// Live candidates dropped by the active query filter so far (flushed
+  /// work only). verified() + filtered() is the distinct live candidates
+  /// consumed — use it (not verified() alone) for "has everything been
+  /// seen" termination tests so restrictive filters cannot disable them.
+  size_t filtered() const { return filtered_; }
+
  private:
   const float* query_;
   const FloatMatrix* data_;
@@ -124,6 +175,7 @@ class CandidateVerifier {
   size_t budget_ = std::numeric_limits<size_t>::max();
   double dist_bound_ = -1.0;
   size_t verified_ = 0;
+  size_t filtered_ = 0;
   bool done_ = false;
   size_t buffered_ = 0;
   uint32_t buffer_[kBatch];

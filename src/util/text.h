@@ -1,0 +1,47 @@
+#ifndef DBLSH_UTIL_TEXT_H_
+#define DBLSH_UTIL_TEXT_H_
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace dblsh::text {
+
+/// Copy of `s` with leading/trailing ASCII whitespace removed. Shared by
+/// the factory and collection spec parsers so the two grammars trim
+/// identically.
+inline std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+/// ASCII lower-cased copy.
+inline std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+/// True when `a` equals the NUL-terminated `b` ignoring ASCII case.
+inline bool EqualsIgnoreCase(const std::string& a, const char* b) {
+  size_t i = 0;
+  for (; i < a.size() && b[i] != '\0'; ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return i == a.size() && b[i] == '\0';
+}
+
+}  // namespace dblsh::text
+
+#endif  // DBLSH_UTIL_TEXT_H_

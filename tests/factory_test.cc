@@ -212,6 +212,99 @@ TEST(QueryApiTest, BatchMatchesSequentialSearch) {
   }
 }
 
+// The QueryRequest composition contract (core/query.h): override fields
+// are independent, and zero/empty always means "the index's configured
+// default". A request that spells the defaults out explicitly must
+// round-trip to exactly the plain-Query() answer, field by field and all
+// together.
+TEST(QueryApiTest, RequestOverridesComposeAndZeroMeansDefault) {
+  const FloatMatrix data =
+      GenerateClustered({.n = 1500, .dim = 16, .clusters = 8, .seed = 33});
+  auto made = IndexFactory::Make("DB-LSH,t=32");
+  ASSERT_TRUE(made.ok());
+  ASSERT_TRUE(made.value()->Build(&data).ok());
+  const auto* db = dynamic_cast<const DbLsh*>(made.value().get());
+  ASSERT_NE(db, nullptr);
+
+  std::vector<float> query(data.row(99), data.row(99) + data.cols());
+  query[0] += 0.5f;
+  QueryRequest dflt;
+  dflt.k = 8;
+  const auto baseline = made.value()->Search(query.data(), dflt);
+
+  // Zero / empty round-trips to the default, field by field.
+  QueryRequest zeros;
+  zeros.k = 8;
+  zeros.candidate_budget = 0;
+  zeros.r0 = 0.0;
+  zeros.filter = QueryFilter();  // empty
+  EXPECT_EQ(made.value()->Search(query.data(), zeros).neighbors,
+            baseline.neighbors);
+  QueryRequest empty_lists;
+  empty_lists.k = 8;
+  empty_lists.filter = QueryFilter::Deny({});  // empty list == empty filter
+  EXPECT_TRUE(empty_lists.filter.empty());
+  EXPECT_EQ(made.value()->Search(query.data(), empty_lists).neighbors,
+            baseline.neighbors);
+
+  // Spelling a default out explicitly composes to the same answer: an
+  // explicit budget equal to the configured t is indistinguishable from 0.
+  QueryRequest explicit_budget;
+  explicit_budget.k = 8;
+  explicit_budget.candidate_budget = db->params().t;
+  EXPECT_EQ(made.value()->Search(query.data(), explicit_budget).neighbors,
+            baseline.neighbors);
+
+  // Each field keeps acting when the others stay at their defaults, and
+  // they compose in one request: a filter plus a budget override applies
+  // both (no field masks another).
+  const uint32_t top = baseline.neighbors[0].id;
+  QueryRequest filtered;
+  filtered.k = 8;
+  filtered.filter = QueryFilter::Deny({top});
+  const auto without_top = made.value()->Search(query.data(), filtered);
+  EXPECT_FALSE(std::any_of(
+      without_top.neighbors.begin(), without_top.neighbors.end(),
+      [top](const Neighbor& n) { return n.id == top; }));
+
+  QueryRequest combined;
+  combined.k = 8;
+  combined.candidate_budget = db->params().t;  // explicit default
+  combined.r0 = 0.0;                           // default
+  combined.filter = QueryFilter::Deny({top});  // active
+  const auto both = made.value()->Search(query.data(), combined);
+  EXPECT_EQ(both.neighbors, without_top.neighbors);
+  EXPECT_FALSE(std::any_of(
+      both.neighbors.begin(), both.neighbors.end(),
+      [top](const Neighbor& n) { return n.id == top; }));
+}
+
+// Regression: a restrictive allow-list must not disable DB-LSH's
+// termination tests. With fewer admitted ids than k the heap never fills
+// and the push budget never trips, so the coverage exit has to count
+// filter-rejected candidates too — without that the radius ladder runs
+// its full 256-round cap of ever-growing window scans.
+TEST(QueryApiTest, RestrictiveFilterStillTerminatesTheRadiusLadder) {
+  const FloatMatrix data =
+      GenerateClustered({.n = 2000, .dim = 16, .clusters = 8, .seed = 44});
+  auto made = IndexFactory::Make("DB-LSH,t=16");
+  ASSERT_TRUE(made.ok());
+  ASSERT_TRUE(made.value()->Build(&data).ok());
+
+  QueryRequest request;
+  request.k = 10;
+  request.filter = QueryFilter::AllowOnly({7, 450, 1999});
+  const auto response = made.value()->Search(data.row(0), request);
+  // Exactly the admitted ids come back (3 < k), by ascending distance.
+  ASSERT_EQ(response.neighbors.size(), 3u);
+  for (const Neighbor& n : response.neighbors) {
+    EXPECT_TRUE(n.id == 7 || n.id == 450 || n.id == 1999);
+  }
+  // The ladder stopped once every live point had been consumed (pushed or
+  // filter-rejected), far short of the 256-round degenerate-input cap.
+  EXPECT_LT(response.stats.rounds, 64u);
+}
+
 TEST(QueryApiTest, EmptyBatchIsFine) {
   const FloatMatrix data =
       GenerateClustered({.n = 500, .dim = 8, .clusters = 4, .seed = 1});
