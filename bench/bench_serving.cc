@@ -1,30 +1,39 @@
 // Serving bench: concurrent read throughput of a Collection under a
 // 95/5 read/write mix — the workload shape the Collection façade exists
-// for. One writer thread streams Upsert/Delete traffic (paced at ~5% of
-// the measured read rate) while N reader threads hammer Search on the
-// collection's DB-LSH index, whose thread-safe read path lets readers fan
-// out without serializing; the writer-priority lock keeps mutations
-// committing promptly under read saturation. For each reader count the
-// table reports aggregate read QPS with the writer idle (read-only
-// baseline) and with the writer active, plus the achieved write rate —
-// the cost of coherent concurrent mutability is the gap between the two
-// columns.
+// for — swept over shard counts. One writer streams Upsert/Delete traffic
+// (paced at ~5% of the measured read rate) while N reader tasks on a
+// dedicated executor hammer Search on the collection's DB-LSH index; a
+// sharded collection additionally fans each query out across its shards
+// on the process-default executor and merges exactly. For each (shards,
+// readers) cell the table reports aggregate read QPS with the writer idle
+// (read-only baseline) and with the writer active, mixed-run p50/p99 read
+// latency, and the achieved write rate — the cost of coherent concurrent
+// mutability is the gap between the two QPS columns, and the payoff of
+// sharding is the read-only QPS ratio against the shards=1 row at the
+// same reader count (printed at the end).
 //
 // Flags: --n (initial points, default 50000), --dim (32), --k (10),
-// --readers (max reader threads, default 8; the sweep doubles from 1),
-// --duration-ms (per measurement cell, default 1000), --seed.
+// --readers (max reader tasks, default 8; the sweep doubles from 1),
+// --shards (comma list of shard counts, default "1,4"), --duration-ms
+// (per measurement cell, default 1000), --seed, --json[=PATH] (write
+// machine-readable results, default path BENCH_serving.json).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <future>
 #include <memory>
-#include <thread>
+#include <mutex>
+#include <string>
+#include <thread>  // std::this_thread::sleep_for (no threads are spawned)
 #include <vector>
 
 #include "bench/common.h"
 #include "core/collection.h"
 #include "dataset/synthetic.h"
 #include "eval/table.h"
+#include "exec/task_executor.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -34,38 +43,51 @@ namespace {
 struct MixResult {
   double read_qps = 0.0;
   double avg_read_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
   double write_ops_per_sec = 0.0;
 };
 
-// Runs `readers` query threads for ~duration_ms; when `write_interval_ms`
-// is positive, the calling thread concurrently performs one mutation per
-// interval (alternating upsert/delete so the live count stays flat).
+// Runs `readers` query tasks on `reader_pool` for ~duration_ms; when
+// `write_interval_ms` is positive, the calling thread concurrently
+// performs one mutation per interval (alternating upsert/delete so the
+// live count stays flat).
 MixResult RunMix(Collection& collection, const FloatMatrix& cloud,
                  size_t readers, size_t k, double duration_ms,
-                 double write_interval_ms, uint64_t seed) {
+                 double write_interval_ms, uint64_t seed,
+                 exec::TaskExecutor* reader_pool) {
   std::atomic<bool> stop{false};
   std::atomic<size_t> reads{0};
-  std::vector<std::thread> threads;
-  threads.reserve(readers);
+  std::mutex latency_mutex;
+  std::vector<double> latencies_ms;
+  std::vector<std::future<void>> tasks;
+  tasks.reserve(readers);
   const size_t dim = cloud.cols();
   for (size_t r = 0; r < readers; ++r) {
-    threads.emplace_back([&, r]() {
+    tasks.push_back(reader_pool->Submit([&, r]() {
       Rng rng(seed ^ (0xFEED + r));
       std::vector<float> q(dim);
       QueryRequest request;
       request.k = k;
       size_t local = 0;
+      std::vector<double> local_ms;
+      local_ms.reserve(1 << 14);
       while (!stop.load(std::memory_order_acquire)) {
         const float* base = cloud.row(rng.UniformInt(cloud.rows()));
         for (size_t j = 0; j < dim; ++j) {
           q[j] = base[j] + static_cast<float>(rng.Gaussian() * 2.0);
         }
+        Timer read_timer;
         auto got = collection.Search(q.data(), request, "serving");
         if (!got.ok()) break;  // surfaced by the near-zero QPS row
+        local_ms.push_back(read_timer.ElapsedMs());
         ++local;
       }
       reads.fetch_add(local, std::memory_order_relaxed);
-    });
+      std::lock_guard lock(latency_mutex);
+      latencies_ms.insert(latencies_ms.end(), local_ms.begin(),
+                          local_ms.end());
+    }));
   }
 
   // Writer loop on this thread: pace mutations at the requested interval,
@@ -103,15 +125,34 @@ MixResult RunMix(Collection& collection, const FloatMatrix& cloud,
   }
   const double elapsed_ms = wall.ElapsedMs();
   stop.store(true, std::memory_order_release);
-  for (auto& t : threads) t.join();
+  for (auto& task : tasks) task.get();
+  collection.WaitForRebuilds();  // background swaps land outside the cell
 
   MixResult result;
   const auto total_reads = static_cast<double>(reads.load());
   result.read_qps = 1000.0 * total_reads / elapsed_ms;
   result.avg_read_ms =
       total_reads > 0 ? double(readers) * elapsed_ms / total_reads : 0.0;
+  result.p50_ms = bench::Percentile(&latencies_ms, 50.0);
+  result.p99_ms = bench::Percentile(&latencies_ms, 99.0);
   result.write_ops_per_sec = 1000.0 * double(writes) / elapsed_ms;
   return result;
+}
+
+std::vector<size_t> ParseShardList(const std::string& text) {
+  std::vector<size_t> shards;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t comma = text.find(',', pos);
+    const std::string token = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? text.size() : comma + 1;
+    if (token.empty()) continue;
+    const long value = std::atol(token.c_str());
+    if (value >= 1) shards.push_back(static_cast<size_t>(value));
+  }
+  if (shards.empty()) shards.push_back(1);
+  return shards;
 }
 
 int Run(const bench::Flags& flags) {
@@ -122,6 +163,8 @@ int Run(const bench::Flags& flags) {
   const auto duration_ms =
       static_cast<double>(flags.GetInt("duration-ms", 1000));
   const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const std::vector<size_t> shard_counts =
+      ParseShardList(flags.GetString("shards", "1,4"));
 
   ClusteredSpec spec;
   spec.n = n;
@@ -130,43 +173,101 @@ int Run(const bench::Flags& flags) {
   spec.seed = seed;
   const FloatMatrix cloud = GenerateClustered(spec);
 
-  Timer build_timer;
-  auto made = Collection::FromSpec(
-      "collection: DB-LSH,name=serving",
-      std::make_unique<FloatMatrix>(cloud));
-  if (!made.ok()) {
-    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
-    return 1;
-  }
-  Collection& collection = *made.value();
-  std::printf("n = %zu, dim = %zu, k = %zu; built in %.3f s; "
-              "%.0f ms per measurement cell\n\n",
-              n, dim, k, build_timer.ElapsedSec(), duration_ms);
+  exec::TaskExecutor reader_pool(max_readers);
+  bench::Json json = bench::Json::Object();
+  json.Set("bench", "serving")
+      .Set("n", n)
+      .Set("dim", dim)
+      .Set("k", k)
+      .Set("duration_ms", duration_ms)
+      .Set("hardware_concurrency", exec::HardwareConcurrency());
+  bench::Json cells = bench::Json::Array();
+  // read-only QPS at the full reader count, per shard count (for the
+  // scaling summary at the end).
+  std::vector<double> peak_qps(shard_counts.size(), 0.0);
 
-  eval::Table table({"Readers", "Read-only QPS", "95/5 QPS", "ms/query",
-                     "Writes/s", "QPS kept"});
-  for (size_t readers = 1; readers <= max_readers; readers *= 2) {
-    const MixResult baseline = RunMix(collection, cloud, readers, k,
-                                      duration_ms, 0.0, seed);
-    // Target: writes = 5% of total ops => one write per 19 reads.
-    const double write_interval_ms =
-        baseline.read_qps > 0.0 ? 1000.0 / (baseline.read_qps / 19.0) : 10.0;
-    const MixResult mixed = RunMix(collection, cloud, readers, k,
-                                   duration_ms, write_interval_ms, seed + 1);
-    table.AddRow({std::to_string(readers),
-                  eval::Table::Fmt(baseline.read_qps, 0),
-                  eval::Table::Fmt(mixed.read_qps, 0),
-                  eval::Table::Fmt(mixed.avg_read_ms, 3),
-                  eval::Table::Fmt(mixed.write_ops_per_sec, 1),
-                  eval::Table::Fmt(
-                      baseline.read_qps > 0.0
-                          ? 100.0 * mixed.read_qps / baseline.read_qps
-                          : 0.0, 1) + "%"});
+  for (size_t si = 0; si < shard_counts.size(); ++si) {
+    const size_t shards = shard_counts[si];
+    Timer build_timer;
+    auto made = Collection::FromSpec(
+        "collection,shards=" + std::to_string(shards) +
+            ",rebuild=background: DB-LSH,name=serving",
+        std::make_unique<FloatMatrix>(cloud));
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+      return 1;
+    }
+    Collection& collection = *made.value();
+    std::printf("--- shards = %zu: n = %zu, dim = %zu, k = %zu; built in "
+                "%.3f s; %.0f ms per measurement cell ---\n\n",
+                shards, n, dim, k, build_timer.ElapsedSec(), duration_ms);
+
+    eval::Table table({"Readers", "Read-only QPS", "95/5 QPS", "p50 ms",
+                       "p99 ms", "Writes/s", "QPS kept"});
+    for (size_t readers = 1; readers <= max_readers; readers *= 2) {
+      const MixResult baseline = RunMix(collection, cloud, readers, k,
+                                        duration_ms, 0.0, seed, &reader_pool);
+      // Target: writes = 5% of total ops => one write per 19 reads.
+      const double write_interval_ms =
+          baseline.read_qps > 0.0 ? 1000.0 / (baseline.read_qps / 19.0)
+                                  : 10.0;
+      const MixResult mixed =
+          RunMix(collection, cloud, readers, k, duration_ms,
+                 write_interval_ms, seed + 1, &reader_pool);
+      table.AddRow({std::to_string(readers),
+                    eval::Table::Fmt(baseline.read_qps, 0),
+                    eval::Table::Fmt(mixed.read_qps, 0),
+                    eval::Table::Fmt(mixed.p50_ms, 3),
+                    eval::Table::Fmt(mixed.p99_ms, 3),
+                    eval::Table::Fmt(mixed.write_ops_per_sec, 1),
+                    eval::Table::Fmt(
+                        baseline.read_qps > 0.0
+                            ? 100.0 * mixed.read_qps / baseline.read_qps
+                            : 0.0, 1) + "%"});
+      if (readers == max_readers) peak_qps[si] = baseline.read_qps;
+      cells.Append(bench::Json::Object()
+                       .Set("shards", shards)
+                       .Set("readers", readers)
+                       .Set("read_only_qps", baseline.read_qps)
+                       .Set("mixed_qps", mixed.read_qps)
+                       .Set("read_only_p50_ms", baseline.p50_ms)
+                       .Set("read_only_p99_ms", baseline.p99_ms)
+                       .Set("mixed_p50_ms", mixed.p50_ms)
+                       .Set("mixed_p99_ms", mixed.p99_ms)
+                       .Set("writes_per_sec", mixed.write_ops_per_sec));
+    }
+    table.Print();
+    std::printf("\nlive points at end: %zu; epoch %llu (committed "
+                "mutations)\n\n", collection.size(),
+                static_cast<unsigned long long>(collection.epoch()));
   }
-  table.Print();
-  std::printf("\nlive points at end: %zu; epoch %llu (committed "
-              "mutations)\n", collection.size(),
-              static_cast<unsigned long long>(collection.epoch()));
+
+  // Scaling summary: read-only QPS at the full reader count, normalized to
+  // the shards=1 row. On a machine with cores to spare beyond the reader
+  // count, the shard fan-out converts them into intra-query parallelism;
+  // with readers already saturating every core, expect ~1x (the merge adds
+  // work, it cannot add cores).
+  bench::Json scaling = bench::Json::Array();
+  std::printf("read-only QPS scaling at %zu readers (vs shards=1):\n",
+              max_readers);
+  for (size_t si = 0; si < shard_counts.size(); ++si) {
+    const double ratio =
+        peak_qps[0] > 0.0 ? peak_qps[si] / peak_qps[0] : 0.0;
+    std::printf("  shards=%zu: %.0f QPS (%.2fx)\n", shard_counts[si],
+                peak_qps[si], ratio);
+    scaling.Append(bench::Json::Object()
+                       .Set("shards", shard_counts[si])
+                       .Set("readers", max_readers)
+                       .Set("read_only_qps", peak_qps[si])
+                       .Set("vs_single_shard", ratio));
+  }
+  json.Set("cells", std::move(cells)).Set("scaling", std::move(scaling));
+
+  if (flags.Has("json")) {
+    std::string path = flags.GetString("json", "BENCH_serving.json");
+    if (path == "1") path = "BENCH_serving.json";  // bare --json
+    if (!json.WriteTo(path)) return 1;
+  }
   return 0;
 }
 
@@ -176,10 +277,12 @@ int Run(const bench::Flags& flags) {
 int main(int argc, char** argv) {
   dblsh::bench::Flags flags(argc, argv);
   dblsh::bench::PrintBanner(
-      "Serving workload: concurrent readers under a 95/5 read/write mix",
+      "Serving workload: concurrent readers under a 95/5 read/write mix, "
+      "swept over shard counts",
       "The Collection façade serves DB-LSH's thread-safe read path to N "
-      "reader threads while one writer streams transactional upserts and "
-      "deletes; the writer-priority lock keeps mutations committing under "
-      "read saturation.");
+      "reader tasks while one writer streams transactional upserts and "
+      "deletes; sharding fans each query out across segments on the "
+      "task executor and merges exactly, and background rebuilds keep "
+      "the writer unblocked.");
   return dblsh::Run(flags);
 }

@@ -13,7 +13,8 @@
 // rebuild costs seconds of index downtime the streaming path never pays.
 //
 // Flags: --n (initial points, default 100000), --dim, --ops (mixed
-// operations, default 4000), --k, --eval-queries, --seed.
+// operations, default 4000), --k, --eval-queries, --seed, --json[=PATH]
+// (write machine-readable results, default path BENCH_streaming.json).
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -128,6 +129,8 @@ int Run(const bench::Flags& flags) {
   request.k = k;
   size_t next_pool_row = n;
   double query_ms = 0.0, upsert_ms = 0.0, delete_ms = 0.0;
+  std::vector<double> query_latencies_ms;
+  query_latencies_ms.reserve(query_ops);
   size_t queries_run = 0, upserts_run = 0, deletes_run = 0;
   for (size_t op = 0; op < ops; ++op) {
     const size_t phase = op % 20;
@@ -166,7 +169,9 @@ int Run(const bench::Flags& flags) {
       }
       Timer t;
       auto answer = collection.Search(query_buf.data(), request, "streaming");
-      query_ms += t.ElapsedMs();
+      const double elapsed = t.ElapsedMs();
+      query_ms += elapsed;
+      query_latencies_ms.push_back(elapsed);
       if (!answer.ok()) {
         std::fprintf(stderr, "search failed: %s\n",
                      answer.status().ToString().c_str());
@@ -180,8 +185,13 @@ int Run(const bench::Flags& flags) {
               queries_run, query_ms / std::max<size_t>(1, queries_run),
               upserts_run, upsert_ms / std::max<size_t>(1, upserts_run),
               deletes_run, delete_ms / std::max<size_t>(1, deletes_run));
-  std::printf("streaming QPS (query ops only): %.0f\n\n",
-              1000.0 * double(queries_run) / std::max(query_ms, 1e-9));
+  const double streaming_qps =
+      1000.0 * double(queries_run) / std::max(query_ms, 1e-9);
+  const double query_p50_ms = bench::Percentile(&query_latencies_ms, 50.0);
+  const double query_p99_ms = bench::Percentile(&query_latencies_ms, 99.0);
+  std::printf("streaming QPS (query ops only): %.0f  "
+              "(p50 %.3f ms, p99 %.3f ms)\n\n",
+              streaming_qps, query_p50_ms, query_p99_ms);
 
   // Final accuracy: the collection's streaming index vs a full rebuild at
   // the *same* effective parameters over the same mutated dataset.
@@ -230,6 +240,30 @@ int Run(const bench::Flags& flags) {
               fresh.recall - streamed.recall);
   std::printf("live points at end: %zu (of %zu slots)\n",
               collection.size(), final_data.rows());
+
+  if (flags.Has("json")) {
+    std::string path = flags.GetString("json", "BENCH_streaming.json");
+    if (path == "1") path = "BENCH_streaming.json";  // bare --json
+    bench::Json json = bench::Json::Object();
+    json.Set("bench", "streaming")
+        .Set("n", n)
+        .Set("dim", dim)
+        .Set("ops", ops)
+        .Set("k", k)
+        .Set("initial_build_seconds", initial_build_sec)
+        .Set("streaming_qps", streaming_qps)
+        .Set("query_p50_ms", query_p50_ms)
+        .Set("query_p99_ms", query_p99_ms)
+        .Set("streaming_recall", streamed.recall)
+        .Set("streaming_ratio", streamed.ratio)
+        .Set("streaming_ms_per_query", streamed.avg_ms)
+        .Set("rebuilt_recall", fresh.recall)
+        .Set("rebuilt_ratio", fresh.ratio)
+        .Set("rebuilt_ms_per_query", fresh.avg_ms)
+        .Set("rebuild_seconds", rebuild_sec)
+        .Set("recall_delta", fresh.recall - streamed.recall);
+    if (!json.WriteTo(path)) return 1;
+  }
   return 0;
 }
 

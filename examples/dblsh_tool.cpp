@@ -6,7 +6,8 @@
 //   dblsh_tool build --data=data.fvecs --index=data.idx
 //                    [--method="DB-LSH,c=1.5,l=5"]
 //   dblsh_tool query --data=data.fvecs --queries=q.fvecs --k=10 [--gt]
-//                    [--budget=T] (--index=data.idx | --method="PM-LSH,m=8")
+//                    [--budget=T] [--threads=N]
+//                    (--index=data.idx | --method="PM-LSH,m=8")
 //   dblsh_tool collection upsert --data=data.fvecs --index=data.idx
 //                                --vectors=v.fvecs
 //   dblsh_tool collection delete --data=data.fvecs --index=data.idx
@@ -31,7 +32,10 @@
 // per-query id filtering: `--filter=deny:IDS` excludes the ids,
 // `--filter=allow:IDS` (or a bare id list) restricts results to them.
 // The PR-3 commands `insert`/`erase` remain as deprecated aliases of
-// `collection upsert`/`collection delete`.
+// `collection upsert`/`collection delete` (each prints a one-line
+// deprecation note). Wherever the tool answers queries, `--threads=N`
+// (default: the hardware concurrency) sizes the process task executor and
+// the query fan-out; pass `--threads=1` when timing per-query latency.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +49,7 @@
 
 #include "core/collection.h"
 #include "core/db_lsh.h"
+#include "exec/task_executor.h"
 #include "core/index_factory.h"
 #include "dataset/ground_truth.h"
 #include "dataset/io.h"
@@ -100,13 +105,13 @@ int Usage() {
       "  build  --data=F.fvecs --index=F.idx [--method=SPEC] [--c=1.5] "
       "[--l=5] [--k=0] [--t=0]\n"
       "  query  --data=F.fvecs --queries=Q.fvecs (--index=F.idx | "
-      "--method=SPEC) [--k=10] [--budget=T] [--gt]\n"
+      "--method=SPEC) [--k=10] [--budget=T] [--threads=N] [--gt]\n"
       "  collection upsert --data=F.fvecs --index=F.idx "
       "--vectors=V.fvecs\n"
       "  collection delete --data=F.fvecs --index=F.idx --ids=3,17,42\n"
       "  collection search --data=F.fvecs --queries=Q.fvecs "
       "[--indexes=\"SPEC; SPEC\"] [--use=NAME]\n"
-      "                    [--k=10] [--budget=T] "
+      "                    [--k=10] [--budget=T] [--threads=N] "
       "[--filter=[allow:|deny:]IDS] [--gt]\n"
       "  stats  --data=F.fvecs\n"
       "SPEC is an IndexFactory string, e.g. \"DB-LSH,c=1.5,t=40\" or "
@@ -114,6 +119,8 @@ int Usage() {
       "collection specs also accept name= and rebuild_threshold= keys.\n"
       "--budget overrides DB-LSH's candidate budget t per query without "
       "rebuilding.\n"
+      "--threads sizes the task executor driving batched queries (default: "
+      "hardware concurrency; use 1 for per-query latency numbers).\n"
       "collection upsert/delete update the data and index files in place "
       "(no rebuild);\n"
       "the legacy spellings `insert`/`erase` are deprecated aliases.\n");
@@ -164,6 +171,15 @@ bool ParseFilter(const std::string& text, QueryFilter* out) {
   }
   *out = deny ? QueryFilter::Deny(parsed) : QueryFilter::AllowOnly(parsed);
   return true;
+}
+
+// Applies --threads (default: hardware concurrency) to the process-wide
+// task executor — the pool every batched query in the tool fans out on —
+// and returns the parallelism to request per batch.
+size_t ConfigureThreads(const Args& args) {
+  const auto threads = static_cast<size_t>(args.GetInt("threads", 0));
+  if (args.Has("threads")) exec::TaskExecutor::SetDefaultThreads(threads);
+  return threads == 0 ? exec::HardwareConcurrency() : threads;
 }
 
 int RunMethods() {
@@ -311,10 +327,10 @@ int RunQuery(const Args& args) {
   QueryRequest request;
   request.k = static_cast<size_t>(args.GetInt("k", 10));
   request.candidate_budget = static_cast<size_t>(args.GetInt("budget", 0));
+  const size_t threads = ConfigureThreads(args);
   const bool with_gt = args.Has("gt");
   Timer timer;
-  const auto responses =
-      index->QueryBatch(queries.value(), request, /*num_threads=*/1);
+  const auto responses = index->QueryBatch(queries.value(), request, threads);
   const double total_ms = timer.ElapsedMs();
 
   double recall = 0.0, ratio = 0.0, candidates = 0.0;
@@ -334,8 +350,9 @@ int RunQuery(const Args& args) {
   }
   const auto denom = static_cast<double>(
       queries.value().rows() ? queries.value().rows() : 1);
-  std::printf("avg query time: %.3f ms  avg candidates: %.0f\n",
-              total_ms / denom, candidates / denom);
+  std::printf("avg wall time: %.3f ms/query over %zu threads  "
+              "avg candidates: %.0f\n",
+              total_ms / denom, threads, candidates / denom);
   if (with_gt) {
     std::printf("recall@%zu: %.4f  overall ratio: %.4f\n", request.k,
                 recall / denom, ratio / denom);
@@ -476,6 +493,11 @@ int RunCollectionSearch(const Args& args) {
     return 2;
   }
 
+  // Size the executor BEFORE the collection captures a reference to it
+  // (SetDefaultThreads replaces the default pool; a collection built first
+  // would be left pointing at the destroyed one).
+  const size_t threads = ConfigureThreads(args);
+
   const std::string indexes = args.Get("indexes", "DB-LSH");
   Timer build_timer;
   auto made = Collection::FromSpec(
@@ -495,8 +517,7 @@ int RunCollectionSearch(const Args& args) {
   const bool with_gt = args.Has("gt");
   Timer timer;
   auto responses =
-      collection.SearchBatch(queries.value(), request, use,
-                             /*num_threads=*/1);
+      collection.SearchBatch(queries.value(), request, use, threads);
   const double total_ms = timer.ElapsedMs();
   if (!responses.ok()) {
     std::fprintf(stderr, "%s\n", responses.status().ToString().c_str());
@@ -524,8 +545,9 @@ int RunCollectionSearch(const Args& args) {
   }
   const auto denom = static_cast<double>(
       queries.value().rows() ? queries.value().rows() : 1);
-  std::printf("avg query time: %.3f ms  avg candidates: %.0f\n",
-              total_ms / denom, candidates / denom);
+  std::printf("avg wall time: %.3f ms/query over %zu threads  "
+              "avg candidates: %.0f\n",
+              total_ms / denom, threads, candidates / denom);
   if (with_gt) {
     std::printf("recall@%zu: %.4f  overall ratio: %.4f\n", request.k,
                 recall / denom, ratio / denom);

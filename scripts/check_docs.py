@@ -47,7 +47,7 @@ def check_markdown_links():
 
 # -------------------------------------------------------- doc coverage ----
 
-HEADER_GLOBS = ("src/core", "src/simd")
+HEADER_GLOBS = ("src/core", "src/exec", "src/simd")
 
 # A line that starts a function declaration/definition at class-public or
 # namespace scope in this codebase's style (2-space members, 0-space free

@@ -155,4 +155,11 @@ DBLSH_REGISTER_INDEX(
       return index;
     });
 
+
+Status E2Lsh::RebindData(const FloatMatrix* data) {
+  DBLSH_RETURN_IF_ERROR(detail::ValidateRebind(Name(), data_, data));
+  data_ = data;
+  return Status::OK();
+}
+
 }  // namespace dblsh

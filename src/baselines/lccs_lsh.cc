@@ -148,4 +148,11 @@ DBLSH_REGISTER_INDEX(
       return index;
     });
 
+
+Status LccsLsh::RebindData(const FloatMatrix* data) {
+  DBLSH_RETURN_IF_ERROR(detail::ValidateRebind(Name(), data_, data));
+  data_ = data;
+  return Status::OK();
+}
+
 }  // namespace dblsh

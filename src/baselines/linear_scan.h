@@ -13,6 +13,9 @@ class LinearScan : public AnnIndex {
   std::string Name() const override { return "LinearScan"; }
 
   Status Build(const FloatMatrix* data) override;
+  /// Repoints dataset reads at an equal-content matrix (see
+  /// AnnIndex::RebindData) -- Collection's background-rebuild swap hook.
+  Status RebindData(const FloatMatrix* data) override;
   std::vector<Neighbor> Query(const float* query, size_t k,
                               QueryStats* stats = nullptr) const override;
   /// The scan keeps no per-query scratch, so the base-class QueryBatch may

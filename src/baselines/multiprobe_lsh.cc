@@ -197,4 +197,11 @@ DBLSH_REGISTER_INDEX(
       return index;
     });
 
+
+Status MultiProbeLsh::RebindData(const FloatMatrix* data) {
+  DBLSH_RETURN_IF_ERROR(detail::ValidateRebind(Name(), data_, data));
+  data_ = data;
+  return Status::OK();
+}
+
 }  // namespace dblsh

@@ -42,6 +42,9 @@ class Qalsh : public AnnIndex {
 
   std::string Name() const override { return "QALSH"; }
   Status Build(const FloatMatrix* data) override;
+  /// Repoints dataset reads at an equal-content matrix (see
+  /// AnnIndex::RebindData) -- Collection's background-rebuild swap hook.
+  Status RebindData(const FloatMatrix* data) override;
   std::vector<Neighbor> Query(const float* query, size_t k,
                               QueryStats* stats = nullptr) const override;
   size_t NumHashFunctions() const override { return params_.m; }

@@ -217,4 +217,11 @@ DBLSH_REGISTER_INDEX(
       return index;
     });
 
+
+Status R2Lsh::RebindData(const FloatMatrix* data) {
+  DBLSH_RETURN_IF_ERROR(detail::ValidateRebind(Name(), data_, data));
+  data_ = data;
+  return Status::OK();
+}
+
 }  // namespace dblsh

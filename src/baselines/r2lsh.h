@@ -33,6 +33,9 @@ class R2Lsh : public AnnIndex {
 
   std::string Name() const override { return "R2LSH"; }
   Status Build(const FloatMatrix* data) override;
+  /// Repoints dataset reads at an equal-content matrix (see
+  /// AnnIndex::RebindData) -- Collection's background-rebuild swap hook.
+  Status RebindData(const FloatMatrix* data) override;
   std::vector<Neighbor> Query(const float* query, size_t k,
                               QueryStats* stats = nullptr) const override;
   size_t NumHashFunctions() const override { return params_.m; }

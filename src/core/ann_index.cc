@@ -1,10 +1,9 @@
 #include "core/ann_index.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "core/verify.h"
+#include "exec/task_executor.h"
 
 namespace dblsh {
 
@@ -12,21 +11,35 @@ namespace detail {
 
 void FanOut(size_t count, size_t num_threads,
             const std::function<std::function<void(size_t)>()>& make_worker) {
-  std::atomic<size_t> next{0};
-  auto run = [&]() {
-    const std::function<void(size_t)> work = make_worker();
-    for (size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
-      work(i);
-    }
-  };
+  if (count == 0) return;
   if (num_threads <= 1) {
-    run();
+    const std::function<void(size_t)> work = make_worker();
+    for (size_t i = 0; i < count; ++i) work(i);
     return;
   }
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(run);
-  for (auto& thread : threads) thread.join();
+  exec::TaskExecutor::Default().ParallelForWorkers(count, num_threads,
+                                                   make_worker);
+}
+
+Status ValidateRebind(const std::string& method, const FloatMatrix* current,
+                      const FloatMatrix* target) {
+  if (current == nullptr) {
+    return Status::InvalidArgument(method +
+                                   ": RebindData requires a built index");
+  }
+  if (target == nullptr) {
+    return Status::InvalidArgument(method + ": RebindData target is null");
+  }
+  if (target->rows() != current->rows() ||
+      target->cols() != current->cols()) {
+    return Status::InvalidArgument(
+        method + ": RebindData target shape " +
+        std::to_string(target->rows()) + "x" +
+        std::to_string(target->cols()) + " does not match the built " +
+        std::to_string(current->rows()) + "x" +
+        std::to_string(current->cols()));
+  }
+  return Status::OK();
 }
 
 }  // namespace detail
@@ -36,6 +49,13 @@ Status AnnIndex::Insert(uint32_t /*id*/) {
       Name() +
       " does not support dynamic updates (SupportsUpdates() == false); "
       "rebuild the index to absorb new points");
+}
+
+Status AnnIndex::RebindData(const FloatMatrix* /*data*/) {
+  return Status::Unimplemented(
+      Name() +
+      " does not support rebinding its dataset reference; rebuild over the "
+      "target matrix instead");
 }
 
 Status AnnIndex::Erase(uint32_t /*id*/) {
@@ -68,7 +88,7 @@ std::vector<QueryResponse> AnnIndex::QueryBatch(const FloatMatrix& queries,
   if (!SupportsConcurrentQueries()) {
     num_threads = 1;
   } else if (num_threads == 0) {
-    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+    num_threads = exec::HardwareConcurrency();
   }
   num_threads = std::min(num_threads, q_count);
 

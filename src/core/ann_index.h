@@ -102,6 +102,19 @@ class AnnIndex {
   /// on protocol violations. Not thread-safe with concurrent queries.
   virtual Status Insert(uint32_t id);
 
+  /// Repoints the built index's dataset reads at `data`, which must hold
+  /// exactly the same logical content (row count, values, tombstone set) as
+  /// the matrix the index was built over — only the storage moved. This is
+  /// the swap-in hook for Collection's background rebuilds: a replacement
+  /// index is built over a snapshot copy off the write lock, then rebound
+  /// to the live matrix under it once the shard is verified unchanged.
+  /// Every registered method implements it (the verification path reads
+  /// rows through one stored matrix pointer); the default returns
+  /// Unimplemented, which makes the Collection fall back to an inline
+  /// rebuild for exotic external indexes. Not thread-safe with concurrent
+  /// queries — callers hold the exclusive lock.
+  virtual Status RebindData(const FloatMatrix* data);
+
   /// Removes row `id` from this index's structures so its slot can later be
   /// recycled by FloatMatrix::InsertRow.
   ///
@@ -122,11 +135,20 @@ class AnnIndex {
 
 namespace detail {
 
-/// Shared worker-pool loop behind the QueryBatch implementations: runs
-/// `work(i)` for every i in [0, count) across `num_threads` workers, where
-/// `make_worker()` is called once per worker so each can capture its own
-/// per-thread state (e.g. a DbLsh::QueryScratch). `num_threads <= 1` runs
-/// inline.
+/// Shared precondition check for the RebindData implementations: the index
+/// must be built (`current` non-null) and `target` must match its shape.
+/// Content equality is the caller's contract — it is what makes the
+/// pointer swap sound — and is not re-verified here.
+Status ValidateRebind(const std::string& method, const FloatMatrix* current,
+                      const FloatMatrix* target);
+
+/// Shared fan-out behind the QueryBatch implementations: runs `work(i)` for
+/// every i in [0, count) at a parallelism of `num_threads`, where
+/// `make_worker()` is called once per participating thread so each can
+/// capture its own per-thread state (e.g. a DbLsh::QueryScratch).
+/// `num_threads <= 1` runs inline. Since the executor refactor this is a
+/// thin shim over exec::TaskExecutor::Default().ParallelForWorkers — no
+/// code outside src/exec/ spawns threads.
 void FanOut(size_t count, size_t num_threads,
             const std::function<std::function<void(size_t)>()>& make_worker);
 

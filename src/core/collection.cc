@@ -2,38 +2,121 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cctype>
+#include <chrono>
 #include <cstdlib>
+#include <limits>
 #include <mutex>
 #include <shared_mutex>
 #include <utility>
 
 #include "core/index_factory.h"
 #include "util/text.h"
+#include "util/top_k_heap.h"
 
 namespace dblsh {
 
-Collection::Collection(size_t dim)
-    : data_(std::make_unique<FloatMatrix>(0, dim)) {}
+Collection::Collection(size_t dim, const CollectionOptions& options)
+    : dim_(dim),
+      executor_(options.executor != nullptr ? options.executor
+                                            : &exec::TaskExecutor::Default()),
+      background_rebuild_(options.background_rebuild) {
+  const size_t num_shards = std::max<size_t>(1, options.shards);
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->data = std::make_unique<FloatMatrix>(0, dim);
+    shards_.push_back(std::move(shard));
+  }
+}
 
-Collection::Collection(std::unique_ptr<FloatMatrix> data)
-    : data_(std::move(data)) {
-  assert(data_ != nullptr);
+Collection::Collection(std::unique_ptr<FloatMatrix> data,
+                       const CollectionOptions& options)
+    : executor_(options.executor != nullptr ? options.executor
+                                            : &exec::TaskExecutor::Default()),
+      background_rebuild_(options.background_rebuild) {
+  assert(data != nullptr);
+  dim_ = data->cols();
+  const size_t num_shards = std::max<size_t>(1, options.shards);
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (num_shards == 1) {
+    // Address-stable adoption: prebuilt indexes over *data stay valid.
+    shards_[0]->data = std::move(data);
+  } else {
+    // Partition by id: global row g lands in shard g % S at local row
+    // g / S, so the per-shard ids stay dense and globally recoverable.
+    for (size_t s = 0; s < num_shards; ++s) {
+      shards_[s]->data = std::make_unique<FloatMatrix>(0, dim_);
+    }
+    const FloatMatrix& src = *data;
+    for (size_t g = 0; g < src.rows(); ++g) {
+      shards_[g % num_shards]->data->AppendRow(src.row(g), src.cols());
+    }
+    // Replay the tombstones in erasure order so each shard's LIFO
+    // free-list recycles in the same relative order the source would.
+    for (const uint32_t g : src.free_slots()) {
+      Status erased =
+          shards_[g % num_shards]->data->EraseRow(LocalOfId(g));
+      assert(erased.ok());
+      (void)erased;
+    }
+  }
+  for (auto& shard : shards_) {
+    shard->approx_rows.store(shard->data->rows(), std::memory_order_relaxed);
+    shard->approx_free.store(shard->data->free_slots().size(),
+                             std::memory_order_relaxed);
+  }
+}
+
+Collection::~Collection() {
+  {
+    std::lock_guard lock(bg_mutex_);
+    closing_ = true;
+  }
+  WaitForRebuilds();
 }
 
 Result<std::unique_ptr<Collection>> Collection::FromSpec(
-    const std::string& spec, std::unique_ptr<FloatMatrix> data) {
+    const std::string& spec, std::unique_ptr<FloatMatrix> data,
+    exec::TaskExecutor* executor) {
   static const char* kGrammar =
-      "collection spec grammar: \"collection: INDEX_SPEC (; INDEX_SPEC)*\", "
-      "e.g. \"collection: DB-LSH,c=1.5; PM-LSH,rebuild_threshold=500\"";
+      "collection spec grammar: \"collection[,shards=N][,rebuild=inline|"
+      "background]: INDEX_SPEC (; INDEX_SPEC)*\", e.g. \"collection,shards=4:"
+      " DB-LSH,c=1.5; PM-LSH,rebuild_threshold=500\"";
   const size_t colon = spec.find(':');
-  if (colon == std::string::npos ||
-      !text::EqualsIgnoreCase(text::Trim(spec.substr(0, colon)),
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument(
+        "missing \"collection:\" prefix in \"" + spec + "\"; " + kGrammar);
+  }
+  auto prefix = IndexFactory::Spec::Parse(text::Trim(spec.substr(0, colon)));
+  if (!prefix.ok()) return prefix.status();
+  if (!text::EqualsIgnoreCase(text::Trim(prefix.value().name()),
                               "collection")) {
     return Status::InvalidArgument(
         "missing \"collection:\" prefix in \"" + spec + "\"; " + kGrammar);
   }
-  auto collection = std::make_unique<Collection>(std::move(data));
+  CollectionOptions options;
+  options.executor = executor;
+  std::string rebuild_mode;
+  SpecReader reader(prefix.value());
+  reader.Key("shards", &options.shards);
+  reader.Key("rebuild", &rebuild_mode);
+  DBLSH_RETURN_IF_ERROR(reader.Finish());
+  if (options.shards == 0) {
+    return Status::InvalidArgument(
+        "collection key \"shards\" must be >= 1; " + std::string(kGrammar));
+  }
+  if (rebuild_mode == "background") {
+    options.background_rebuild = true;
+  } else if (!rebuild_mode.empty() && rebuild_mode != "inline") {
+    return Status::InvalidArgument(
+        "collection key \"rebuild\" expects inline or background, got \"" +
+        rebuild_mode + "\"");
+  }
+  auto collection =
+      std::make_unique<Collection>(std::move(data), options);
   const std::string body = spec.substr(colon + 1);
   size_t added = 0;
   size_t pos = 0;
@@ -62,7 +145,7 @@ Status Collection::AddIndex(const std::string& index_spec) {
   if (!parsed.ok()) return parsed.status();
   const IndexFactory::Spec& spec = parsed.value();
 
-  // Peel off the collection-level keys before the factory sees the spec.
+  // Peel off the slot-level keys before the factory sees the spec.
   std::string slot_name;
   size_t rebuild_threshold = kDefaultRebuildThreshold;
   std::string method_spec = spec.name();
@@ -85,31 +168,54 @@ Status Collection::AddIndex(const std::string& index_spec) {
     method_spec += "," + key + "=" + value;
   }
 
-  auto made = IndexFactory::Make(method_spec);
-  if (!made.ok()) return made.status();
-  if (slot_name.empty()) slot_name = made.value()->Name();
+  // One instance per shard (each shard indexes its own partition).
+  const size_t num_shards = shards_.size();
+  std::vector<std::unique_ptr<AnnIndex>> instances;
+  instances.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto made = IndexFactory::Make(method_spec);
+    if (!made.ok()) return made.status();
+    instances.push_back(std::move(made).value());
+  }
+  if (slot_name.empty()) slot_name = instances[0]->Name();
 
-  std::unique_lock lock(mutex_);
-  for (const Slot& slot : slots_) {
+  // Write transaction over every shard; ascending order keeps concurrent
+  // AddIndex calls deadlock-free against the single-shard writers.
+  std::vector<std::unique_lock<WriterPriorityMutex>> locks;
+  locks.reserve(num_shards);
+  for (auto& shard : shards_) locks.emplace_back(shard->mutex);
+  for (const Slot& slot : shards_[0]->slots) {
     if (slot.name == slot_name) {
       return Status::InvalidArgument(
           "collection already has an index named \"" + slot_name +
           "\"; disambiguate with a name= spec key");
     }
   }
-  Slot slot;
-  slot.name = std::move(slot_name);
-  slot.method_spec = method_spec;
-  slot.index = std::move(made).value();
-  slot.rebuild_threshold = rebuild_threshold;
-  slot.query_mutex = std::make_unique<std::mutex>();
-  if (data_->live_rows() > 0) {
-    DBLSH_RETURN_IF_ERROR(slot.index->Build(data_.get()));
-    slot.built = true;
+
+  // First builds of the non-empty shards run in parallel on the executor
+  // (the build bodies take no locks; the caller holds them all).
+  std::vector<Status> builds(num_shards, Status::OK());
+  executor_->ParallelFor(num_shards, [&](size_t s) {
+    if (shards_[s]->data->live_rows() > 0) {
+      builds[s] = instances[s]->Build(shards_[s]->data.get());
+    }
+  });
+  for (const Status& status : builds) {
+    if (!status.ok()) return status;  // nothing published on any shard
   }
-  // Empty collection: stay unbuilt; the first mutation triggers the lazy
-  // build (MaybeRebuildLocked).
-  slots_.push_back(std::move(slot));
+
+  for (size_t s = 0; s < num_shards; ++s) {
+    Slot slot;
+    slot.name = slot_name;
+    slot.method_spec = method_spec;
+    slot.index = std::move(instances[s]);
+    slot.built = shards_[s]->data->live_rows() > 0;
+    slot.rebuild_threshold = rebuild_threshold;
+    slot.query_mutex = std::make_unique<std::mutex>();
+    // Empty shard: stay unbuilt; the shard's first mutation triggers the
+    // lazy build (MaybeRebuildLocked).
+    shards_[s]->slots.push_back(std::move(slot));
+  }
   return Status::OK();
 }
 
@@ -119,8 +225,15 @@ Status Collection::AddPrebuiltIndex(const std::string& name,
   if (index == nullptr) {
     return Status::InvalidArgument("AddPrebuiltIndex: index is null");
   }
-  std::unique_lock lock(mutex_);
-  for (const Slot& slot : slots_) {
+  if (shards_.size() > 1) {
+    return Status::InvalidArgument(
+        "AddPrebuiltIndex requires shards=1: a prebuilt index speaks the "
+        "global id space, which only matches shard 0 of an unsharded "
+        "collection");
+  }
+  Shard& shard = *shards_[0];
+  std::unique_lock lock(shard.mutex);
+  for (const Slot& slot : shard.slots) {
     if (slot.name == name) {
       return Status::InvalidArgument(
           "collection already has an index named \"" + name + "\"");
@@ -133,17 +246,29 @@ Status Collection::AddPrebuiltIndex(const std::string& name,
   slot.built = true;
   slot.rebuild_threshold = std::max<size_t>(1, rebuild_threshold);
   slot.query_mutex = std::make_unique<std::mutex>();
-  slots_.push_back(std::move(slot));
+  shard.slots.push_back(std::move(slot));
   return Status::OK();
 }
 
-void Collection::MaybeRebuildLocked() {
-  for (Slot& slot : slots_) {
-    const bool lazy_first_build = !slot.built && data_->live_rows() > 0;
+void Collection::MaybeRebuildLocked(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  for (size_t i = 0; i < shard.slots.size(); ++i) {
+    Slot& slot = shard.slots[i];
+    const bool lazy_first_build = !slot.built && shard.data->live_rows() > 0;
     const bool threshold_hit =
         slot.built && slot.staleness >= slot.rebuild_threshold;
     if (!lazy_first_build && !threshold_hit) continue;
-    if (Status s = slot.index->Build(data_.get()); !s.ok()) {
+    if (background_rebuild_ && threshold_hit) {
+      // Offload: the writer keeps going; the executor snapshots, builds
+      // and swaps in under this lock later (RunBackgroundRebuild). Lazy
+      // first builds stay inline — there is no old index to keep serving.
+      if (!slot.rebuild_scheduled) {
+        slot.rebuild_scheduled = true;
+        ScheduleRebuild(shard_index, i);
+      }
+      continue;
+    }
+    if (Status s = slot.index->Build(shard.data.get()); !s.ok()) {
       // A failed (re)build leaves the slot out of service but the
       // collection consistent: mark unbuilt so routing skips it, record
       // the error for Indexes(), and retry at the next mutation. The
@@ -159,29 +284,161 @@ void Collection::MaybeRebuildLocked() {
   }
 }
 
-void Collection::CommitMutationLocked() {
-  for (Slot& slot : slots_) {
+void Collection::ScheduleRebuild(size_t shard_index, size_t slot_index) {
+  {
+    std::lock_guard lock(bg_mutex_);
+    if (closing_) {
+      // A mutation racing the destructor is a caller bug; stay safe.
+      shards_[shard_index]->slots[slot_index].rebuild_scheduled = false;
+      return;
+    }
+    ++bg_inflight_;
+  }
+  executor_->Schedule([this, shard_index, slot_index] {
+    RunBackgroundRebuild(shard_index, slot_index);
+    // Decrement and notify under the lock: the destructor may tear the
+    // collection down the instant it observes bg_inflight_ == 0, and it
+    // can only observe that after this critical section fully releases —
+    // a notify outside the lock would race it into use-after-free.
+    std::lock_guard lock(bg_mutex_);
+    --bg_inflight_;
+    bg_cv_.notify_all();
+  });
+}
+
+void Collection::RunBackgroundRebuild(size_t shard_index, size_t slot_index) {
+  Shard& shard = *shards_[shard_index];
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    // 1. Snapshot the shard under the shared lock (readers keep serving,
+    //    the writer is not excluded for longer than a matrix copy).
+    FloatMatrix snapshot;
+    uint64_t version = 0;
+    std::string method_spec;
+    {
+      std::shared_lock lock(shard.mutex);
+      snapshot = *shard.data;
+      version = shard.version;
+      method_spec = shard.slots[slot_index].method_spec;
+    }
+
+    // 2. Build a replacement index over the snapshot, off every lock —
+    //    this is the expensive part the writer no longer pays for.
+    auto made = IndexFactory::Make(method_spec);
+    Status built =
+        made.ok() ? made.value()->Build(&snapshot) : made.status();
+
+    // 3. Swap in under the write lock, but only if the shard is exactly
+    //    as the snapshot captured it; otherwise retry with a fresh copy.
+    std::unique_lock lock(shard.mutex);
+    Slot& slot = shard.slots[slot_index];
+    if (!built.ok()) {
+      // Unlike an inline rebuild failure, the old index is still coherent
+      // (tombstones keep filtering) — keep it serving and surface the
+      // error; the next commit past the threshold re-schedules us.
+      slot.build_error = built.ToString();
+      slot.rebuild_scheduled = false;
+      return;
+    }
+    if (shard.version != version) continue;  // mutated mid-build: retry
+
+    if (Status rebound = made.value()->RebindData(shard.data.get());
+        !rebound.ok()) {
+      // Index type without rebind support: fall back to the pre-refactor
+      // inline rebuild under the lock (correct, just blocking).
+      if (Status s = slot.index->Build(shard.data.get()); !s.ok()) {
+        slot.built = false;
+        slot.build_error = s.ToString();
+      } else {
+        slot.built = true;
+        ++slot.rebuilds;
+        slot.staleness = 0;
+        slot.build_error.clear();
+      }
+      slot.rebuild_scheduled = false;
+      return;
+    }
+    slot.index = std::move(made).value();
+    slot.built = true;
+    slot.staleness = 0;
+    ++slot.rebuilds;
+    slot.build_error.clear();
+    slot.rebuild_scheduled = false;
+    return;
+  }
+  // The writer mutated through every attempt. Yield: staleness is still at
+  // or past the threshold, so the very next commit re-schedules a rebuild.
+  std::unique_lock lock(shard.mutex);
+  shard.slots[slot_index].rebuild_scheduled = false;
+}
+
+void Collection::WaitForRebuilds() const {
+  for (;;) {
+    {
+      std::unique_lock lock(bg_mutex_);
+      if (bg_cv_.wait_for(lock, std::chrono::milliseconds(1),
+                          [&] { return bg_inflight_ == 0; })) {
+        return;
+      }
+    }
+    // Lend this thread to the executor so a narrow pool cannot starve the
+    // very task being awaited (the caller holds no collection locks here).
+    executor_->RunOnePendingTask();
+  }
+}
+
+void Collection::CommitMutationLocked(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  for (Slot& slot : shard.slots) {
     // Updatable built slots absorbed the mutation structurally (the caller
     // ran Insert/Erase on them); everyone else just got staler.
     if (!(slot.built && slot.index->SupportsUpdates())) ++slot.staleness;
   }
-  MaybeRebuildLocked();
+  MaybeRebuildLocked(shard_index);
+  ++shard.version;
+  shard.approx_rows.store(shard.data->rows(), std::memory_order_relaxed);
+  shard.approx_free.store(shard.data->free_slots().size(),
+                          std::memory_order_relaxed);
   // Committed: exactly one epoch per successful mutation, build failures
   // notwithstanding (failing slots are out of service, not blocking).
-  ++epoch_;
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+size_t Collection::PickInsertShard() const {
+  const size_t num_shards = shards_.size();
+  if (num_shards == 1) return 0;
+  // Advisory reads: a racing writer can skew the balance by a row, never
+  // the correctness (the chosen shard commits under its own lock).
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (shards_[s]->approx_free.load(std::memory_order_relaxed) > 0) {
+      return s;  // recycle before growing any shard
+    }
+  }
+  size_t best = 0;
+  size_t best_rows = std::numeric_limits<size_t>::max();
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t rows =
+        shards_[s]->approx_rows.load(std::memory_order_relaxed);
+    if (rows < best_rows) {
+      best_rows = rows;
+      best = s;
+    }
+  }
+  return best;
 }
 
 Result<uint32_t> Collection::Upsert(const float* vec, size_t len) {
-  std::unique_lock lock(mutex_);
-  if (len != data_->cols()) {
+  if (len != dim_) {
     return Status::InvalidArgument(
         "Upsert: vector has dimension " + std::to_string(len) +
-        ", collection serves " + std::to_string(data_->cols()));
+        ", collection serves " + std::to_string(dim_));
   }
-  const uint32_t id = data_->InsertRow(vec, len);
-  for (Slot& slot : slots_) {
+  const size_t shard_index = PickInsertShard();
+  Shard& shard = *shards_[shard_index];
+  std::unique_lock lock(shard.mutex);
+  const uint32_t local = shard.data->InsertRow(vec, len);
+  for (Slot& slot : shard.slots) {
     if (!slot.built || !slot.index->SupportsUpdates()) continue;
-    if (Status s = slot.index->Insert(id); !s.ok()) {
+    if (Status s = slot.index->Insert(local); !s.ok()) {
       // Self-heal: a structural insert failure leaves that one index
       // missing the id; forcing its staleness to the threshold makes
       // CommitMutationLocked rebuild it over the live rows, restoring
@@ -189,19 +446,22 @@ Result<uint32_t> Collection::Upsert(const float* vec, size_t len) {
       slot.staleness = slot.rebuild_threshold;
     }
   }
-  CommitMutationLocked();
-  return id;
+  CommitMutationLocked(shard_index);
+  return GlobalId(shard_index, local);
 }
 
 Result<uint32_t> Collection::Upsert(uint32_t id, const float* vec,
                                     size_t len) {
-  std::unique_lock lock(mutex_);
-  if (len != data_->cols()) {
+  if (len != dim_) {
     return Status::InvalidArgument(
         "Upsert: vector has dimension " + std::to_string(len) +
-        ", collection serves " + std::to_string(data_->cols()));
+        ", collection serves " + std::to_string(dim_));
   }
-  if (id >= data_->rows() || data_->IsDeleted(id)) {
+  const size_t shard_index = ShardOfId(id);
+  const uint32_t local = LocalOfId(id);
+  Shard& shard = *shards_[shard_index];
+  std::unique_lock lock(shard.mutex);
+  if (local >= shard.data->rows() || shard.data->IsDeleted(local)) {
     return Status::NotFound("Upsert: id " + std::to_string(id) +
                             " is not a live vector");
   }
@@ -209,51 +469,57 @@ Result<uint32_t> Collection::Upsert(uint32_t id, const float* vec,
   // FloatMatrix's free-list is LIFO, so InsertRow hands the same id back —
   // and re-insert. All under one write transaction: no reader ever sees
   // the id missing.
-  DBLSH_RETURN_IF_ERROR(data_->EraseRow(id));
-  for (Slot& slot : slots_) {
+  DBLSH_RETURN_IF_ERROR(shard.data->EraseRow(local));
+  for (Slot& slot : shard.slots) {
     if (!slot.built || !slot.index->SupportsUpdates()) continue;
-    if (Status s = slot.index->Erase(id); !s.ok()) {
+    if (Status s = slot.index->Erase(local); !s.ok()) {
       slot.staleness = slot.rebuild_threshold;  // self-heal via rebuild
       continue;
     }
     // Erased cleanly: the matching Insert below restores the id.
   }
-  const uint32_t recycled = data_->InsertRow(vec, len);
-  assert(recycled == id && "LIFO free-list must hand the slot straight back");
-  for (Slot& slot : slots_) {
+  const uint32_t recycled = shard.data->InsertRow(vec, len);
+  assert(recycled == local &&
+         "LIFO free-list must hand the slot straight back");
+  for (Slot& slot : shard.slots) {
     if (!slot.built || !slot.index->SupportsUpdates()) continue;
     if (slot.staleness >= slot.rebuild_threshold) continue;  // rebuilding
     if (Status s = slot.index->Insert(recycled); !s.ok()) {
       slot.staleness = slot.rebuild_threshold;
     }
   }
-  CommitMutationLocked();
-  return recycled;
+  CommitMutationLocked(shard_index);
+  return GlobalId(shard_index, recycled);
 }
 
 Status Collection::Delete(uint32_t id) {
-  std::unique_lock lock(mutex_);
-  if (id >= data_->rows()) {
+  const size_t shard_index = ShardOfId(id);
+  const uint32_t local = LocalOfId(id);
+  Shard& shard = *shards_[shard_index];
+  std::unique_lock lock(shard.mutex);
+  if (local >= shard.data->rows()) {
     return Status::NotFound("Delete: id " + std::to_string(id) +
                             " was never assigned");
   }
-  DBLSH_RETURN_IF_ERROR(data_->EraseRow(id));  // NotFound when already gone
-  for (Slot& slot : slots_) {
+  DBLSH_RETURN_IF_ERROR(
+      shard.data->EraseRow(local));  // NotFound when already gone
+  for (Slot& slot : shard.slots) {
     if (!slot.built || !slot.index->SupportsUpdates()) continue;
-    if (Status s = slot.index->Erase(id); !s.ok()) {
+    if (Status s = slot.index->Erase(local); !s.ok()) {
       slot.staleness = slot.rebuild_threshold;  // self-heal via rebuild
     }
   }
-  CommitMutationLocked();
+  CommitMutationLocked(shard_index);
   return Status::OK();
 }
 
-int Collection::RouteLocked(const std::string& index_name,
+int Collection::RouteLocked(const Shard& shard,
+                            const std::string& index_name,
                             Status* why) const {
   if (!index_name.empty()) {
-    for (size_t i = 0; i < slots_.size(); ++i) {
-      if (slots_[i].name != index_name) continue;
-      if (!slots_[i].built) {
+    for (size_t i = 0; i < shard.slots.size(); ++i) {
+      if (shard.slots[i].name != index_name) continue;
+      if (!shard.slots[i].built) {
         *why = Status::InvalidArgument(
             "collection index \"" + index_name +
             "\" is not built yet (collection was empty when it was added)");
@@ -268,106 +534,320 @@ int Collection::RouteLocked(const std::string& index_name,
   // Best-capable routing: the freshest built slot, insertion order as the
   // tie-break (so callers list their preferred method first).
   int best = -1;
-  for (size_t i = 0; i < slots_.size(); ++i) {
-    if (!slots_[i].built) continue;
-    if (best < 0 || slots_[i].staleness <
-                        slots_[static_cast<size_t>(best)].staleness) {
+  for (size_t i = 0; i < shard.slots.size(); ++i) {
+    if (!shard.slots[i].built) continue;
+    if (best < 0 || shard.slots[i].staleness <
+                        shard.slots[static_cast<size_t>(best)].staleness) {
       best = static_cast<int>(i);
     }
   }
   if (best < 0) {
     *why = Status::InvalidArgument(
-        slots_.empty() ? "collection has no indexes; AddIndex first"
-                       : "collection has no built index yet; Upsert data "
-                         "first");
+        shard.slots.empty() ? "collection has no indexes; AddIndex first"
+                            : "collection has no built index yet; Upsert "
+                              "data first");
   }
   return best;
+}
+
+Result<QueryResponse> Collection::SearchShard(size_t shard_index,
+                                              const float* query,
+                                              const QueryRequest& request,
+                                              const std::string& index_name,
+                                              bool* empty_shard) const {
+  const Shard& shard = *shards_[shard_index];
+  *empty_shard = false;
+  std::shared_lock lock(shard.mutex);
+  if (shard.slots.empty()) {
+    return Status::InvalidArgument("collection has no indexes; AddIndex "
+                                   "first");
+  }
+  if (!index_name.empty()) {
+    // Name resolution first: an unknown name is NotFound even when this
+    // shard happens to be empty (slot lists are identical across shards).
+    const bool known = std::any_of(
+        shard.slots.begin(), shard.slots.end(),
+        [&](const Slot& slot) { return slot.name == index_name; });
+    if (!known) {
+      return Status::NotFound("collection has no index named \"" +
+                              index_name + "\"");
+    }
+  }
+  if (shard.data->live_rows() == 0) {
+    *empty_shard = true;
+    return QueryResponse{};  // nothing to contribute, not an error
+  }
+  Status why = Status::OK();
+  const int route = RouteLocked(shard, index_name, &why);
+  if (route < 0) return why;
+  const Slot& slot = shard.slots[static_cast<size_t>(route)];
+
+  auto serve = [&](const QueryRequest& effective) -> QueryResponse {
+    if (slot.index->SupportsConcurrentQueries()) {
+      return slot.index->Search(query, effective);
+    }
+    // Thread-compatible read path: readers of this slot serialize among
+    // themselves (writers are already excluded by the shared lock).
+    std::lock_guard slot_lock(*slot.query_mutex);
+    return slot.index->Search(query, effective);
+  };
+
+  if (request.filter.empty()) return serve(request);
+  // The shard's index speaks local ids; rewrite the caller's global-id
+  // filter accordingly. Only the filter changes — keep the scalar
+  // overrides in sync with QueryRequest's field list.
+  QueryRequest local;
+  local.k = request.k;
+  local.candidate_budget = request.candidate_budget;
+  local.r0 = request.r0;
+  const QueryFilter* global = &request.filter;  // outlives the fan-out
+  local.filter = QueryFilter::Of([this, global, shard_index](uint32_t lid) {
+    return global->Admits(GlobalId(shard_index, lid));
+  });
+  return serve(local);
+}
+
+QueryResponse Collection::MergeShardResponses(
+    std::vector<QueryResponse> responses, size_t k) const {
+  QueryResponse merged;
+  TopKHeap heap(k);
+  for (size_t s = 0; s < responses.size(); ++s) {
+    for (const Neighbor& neighbor : responses[s].neighbors) {
+      // Exact merge: within a shard, local id order equals global id
+      // order, so each shard's top-k (local tie-break) contains every
+      // global top-k member of that shard; pushing with global ids
+      // reproduces the single-shard (dist, id) tie-break exactly.
+      heap.Push(neighbor.dist, GlobalId(s, neighbor.id));
+    }
+    merged.stats.candidates_verified += responses[s].stats.candidates_verified;
+    merged.stats.points_accessed += responses[s].stats.points_accessed;
+    merged.stats.rounds += responses[s].stats.rounds;
+    merged.stats.window_queries += responses[s].stats.window_queries;
+  }
+  merged.neighbors = heap.TakeSorted();
+  return merged;
 }
 
 Result<QueryResponse> Collection::Search(const float* query,
                                          const QueryRequest& request,
                                          const std::string& index_name) const {
-  std::shared_lock lock(mutex_);
-  Status why = Status::OK();
-  const int route = RouteLocked(index_name, &why);
-  if (route < 0) return why;
-  const Slot& slot = slots_[static_cast<size_t>(route)];
-  if (slot.index->SupportsConcurrentQueries()) {
+  const size_t num_shards = shards_.size();
+  if (num_shards == 1) {
+    // Unsharded fast path: identical to the pre-shard Collection.
+    const Shard& shard = *shards_[0];
+    std::shared_lock lock(shard.mutex);
+    Status why = Status::OK();
+    const int route = RouteLocked(shard, index_name, &why);
+    if (route < 0) return why;
+    const Slot& slot = shard.slots[static_cast<size_t>(route)];
+    if (slot.index->SupportsConcurrentQueries()) {
+      return slot.index->Search(query, request);
+    }
+    std::lock_guard slot_lock(*slot.query_mutex);
     return slot.index->Search(query, request);
   }
-  // Thread-compatible read path: readers of this slot serialize among
-  // themselves (writers are already excluded by the shared lock).
-  std::lock_guard slot_lock(*slot.query_mutex);
-  return slot.index->Search(query, request);
+
+  // Fan out one k-NN task per shard and merge.
+  std::vector<QueryResponse> responses(num_shards);
+  std::vector<Status> statuses(num_shards, Status::OK());
+  std::vector<uint8_t> empty(num_shards, 0);
+  executor_->ParallelFor(num_shards, [&](size_t s) {
+    bool empty_shard = false;
+    auto got = SearchShard(s, query, request, index_name, &empty_shard);
+    if (got.ok()) {
+      responses[s] = std::move(got).value();
+    } else {
+      statuses[s] = got.status();
+    }
+    empty[s] = empty_shard ? 1 : 0;
+  });
+  size_t empties = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!statuses[s].ok()) return statuses[s];
+    empties += empty[s];
+  }
+  if (empties == num_shards) {
+    return Status::InvalidArgument(
+        "collection has no built index yet; Upsert data first");
+  }
+  return MergeShardResponses(std::move(responses), request.k);
 }
 
 Result<std::vector<QueryResponse>> Collection::SearchBatch(
     const FloatMatrix& queries, const QueryRequest& request,
     const std::string& index_name, size_t num_threads) const {
-  std::shared_lock lock(mutex_);
-  if (!queries.empty() && queries.cols() != data_->cols()) {
+  if (!queries.empty() && queries.cols() != dim_) {
     return Status::InvalidArgument(
         "SearchBatch: queries have dimension " +
         std::to_string(queries.cols()) + ", collection serves " +
-        std::to_string(data_->cols()));
+        std::to_string(dim_));
   }
-  Status why = Status::OK();
-  const int route = RouteLocked(index_name, &why);
-  if (route < 0) return why;
-  const Slot& slot = slots_[static_cast<size_t>(route)];
-  if (slot.index->SupportsConcurrentQueries()) {
+  const size_t num_shards = shards_.size();
+  if (num_shards == 1) {
+    const Shard& shard = *shards_[0];
+    std::shared_lock lock(shard.mutex);
+    Status why = Status::OK();
+    const int route = RouteLocked(shard, index_name, &why);
+    if (route < 0) return why;
+    const Slot& slot = shard.slots[static_cast<size_t>(route)];
+    if (slot.index->SupportsConcurrentQueries()) {
+      return slot.index->QueryBatch(queries, request, num_threads);
+    }
+    std::lock_guard slot_lock(*slot.query_mutex);
     return slot.index->QueryBatch(queries, request, num_threads);
   }
-  std::lock_guard slot_lock(*slot.query_mutex);
-  return slot.index->QueryBatch(queries, request, num_threads);
+
+  const size_t q_count = queries.rows();
+  if (q_count == 0) return std::vector<QueryResponse>{};
+  if (num_threads == 0) num_threads = exec::HardwareConcurrency();
+  // Grid fan-out: every (query, shard) cell is an independent task, so a
+  // slow shard never stalls the other shards' progress on later queries.
+  std::vector<QueryResponse> cells(q_count * num_shards);
+  std::vector<Status> statuses(q_count * num_shards, Status::OK());
+  std::vector<uint8_t> empty(q_count * num_shards, 0);
+  executor_->ParallelFor(
+      q_count * num_shards,
+      [&](size_t cell) {
+        const size_t q = cell / num_shards;
+        const size_t s = cell % num_shards;
+        bool empty_shard = false;
+        auto got =
+            SearchShard(s, queries.row(q), request, index_name, &empty_shard);
+        if (got.ok()) {
+          cells[cell] = std::move(got).value();
+        } else {
+          statuses[cell] = got.status();
+        }
+        empty[cell] = empty_shard ? 1 : 0;
+      },
+      num_threads);
+
+  std::vector<QueryResponse> out;
+  out.reserve(q_count);
+  for (size_t q = 0; q < q_count; ++q) {
+    std::vector<QueryResponse> row;
+    row.reserve(num_shards);
+    size_t empties = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      const size_t cell = q * num_shards + s;
+      if (!statuses[cell].ok()) return statuses[cell];
+      empties += empty[cell];
+      row.push_back(std::move(cells[cell]));
+    }
+    if (empties == num_shards) {
+      return Status::InvalidArgument(
+          "collection has no built index yet; Upsert data first");
+    }
+    out.push_back(MergeShardResponses(std::move(row), request.k));
+  }
+  return out;
 }
 
 size_t Collection::size() const {
-  std::shared_lock lock(mutex_);
-  return data_->live_rows();
+  size_t live = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    live += shard->data->live_rows();
+  }
+  return live;
 }
 
-size_t Collection::dim() const {
-  std::shared_lock lock(mutex_);
-  return data_->cols();
-}
+size_t Collection::dim() const { return dim_; }
 
 uint64_t Collection::epoch() const {
-  std::shared_lock lock(mutex_);
-  return epoch_;
+  return epoch_.load(std::memory_order_acquire);
 }
 
 std::vector<CollectionIndexInfo> Collection::Indexes() const {
-  std::shared_lock lock(mutex_);
+  // Shared locks over every shard, ascending (consistent with AddIndex).
+  std::vector<std::shared_lock<WriterPriorityMutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+
   std::vector<CollectionIndexInfo> infos;
-  infos.reserve(slots_.size());
-  for (const Slot& slot : slots_) {
+  infos.reserve(shards_[0]->slots.size());
+  for (size_t i = 0; i < shards_[0]->slots.size(); ++i) {
+    const Slot& first = shards_[0]->slots[i];
     CollectionIndexInfo info;
-    info.name = slot.name;
-    info.method = slot.index->Name();
-    info.supports_updates = slot.index->SupportsUpdates();
-    info.concurrent_queries = slot.index->SupportsConcurrentQueries();
-    info.built = slot.built;
-    info.staleness = slot.staleness;
-    info.rebuild_threshold = slot.rebuild_threshold;
-    info.rebuilds = slot.rebuilds;
-    info.build_error = slot.build_error;
+    info.name = first.name;
+    info.method = first.index->Name();
+    info.supports_updates = first.index->SupportsUpdates();
+    info.concurrent_queries = first.index->SupportsConcurrentQueries();
+    info.rebuild_threshold = first.rebuild_threshold;
+    // Built aggregate: some shard's instance serves, and no shard that has
+    // content is left unbuilt. (A slot over an empty shard serves that
+    // shard's zero rows exactly; it does not count against the aggregate.)
+    bool any_built = false;
+    bool all_nonempty_built = true;
+    for (const auto& shard : shards_) {
+      const Slot& slot = shard->slots[i];
+      if (slot.built) any_built = true;
+      if (!slot.built && shard->data->live_rows() > 0) {
+        all_nonempty_built = false;
+      }
+      info.staleness = std::max(info.staleness, slot.staleness);
+      info.rebuilds += slot.rebuilds;
+      info.rebuild_inflight = info.rebuild_inflight || slot.rebuild_scheduled;
+      if (info.build_error.empty()) info.build_error = slot.build_error;
+    }
+    info.built = any_built && all_nonempty_built;
     infos.push_back(std::move(info));
   }
   return infos;
 }
 
-const AnnIndex* Collection::GetIndex(const std::string& name) const {
-  std::shared_lock lock(mutex_);
-  for (const Slot& slot : slots_) {
+const AnnIndex* Collection::GetIndex(const std::string& name,
+                                     size_t shard_index) const {
+  if (shard_index >= shards_.size()) return nullptr;
+  const Shard& shard = *shards_[shard_index];
+  std::shared_lock lock(shard.mutex);
+  for (const Slot& slot : shard.slots) {
     if (slot.name == name) return slot.index.get();
   }
   return nullptr;
 }
 
 FloatMatrix Collection::Snapshot() const {
-  std::shared_lock lock(mutex_);
-  return *data_;
+  const size_t num_shards = shards_.size();
+  if (num_shards == 1) {
+    std::shared_lock lock(shards_[0]->mutex);
+    return *shards_[0]->data;
+  }
+  // Consistent cut: shared locks over every shard while re-assembling the
+  // global id space (mutations are single-shard, so this is the same
+  // guarantee a fan-out search sees, made simultaneous).
+  std::vector<std::shared_lock<WriterPriorityMutex>> locks;
+  locks.reserve(num_shards);
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+
+  size_t rows = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t shard_rows = shards_[s]->data->rows();
+    if (shard_rows > 0) {
+      rows = std::max(rows, (shard_rows - 1) * num_shards + s + 1);
+    }
+  }
+  FloatMatrix out(rows, dim_);
+  for (size_t g = 0; g < rows; ++g) {
+    const Shard& shard = *shards_[g % num_shards];
+    const uint32_t local = LocalOfId(static_cast<uint32_t>(g));
+    if (local < shard.data->rows()) {
+      std::copy(shard.data->row(local), shard.data->row(local) + dim_,
+                out.mutable_row(g));
+    }
+  }
+  for (size_t g = 0; g < rows; ++g) {
+    const Shard& shard = *shards_[g % num_shards];
+    const uint32_t local = LocalOfId(static_cast<uint32_t>(g));
+    // Ids past a shard's frontier were never assigned; report them (and
+    // genuine tombstones) as erased so oracle scans skip them.
+    if (local >= shard.data->rows() || shard.data->IsDeleted(local)) {
+      Status erased = out.EraseRow(g);
+      assert(erased.ok());
+      (void)erased;
+    }
+  }
+  return out;
 }
 
 }  // namespace dblsh

@@ -1,6 +1,7 @@
 #ifndef DBLSH_CORE_COLLECTION_H_
 #define DBLSH_CORE_COLLECTION_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -11,16 +12,17 @@
 #include "core/ann_index.h"
 #include "core/query.h"
 #include "dataset/float_matrix.h"
+#include "exec/task_executor.h"
 #include "util/status.h"
 
 namespace dblsh {
 
-/// Writer-priority shared mutex for the Collection's single-writer /
-/// multi-reader discipline. std::shared_mutex is reader-preferring on
-/// glibc: a saturating stream of readers holds the lock permanently
-/// read-locked and starves the writer forever — the exact traffic shape a
-/// serving collection sees. This lock instead parks new readers as soon as
-/// a writer is waiting, so mutations commit promptly and readers resume on
+/// Writer-priority shared mutex for a shard's single-writer / multi-reader
+/// discipline. std::shared_mutex is reader-preferring on glibc: a
+/// saturating stream of readers holds the lock permanently read-locked and
+/// starves the writer forever — the exact traffic shape a serving
+/// collection sees. This lock instead parks new readers as soon as a
+/// writer is waiting, so mutations commit promptly and readers resume on
 /// the new epoch. In-flight readers always drain first (a writer never
 /// preempts a running query). Meets the Lockable / SharedLockable
 /// requirements used by std::unique_lock / std::shared_lock.
@@ -75,7 +77,13 @@ class WriterPriorityMutex {
 };
 
 /// Public snapshot of one index slot of a Collection (see
-/// Collection::Indexes()).
+/// Collection::Indexes()). For a sharded collection the fields aggregate
+/// over the per-shard instances: `built` means some shard's instance
+/// serves and no shard *with content* is left unbuilt (a slot over an
+/// empty shard serves that shard's zero rows exactly and does not count
+/// against the aggregate), `staleness` is the worst (maximum) shard,
+/// `rebuilds` sums across shards, and `build_error` reports the first
+/// failing shard.
 struct CollectionIndexInfo {
   std::string name;          ///< slot name (`name=` spec key or method name)
   std::string method;        ///< AnnIndex::Name() of the wrapped index
@@ -85,18 +93,48 @@ struct CollectionIndexInfo {
   size_t staleness = 0;      ///< mutations not yet absorbed by the structure
   size_t rebuild_threshold = 0;  ///< staleness level that triggers a rebuild
   size_t rebuilds = 0;       ///< automatic rebuilds performed so far
+  /// True while a background rebuild of this slot is scheduled or running
+  /// on the executor (always false in inline-rebuild mode). Use
+  /// Collection::WaitForRebuilds() to quiesce before asserting on state.
+  bool rebuild_inflight = false;
   /// Message of the last failed automatic (re)build, empty when healthy.
   /// A failing slot is out of service (routing skips it) until a later
   /// mutation's retry succeeds; the mutation that triggered the build
-  /// still commits (see Upsert/Delete).
+  /// still commits (see Upsert/Delete). Background-mode build failures
+  /// instead keep the previous (stale but coherent) index serving.
   std::string build_error;
+};
+
+/// Construction knobs for a Collection beyond the index lineup. All fields
+/// have spec-key equivalents in the FromSpec prefix (see FromSpec).
+struct CollectionOptions {
+  /// Number of shards the id space is partitioned into (>= 1). Global id g
+  /// lives in shard g % shards at local row g / shards, so ids stay stable
+  /// for callers while every shard owns an independent FloatMatrix, index
+  /// instances, and writer lock. `shards = 1` is byte-for-byte the
+  /// unsharded collection.
+  size_t shards = 1;
+
+  /// Executor running shard fan-outs, parallel builds and background
+  /// rebuilds; nullptr uses exec::TaskExecutor::Default(). Injecting a
+  /// dedicated pool isolates one collection's work from the rest of the
+  /// process. Must outlive the collection.
+  exec::TaskExecutor* executor = nullptr;
+
+  /// When true, threshold-triggered rebuilds of static slots run as
+  /// background executor tasks that swap in under the write lock once the
+  /// shard is verified unchanged, instead of blocking the mutating writer
+  /// (spec key `rebuild=background`). Default false: rebuilds stay inside
+  /// the mutation's write transaction — the pre-shard behavior, and the
+  /// right choice when tests need deterministic rebuild timing.
+  bool background_rebuild = false;
 };
 
 /// The serving façade: one mutable dataset plus any number of named ANN
 /// indexes over it, behind a single transactional surface —
 ///
 ///   auto made = Collection::FromSpec(
-///       "collection: DB-LSH,c=1.5; PM-LSH,rebuild_threshold=500",
+///       "collection,shards=4: DB-LSH,c=1.5; PM-LSH,rebuild_threshold=500",
 ///       std::make_unique<FloatMatrix>(std::move(seed)));
 ///   Collection& c = *made.value();
 ///   uint32_t id = c.Upsert(vec.data(), dim).value();
@@ -106,33 +144,48 @@ struct CollectionIndexInfo {
 ///
 /// Compared with driving AnnIndex directly, the Collection sequences the
 /// PR-3 update protocol (dataset mutation first, then every index) for the
-/// caller, keeps N indexes coherent over one id space, and adds the two
-/// things serving needs:
+/// caller, keeps N indexes coherent over one id space, and adds the things
+/// serving needs:
 ///
-/// **Concurrency — single writer / many readers, epoch-guarded.** All
-/// mutations (Upsert/Delete/AddIndex and automatic rebuilds) run under the
-/// collection's exclusive lock; Search/SearchBatch run under the shared
-/// lock. A reader therefore never observes a half-applied update: every
-/// query sees the dataset and every index exactly as some committed epoch
-/// left them. Each committed mutation advances the epoch counter
-/// (epoch()), which tests and monitoring use to tag what a reader saw.
+/// **Concurrency — single writer / many readers per shard,
+/// epoch-guarded.** Every shard owns a writer-priority lock: mutations
+/// (Upsert/Delete and rebuild swap-ins) take the owning shard's exclusive
+/// lock, Search/SearchBatch take shared locks. A reader never observes a
+/// half-applied update — each mutation touches exactly one shard, so every
+/// query sees each shard exactly as some committed epoch left it. Each
+/// committed mutation advances the collection epoch counter (epoch()).
 /// Reads on indexes whose SupportsConcurrentQueries() is false are
-/// additionally serialized per slot by a query mutex; DB-LSH/FB-LSH and
-/// LinearScan fan out freely.
+/// additionally serialized per (shard, slot) by a query mutex; DB-LSH /
+/// FB-LSH and LinearScan fan out freely.
+///
+/// **Sharding — fan-out/merge search, contention-free writers.** With
+/// `shards = S > 1` the dataset is partitioned by id across S segments.
+/// Search fans one k-NN task per shard onto the executor and merges the
+/// per-shard top-k through a TopKHeap keyed on (distance, global id). The
+/// merge is exact: within a shard, local id order equals global id order,
+/// so every member of the global top-k survives its shard's top-k and the
+/// merged result — ties included — is identical to what a `shards = 1`
+/// collection over the same rows returns. Writers on different shards
+/// commit concurrently; builds and rebuilds of different shards run in
+/// parallel on the executor.
 ///
 /// **Rebuild scheduling.** Indexes with SupportsUpdates() == true absorb
-/// every mutation in place and are always current. For static methods the
-/// slot counts staleness — mutations the structure has not absorbed
-/// (deletes stay invisible thanks to the tombstone filter; inserts are
-/// simply not findable through that index until it rebuilds) — and the
-/// collection rebuilds the index over the live rows once staleness reaches
-/// the slot's `rebuild_threshold` (spec key; default
-/// kDefaultRebuildThreshold, minimum 1). Rebuilds run inside the same
-/// write transaction, so readers never see a partially built index.
+/// every mutation in place and are always current. For static methods each
+/// shard's slot counts staleness — mutations the structure has not
+/// absorbed (deletes stay invisible thanks to the tombstone filter;
+/// inserts are simply not findable through that index until it rebuilds) —
+/// and the shard rebuilds the index over its live rows once staleness
+/// reaches the slot's `rebuild_threshold` (spec key; default
+/// kDefaultRebuildThreshold, minimum 1). By default the rebuild runs
+/// inside the same write transaction, so readers never see a partially
+/// built index; with CollectionOptions::background_rebuild the rebuild
+/// instead runs off-lock over a snapshot and swaps in atomically (see
+/// AnnIndex::RebindData), keeping the writer unblocked.
 ///
-/// Filtered search: requests pass through unchanged, so
-/// `QueryRequest::filter` (and the other per-query overrides) work for
-/// every index in the collection.
+/// Filtered search: requests pass through unchanged — a sharded collection
+/// rewrites `QueryRequest::filter` into local-id terms per shard — so
+/// filters (and the other per-query overrides) work for every index in the
+/// collection.
 class Collection {
  public:
   /// Default `rebuild_threshold` for index slots that do not set the spec
@@ -141,54 +194,69 @@ class Collection {
 
   /// An empty collection of `dim`-dimensional vectors (populate with
   /// Upsert). Indexes added while the collection is empty build lazily on
-  /// the first mutation.
-  explicit Collection(size_t dim);
+  /// the first mutation that lands in their shard.
+  explicit Collection(size_t dim, const CollectionOptions& options = {});
 
-  /// Takes ownership of `data` (seed rows; may carry tombstones). The
-  /// unique_ptr keeps the matrix's address stable, so indexes that were
-  /// built over *data before the hand-off stay valid — see
-  /// AddPrebuiltIndex().
-  explicit Collection(std::unique_ptr<FloatMatrix> data);
+  /// Takes ownership of `data` (seed rows; may carry tombstones). With
+  /// `options.shards == 1` the unique_ptr keeps the matrix's address
+  /// stable, so indexes that were built over *data before the hand-off
+  /// stay valid — see AddPrebuiltIndex(). With more shards the rows are
+  /// re-partitioned into per-shard matrices (row g becomes shard g % S,
+  /// local row g / S) and the seed matrix is released.
+  explicit Collection(std::unique_ptr<FloatMatrix> data,
+                      const CollectionOptions& options = {});
+
+  /// Blocks until every in-flight background rebuild lands, then tears the
+  /// collection down. Never call from inside a task that a rebuild could
+  /// be queued behind on a width-1 executor.
+  ~Collection();
 
   /// Builds a collection from the collection-level spec grammar
   ///
-  ///   "collection: INDEX_SPEC (';' INDEX_SPEC)*"
+  ///   "collection[,OPTION...]: INDEX_SPEC (';' INDEX_SPEC)*"
   ///
-  /// where each INDEX_SPEC is an IndexFactory spec ("DB-LSH,c=1.5") that
-  /// may additionally carry the collection-level keys `name=` (slot name;
-  /// defaults to the method name) and `rebuild_threshold=N`. Takes
-  /// ownership of `data` and adds every index, building each over the seed
-  /// rows; any parse or build error is returned and the partial collection
-  /// discarded. Returns by unique_ptr: a Collection owns synchronization
-  /// state and is not movable.
+  /// where each OPTION is a CollectionOptions key — `shards=N` (>= 1) and
+  /// `rebuild=inline|background` — and each INDEX_SPEC is an IndexFactory
+  /// spec ("DB-LSH,c=1.5") that may additionally carry the slot-level keys
+  /// `name=` (slot name; defaults to the method name) and
+  /// `rebuild_threshold=N`. Takes ownership of `data` and adds every
+  /// index, building each shard's instance over its partition of the seed
+  /// rows (shards build in parallel on `executor`); any parse or build
+  /// error is returned and the partial collection discarded. Returns by
+  /// unique_ptr: a Collection owns synchronization state and is not
+  /// movable.
   static Result<std::unique_ptr<Collection>> FromSpec(
-      const std::string& spec, std::unique_ptr<FloatMatrix> data);
+      const std::string& spec, std::unique_ptr<FloatMatrix> data,
+      exec::TaskExecutor* executor = nullptr);
 
   Collection(const Collection&) = delete;
   Collection& operator=(const Collection&) = delete;
 
-  /// Adds one index from an IndexFactory spec plus the optional
-  /// collection-level keys `name=` / `rebuild_threshold=` (stripped before
-  /// the factory sees the spec). Builds over the live rows now when the
-  /// collection is non-empty, lazily at the next mutation otherwise.
-  /// Duplicate slot names are InvalidArgument. Runs as a write
-  /// transaction.
+  /// Adds one index from an IndexFactory spec plus the optional slot-level
+  /// keys `name=` / `rebuild_threshold=` (stripped before the factory sees
+  /// the spec). One instance is created per shard; non-empty shards build
+  /// now, in parallel on the executor, empty shards build lazily at their
+  /// next mutation. Duplicate slot names are InvalidArgument. Runs as a
+  /// write transaction over every shard.
   Status AddIndex(const std::string& index_spec);
 
   /// Registers an already-built index (e.g. restored via DbLsh::Load)
-  /// under `name` without rebuild downtime. Precondition: `index` was
-  /// built over this collection's matrix — the one passed to
-  /// Collection(std::unique_ptr<FloatMatrix>) — and is not used directly
-  /// afterwards.
+  /// under `name` without rebuild downtime. Only available on an unsharded
+  /// collection (InvalidArgument otherwise): a prebuilt index speaks the
+  /// global id space, which coincides with shard 0's local ids only when
+  /// shards == 1. Precondition: `index` was built over this collection's
+  /// matrix — the one passed to Collection(std::unique_ptr<FloatMatrix>) —
+  /// and is not used directly afterwards.
   Status AddPrebuiltIndex(const std::string& name,
                           std::unique_ptr<AnnIndex> index,
                           size_t rebuild_threshold = kDefaultRebuildThreshold);
 
   /// Inserts one vector of length dim(), recycling a tombstoned slot when
-  /// one exists, and makes it visible to every updatable index; static
-  /// indexes count staleness and rebuild at their threshold. Returns the
-  /// id now serving the vector. The whole update commits atomically with
-  /// respect to readers.
+  /// one exists (preferring the shard with free slots, then the smallest
+  /// shard), and makes it visible to every updatable index of the owning
+  /// shard; static indexes count staleness and rebuild at their threshold.
+  /// Returns the id now serving the vector. The whole update commits
+  /// atomically with respect to readers.
   ///
   /// The returned status reports the *mutation*: once the arguments
   /// validate, the vector is committed and the id returned. A failing
@@ -200,55 +268,72 @@ class Collection {
 
   /// Replaces the vector at live id `id` in place (the id keeps serving,
   /// now with the new vector). Structurally: erase + insert fused into one
-  /// write transaction, so no reader ever sees the id absent. NotFound
-  /// when `id` is not live.
+  /// write transaction on the owning shard, so no reader ever sees the id
+  /// absent. NotFound when `id` is not live.
   Result<uint32_t> Upsert(uint32_t id, const float* vec, size_t len);
 
   /// Deletes live id `id`: tombstones the row (so no index, updatable or
   /// not, can return it — enforced by the shared verification path) and
-  /// removes it from every updatable index's structures so the slot can be
-  /// recycled. NotFound when `id` is not live.
+  /// removes it from every updatable index of the owning shard so the slot
+  /// can be recycled. NotFound when `id` is not live.
   Status Delete(uint32_t id);
 
   /// Serves one query from the named index, or — with `index_name` empty —
   /// from the best-capable one: the built slot with the lowest staleness
   /// (ties resolve to insertion order, so put the preferred method first).
-  /// Runs under the shared lock: safe to call from any number of threads
-  /// concurrently with one writer. NotFound for an unknown name,
-  /// InvalidArgument when no index is built yet.
+  /// On a sharded collection the query fans one task per shard onto the
+  /// executor and the per-shard top-k merge is exact (see the class
+  /// comment). Runs under the shard shared locks: safe to call from any
+  /// number of threads concurrently with writers. NotFound for an unknown
+  /// name, InvalidArgument when no index is built yet.
   Result<QueryResponse> Search(const float* query, const QueryRequest& request,
                                const std::string& index_name = "") const;
 
-  /// Batched Search over every row of `queries` (one routing decision,
-  /// one lock acquisition); fans out over worker threads when the serving
-  /// index supports concurrent queries. `num_threads = 0` uses hardware
-  /// concurrency.
+  /// Batched Search over every row of `queries`; fans the (query x shard)
+  /// grid out on the executor when the serving index supports concurrent
+  /// queries. `num_threads = 0` uses hardware concurrency; pass 1 when
+  /// timing per-query latency.
   Result<std::vector<QueryResponse>> SearchBatch(
       const FloatMatrix& queries, const QueryRequest& request,
       const std::string& index_name = "", size_t num_threads = 0) const;
 
-  /// Live vectors currently served.
+  /// Live vectors currently served (summed over shards).
   size_t size() const;
 
   /// Vector dimensionality.
   size_t dim() const;
+
+  /// Number of shards the id space is partitioned into.
+  size_t shards() const { return shards_.size(); }
 
   /// Committed-mutation counter: advances by exactly one per successful
   /// Upsert/Delete. Two equal observations bracket a mutation-free
   /// interval (the test suite uses this to validate read consistency).
   uint64_t epoch() const;
 
-  /// Per-slot status snapshot, in insertion order.
+  /// Blocks until no background rebuild is scheduled or running, lending
+  /// the calling thread to the executor while it waits (so a width-1 pool
+  /// cannot starve the very task being awaited). No-op in inline mode.
+  /// With writers quiescent, Indexes() observed afterwards is final.
+  void WaitForRebuilds() const;
+
+  /// Per-slot status snapshot, in insertion order (aggregated over shards
+  /// — see CollectionIndexInfo).
   std::vector<CollectionIndexInfo> Indexes() const;
 
-  /// The named index, or nullptr. The pointer stays valid for the
-  /// collection's lifetime, but using it directly bypasses the collection's
-  /// locking — only touch it while no other thread mutates (intended for
-  /// persistence, e.g. dynamic_cast to DbLsh + Save()).
-  const AnnIndex* GetIndex(const std::string& name) const;
+  /// The named index instance of shard `shard` (default: shard 0, the only
+  /// shard of an unsharded collection), or nullptr when the name or shard
+  /// is unknown. The pointer stays valid until the slot's next background
+  /// rebuild swap-in, and using it bypasses the collection's locking —
+  /// only touch it while no other thread mutates (intended for
+  /// persistence, e.g. dynamic_cast to DbLsh + Save(), on shards == 1).
+  /// Sharded instances speak local ids.
+  const AnnIndex* GetIndex(const std::string& name, size_t shard = 0) const;
 
-  /// Copy of the backing matrix (rows, tombstones and all) taken under the
-  /// shared lock — a consistent basis for oracle checks and backups.
+  /// Copy of the backing data (rows, tombstones and all) taken under the
+  /// shared locks — a consistent basis for oracle checks and backups. On a
+  /// sharded collection the per-shard matrices are re-assembled into the
+  /// global id space; ids no shard has assigned yet come back tombstoned.
   FloatMatrix Snapshot() const;
 
  private:
@@ -260,34 +345,101 @@ class Collection {
     size_t staleness = 0;
     size_t rebuild_threshold = kDefaultRebuildThreshold;
     size_t rebuilds = 0;
+    /// True from background-rebuild scheduling until its swap-in/abandon.
+    bool rebuild_scheduled = false;
     std::string build_error;  ///< last failed automatic build, "" = healthy
     /// Serializes queries on indexes whose read path is only
     /// thread-compatible (SupportsConcurrentQueries() == false).
     std::unique_ptr<std::mutex> query_mutex;
   };
 
-  /// Applies one committed mutation to every slot: updatable built slots
-  /// already absorbed it structurally (callers do that), so this advances
-  /// staleness of static/unbuilt slots, triggers threshold rebuilds and
-  /// lazy first builds, and bumps the epoch. Caller holds the write lock.
-  void CommitMutationLocked();
+  /// One id-space partition: its rows, its index instances (local-id
+  /// world), and its writer lock. All fields except the advisory atomics
+  /// are guarded by `mutex`.
+  struct Shard {
+    mutable WriterPriorityMutex mutex;
+    std::unique_ptr<FloatMatrix> data;
+    std::vector<Slot> slots;
+    /// Bumps on every committed mutation of this shard; background
+    /// rebuilds compare it against their snapshot to validate the swap.
+    uint64_t version = 0;
+    /// Advisory row/free-slot counts for lock-free insert routing; updated
+    /// under `mutex`, read racily by PickInsertShard (routing balance,
+    /// never correctness, depends on them).
+    std::atomic<size_t> approx_rows{0};
+    std::atomic<size_t> approx_free{0};
+  };
 
-  /// Rebuilds every slot whose staleness reached its threshold and
-  /// first-builds lazy slots, over the current live rows. Build failures
-  /// take the slot out of service (recorded in Slot::build_error, retried
-  /// at the next mutation) without unwinding the committed dataset state.
-  /// Caller holds the write lock.
-  void MaybeRebuildLocked();
+  /// The shard owning global id `id` (id % shards).
+  size_t ShardOfId(uint32_t id) const { return id % shards_.size(); }
+  /// The row of global id `id` inside its owning shard (id / shards).
+  uint32_t LocalOfId(uint32_t id) const {
+    return id / static_cast<uint32_t>(shards_.size());
+  }
+  /// Inverse mapping: the global id of `shard`'s row `local`.
+  uint32_t GlobalId(size_t shard, uint32_t local) const {
+    return local * static_cast<uint32_t>(shards_.size()) +
+           static_cast<uint32_t>(shard);
+  }
+
+  /// The shard a fresh Upsert routes to: prefer recycling (a shard with
+  /// free slots), then the smallest shard; ties to the lowest index.
+  size_t PickInsertShard() const;
+
+  /// Applies one committed mutation to every slot of `shard`: updatable
+  /// built slots already absorbed it structurally (callers do that), so
+  /// this advances staleness of static/unbuilt slots, triggers threshold
+  /// rebuilds (inline or background per options) and lazy first builds,
+  /// bumps the shard version and the collection epoch. Caller holds the
+  /// shard's write lock.
+  void CommitMutationLocked(size_t shard_index);
+
+  /// Inline rebuild/lazy-build pass over `shard`'s slots (and background
+  /// scheduling when enabled). Caller holds the shard's write lock.
+  void MaybeRebuildLocked(size_t shard_index);
+
+  /// Registers a pending background rebuild and enqueues it. Caller holds
+  /// the shard's write lock and has set Slot::rebuild_scheduled.
+  void ScheduleRebuild(size_t shard_index, size_t slot_index);
+
+  /// Executor task: snapshot the shard off-lock, build a replacement
+  /// index, and swap it in under the write lock if the shard did not
+  /// mutate meanwhile (bounded retries otherwise).
+  void RunBackgroundRebuild(size_t shard_index, size_t slot_index);
 
   /// Index of the slot serving `index_name` (or the best-capable slot when
   /// empty); negative on routing failure, with `*why` set. Caller holds at
-  /// least the shared lock.
-  int RouteLocked(const std::string& index_name, Status* why) const;
+  /// least the shard's shared lock.
+  int RouteLocked(const Shard& shard, const std::string& index_name,
+                  Status* why) const;
 
-  mutable WriterPriorityMutex mutex_;
-  std::unique_ptr<FloatMatrix> data_;
-  std::vector<Slot> slots_;
-  uint64_t epoch_ = 0;
+  /// One shard's contribution to a fan-out search: routes, rewrites the
+  /// filter into local ids, and queries under the shard's shared lock.
+  /// Local ids in the response; an empty shard contributes an empty
+  /// response. `*empty_shard` reports the skip so the merge can
+  /// distinguish "nothing there" from "no results".
+  Result<QueryResponse> SearchShard(size_t shard_index, const float* query,
+                                    const QueryRequest& request,
+                                    const std::string& index_name,
+                                    bool* empty_shard) const;
+
+  /// Merges per-shard responses (local ids) into one global response via a
+  /// TopKHeap keyed on (distance, global id); stats are summed.
+  QueryResponse MergeShardResponses(std::vector<QueryResponse> responses,
+                                    size_t k) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t dim_ = 0;
+  exec::TaskExecutor* executor_;  ///< never null after construction
+  bool background_rebuild_ = false;
+  std::atomic<uint64_t> epoch_{0};
+
+  // Background-rebuild bookkeeping: count of scheduled-but-unfinished
+  // tasks, waited on by WaitForRebuilds() and the destructor.
+  mutable std::mutex bg_mutex_;
+  mutable std::condition_variable bg_cv_;
+  mutable size_t bg_inflight_ = 0;
+  bool closing_ = false;  ///< guarded by bg_mutex_
 };
 
 }  // namespace dblsh

@@ -5,9 +5,9 @@
 #include <cmath>
 #include <memory>
 #include <numeric>
-#include <thread>
 
 #include "core/index_factory.h"
+#include "exec/task_executor.h"
 
 #include "dataset/ground_truth.h"
 #include "util/distance.h"
@@ -256,9 +256,7 @@ std::vector<QueryResponse> DbLsh::QueryBatch(const FloatMatrix& queries,
   const size_t q_count = queries.rows();
   std::vector<QueryResponse> responses(q_count);
   if (q_count == 0) return responses;
-  if (num_threads == 0) {
-    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
-  }
+  if (num_threads == 0) num_threads = exec::HardwareConcurrency();
   num_threads = std::min(num_threads, q_count);
 
   const size_t t =
@@ -442,5 +440,12 @@ DBLSH_REGISTER_INDEX(
           std::make_unique<DbLsh>(params.value());
       return index;
     });
+
+
+Status DbLsh::RebindData(const FloatMatrix* data) {
+  DBLSH_RETURN_IF_ERROR(detail::ValidateRebind(Name(), data_, data));
+  data_ = data;
+  return Status::OK();
+}
 
 }  // namespace dblsh

@@ -99,6 +99,9 @@ class DbLsh : public AnnIndex {
   /// L spaces and builds one index per space. Live rows only when `data`
   /// carries tombstones. `data` must outlive the index.
   Status Build(const FloatMatrix* data) override;
+  /// Repoints dataset reads at an equal-content matrix (see
+  /// AnnIndex::RebindData) -- Collection's background-rebuild swap hook.
+  Status RebindData(const FloatMatrix* data) override;
   /// c-ANN query via the (r,c)-NN cascade. Uses a thread-local scratch, so
   /// concurrent calls from different threads are safe.
   std::vector<Neighbor> Query(const float* query, size_t k,

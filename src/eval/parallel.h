@@ -10,11 +10,16 @@
 
 namespace dblsh::eval {
 
-/// Answers every row of `queries` against a built DB-LSH index using
-/// `num_threads` worker threads, each with its own QueryScratch (the index
-/// read path is immutable, so this is safe). Results are in query order and
-/// bitwise identical to sequential execution. `num_threads = 0` uses the
-/// hardware concurrency.
+/// Answers every row of `queries` against a built DB-LSH index at a
+/// parallelism of `num_threads`, each participant with its own
+/// QueryScratch (the index read path is immutable, so this is safe).
+/// Results are in query order and bitwise identical to sequential
+/// execution. `num_threads = 0` uses the hardware concurrency.
+///
+/// Thin forwarder over DbLsh::QueryBatch, kept for the eval runner's
+/// historical call sites — since the executor refactor the fan-out runs
+/// on exec::TaskExecutor::Default() (src/exec/), which owns every thread
+/// in the process; this header adds no pool of its own.
 std::vector<std::vector<Neighbor>> ParallelQuery(const DbLsh& index,
                                                  const FloatMatrix& queries,
                                                  size_t k,

@@ -9,16 +9,18 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <future>
 #include <memory>
 #include <set>
 #include <string>
-#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/collection.h"
 #include "core/index_factory.h"
 #include "dataset/float_matrix.h"
 #include "dataset/synthetic.h"
+#include "exec/task_executor.h"
 #include "util/random.h"
 
 namespace dblsh {
@@ -494,18 +496,18 @@ TEST(CollectionOracleTest, RandomizedInterleavingMatchesLinearScanOracle) {
 
 // -------------------------------------- threaded reader/writer stress -----
 
-// One writer thread streams Upsert/Delete traffic while reader threads
+// One writer thread streams Upsert/Delete traffic while reader tasks
 // hammer Search on every slot (concurrent-read DB-LSH, per-slot-serialized
 // PM-LSH, exact LinearScan). Readers assert per-response invariants that
 // hold at EVERY epoch (sortedness, liveness-independent filter exclusion);
 // the writer pauses at checkpoints so the oracle can be compared against a
-// consistent snapshot while readers keep running. TSan runs this test.
-TEST(ConcurrentCollectionTest, ReadersStayCoherentUnderWriter) {
+// consistent snapshot while readers keep running. The readers run as tasks
+// on a dedicated executor (no raw std::thread outside src/exec/). TSan
+// runs this, for the unsharded spec and the sharded/background one.
+void RunReadersUnderWriterStress(const std::string& spec) {
   const size_t dim = 16;
   const size_t seed_rows = 1500;
-  auto made = Collection::FromSpec(
-      "collection: DB-LSH,t=16; PM-LSH,rebuild_threshold=64; LinearScan",
-      EasyDataPtr(seed_rows, dim, 77));
+  auto made = Collection::FromSpec(spec, EasyDataPtr(seed_rows, dim, 77));
   ASSERT_TRUE(made.ok()) << made.status().ToString();
   Collection& c = *made.value();
 
@@ -522,9 +524,10 @@ TEST(ConcurrentCollectionTest, ReadersStayCoherentUnderWriter) {
   std::atomic<size_t> reader_queries{0};
   std::vector<std::string> routes = {"DB-LSH", "PM-LSH", "LinearScan", ""};
 
-  std::vector<std::thread> readers;
+  exec::TaskExecutor reader_pool(kReaders);
+  std::vector<std::future<void>> readers;
   for (size_t r = 0; r < kReaders; ++r) {
-    readers.emplace_back([&, r]() {
+    readers.push_back(reader_pool.Submit([&, r]() {
       Rng rng(1000 + r);
       std::vector<float> q(dim);
       size_t i = 0;
@@ -550,7 +553,7 @@ TEST(ConcurrentCollectionTest, ReadersStayCoherentUnderWriter) {
         }
         reader_queries.fetch_add(1, std::memory_order_relaxed);
       }
-    });
+    }));
   }
 
   // Writer: batches of mixed traffic, then a quiescent oracle checkpoint
@@ -588,8 +591,9 @@ TEST(ConcurrentCollectionTest, ReadersStayCoherentUnderWriter) {
     EXPECT_EQ(c.epoch(), epoch_before);
   }
   done.store(true, std::memory_order_release);
-  for (auto& t : readers) t.join();
+  for (auto& reader : readers) reader.get();
   EXPECT_GT(reader_queries.load(), 0u);
+  c.WaitForRebuilds();
 
   // Post-run coherence, single-threaded: every slot serves, nothing dead
   // leaks, and the final state matches the oracle exactly via LinearScan.
@@ -608,6 +612,17 @@ TEST(ConcurrentCollectionTest, ReadersStayCoherentUnderWriter) {
   ExpectMatchesOracle(exact.value().neighbors,
                       Oracle(snapshot, snapshot.row(64), request.k),
                       "final state");
+}
+
+TEST(ConcurrentCollectionTest, ReadersStayCoherentUnderWriter) {
+  RunReadersUnderWriterStress(
+      "collection: DB-LSH,t=16; PM-LSH,rebuild_threshold=64; LinearScan");
+}
+
+TEST(ConcurrentCollectionTest, ReadersStayCoherentUnderWriterSharded) {
+  RunReadersUnderWriterStress(
+      "collection,shards=4,rebuild=background: DB-LSH,t=16; "
+      "PM-LSH,rebuild_threshold=64; LinearScan");
 }
 
 // ---------------------------------------------------------- adoption ------
@@ -645,6 +660,307 @@ TEST(CollectionTest, AddPrebuiltIndexServesWithoutRebuild) {
   // GetIndex exposes the slot for persistence-style access.
   EXPECT_NE(c.GetIndex("restored"), nullptr);
   EXPECT_EQ(c.GetIndex("missing"), nullptr);
+}
+
+// ---------------------------------------------------------- sharding ------
+
+TEST(ShardedCollectionTest, SpecParsesShardAndRebuildOptions) {
+  auto made = Collection::FromSpec(
+      "collection,shards=4: LinearScan; DB-LSH,t=16", EasyDataPtr(300));
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  EXPECT_EQ(made.value()->shards(), 4u);
+  EXPECT_EQ(made.value()->size(), 300u);
+  EXPECT_EQ(made.value()->dim(), 16u);
+  for (const auto& info : made.value()->Indexes()) {
+    EXPECT_TRUE(info.built) << info.name;
+    EXPECT_FALSE(info.rebuild_inflight) << info.name;
+  }
+
+  EXPECT_TRUE(Collection::FromSpec(
+                  "collection,rebuild=background,shards=2: LinearScan",
+                  EasyDataPtr(50))
+                  .ok());
+  EXPECT_TRUE(
+      Collection::FromSpec("collection,rebuild=inline: LinearScan",
+                           EasyDataPtr(50))
+          .ok());
+  // Bad collection options are rejected.
+  for (const char* spec :
+       {"collection,shards=0: LinearScan", "collection,shards=x: LinearScan",
+        "collection,rebuild=sometimes: LinearScan",
+        "collection,no_such_option=1: LinearScan"}) {
+    EXPECT_FALSE(Collection::FromSpec(spec, EasyDataPtr(50)).ok()) << spec;
+  }
+}
+
+TEST(ShardedCollectionTest, PrebuiltAdoptionRequiresSingleShard) {
+  auto data = EasyDataPtr(200, 16, 5151);
+  auto made = IndexFactory::Make("DB-LSH,t=16");
+  ASSERT_TRUE(made.ok());
+  Collection c(std::move(data), {.shards = 2});
+  EXPECT_EQ(c.AddPrebuiltIndex("adopted", std::move(made).value()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedCollectionTest, ExactMethodMatchesSingleShardBitForBit) {
+  // LinearScan is exact and deterministic, so the 4-shard fan-out/merge
+  // over the same rows must reproduce the unsharded result exactly — ids,
+  // distances, and (dist, id) tie-breaks included. This is the exact-merge
+  // guarantee the class comment makes.
+  const size_t dim = 12;
+  const FloatMatrix data = EasyData(503, dim, 4242);  // odd n: ragged shards
+  auto single = Collection::FromSpec(
+      "collection: LinearScan", std::make_unique<FloatMatrix>(data));
+  auto sharded = Collection::FromSpec(
+      "collection,shards=4: LinearScan", std::make_unique<FloatMatrix>(data));
+  ASSERT_TRUE(single.ok() && sharded.ok());
+
+  const FloatMatrix queries = EasyData(12, dim, 4243);
+  QueryRequest request;
+  request.k = 9;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    auto a = single.value()->Search(queries.row(q), request);
+    auto b = sharded.value()->Search(queries.row(q), request);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.value().neighbors, b.value().neighbors) << "query " << q;
+  }
+  // The batched path merges identically, at any thread count.
+  auto a = single.value()->SearchBatch(queries, request);
+  auto b = sharded.value()->SearchBatch(queries, request, "", 3);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    EXPECT_EQ(a.value()[q].neighbors, b.value()[q].neighbors) << q;
+  }
+}
+
+TEST(ShardedCollectionTest, EmptyAndTinyCollectionsServeAcrossShards) {
+  // 8 shards over 3 rows: most shards are empty and must contribute
+  // nothing (not errors) to the merge.
+  Collection c(4, {.shards = 8});
+  ASSERT_TRUE(c.AddIndex("LinearScan").ok());
+  QueryRequest request;
+  request.k = 5;
+  const std::vector<float> probe(4, 0.5f);
+  EXPECT_FALSE(c.Search(probe.data(), request).ok());  // nothing built yet
+  EXPECT_EQ(c.Search(probe.data(), request, "nope").status().code(),
+            StatusCode::kNotFound);  // names still resolve while empty
+
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    const std::vector<float> v(4, static_cast<float>(i));
+    auto up = c.Upsert(v.data(), v.size());
+    ASSERT_TRUE(up.ok()) << up.status().ToString();
+    ids.push_back(up.value());
+  }
+  EXPECT_EQ(c.size(), 3u);
+  auto got = c.Search(probe.data(), request);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value().neighbors.size(), 3u);  // all rows, despite k = 5
+  // Round-trip every id through replace + delete to exercise routing.
+  const std::vector<float> moved(4, 9.f);
+  for (const uint32_t id : ids) {
+    auto rep = c.Upsert(id, moved.data(), moved.size());
+    ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+    EXPECT_EQ(rep.value(), id);
+  }
+  for (const uint32_t id : ids) ASSERT_TRUE(c.Delete(id).ok());
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.Delete(ids[0]).code(), StatusCode::kNotFound);
+}
+
+// The satellite oracle test: one mutation/query trace applied to a sharded
+// collection, an unsharded twin, and the brute-force oracle. Ids diverge
+// between the twins (shard routing assigns different ids to fresh
+// upserts), so the trace tracks the id pair per logical row and the
+// comparison works on distances (exact across twins) and id mapping.
+TEST(ShardedCollectionOracleTest, RandomizedTraceMatchesUnshardedAndOracle) {
+  const size_t dim = 10;
+  const FloatMatrix seed = EasyData(240, dim, 9090);
+  // Threshold sized so each of the 4 shards (which each see ~1/4 of the
+  // mutation stream) crosses it several times over the trace.
+  const std::string lineup = "LinearScan; DB-LSH,t=16; "
+                             "PM-LSH,rebuild_threshold=12";
+  auto s1 = Collection::FromSpec("collection: " + lineup,
+                                 std::make_unique<FloatMatrix>(seed));
+  auto s4 = Collection::FromSpec("collection,shards=4: " + lineup,
+                                 std::make_unique<FloatMatrix>(seed));
+  ASSERT_TRUE(s1.ok() && s4.ok());
+  Collection& one = *s1.value();
+  Collection& four = *s4.value();
+
+  const FloatMatrix pool = EasyData(200, dim, 9091);
+  Rng rng(31337);
+  size_t next_pool = 0;
+  // Live logical rows as (id in `one`, id in `four`, source vector).
+  struct LiveRow {
+    uint32_t id_one;
+    uint32_t id_four;
+    const float* vec;
+  };
+  std::vector<LiveRow> live;
+  for (uint32_t id = 0; id < seed.rows(); ++id) {
+    live.push_back({id, id, seed.row(id)});
+  }
+  std::vector<float> replace_buf(dim);
+
+  for (size_t step = 0; step < 350; ++step) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.15 && next_pool < pool.rows()) {
+      const float* vec = pool.row(next_pool++);
+      auto up1 = one.Upsert(vec, dim);
+      auto up4 = four.Upsert(vec, dim);
+      ASSERT_TRUE(up1.ok() && up4.ok());
+      live.push_back({up1.value(), up4.value(), vec});
+    } else if (dice < 0.25 && live.size() > 60) {
+      const size_t pick = rng.UniformInt(live.size());
+      ASSERT_TRUE(one.Delete(live[pick].id_one).ok()) << "step " << step;
+      ASSERT_TRUE(four.Delete(live[pick].id_four).ok()) << "step " << step;
+      live[pick] = live.back();
+      live.pop_back();
+    } else if (dice < 0.30 && live.size() > 60) {
+      const size_t pick = rng.UniformInt(live.size());
+      for (auto& x : replace_buf) {
+        x = static_cast<float>(rng.Gaussian() * 30.0);
+      }
+      auto rep1 = one.Upsert(live[pick].id_one, replace_buf.data(), dim);
+      auto rep4 = four.Upsert(live[pick].id_four, replace_buf.data(), dim);
+      ASSERT_TRUE(rep1.ok() && rep4.ok());
+      // Replaced rows point at pool-external data; drop the stale vec but
+      // keep tracking the ids (vec is only used to build query probes).
+      live[pick].vec = nullptr;
+    } else {
+      // Probe near a live point, alternating unfiltered / deny-filtered.
+      const LiveRow* base = nullptr;
+      for (int tries = 0; tries < 8 && base == nullptr; ++tries) {
+        const LiveRow& candidate = live[rng.UniformInt(live.size())];
+        if (candidate.vec != nullptr) base = &candidate;
+      }
+      if (base == nullptr) continue;
+      std::vector<float> q(base->vec, base->vec + dim);
+      q[0] += 0.25f;
+
+      QueryRequest req_one, req_four;
+      req_one.k = req_four.k = 5;
+      if (step % 3 == 0) {
+        std::vector<uint32_t> deny_one, deny_four;
+        for (size_t i = 0; i < 8; ++i) {
+          const LiveRow& row = live[rng.UniformInt(live.size())];
+          deny_one.push_back(row.id_one);
+          deny_four.push_back(row.id_four);
+        }
+        req_one.filter = QueryFilter::Deny(deny_one);
+        req_four.filter = QueryFilter::Deny(deny_four);
+      }
+
+      auto exact_one = one.Search(q.data(), req_one, "LinearScan");
+      auto exact_four = four.Search(q.data(), req_four, "LinearScan");
+      ASSERT_TRUE(exact_one.ok() && exact_four.ok()) << "step " << step;
+
+      // Both twins are exact over the same logical rows: identical
+      // distance profiles, rank by rank.
+      const auto& n1 = exact_one.value().neighbors;
+      const auto& n4 = exact_four.value().neighbors;
+      ASSERT_EQ(n1.size(), n4.size()) << "step " << step;
+      for (size_t i = 0; i < n1.size(); ++i) {
+        EXPECT_EQ(n1[i].dist, n4[i].dist)
+            << "step " << step << " rank " << i;
+      }
+
+      // The sharded result must equal the oracle over the sharded
+      // collection's own snapshot (filters + tombstones included).
+      const FloatMatrix snapshot = four.Snapshot();
+      ExpectMatchesOracle(
+          n4, Oracle(snapshot, q.data(), req_four.k, &req_four.filter),
+          "sharded step " + std::to_string(step));
+
+      // Approximate methods through the sharded fan-out: every id is
+      // live, admitted, and the response is sorted and duplicate-free.
+      for (const char* name : {"DB-LSH", "PM-LSH"}) {
+        auto approx = four.Search(q.data(), req_four, name);
+        ASSERT_TRUE(approx.ok()) << name;
+        const auto& neighbors = approx.value().neighbors;
+        for (size_t i = 0; i < neighbors.size(); ++i) {
+          EXPECT_FALSE(snapshot.IsDeleted(neighbors[i].id))
+              << name << " returned dead id at step " << step;
+          EXPECT_TRUE(req_four.filter.Admits(neighbors[i].id))
+              << name << " ignored the filter at step " << step;
+          if (i > 0) {
+            EXPECT_LE(neighbors[i - 1].dist, neighbors[i].dist) << name;
+            EXPECT_NE(neighbors[i - 1].id, neighbors[i].id) << name;
+          }
+        }
+      }
+    }
+    // The twins see one mutation stream: sizes and epochs stay in step.
+    ASSERT_EQ(one.size(), four.size()) << "step " << step;
+    ASSERT_EQ(one.epoch(), four.epoch()) << "step " << step;
+  }
+  // The static index rebuilt on every shard-crossing of its threshold.
+  for (const auto& info : four.Indexes()) {
+    if (!info.supports_updates) {
+      EXPECT_GT(info.rebuilds, 0u) << info.name;
+    }
+  }
+}
+
+// ------------------------------------------------- background rebuilds ----
+
+TEST(ShardedCollectionTest, BackgroundRebuildSwapsInOffTheWriteLock) {
+  auto made = Collection::FromSpec(
+      "collection,shards=2,rebuild=background: LinearScan; "
+      "PM-LSH,rebuild_threshold=4",
+      EasyDataPtr(400, 16, 99));
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  Collection& c = *made.value();
+
+  const std::vector<float> outlier = OutlierVector(16);
+  auto up = c.Upsert(outlier.data(), outlier.size());
+  ASSERT_TRUE(up.ok());
+  const uint32_t id = up.value();
+
+  // The updatable LinearScan serves the outlier immediately; the static
+  // PM-LSH is stale until its background rebuild lands.
+  QueryRequest request;
+  request.k = 1;
+  auto fresh = c.Search(outlier.data(), request, "LinearScan");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh.value().neighbors[0].id, id);
+
+  // Stream mutations until every shard's PM-LSH crossed its threshold and
+  // the swap landed. Each nudge re-arms the scheduler if a rebuild gave up
+  // to writer churn, so this converges deterministically once quiescent.
+  Rng rng(11);
+  std::vector<float> v(16);
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      for (auto& x : v) x = static_cast<float>(50.0 + rng.Gaussian());
+      ASSERT_TRUE(c.Upsert(v.data(), v.size()).ok());
+    }
+    c.WaitForRebuilds();
+    const auto infos = c.Indexes();
+    ASSERT_EQ(infos[1].name, "PM-LSH");
+    EXPECT_FALSE(infos[1].rebuild_inflight);  // WaitForRebuilds quiesced
+    if (infos[1].rebuilds > 0 && infos[1].staleness < 4) break;
+  }
+  const auto infos = c.Indexes();
+  EXPECT_GT(infos[1].rebuilds, 0u);
+  EXPECT_LT(infos[1].staleness, 4u);
+  EXPECT_TRUE(infos[1].built);
+  EXPECT_TRUE(infos[1].build_error.empty());
+
+  // The swapped-in index serves rows inserted after the original build —
+  // including the outlier — and keeps honoring tombstones: delete a row
+  // and it disappears from PM-LSH without any further rebuild.
+  auto rebuilt = c.Search(outlier.data(), request, "PM-LSH");
+  ASSERT_TRUE(rebuilt.ok());
+  ASSERT_FALSE(rebuilt.value().neighbors.empty());
+  EXPECT_EQ(rebuilt.value().neighbors[0].id, id);
+
+  ASSERT_TRUE(c.Delete(id).ok());
+  request.k = 5;
+  auto after = c.Search(outlier.data(), request, "PM-LSH");
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(ContainsId(after.value().neighbors, id));
 }
 
 }  // namespace
