@@ -12,10 +12,23 @@
 // sharding is the read-only QPS ratio against the shards=1 row at the
 // same reader count (printed at the end).
 //
+// A second, network-facing section (--network, default on) serves the
+// same collection through the framed-TCP front-end (src/serve/) over
+// loopback and measures the full client-to-client path: a closed loop of
+// N connected clients (read-only, then a 95/5 read/write mix), an
+// open-loop pipelined client at a bounded pipeline depth, and two
+// deterministic robustness probes (expired deadlines answered typed,
+// overload shed retryable). Every cell reports p50/p99 round-trip
+// latency, achieved QPS, and the coalescer's achieved batch sizes; shed
+// and deadline-rejection counts land in BENCH_serving.json alongside.
+//
 // Flags: --n (initial points, default 50000), --dim (32), --k (10),
 // --readers (max reader tasks, default 8; the sweep doubles from 1),
 // --shards (comma list of shard counts, default "1,4"), --duration-ms
-// (per measurement cell, default 1000), --seed, --json[=PATH] (write
+// (per measurement cell, default 1000), --seed, --network (0 disables
+// the loopback section), --clients (closed-loop connections, default 8),
+// --window-us (coalescing window, default 1000), --pipeline-depth
+// (open-loop outstanding requests, default 32), --json[=PATH] (write
 // machine-readable results, default path BENCH_serving.json).
 #include <algorithm>
 #include <atomic>
@@ -27,6 +40,7 @@
 #include <mutex>
 #include <string>
 #include <thread>  // std::this_thread::sleep_for (no threads are spawned)
+#include <unordered_map>
 #include <vector>
 
 #include "bench/common.h"
@@ -34,6 +48,8 @@
 #include "dataset/synthetic.h"
 #include "eval/table.h"
 #include "exec/task_executor.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -136,6 +152,232 @@ MixResult RunMix(Collection& collection, const FloatMatrix& cloud,
   result.p50_ms = bench::Percentile(&latencies_ms, 50.0);
   result.p99_ms = bench::Percentile(&latencies_ms, 99.0);
   result.write_ops_per_sec = 1000.0 * double(writes) / elapsed_ms;
+  return result;
+}
+
+// One measured cell of the loopback network section.
+struct NetResult {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double writes_per_sec = 0.0;
+  double mean_batch = 0.0;   // over OK replies' achieved batch sizes
+  uint64_t max_batch = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;              // retryable rejections observed
+  uint64_t rejected_deadline = 0;  // typed deadline rejections observed
+};
+
+bench::Json NetJson(const NetResult& r) {
+  return bench::Json::Object()
+      .Set("qps", r.qps)
+      .Set("p50_ms", r.p50_ms)
+      .Set("p99_ms", r.p99_ms)
+      .Set("writes_per_sec", r.writes_per_sec)
+      .Set("mean_batch", r.mean_batch)
+      .Set("max_batch", r.max_batch)
+      .Set("ok", r.ok)
+      .Set("shed", r.shed)
+      .Set("rejected_deadline", r.rejected_deadline);
+}
+
+// Closed loop: `clients` connections, each a task on `pool` driving one
+// blocking Search round-trip at a time; with a positive write interval
+// the calling thread concurrently streams Upsert/Delete traffic through
+// its own connection (the 95/5 mix, end to end over the wire).
+NetResult RunNetClosed(uint16_t port, const FloatMatrix& cloud,
+                       size_t clients, size_t k, double duration_ms,
+                       double write_interval_ms, uint64_t seed,
+                       exec::TaskExecutor* pool) {
+  std::atomic<bool> stop{false};
+  std::mutex mutex;
+  std::vector<double> latencies_ms;
+  NetResult result;
+  std::vector<std::future<void>> tasks;
+  const size_t dim = cloud.cols();
+  for (size_t c = 0; c < clients; ++c) {
+    tasks.push_back(pool->Submit([&, c]() {
+      auto made = serve::Client::Connect("127.0.0.1", port);
+      if (!made.ok()) return;
+      auto& client = *made.value();
+      Rng rng(seed ^ (0xC11E + c));
+      std::vector<float> q(dim);
+      QueryRequest request;
+      request.k = k;
+      std::vector<double> local_ms;
+      uint64_t batch_sum = 0, batch_max = 0, ok = 0, shed = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const float* base = cloud.row(rng.UniformInt(cloud.rows()));
+        for (size_t j = 0; j < dim; ++j) {
+          q[j] = base[j] + static_cast<float>(rng.Gaussian() * 2.0);
+        }
+        Timer rt;
+        auto got = client.Search("main", q.data(), dim, request);
+        if (got.ok()) {
+          local_ms.push_back(rt.ElapsedMs());
+          batch_sum += got.value().batch_size;
+          batch_max = std::max<uint64_t>(batch_max, got.value().batch_size);
+          ++ok;
+        } else if (got.status().retryable()) {
+          ++shed;
+        } else {
+          break;  // connection-level failure: surfaced by a near-zero cell
+        }
+      }
+      std::lock_guard lock(mutex);
+      latencies_ms.insert(latencies_ms.end(), local_ms.begin(),
+                          local_ms.end());
+      result.ok += ok;
+      result.shed += shed;
+      result.mean_batch += static_cast<double>(batch_sum);  // sum for now
+      result.max_batch = std::max(result.max_batch, batch_max);
+    }));
+  }
+
+  // Writer loop on this thread, over its own connection.
+  uint64_t writes = 0;
+  Timer wall;
+  if (write_interval_ms > 0.0) {
+    auto made = serve::Client::Connect("127.0.0.1", port);
+    if (made.ok()) {
+      auto& writer = *made.value();
+      Rng rng(seed ^ 0xB055);
+      std::vector<uint32_t> inserted;
+      double next_write_ms = write_interval_ms;
+      while (wall.ElapsedMs() < duration_ms) {
+        if (wall.ElapsedMs() < next_write_ms) {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          continue;
+        }
+        next_write_ms += write_interval_ms;
+        if (inserted.size() > 64 && rng.NextDouble() < 0.5) {
+          const size_t pick = rng.UniformInt(inserted.size());
+          if (writer.Delete("main", inserted[pick]).ok()) ++writes;
+          inserted[pick] = inserted.back();
+          inserted.pop_back();
+        } else {
+          const float* row = cloud.row(rng.UniformInt(cloud.rows()));
+          auto up = writer.Upsert("main", row, cloud.cols());
+          if (up.ok()) {
+            inserted.push_back(up.value());
+            ++writes;
+          }
+        }
+      }
+    }
+  } else {
+    while (wall.ElapsedMs() < duration_ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  const double elapsed_ms = wall.ElapsedMs();
+  stop.store(true, std::memory_order_release);
+  for (auto& task : tasks) task.get();
+
+  result.qps = 1000.0 * static_cast<double>(result.ok) / elapsed_ms;
+  result.p50_ms = bench::Percentile(&latencies_ms, 50.0);
+  result.p99_ms = bench::Percentile(&latencies_ms, 99.0);
+  result.writes_per_sec = 1000.0 * static_cast<double>(writes) / elapsed_ms;
+  result.mean_batch =
+      result.ok > 0 ? result.mean_batch / static_cast<double>(result.ok)
+                    : 0.0;
+  return result;
+}
+
+// Open loop: one connection, a sender task keeping up to `depth`
+// pipelined Searches outstanding while this thread receives — the
+// saturating shape that gives the coalescer the most companions per
+// window.
+NetResult RunNetOpen(uint16_t port, const FloatMatrix& cloud, size_t k,
+                     double duration_ms, size_t depth, uint64_t seed,
+                     exec::TaskExecutor* pool) {
+  NetResult result;
+  auto made = serve::Client::Connect("127.0.0.1", port);
+  if (!made.ok()) return result;
+  auto& client = *made.value();
+
+  std::mutex mutex;
+  std::unordered_map<uint64_t, std::chrono::steady_clock::time_point> sent_at;
+  std::atomic<uint64_t> num_sent{0};
+  std::atomic<uint64_t> num_received{0};
+  std::atomic<bool> sender_done{false};
+  const size_t dim = cloud.cols();
+
+  auto sender = pool->Submit([&]() {
+    Rng rng(seed ^ 0x09E2);
+    std::vector<float> q(dim);
+    QueryRequest request;
+    request.k = k;
+    Timer wall;
+    while (wall.ElapsedMs() < duration_ms) {
+      if (num_sent.load() - num_received.load() >= depth) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        continue;
+      }
+      const float* base = cloud.row(rng.UniformInt(cloud.rows()));
+      for (size_t j = 0; j < dim; ++j) {
+        q[j] = base[j] + static_cast<float>(rng.Gaussian() * 2.0);
+      }
+      const auto now = std::chrono::steady_clock::now();
+      auto id = client.SendSearch("main", q.data(), dim, request);
+      if (!id.ok()) break;
+      {
+        std::lock_guard lock(mutex);
+        sent_at[id.value()] = now;
+      }
+      num_sent.fetch_add(1);
+    }
+    sender_done.store(true, std::memory_order_release);
+  });
+
+  std::vector<double> latencies_ms;
+  uint64_t batch_sum = 0;
+  Timer wall;
+  while (true) {
+    if (num_received.load() >= num_sent.load()) {
+      if (sender_done.load(std::memory_order_acquire) &&
+          num_received.load() >= num_sent.load()) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
+    auto got = client.ReceiveSearchReply();
+    if (!got.ok()) break;
+    num_received.fetch_add(1);
+    std::chrono::steady_clock::time_point t0;
+    {
+      std::lock_guard lock(mutex);
+      const auto it = sent_at.find(got.value().request_id);
+      if (it == sent_at.end()) continue;
+      t0 = it->second;
+      sent_at.erase(it);
+    }
+    if (got.value().status.ok()) {
+      latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      batch_sum += got.value().reply.batch_size;
+      result.max_batch =
+          std::max<uint64_t>(result.max_batch, got.value().reply.batch_size);
+      ++result.ok;
+    } else if (got.value().status.retryable()) {
+      ++result.shed;
+    } else if (got.value().status.code() == StatusCode::kDeadlineExceeded) {
+      ++result.rejected_deadline;
+    }
+  }
+  sender.get();
+  const double elapsed_ms = wall.ElapsedMs();
+
+  result.qps = 1000.0 * static_cast<double>(result.ok) / elapsed_ms;
+  result.p50_ms = bench::Percentile(&latencies_ms, 50.0);
+  result.p99_ms = bench::Percentile(&latencies_ms, 99.0);
+  result.mean_batch =
+      result.ok > 0
+          ? static_cast<double>(batch_sum) / static_cast<double>(result.ok)
+          : 0.0;
   return result;
 }
 
@@ -262,6 +504,140 @@ int Run(const bench::Flags& flags) {
                        .Set("vs_single_shard", ratio));
   }
   json.Set("cells", std::move(cells)).Set("scaling", std::move(scaling));
+
+  // ---------------------------------------------------------------------
+  // Loopback network section: the same collection behind the framed-TCP
+  // front-end, measured client-to-client.
+  if (flags.GetInt("network", 1) != 0) {
+    const auto clients = static_cast<size_t>(flags.GetInt("clients", 8));
+    const auto window_us =
+        static_cast<uint32_t>(flags.GetInt("window-us", 1000));
+    const auto depth =
+        static_cast<size_t>(flags.GetInt("pipeline-depth", 32));
+
+    auto made = Collection::FromSpec(
+        "collection,rebuild=background: DB-LSH,name=main",
+        std::make_unique<FloatMatrix>(cloud));
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+      return 1;
+    }
+    serve::ServerOptions server_options;
+    // Headroom beyond clients + writer: a phase change reconnects all
+    // clients while the server is still reaping the previous phase's
+    // sockets, and a tight cap would shed the overlap.
+    server_options.max_connections = 2 * clients + 3;
+    server_options.coalescer.window_us = window_us;
+    auto started =
+        serve::Server::Start({{"main", made.value().get()}}, server_options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
+      return 1;
+    }
+    serve::Server& server = *started.value();
+    std::printf("--- network (loopback :%u): %zu closed-loop clients, "
+                "%u us window, open-loop depth %zu ---\n\n",
+                server.port(), clients, window_us, depth);
+
+    exec::TaskExecutor client_pool(clients + 1);
+    // Let the server reap the previous phase's connections before the
+    // next one reconnects its full client set.
+    const auto settle = [] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    };
+    const NetResult closed = RunNetClosed(server.port(), cloud, clients, k,
+                                          duration_ms, 0.0, seed,
+                                          &client_pool);
+    const double write_interval_ms =
+        closed.qps > 0.0 ? 1000.0 / (closed.qps / 19.0) : 10.0;
+    settle();
+    const NetResult mixed =
+        RunNetClosed(server.port(), cloud, clients, k, duration_ms,
+                     write_interval_ms, seed + 1, &client_pool);
+    settle();
+    const NetResult open = RunNetOpen(server.port(), cloud, k, duration_ms,
+                                      depth, seed + 2, &client_pool);
+
+    eval::Table table({"Cell", "QPS", "p50 ms", "p99 ms", "Mean batch",
+                       "Max batch", "Shed", "Writes/s"});
+    const auto row = [&](const char* name, const NetResult& r) {
+      table.AddRow({name, eval::Table::Fmt(r.qps, 0),
+                    eval::Table::Fmt(r.p50_ms, 3),
+                    eval::Table::Fmt(r.p99_ms, 3),
+                    eval::Table::Fmt(r.mean_batch, 2),
+                    std::to_string(r.max_batch), std::to_string(r.shed),
+                    eval::Table::Fmt(r.writes_per_sec, 1)});
+    };
+    row("closed read-only", closed);
+    row("closed 95/5", mixed);
+    row("open-loop", open);
+    table.Print();
+
+    // Deterministic robustness probes: expired budgets answer typed
+    // without touching the index; a saturated admission queue sheds
+    // retryable. Both land in the committed JSON so CI can assert the
+    // contract from the artifact alone.
+    uint64_t probe_deadline_rejected = 0;
+    uint64_t probe_overload_shed = 0;
+    {
+      QueryRequest probe_request;
+      probe_request.k = k;
+      auto probe = serve::Client::Connect("127.0.0.1", server.port());
+      if (probe.ok()) {
+        const float* q0 = cloud.row(0);
+        for (int i = 0; i < 5; ++i) {
+          auto got = probe.value()->Search("main", q0, dim, probe_request,
+                                          /*deadline_us=*/1);
+          if (got.status().code() == StatusCode::kDeadlineExceeded) {
+            ++probe_deadline_rejected;
+          }
+        }
+      }
+      serve::ServerOptions tiny;
+      tiny.coalescer.max_inflight = 1;
+      tiny.coalescer.window_us = 50000;
+      auto tiny_server =
+          serve::Server::Start({{"main", made.value().get()}}, tiny);
+      if (tiny_server.ok()) {
+        auto c = serve::Client::Connect("127.0.0.1",
+                                        tiny_server.value()->port());
+        if (c.ok()) {
+          for (int i = 0; i < 8; ++i) {
+            (void)c.value()->SendSearch("main", cloud.row(0), dim,
+                                        probe_request);
+          }
+          for (int i = 0; i < 8; ++i) {
+            auto got = c.value()->ReceiveSearchReply();
+            if (got.ok() && got.value().status.retryable()) {
+              ++probe_overload_shed;
+            }
+          }
+        }
+      }
+    }
+    std::printf("\nprobes: %llu/5 expired deadlines rejected typed, "
+                "%llu/8 overload submissions shed retryable\n\n",
+                static_cast<unsigned long long>(probe_deadline_rejected),
+                static_cast<unsigned long long>(probe_overload_shed));
+
+    const serve::ServerStats final_stats = server.Stats();
+    json.Set("network",
+             bench::Json::Object()
+                 .Set("clients", clients)
+                 .Set("window_us", static_cast<size_t>(window_us))
+                 .Set("pipeline_depth", depth)
+                 .Set("closed_read_only", NetJson(closed))
+                 .Set("closed_mixed", NetJson(mixed))
+                 .Set("open_loop", NetJson(open))
+                 .Set("server_mean_batch", final_stats.mean_batch_size)
+                 .Set("server_max_batch", final_stats.max_batch_size)
+                 .Set("server_shed_overload", final_stats.shed_overload)
+                 .Set("server_rejected_deadline",
+                      final_stats.rejected_deadline)
+                 .Set("probe_deadline_rejected", probe_deadline_rejected)
+                 .Set("probe_overload_shed", probe_overload_shed));
+    server.Shutdown();
+  }
 
   if (flags.Has("json")) {
     std::string path = flags.GetString("json", "BENCH_serving.json");

@@ -16,6 +16,14 @@
 //                                [--indexes="DB-LSH; LinearScan"]
 //                                [--use=NAME] [--filter=deny:3,17] [--gt]
 //   dblsh_tool stats --data=data.fvecs
+//   dblsh_tool serve --data=data.fvecs [--indexes="DB-LSH"] [--port=0]
+//                    [--collection=main] [--window-us=1000]
+//                    [--duration-ms=0]
+//   dblsh_tool ping --server=host:port
+//   dblsh_tool collection search --server=host:port --queries=q.fvecs
+//   dblsh_tool collection upsert --server=host:port --vectors=v.fvecs
+//   dblsh_tool collection delete --server=host:port --ids=3,17,42
+//   dblsh_tool stats --server=host:port
 //
 // `methods` lists every registered index method and its spec keys' home.
 // `query` prints per-query neighbors; with --gt it also computes exact
@@ -36,7 +44,20 @@
 // deprecation note). Wherever the tool answers queries, `--threads=N`
 // (default: the hardware concurrency) sizes the process task executor and
 // the query fan-out; pass `--threads=1` when timing per-query latency.
+//
+// `serve` hosts a collection over the framed-TCP protocol (src/serve/):
+// the coalescer micro-batches concurrent client searches into one
+// SearchBatch. It runs until SIGINT/SIGTERM (or --duration-ms) and then
+// drains gracefully. The client side of the same commands activates with
+// `--server=host:port`: `collection search/upsert/delete`, `stats`, and
+// `ping` then talk to a running server instead of local files. Remote
+// searches carry an optional `--deadline-ms` budget the server enforces
+// before touching the index; `--gt`/`--filter` are local-only (the wire
+// protocol does not ship the dataset or filter sets).
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,6 +66,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/collection.h"
@@ -56,6 +78,8 @@
 #include "dataset/stats.h"
 #include "dataset/synthetic.h"
 #include "eval/metrics.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "util/timer.h"
 
 namespace dblsh {
@@ -97,8 +121,8 @@ class Args {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: dblsh_tool <methods|gen|build|query|collection|stats> "
-      "[--flags]\n"
+      "usage: dblsh_tool <methods|gen|build|query|collection|stats|serve|"
+      "ping> [--flags]\n"
       "  methods  list registered index methods for --method specs\n"
       "  gen    --out=F.fvecs --n=N --dim=D [--clusters=C] "
       "[--spread=S] [--seed=X]\n"
@@ -113,7 +137,12 @@ int Usage() {
       "[--indexes=\"SPEC; SPEC\"] [--use=NAME]\n"
       "                    [--k=10] [--budget=T] [--threads=N] "
       "[--filter=[allow:|deny:]IDS] [--gt]\n"
-      "  stats  --data=F.fvecs\n"
+      "  stats  --data=F.fvecs | --server=H:P\n"
+      "  serve  --data=F.fvecs [--indexes=\"SPEC; SPEC\"] "
+      "[--collection=main] [--host=A] [--port=0]\n"
+      "         [--window-us=1000] [--max-batch=32] [--max-connections=32] "
+      "[--threads=N] [--duration-ms=0]\n"
+      "  ping   --server=H:P\n"
       "SPEC is an IndexFactory string, e.g. \"DB-LSH,c=1.5,t=40\" or "
       "\"PM-LSH,m=8\";\n"
       "collection specs also accept name= and rebuild_threshold= keys.\n"
@@ -123,7 +152,13 @@ int Usage() {
       "hardware concurrency; use 1 for per-query latency numbers).\n"
       "collection upsert/delete update the data and index files in place "
       "(no rebuild);\n"
-      "the legacy spellings `insert`/`erase` are deprecated aliases.\n");
+      "the legacy spellings `insert`/`erase` are deprecated aliases.\n"
+      "With --server=H:P, collection search/upsert/delete and stats talk "
+      "to a running\n"
+      "`dblsh_tool serve` instance over framed TCP instead of local files "
+      "(remote search\n"
+      "accepts --collection=NAME and --deadline-ms=B; --gt/--filter stay "
+      "local-only).\n");
   return 2;
 }
 
@@ -180,6 +215,263 @@ size_t ConfigureThreads(const Args& args) {
   const auto threads = static_cast<size_t>(args.GetInt("threads", 0));
   if (args.Has("threads")) exec::TaskExecutor::SetDefaultThreads(threads);
   return threads == 0 ? exec::HardwareConcurrency() : threads;
+}
+
+// Splits --server=HOST:PORT ("PORT" alone means loopback). Returns false
+// (with a message) on garbage.
+bool ParseServer(const std::string& text, std::string* host,
+                 uint16_t* port) {
+  const size_t colon = text.rfind(':');
+  const std::string port_text =
+      colon == std::string::npos ? text : text.substr(colon + 1);
+  *host = colon == std::string::npos ? "127.0.0.1" : text.substr(0, colon);
+  if (host->empty()) *host = "127.0.0.1";
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long value = std::strtoul(port_text.c_str(), &end, 10);
+  if (port_text.empty() || end == port_text.c_str() || *end != '\0' ||
+      errno == ERANGE || value == 0 || value > 65535) {
+    std::fprintf(stderr, "--server: \"%s\" is not HOST:PORT\n",
+                 text.c_str());
+    return false;
+  }
+  *port = static_cast<uint16_t>(value);
+  return true;
+}
+
+// Connects to the --server target; nullptr (message printed) on failure.
+std::unique_ptr<serve::Client> ConnectServer(const Args& args) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseServer(args.Get("server", ""), &host, &port)) return nullptr;
+  auto client = serve::Client::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return nullptr;
+  }
+  return std::move(client).value();
+}
+
+// SIGINT/SIGTERM flip this; the serve loop polls it (a signal handler can
+// only touch lock-free state).
+std::atomic<bool> g_serve_stop{false};
+void OnServeSignal(int) { g_serve_stop.store(true); }
+
+int RunServe(const Args& args) {
+  const std::string data_path = args.Get("data", "");
+  if (data_path.empty()) return Usage();
+  auto data = LoadFvecs(data_path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  // Executor first (see RunCollectionSearch for why), then the collection.
+  ConfigureThreads(args);
+  const std::string indexes = args.Get("indexes", "DB-LSH");
+  Timer build_timer;
+  auto made = Collection::FromSpec(
+      "collection: " + indexes,
+      std::make_unique<FloatMatrix>(std::move(data).value()));
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  Collection& collection = *made.value();
+
+  const std::string name = args.Get("collection", "main");
+  serve::ServerOptions options;
+  options.host = args.Get("host", "127.0.0.1");
+  options.port = static_cast<uint16_t>(args.GetInt("port", 0));
+  options.max_connections =
+      static_cast<size_t>(args.GetInt("max-connections", 32));
+  options.coalescer.window_us =
+      static_cast<uint32_t>(args.GetInt("window-us", 1000));
+  options.coalescer.max_batch =
+      static_cast<size_t>(args.GetInt("max-batch", 32));
+  auto server = serve::Server::Start({{name, &collection}}, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("serving collection \"%s\" (%zu points, built in %.3f s) on "
+              "%s:%u\n",
+              name.c_str(), collection.size(), build_timer.ElapsedSec(),
+              options.host.c_str(), unsigned{server.value()->port()});
+  std::printf("window %u us, batch cap %zu, %zu connections max; "
+              "Ctrl-C to drain and exit\n",
+              options.coalescer.window_us, options.coalescer.max_batch,
+              options.max_connections);
+  std::fflush(stdout);
+
+  const int64_t duration_ms = args.GetInt("duration-ms", 0);
+  std::signal(SIGINT, OnServeSignal);
+  std::signal(SIGTERM, OnServeSignal);
+  Timer timer;
+  while (!g_serve_stop.load()) {
+    if (duration_ms > 0 && timer.ElapsedMs() >= double(duration_ms)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.value()->Shutdown();
+  const serve::ServerStats stats = server.value()->Stats();
+  std::printf("drained after %.1f s: %llu requests (%llu searches, "
+              "%llu upserts, %llu deletes), mean batch %.2f, "
+              "%llu shed, %llu deadline-rejected, %llu protocol errors\n",
+              timer.ElapsedSec(),
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.searches),
+              static_cast<unsigned long long>(stats.upserts),
+              static_cast<unsigned long long>(stats.deletes),
+              stats.mean_batch_size,
+              static_cast<unsigned long long>(stats.shed_overload),
+              static_cast<unsigned long long>(stats.rejected_deadline),
+              static_cast<unsigned long long>(stats.protocol_errors));
+  return 0;
+}
+
+int RunPing(const Args& args) {
+  if (!args.Has("server")) return Usage();
+  auto client = ConnectServer(args);
+  if (client == nullptr) return 1;
+  Timer timer;
+  if (Status s = client->Ping(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("pong in %.3f ms\n", timer.ElapsedMs());
+  return 0;
+}
+
+// collection search --server=H:P: ships the whole query file as one
+// SearchBatch RPC (the server dispatches it without a window hold).
+int RunRemoteSearch(const Args& args) {
+  const std::string query_path = args.Get("queries", "");
+  if (query_path.empty()) return Usage();
+  if (args.Has("gt") || args.Has("filter")) {
+    std::fprintf(stderr,
+                 "--gt/--filter are local-only; the wire protocol does not "
+                 "ship the dataset or filter sets\n");
+    return 2;
+  }
+  auto queries = LoadFvecs(query_path);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+  auto client = ConnectServer(args);
+  if (client == nullptr) return 1;
+  QueryRequest request;
+  request.k = static_cast<size_t>(args.GetInt("k", 10));
+  request.candidate_budget = static_cast<size_t>(args.GetInt("budget", 0));
+  const auto deadline_us =
+      static_cast<uint32_t>(args.GetInt("deadline-ms", 0) * 1000);
+  const std::string name = args.Get("collection", "main");
+  Timer timer;
+  auto responses =
+      client->SearchBatch(name, queries.value(), request, deadline_us);
+  const double total_ms = timer.ElapsedMs();
+  if (!responses.ok()) {
+    std::fprintf(stderr, "%s\n", responses.status().ToString().c_str());
+    return responses.status().retryable() ? 3 : 1;
+  }
+  double candidates = 0.0;
+  for (size_t q = 0; q < responses.value().size(); ++q) {
+    std::printf("query %zu:", q);
+    for (const auto& nb : responses.value()[q].neighbors) {
+      std::printf(" %u(%.4f)", nb.id, nb.dist);
+    }
+    std::printf("\n");
+    candidates += double(responses.value()[q].stats.candidates_verified);
+  }
+  const auto denom = static_cast<double>(
+      queries.value().rows() ? queries.value().rows() : 1);
+  std::printf("avg round-trip: %.3f ms/query (one batched RPC)  "
+              "avg candidates: %.0f\n",
+              total_ms / denom, candidates / denom);
+  return 0;
+}
+
+int RunRemoteUpsert(const Args& args) {
+  const std::string vectors_path = args.Get("vectors", "");
+  if (vectors_path.empty()) return Usage();
+  auto vectors = LoadFvecs(vectors_path);
+  if (!vectors.ok()) {
+    std::fprintf(stderr, "%s\n", vectors.status().ToString().c_str());
+    return 1;
+  }
+  auto client = ConnectServer(args);
+  if (client == nullptr) return 1;
+  const std::string name = args.Get("collection", "main");
+  Timer timer;
+  std::printf("upserted ids:");
+  for (size_t r = 0; r < vectors.value().rows(); ++r) {
+    auto up = client->Upsert(name, vectors.value().row(r),
+                             vectors.value().cols());
+    if (!up.ok()) {
+      std::fprintf(stderr, "\n%s\n", up.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(" %u", up.value());
+  }
+  std::printf("\nupserted %zu vectors in %.3f s (server-side; files on the "
+              "serving host are unchanged until it persists)\n",
+              vectors.value().rows(), timer.ElapsedSec());
+  return 0;
+}
+
+int RunRemoteDelete(const Args& args) {
+  const std::string ids_arg = args.Get("ids", "");
+  if (ids_arg.empty()) return Usage();
+  std::vector<uint32_t> ids;
+  if (!ParseIdList(ids_arg, "--ids", &ids)) return 2;
+  auto client = ConnectServer(args);
+  if (client == nullptr) return 1;
+  const std::string name = args.Get("collection", "main");
+  for (const uint32_t id : ids) {
+    if (Status s = client->Delete(name, id); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("deleted %zu ids on the server\n", ids.size());
+  return 0;
+}
+
+int RunRemoteStats(const Args& args) {
+  auto client = ConnectServer(args);
+  if (client == nullptr) return 1;
+  auto stats = client->Stats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& c : stats.value().collections) {
+    std::printf("collection \"%s\": %llu live vectors, epoch %llu, "
+                "%u shard(s)\n",
+                c.name.c_str(),
+                static_cast<unsigned long long>(c.live_vectors),
+                static_cast<unsigned long long>(c.epoch), c.shards);
+  }
+  const serve::ServerStats& s = stats.value().server;
+  std::printf("connections: %llu accepted, %llu rejected, %llu active\n",
+              static_cast<unsigned long long>(s.connections_accepted),
+              static_cast<unsigned long long>(s.connections_rejected),
+              static_cast<unsigned long long>(s.connections_active));
+  std::printf("requests: %llu (%llu searches, %llu upserts, %llu deletes, "
+              "%llu protocol errors)\n",
+              static_cast<unsigned long long>(s.requests),
+              static_cast<unsigned long long>(s.searches),
+              static_cast<unsigned long long>(s.upserts),
+              static_cast<unsigned long long>(s.deletes),
+              static_cast<unsigned long long>(s.protocol_errors));
+  std::printf("coalescing: %llu batches over %llu queries "
+              "(mean %.2f, max %llu); %llu shed, %llu deadline-rejected\n",
+              static_cast<unsigned long long>(s.batches_dispatched),
+              static_cast<unsigned long long>(s.batched_queries),
+              s.mean_batch_size,
+              static_cast<unsigned long long>(s.max_batch_size),
+              static_cast<unsigned long long>(s.shed_overload),
+              static_cast<unsigned long long>(s.rejected_deadline));
+  return 0;
 }
 
 int RunMethods() {
@@ -557,13 +849,21 @@ int RunCollectionSearch(const Args& args) {
 
 int RunCollection(int argc, char** argv, const Args& args) {
   const std::string sub = argc >= 3 ? argv[2] : "";
-  if (sub == "upsert") return RunCollectionUpsert(args);
-  if (sub == "delete") return RunCollectionDelete(args);
-  if (sub == "search") return RunCollectionSearch(args);
+  const bool remote = args.Has("server");
+  if (sub == "upsert") {
+    return remote ? RunRemoteUpsert(args) : RunCollectionUpsert(args);
+  }
+  if (sub == "delete") {
+    return remote ? RunRemoteDelete(args) : RunCollectionDelete(args);
+  }
+  if (sub == "search") {
+    return remote ? RunRemoteSearch(args) : RunCollectionSearch(args);
+  }
   return Usage();
 }
 
 int RunStats(const Args& args) {
+  if (args.Has("server")) return RunRemoteStats(args);
   const std::string data_path = args.Get("data", "");
   if (data_path.empty()) return Usage();
   auto data = LoadFvecs(data_path);
@@ -594,6 +894,8 @@ int main(int argc, char** argv) {
   if (command == "build") return dblsh::RunBuild(args);
   if (command == "query") return dblsh::RunQuery(args);
   if (command == "collection") return dblsh::RunCollection(argc, argv, args);
+  if (command == "serve") return dblsh::RunServe(args);
+  if (command == "ping") return dblsh::RunPing(args);
   // PR-3 spellings, kept as deprecation aliases of the collection path.
   if (command == "insert") {
     std::fprintf(stderr, "note: `insert` is deprecated; use `dblsh_tool "

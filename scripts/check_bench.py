@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Diff a fresh bench JSON against its committed baseline.
+
+Usage: check_bench.py BASELINE NEW [--band FACTOR]
+
+Two layers of checking:
+
+1. Structure: every key present in the baseline must be present in the
+   new run with the same JSON type (objects recurse, arrays compare
+   element-wise up to the shorter length). A bench that silently stops
+   emitting a metric fails here.
+
+2. Values: numeric leaves must land within a multiplicative tolerance
+   band of the baseline value — new in [old / band, old * band] — because
+   CI hardware differs wildly from the machine that produced the
+   baseline, but a metric that collapses by more than the band (or a
+   config echo like `n` that changed at all, since identical flags
+   reproduce it exactly) is a regression or a drifted pinned scale.
+   Baseline zeros accept any non-negative value. Strings and booleans
+   must match exactly.
+
+On top of the generic diff, serving baselines carry hard invariants from
+the serving layer's acceptance contract (checked on the NEW run):
+  - network.closed_read_only.mean_batch >= 2 (coalescing works under
+    concurrent loopback clients),
+  - network.probe_deadline_rejected >= 1 (expired budgets are rejected
+    typed),
+  - network.probe_overload_shed >= 1 (overload sheds retryable).
+
+Exit code 0 when everything holds, 1 otherwise (each violation printed).
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_BAND = 25.0
+
+
+def walk(baseline, new, path, band, errors):
+    if isinstance(baseline, dict):
+        if not isinstance(new, dict):
+            errors.append(f"{path}: expected object, got {type(new).__name__}")
+            return
+        for key, value in baseline.items():
+            if key not in new:
+                errors.append(f"{path}.{key}: missing from new run")
+                continue
+            walk(value, new[key], f"{path}.{key}", band, errors)
+    elif isinstance(baseline, list):
+        if not isinstance(new, list):
+            errors.append(f"{path}: expected array, got {type(new).__name__}")
+            return
+        for i, (b, n) in enumerate(zip(baseline, new)):
+            walk(b, n, f"{path}[{i}]", band, errors)
+    elif isinstance(baseline, bool):
+        if new != baseline:
+            errors.append(f"{path}: {baseline} -> {new}")
+    elif isinstance(baseline, (int, float)):
+        if not isinstance(new, (int, float)) or isinstance(new, bool):
+            errors.append(f"{path}: expected number, got {new!r}")
+        elif baseline == 0:
+            if new < 0:
+                errors.append(f"{path}: baseline 0 but new run is {new}")
+        elif baseline < 0 or new <= 0:
+            if baseline != new and not (baseline < 0 and new < 0):
+                errors.append(f"{path}: {baseline} -> {new} (sign change)")
+        elif not (baseline / band <= new <= baseline * band):
+            errors.append(
+                f"{path}: {new:g} outside tolerance band "
+                f"[{baseline / band:g}, {baseline * band:g}] "
+                f"(baseline {baseline:g}, band {band:g}x)")
+    elif isinstance(baseline, str):
+        if new != baseline:
+            errors.append(f"{path}: {baseline!r} -> {new!r}")
+    elif baseline is None:
+        if new is not None:
+            errors.append(f"{path}: expected null, got {new!r}")
+
+
+def lookup(doc, dotted):
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def serving_invariants(new, errors):
+    if "network" not in new:
+        return
+    for path, minimum in (
+        ("network.closed_read_only.mean_batch", 2.0),
+        ("network.probe_deadline_rejected", 1),
+        ("network.probe_overload_shed", 1),
+        ("network.closed_read_only.qps", 0.000001),
+        ("network.open_loop.qps", 0.000001),
+    ):
+        value = lookup(new, path)
+        if value is None:
+            errors.append(f"{path}: missing (serving invariant)")
+        elif not isinstance(value, (int, float)) or value < minimum:
+            errors.append(
+                f"{path}: {value!r} below required minimum {minimum} "
+                "(serving invariant)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    parser.add_argument("--band", type=float, default=DEFAULT_BAND,
+                        help="multiplicative tolerance for numeric leaves "
+                             f"(default {DEFAULT_BAND}x)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.new) as f:
+        new = json.load(f)
+
+    errors = []
+    walk(baseline, new, "$", args.band, errors)
+    serving_invariants(new, errors)
+
+    if errors:
+        print(f"check_bench: {len(errors)} violation(s) against "
+              f"{args.baseline}:")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"check_bench: {args.new} matches {args.baseline} "
+          f"(band {args.band:g}x) and serving invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+#ifndef DBLSH_SERVE_CLIENT_H_
+#define DBLSH_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "dataset/float_matrix.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/status.h"
+
+namespace dblsh::serve {
+
+/// Client construction knobs.
+struct ClientOptions {
+  /// TCP connect timeout.
+  int connect_timeout_ms = 5000;
+};
+
+/// One Search answer: the neighbors plus the size of the server-side
+/// batch the query was coalesced into (≥2 means it shared a
+/// SearchBatch with concurrent peers).
+struct SearchReply {
+  QueryResponse response;
+  uint32_t batch_size = 0;
+};
+
+/// Per-collection counters reported by Stats.
+struct RemoteCollectionStats {
+  std::string name;
+  uint64_t live_vectors = 0;
+  uint64_t epoch = 0;
+  uint32_t shards = 0;
+};
+
+/// Full Stats answer: per-collection state + the server counters.
+struct RemoteStats {
+  std::vector<RemoteCollectionStats> collections;
+  ServerStats server;
+};
+
+/// Blocking client for the framed-TCP serving protocol. One instance owns
+/// one connection:
+///
+///   auto client = serve::Client::Connect("127.0.0.1", port).value();
+///   auto reply = client->Search("main", query, dim, request);
+///
+/// Errors mirror the wire statuses through protocol.h's ToStatus mapping:
+/// a shed request surfaces as Status::Unavailable (retryable()), an
+/// expired budget as Status::DeadlineExceeded.
+///
+/// Thread-safety: the RPC methods serialize internally, so the client may
+/// be shared — but responses are read in request order, so sharing one
+/// connection serializes the callers' round-trips. For concurrency use
+/// one client per thread, or the pipelined SendSearch/ReceiveSearchReply
+/// pair (one sender thread + one receiver thread; the two directions of
+/// the socket are independent).
+class Client {
+ public:
+  /// Connects (IPv4 dotted quad; empty host = loopback). A server at its
+  /// connection cap answers the connect with a retryable
+  /// Status::Unavailable here or on the first RPC.
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, uint16_t port, const ClientOptions& = {});
+
+  /// Closes the connection.
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Liveness round-trip.
+  Status Ping();
+
+  /// One k-NN query against the named collection. `deadline_us` is the
+  /// request's server-side budget in microseconds (0 = none): the server
+  /// answers DeadlineExceeded without executing once it elapses.
+  Result<SearchReply> Search(const std::string& collection,
+                             const float* query, size_t dim,
+                             const QueryRequest& request,
+                             uint32_t deadline_us = 0);
+
+  /// Pre-formed batch of queries, dispatched server-side as one
+  /// SearchBatch (no coalescing window).
+  Result<std::vector<QueryResponse>> SearchBatch(
+      const std::string& collection, const FloatMatrix& queries,
+      const QueryRequest& request, uint32_t deadline_us = 0);
+
+  /// Inserts a new vector; returns its assigned id.
+  Result<uint32_t> Upsert(const std::string& collection, const float* vec,
+                          size_t dim);
+
+  /// Inserts or replaces the vector under `id`; returns the id.
+  Result<uint32_t> Upsert(const std::string& collection, uint32_t id,
+                          const float* vec, size_t dim);
+
+  /// Tombstones one id.
+  Status Delete(const std::string& collection, uint32_t id);
+
+  /// Server + per-collection counters.
+  Result<RemoteStats> Stats();
+
+  /// Pipelined send half: writes one Search request WITHOUT waiting for
+  /// the response and returns its request_id. Pair with
+  /// ReceiveSearchReply from a receiver thread (open-loop load
+  /// generation: keeps many requests in flight on one connection, which
+  /// is what gives the server's coalescer companions to batch).
+  Result<uint64_t> SendSearch(const std::string& collection,
+                              const float* query, size_t dim,
+                              const QueryRequest& request,
+                              uint32_t deadline_us = 0);
+
+  /// Pipelined receive half: blocks for the next response frame and
+  /// returns (request_id, reply). A typed per-request rejection
+  /// (deadline, shed) is reported in `status` with the id still valid;
+  /// a connection-level failure returns a failed Result.
+  struct PipelinedReply {
+    uint64_t request_id = 0;
+    Status status;  ///< the request's outcome
+    SearchReply reply;
+  };
+  /// Blocks for the next pipelined response frame (see PipelinedReply).
+  Result<PipelinedReply> ReceiveSearchReply();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Writes one frame (serialized by send_mutex_).
+  Status SendFrame(OpCode op, uint64_t request_id,
+                   const std::vector<uint8_t>& payload);
+  /// Reads one frame (serialized by recv_mutex_), validating header and
+  /// checksum.
+  Status ReceiveFrame(FrameHeader* header, std::vector<uint8_t>* payload);
+  /// One blocking round-trip; fails on a connection-shed frame
+  /// (request_id 0) or an id mismatch.
+  Status Call(OpCode op, const std::vector<uint8_t>& request,
+              std::vector<uint8_t>* response);
+
+  int fd_;
+  std::mutex send_mutex_;
+  std::mutex recv_mutex_;
+  uint64_t next_id_ = 1;  ///< guarded by send_mutex_
+};
+
+}  // namespace dblsh::serve
+
+#endif  // DBLSH_SERVE_CLIENT_H_

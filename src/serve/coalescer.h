@@ -1,0 +1,181 @@
+#ifndef DBLSH_SERVE_COALESCER_H_
+#define DBLSH_SERVE_COALESCER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "core/collection.h"
+#include "core/query.h"
+#include "exec/task_executor.h"
+#include "util/status.h"
+
+namespace dblsh::serve {
+
+/// Knobs of the micro-batching admission layer.
+struct CoalescerOptions {
+  /// Longest time a query is held waiting for companions before its batch
+  /// dispatches (the micro-batching window). The latency cost of
+  /// coalescing is bounded by this value.
+  uint32_t window_us = 1000;
+
+  /// A batch that reaches this many queries dispatches immediately
+  /// instead of waiting out the window.
+  size_t max_batch = 32;
+
+  /// Backpressure limit: queries admitted but not yet completed. At the
+  /// limit Submit sheds with a retryable Unavailable instead of queueing
+  /// unboundedly.
+  size_t max_inflight = 1024;
+};
+
+/// Monotonic counters of the coalescer (snapshot via Coalescer::stats).
+/// `batched_queries / batches_dispatched` is the mean achieved batch
+/// size — the number the serving bench and the acceptance tests watch.
+struct CoalescerStats {
+  uint64_t admitted = 0;           ///< queries accepted by Submit
+  uint64_t batches_dispatched = 0; ///< SearchBatch calls issued
+  uint64_t batched_queries = 0;    ///< queries executed inside those calls
+  uint64_t shed_overload = 0;      ///< Submits refused at max_inflight
+  uint64_t rejected_deadline = 0;  ///< queries expired before execution
+  uint64_t max_batch_size = 0;     ///< largest single dispatched batch
+};
+
+/// Micro-batching request coalescer: holds concurrent single-query Search
+/// submissions in a bounded wait window, grouped by (collection, k,
+/// candidate budget, r0), and dispatches each group as ONE
+/// Collection::SearchBatch task on the query executor — converting many
+/// independent 1-query requests into the batched shape the executor's
+/// fan-out machinery turns into throughput. Responses fan back through
+/// per-query callbacks.
+///
+/// Admission contract (all enforced before the index is touched):
+///  - a query whose deadline already passed is rejected synchronously
+///    with DeadlineExceeded and never executed;
+///  - at `max_inflight` admitted-but-unfinished queries, Submit sheds
+///    with a retryable Unavailable;
+///  - after Drain() begins, Submit refuses with Unavailable("draining").
+///
+/// A query admitted OK gets its callback invoked exactly once, from an
+/// executor thread (never from inside Submit, never under the coalescer
+/// lock). Queries still held when their deadline expires complete with
+/// DeadlineExceeded without executing; batch peers are unaffected.
+///
+/// Thread-safety: all public members are safe to call concurrently.
+class Coalescer {
+ public:
+  /// Clock deadlines are expressed in.
+  using Clock = std::chrono::steady_clock;
+
+  /// Per-query completion hook: status, the response (empty unless OK),
+  /// and the size of the dispatched batch the query rode in (1 for a
+  /// bypass dispatch, 0 when it never executed).
+  using Callback =
+      std::function<void(const Status&, QueryResponse, uint32_t batch_size)>;
+
+  /// `flush_pool` runs the long-lived window-flusher task (one worker is
+  /// occupied for the coalescer's lifetime); `query_pool` runs the
+  /// dispatched SearchBatch tasks. Both must outlive the coalescer.
+  Coalescer(exec::TaskExecutor* flush_pool, exec::TaskExecutor* query_pool,
+            const CoalescerOptions& options);
+
+  /// Drains (flushing held queries) and stops the flusher.
+  ~Coalescer();
+
+  Coalescer(const Coalescer&) = delete;
+  Coalescer& operator=(const Coalescer&) = delete;
+
+  /// Admits one single-query search against `collection` (which must
+  /// outlive the callback). `deadline` = Clock::time_point::max() means
+  /// no deadline. Returns OK when admitted — the callback will fire
+  /// exactly once, later — or the typed rejection (DeadlineExceeded /
+  /// Unavailable / InvalidArgument), in which case the callback is NOT
+  /// invoked. Requests carrying a non-empty filter cannot share a batch
+  /// request and dispatch as their own batch of one.
+  Status Submit(Collection* collection, std::vector<float> query,
+                const QueryRequest& request, Clock::time_point deadline,
+                Callback callback);
+
+  /// Admits a pre-formed batch: same admission checks (each query counts
+  /// against max_inflight), but no window hold — the batch dispatches
+  /// as-is. `callback` fires once with all responses.
+  Status SubmitBatch(
+      Collection* collection, FloatMatrix queries, const QueryRequest& request,
+      Clock::time_point deadline,
+      std::function<void(const Status&, std::vector<QueryResponse>)> callback);
+
+  /// Stops intake, flushes every held query (expired ones complete with
+  /// DeadlineExceeded, live ones execute) and blocks until all admitted
+  /// queries completed. Lends the calling thread to the query pool while
+  /// waiting, so a saturated pool cannot deadlock the drain. Idempotent.
+  void Drain();
+
+  /// Consistent snapshot of the counters.
+  CoalescerStats stats() const;
+
+  /// Queries admitted and not yet completed (test/introspection hook).
+  size_t inflight() const;
+
+ private:
+  /// One held query.
+  struct Pending {
+    std::vector<float> query;
+    QueryRequest request;
+    Clock::time_point deadline;
+    Callback callback;
+  };
+
+  /// Batching key: only queries that can share one QueryRequest coalesce.
+  /// r0 is keyed by bit pattern (exact match, no float tolerance).
+  struct Key {
+    Collection* collection;
+    size_t k;
+    size_t candidate_budget;
+    uint64_t r0_bits;
+    bool operator<(const Key& other) const;
+  };
+
+  /// One forming batch and its flush schedule.
+  struct Batch {
+    std::vector<Pending> entries;
+    Clock::time_point flush_at;  ///< window expiry or earliest deadline
+  };
+
+  /// Long-lived flusher: waits for the earliest flush_at (or a notify),
+  /// moves due batches out and dispatches them.
+  void FlusherLoop();
+
+  /// Schedules `batch` (already removed from the map) for execution on
+  /// the query pool.
+  void DispatchBatch(Collection* collection, Batch batch);
+
+  /// Runs one batch: drops expired entries with DeadlineExceeded, then
+  /// executes the survivors via Search/SearchBatch and fans callbacks
+  /// back. Runs on a query-pool worker.
+  void ExecuteBatch(Collection* collection, Batch batch);
+
+  /// Marks `n` queries finished and wakes Drain waiters.
+  void FinishQueries(uint64_t n);
+
+  exec::TaskExecutor* flush_pool_;
+  exec::TaskExecutor* query_pool_;
+  const CoalescerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable flusher_cv_;  ///< wakes the flusher
+  std::condition_variable drain_cv_;    ///< wakes Drain / the destructor
+  // Forming batches keyed by compatibility; Collection* owned by caller.
+  std::map<Key, Batch> batches_;
+  uint64_t inflight_ = 0;  ///< admitted - completed
+  bool draining_ = false;
+  bool flusher_exited_ = false;
+  CoalescerStats stats_;
+};
+
+}  // namespace dblsh::serve
+
+#endif  // DBLSH_SERVE_COALESCER_H_

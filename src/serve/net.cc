@@ -1,0 +1,177 @@
+#include "serve/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <csignal>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <mutex>
+
+namespace dblsh::serve {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+// Parses a dotted-quad host into a sockaddr_in (the serving layer binds
+// loopback or explicit addresses; name resolution is out of scope).
+bool FillAddr(const std::string& host, uint16_t port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr->sin_addr.s_addr = htonl(INADDR_ANY);
+    return true;
+  }
+  return inet_pton(AF_INET, host.c_str(), &addr->sin_addr) == 1;
+}
+
+}  // namespace
+
+void InstallSigpipeGuard() {
+  static std::once_flag once;
+  std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+Result<int> ListenTcp(const std::string& host, uint16_t port,
+                      uint16_t* bound_port) {
+  sockaddr_in addr;
+  if (!FillAddr(host, port, &addr)) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    CloseFd(fd);
+    return Errno("bind");
+  }
+  if (::listen(fd, 128) != 0) {
+    CloseFd(fd);
+    return Errno("listen");
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    CloseFd(fd);
+    return Errno("getsockname");
+  }
+  if (bound_port != nullptr) *bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       int timeout_ms) {
+  sockaddr_in addr;
+  if (!FillAddr(host.empty() ? "127.0.0.1" : host, port, &addr)) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  // Nonblocking connect + poll gives the timeout; the fd goes back to
+  // blocking mode afterwards (frame I/O is blocking with poll slices).
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms <= 0 ? -1 : timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      CloseFd(fd);
+      return Status::IoError("connect timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      CloseFd(fd);
+      errno = err;
+      return Errno("connect");
+    }
+  } else if (rc != 0) {
+    CloseFd(fd);
+    return Errno("connect");
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<int> AcceptWithTimeout(int listen_fd, int timeout_ms) {
+  pollfd pfd{listen_fd, POLLIN, 0};
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("poll");
+  if (rc == 0) return Status::NotFound("accept timeout");
+  int fd;
+  do {
+    fd = ::accept(listen_fd, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Errno("accept");
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status ReadFull(int fd, uint8_t* buf, size_t len,
+                const std::atomic<bool>* stop, int poll_interval_ms) {
+  size_t got = 0;
+  while (got < len) {
+    if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+      return Status::Unavailable("stopped");
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, poll_interval_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (rc == 0) continue;  // timeout slice: re-check the stop flag
+    const ssize_t n = ::recv(fd, buf + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      return got == 0 ? Status::NotFound("connection closed")
+                      : Status::Corruption("mid-frame disconnect after " +
+                                           std::to_string(got) + " of " +
+                                           std::to_string(len) + " bytes");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteFull(int fd, const uint8_t* buf, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace dblsh::serve

@@ -1,0 +1,65 @@
+#ifndef DBLSH_SERVE_NET_H_
+#define DBLSH_SERVE_NET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+/// Thin POSIX socket helpers shared by the server and the client. Three
+/// hardening rules live here so no call site can forget them:
+///
+///  - every read/write loop restarts on EINTR (a signal mid-syscall never
+///    truncates a frame);
+///  - every send uses MSG_NOSIGNAL, and InstallSigpipeGuard() additionally
+///    ignores SIGPIPE process-wide, so a client vanishing mid-response
+///    surfaces as an EPIPE Status instead of killing the process;
+///  - blocking reads are poll()-sliced against an optional stop flag, so a
+///    thread parked on a quiet connection notices shutdown within
+///    `poll_interval_ms` instead of blocking forever.
+namespace dblsh::serve {
+
+/// Ignores SIGPIPE for the process (idempotent, thread-safe). Called by
+/// Server::Start and Client::Connect; safe to call from tests too.
+void InstallSigpipeGuard();
+
+/// Creates a TCP listening socket bound to host:port (port 0 picks an
+/// ephemeral port) with SO_REUSEADDR. On success returns the fd and
+/// writes the actually-bound port to *bound_port.
+Result<int> ListenTcp(const std::string& host, uint16_t port,
+                      uint16_t* bound_port);
+
+/// Connects to host:port; returns the connected fd. `timeout_ms` bounds
+/// the connect attempt (<= 0 means the OS default).
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       int timeout_ms = 5000);
+
+/// Accepts one pending connection from `listen_fd`, waiting at most
+/// `timeout_ms`. Returns the connection fd, or NotFound when the timeout
+/// elapsed with nothing pending (the caller's poll loop re-checks its
+/// stop flag and calls again), or an error Status on a real failure.
+Result<int> AcceptWithTimeout(int listen_fd, int timeout_ms);
+
+/// Reads exactly `len` bytes into `buf`, restarting on EINTR and slicing
+/// the wait into `poll_interval_ms` poll() rounds. Returns:
+///  - OK when `len` bytes arrived;
+///  - NotFound("connection closed") on clean EOF at a frame boundary
+///    (no bytes read yet);
+///  - Corruption("mid-frame disconnect") on EOF after a partial read;
+///  - Unavailable("stopped") when *stop became true before completion;
+///  - IoError on any other socket failure.
+Status ReadFull(int fd, uint8_t* buf, size_t len,
+                const std::atomic<bool>* stop = nullptr,
+                int poll_interval_ms = 50);
+
+/// Writes exactly `len` bytes, restarting on EINTR and short writes, with
+/// MSG_NOSIGNAL so a dead peer yields IoError (EPIPE) instead of SIGPIPE.
+Status WriteFull(int fd, const uint8_t* buf, size_t len);
+
+/// Closes `fd` ignoring EINTR (Linux releases the descriptor either way).
+void CloseFd(int fd);
+
+}  // namespace dblsh::serve
+
+#endif  // DBLSH_SERVE_NET_H_

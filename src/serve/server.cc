@@ -1,0 +1,544 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "serve/net.h"
+
+namespace dblsh::serve {
+
+namespace {
+
+using Clock = Coalescer::Clock;
+
+// Response payload prefix shared by every op: status + message.
+std::vector<uint8_t> StatusPayload(WireStatus status,
+                                   const std::string& message) {
+  std::vector<uint8_t> payload;
+  wire::PutU8(&payload, static_cast<uint8_t>(status));
+  wire::PutString(&payload, message);
+  return payload;
+}
+
+// Appends one QueryResponse body (neighbors + stats) to `payload`.
+void AppendResponseBody(std::vector<uint8_t>* payload,
+                        const QueryResponse& response) {
+  wire::PutU32(payload, static_cast<uint32_t>(response.neighbors.size()));
+  for (const auto& nb : response.neighbors) {
+    wire::PutU32(payload, nb.id);
+    wire::PutF32(payload, nb.dist);
+  }
+  wire::PutU64(payload, response.stats.candidates_verified);
+}
+
+// Decoded common head of Search / SearchBatch requests.
+struct SearchHead {
+  std::string name;
+  QueryRequest request;
+  uint32_t deadline_us = 0;
+};
+
+bool DecodeSearchHead(wire::Reader* r, SearchHead* head) {
+  uint32_t k, budget;
+  double r0;
+  if (!r->GetString(&head->name) || !r->GetU32(&k) ||
+      !r->GetU32(&head->deadline_us) || !r->GetU32(&budget) ||
+      !r->GetF64(&r0)) {
+    return false;
+  }
+  head->request.k = k;
+  head->request.candidate_budget = budget;
+  head->request.r0 = r0;
+  return true;
+}
+
+Clock::time_point DeadlineFrom(uint32_t deadline_us) {
+  return deadline_us == 0
+             ? Clock::time_point::max()
+             : Clock::now() + std::chrono::microseconds(deadline_us);
+}
+
+}  // namespace
+
+Server::Connection::~Connection() {
+  CloseFd(fd);
+  server->OnConnectionClosed();
+}
+
+Status Server::Connection::WriteFrame(const std::vector<uint8_t>& frame) {
+  std::lock_guard lock(write_mutex);
+  if (!alive) return Status::Unavailable("connection closed");
+  Status s = WriteFull(fd, frame.data(), frame.size());
+  if (!s.ok()) alive = false;  // dead peer: later responses become no-ops
+  return s;
+}
+
+Server::Server(std::vector<ServedCollection> collections,
+               const ServerOptions& options)
+    : options_(options) {
+  for (const auto& served : collections) {
+    collections_[served.name] = served.collection;
+  }
+}
+
+Result<std::unique_ptr<Server>> Server::Start(
+    std::vector<ServedCollection> collections, const ServerOptions& options) {
+  if (collections.empty()) {
+    return Status::InvalidArgument("Start: no collections to serve");
+  }
+  for (const auto& served : collections) {
+    if (served.name.empty() || served.collection == nullptr) {
+      return Status::InvalidArgument(
+          "Start: collection entries need a non-empty name and a non-null "
+          "collection");
+    }
+  }
+  const size_t named = collections.size();
+  std::unique_ptr<Server> server(
+      new Server(std::move(collections), options));
+  if (server->collections_.size() != named) {
+    return Status::InvalidArgument("Start: duplicate collection name");
+  }
+  InstallSigpipeGuard();
+  auto listening =
+      ListenTcp(options.host, options.port, &server->port_);
+  if (!listening.ok()) return listening.status();
+  server->listen_fd_ = listening.value();
+
+  // One worker per long-lived task: acceptor + coalescer flusher + one
+  // reader per admitted connection.
+  server->io_pool_ = std::make_unique<exec::TaskExecutor>(
+      options.max_connections + 2);
+  exec::TaskExecutor* query_pool = options.query_executor != nullptr
+                                       ? options.query_executor
+                                       : &exec::TaskExecutor::Default();
+  server->coalescer_ = std::make_unique<Coalescer>(
+      server->io_pool_.get(), query_pool, options.coalescer);
+  Server* raw = server.get();
+  server->io_pool_->Schedule([raw] { raw->AcceptLoop(); });
+  return server;
+}
+
+Server::~Server() {
+  Shutdown();
+  // Destruction order below (coalescer before io_pool) drains the
+  // flusher task before its executor joins.
+}
+
+void Server::Shutdown() {
+  std::lock_guard shutdown_lock(shutdown_mutex_);
+  // A server whose Start failed before serving began has nothing to drain.
+  if (shutdown_done_.load() || coalescer_ == nullptr) return;
+  stopping_.store(true, std::memory_order_release);
+  // Held searches flush and their responses are written while the
+  // connection objects are still alive (callbacks hold references).
+  coalescer_->Drain();
+  // Reader loops observe stopping_ within poll_interval_ms and exit;
+  // the last reference to each connection closes its socket.
+  {
+    std::unique_lock lock(conn_mutex_);
+    conn_cv_.wait(lock, [&] { return active_connections_ == 0; });
+  }
+  shutdown_done_.store(true);
+}
+
+ServerStats Server::Stats() const {
+  const CoalescerStats c = coalescer_->stats();
+  ServerStats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.connections_rejected = connections_rejected_.load();
+  {
+    std::lock_guard lock(conn_mutex_);
+    s.connections_active = active_connections_;
+  }
+  s.requests = requests_.load();
+  s.searches = searches_.load();
+  s.upserts = upserts_.load();
+  s.deletes = deletes_.load();
+  s.protocol_errors = protocol_errors_.load();
+  s.shed_overload = c.shed_overload;
+  s.rejected_deadline = c.rejected_deadline;
+  s.batches_dispatched = c.batches_dispatched;
+  s.batched_queries = c.batched_queries;
+  s.max_batch_size = c.max_batch_size;
+  s.mean_batch_size =
+      c.batches_dispatched > 0
+          ? static_cast<double>(c.batched_queries) /
+                static_cast<double>(c.batches_dispatched)
+          : 0.0;
+  return s;
+}
+
+Collection* Server::Find(const std::string& name) const {
+  const auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second;
+}
+
+void Server::OnConnectionClosed() {
+  std::lock_guard lock(conn_mutex_);
+  --active_connections_;
+  conn_cv_.notify_all();
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    auto accepted = AcceptWithTimeout(listen_fd_, options_.poll_interval_ms);
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kNotFound) continue;
+      break;  // listen socket failed; the server stops admitting
+    }
+    const int fd = accepted.value();
+    timeval tv{options_.send_timeout_s, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    bool at_capacity;
+    {
+      std::lock_guard lock(conn_mutex_);
+      at_capacity = active_connections_ >= options_.max_connections;
+      if (!at_capacity) ++active_connections_;
+    }
+    if (at_capacity) {
+      // Shed with a retryable status frame (request_id 0 = connection
+      // level) instead of an opaque RST.
+      connections_rejected_.fetch_add(1);
+      const auto frame = EncodeFrame(
+          OpCode::kPing, 0,
+          StatusPayload(WireStatus::kOverloaded, "connection limit reached"));
+      (void)WriteFull(fd, frame.data(), frame.size());
+      CloseFd(fd);
+      continue;
+    }
+    connections_accepted_.fetch_add(1);
+    auto conn = std::make_shared<Connection>(this, fd);
+    io_pool_->Schedule([this, conn] { ConnectionLoop(conn); });
+  }
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Server::ConnectionLoop(std::shared_ptr<Connection> conn) {
+  std::vector<uint8_t> header_buf(kHeaderBytes);
+  std::vector<uint8_t> payload;
+  while (true) {
+    Status s = ReadFull(conn->fd, header_buf.data(), kHeaderBytes,
+                        &stopping_, options_.poll_interval_ms);
+    if (!s.ok()) {
+      // Clean EOF / shutdown are quiet; a mid-header disconnect counts
+      // as a protocol error but still only tears down this connection.
+      if (s.code() == StatusCode::kCorruption) {
+        protocol_errors_.fetch_add(1);
+      }
+      break;
+    }
+    FrameHeader header;
+    if (!DecodeHeader(header_buf.data(), &header)) {
+      // Wrong magic/version: the stream is not speaking our protocol (or
+      // lost sync); answering could feed a desynchronized peer garbage.
+      protocol_errors_.fetch_add(1);
+      break;
+    }
+    if (header.payload_len > options_.max_payload_bytes) {
+      // Oversize length prefix: reject BEFORE allocating, then drop the
+      // connection (the unread payload bytes would desynchronize it).
+      protocol_errors_.fetch_add(1);
+      SendError(conn, header.op, header.request_id,
+                WireStatus::kProtocolError,
+                "payload length " + std::to_string(header.payload_len) +
+                    " exceeds limit");
+      break;
+    }
+    payload.resize(header.payload_len);
+    if (header.payload_len > 0) {
+      s = ReadFull(conn->fd, payload.data(), payload.size(), &stopping_,
+                   options_.poll_interval_ms);
+      if (!s.ok()) {
+        if (s.code() == StatusCode::kCorruption) {
+          protocol_errors_.fetch_add(1);
+        }
+        break;
+      }
+    }
+    if (Fnv1a32(payload.data(), payload.size()) != header.payload_checksum) {
+      // Frame boundary is intact, so the connection may continue; the
+      // request itself is untrustworthy.
+      protocol_errors_.fetch_add(1);
+      SendError(conn, header.op, header.request_id,
+                WireStatus::kProtocolError, "payload checksum mismatch");
+      continue;
+    }
+    if (!HandleFrame(conn, header, payload)) break;
+  }
+  // Reader exits; in-flight response callbacks still hold references and
+  // finish writing, then the last reference closes the socket.
+}
+
+bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
+                         const FrameHeader& header,
+                         const std::vector<uint8_t>& payload) {
+  requests_.fetch_add(1);
+  switch (header.op) {
+    case OpCode::kPing:
+      SendError(conn, OpCode::kPing, header.request_id, WireStatus::kOk, "");
+      return true;
+    case OpCode::kSearch:
+      HandleSearch(conn, header.request_id, payload);
+      return true;
+    case OpCode::kSearchBatch:
+      HandleSearchBatch(conn, header.request_id, payload);
+      return true;
+    case OpCode::kUpsert:
+      HandleUpsert(conn, header.request_id, payload);
+      return true;
+    case OpCode::kDelete:
+      HandleDelete(conn, header.request_id, payload);
+      return true;
+    case OpCode::kStats:
+      HandleStats(conn, header.request_id);
+      return true;
+  }
+  protocol_errors_.fetch_add(1);
+  SendError(conn, header.op, header.request_id, WireStatus::kProtocolError,
+            "unknown op code " +
+                std::to_string(static_cast<unsigned>(header.op)));
+  return true;  // framing stayed sound; the connection may continue
+}
+
+void Server::SendError(const std::shared_ptr<Connection>& conn, OpCode op,
+                       uint64_t request_id, WireStatus status,
+                       const std::string& message) {
+  (void)conn->WriteFrame(
+      EncodeFrame(op, request_id, StatusPayload(status, message)));
+}
+
+void Server::HandleSearch(const std::shared_ptr<Connection>& conn,
+                          uint64_t request_id,
+                          const std::vector<uint8_t>& payload) {
+  wire::Reader reader(payload.data(), payload.size());
+  SearchHead head;
+  uint32_t dim;
+  std::vector<float> query;
+  if (!DecodeSearchHead(&reader, &head) || !reader.GetU32(&dim) ||
+      !reader.GetF32Array(dim, &query)) {
+    protocol_errors_.fetch_add(1);
+    SendError(conn, OpCode::kSearch, request_id, WireStatus::kProtocolError,
+              "malformed Search payload");
+    return;
+  }
+  Collection* collection = Find(head.name);
+  if (collection == nullptr) {
+    SendError(conn, OpCode::kSearch, request_id, WireStatus::kNotFound,
+              "no collection named \"" + head.name + "\"");
+    return;
+  }
+  if (dim != collection->dim()) {
+    SendError(conn, OpCode::kSearch, request_id,
+              WireStatus::kInvalidArgument,
+              "query has " + std::to_string(dim) + " dims, collection \"" +
+                  head.name + "\" serves " +
+                  std::to_string(collection->dim()));
+    return;
+  }
+  if (stopping_.load(std::memory_order_acquire)) {
+    SendError(conn, OpCode::kSearch, request_id, WireStatus::kShuttingDown,
+              "server draining");
+    return;
+  }
+  searches_.fetch_add(1);
+  Status admitted = coalescer_->Submit(
+      collection, std::move(query), head.request,
+      DeadlineFrom(head.deadline_us),
+      [conn, request_id](const Status& status, QueryResponse response,
+                         uint32_t batch_size) {
+        if (!status.ok()) {
+          (void)conn->WriteFrame(EncodeFrame(
+              OpCode::kSearch, request_id,
+              StatusPayload(FromStatus(status), status.message())));
+          return;
+        }
+        std::vector<uint8_t> body = StatusPayload(WireStatus::kOk, "");
+        AppendResponseBody(&body, response);
+        wire::PutU32(&body, batch_size);
+        (void)conn->WriteFrame(EncodeFrame(OpCode::kSearch, request_id, body));
+      });
+  if (!admitted.ok()) {
+    WireStatus status = FromStatus(admitted);
+    if (admitted.code() == StatusCode::kUnavailable &&
+        stopping_.load(std::memory_order_acquire)) {
+      status = WireStatus::kShuttingDown;
+    }
+    SendError(conn, OpCode::kSearch, request_id, status, admitted.message());
+  }
+}
+
+void Server::HandleSearchBatch(const std::shared_ptr<Connection>& conn,
+                               uint64_t request_id,
+                               const std::vector<uint8_t>& payload) {
+  wire::Reader reader(payload.data(), payload.size());
+  SearchHead head;
+  uint32_t num, dim;
+  std::vector<float> flat;
+  if (!DecodeSearchHead(&reader, &head) || !reader.GetU32(&num) ||
+      !reader.GetU32(&dim) ||
+      !reader.GetF32Array(static_cast<size_t>(num) * dim, &flat)) {
+    protocol_errors_.fetch_add(1);
+    SendError(conn, OpCode::kSearchBatch, request_id,
+              WireStatus::kProtocolError, "malformed SearchBatch payload");
+    return;
+  }
+  Collection* collection = Find(head.name);
+  if (collection == nullptr) {
+    SendError(conn, OpCode::kSearchBatch, request_id, WireStatus::kNotFound,
+              "no collection named \"" + head.name + "\"");
+    return;
+  }
+  if (num == 0 || dim != collection->dim()) {
+    SendError(conn, OpCode::kSearchBatch, request_id,
+              WireStatus::kInvalidArgument,
+              "batch of " + std::to_string(num) + " queries with " +
+                  std::to_string(dim) + " dims cannot be served");
+    return;
+  }
+  if (stopping_.load(std::memory_order_acquire)) {
+    SendError(conn, OpCode::kSearchBatch, request_id,
+              WireStatus::kShuttingDown, "server draining");
+    return;
+  }
+  searches_.fetch_add(num);
+  FloatMatrix queries(num, dim, std::move(flat));
+  Status admitted = coalescer_->SubmitBatch(
+      collection, std::move(queries), head.request,
+      DeadlineFrom(head.deadline_us),
+      [conn, request_id](const Status& status,
+                         std::vector<QueryResponse> responses) {
+        if (!status.ok()) {
+          (void)conn->WriteFrame(EncodeFrame(
+              OpCode::kSearchBatch, request_id,
+              StatusPayload(FromStatus(status), status.message())));
+          return;
+        }
+        std::vector<uint8_t> body = StatusPayload(WireStatus::kOk, "");
+        wire::PutU32(&body, static_cast<uint32_t>(responses.size()));
+        for (const QueryResponse& response : responses) {
+          AppendResponseBody(&body, response);
+        }
+        (void)conn->WriteFrame(
+            EncodeFrame(OpCode::kSearchBatch, request_id, body));
+      });
+  if (!admitted.ok()) {
+    WireStatus status = FromStatus(admitted);
+    if (admitted.code() == StatusCode::kUnavailable &&
+        stopping_.load(std::memory_order_acquire)) {
+      status = WireStatus::kShuttingDown;
+    }
+    SendError(conn, OpCode::kSearchBatch, request_id, status,
+              admitted.message());
+  }
+}
+
+void Server::HandleUpsert(const std::shared_ptr<Connection>& conn,
+                          uint64_t request_id,
+                          const std::vector<uint8_t>& payload) {
+  wire::Reader reader(payload.data(), payload.size());
+  std::string name;
+  uint8_t has_id;
+  uint32_t id, dim;
+  std::vector<float> vec;
+  if (!reader.GetString(&name) || !reader.GetU8(&has_id) ||
+      !reader.GetU32(&id) || !reader.GetU32(&dim) ||
+      !reader.GetF32Array(dim, &vec)) {
+    protocol_errors_.fetch_add(1);
+    SendError(conn, OpCode::kUpsert, request_id, WireStatus::kProtocolError,
+              "malformed Upsert payload");
+    return;
+  }
+  Collection* collection = Find(name);
+  if (collection == nullptr) {
+    SendError(conn, OpCode::kUpsert, request_id, WireStatus::kNotFound,
+              "no collection named \"" + name + "\"");
+    return;
+  }
+  if (stopping_.load(std::memory_order_acquire)) {
+    SendError(conn, OpCode::kUpsert, request_id, WireStatus::kShuttingDown,
+              "server draining");
+    return;
+  }
+  upserts_.fetch_add(1);
+  // Mutations run inline on the reader: the Collection's writer-priority
+  // lock serializes them against searches transactionally.
+  auto result = has_id != 0 ? collection->Upsert(id, vec.data(), vec.size())
+                            : collection->Upsert(vec.data(), vec.size());
+  if (!result.ok()) {
+    SendError(conn, OpCode::kUpsert, request_id, FromStatus(result.status()),
+              result.status().message());
+    return;
+  }
+  std::vector<uint8_t> body = StatusPayload(WireStatus::kOk, "");
+  wire::PutU32(&body, result.value());
+  (void)conn->WriteFrame(EncodeFrame(OpCode::kUpsert, request_id, body));
+}
+
+void Server::HandleDelete(const std::shared_ptr<Connection>& conn,
+                          uint64_t request_id,
+                          const std::vector<uint8_t>& payload) {
+  wire::Reader reader(payload.data(), payload.size());
+  std::string name;
+  uint32_t id;
+  if (!reader.GetString(&name) || !reader.GetU32(&id)) {
+    protocol_errors_.fetch_add(1);
+    SendError(conn, OpCode::kDelete, request_id, WireStatus::kProtocolError,
+              "malformed Delete payload");
+    return;
+  }
+  Collection* collection = Find(name);
+  if (collection == nullptr) {
+    SendError(conn, OpCode::kDelete, request_id, WireStatus::kNotFound,
+              "no collection named \"" + name + "\"");
+    return;
+  }
+  if (stopping_.load(std::memory_order_acquire)) {
+    SendError(conn, OpCode::kDelete, request_id, WireStatus::kShuttingDown,
+              "server draining");
+    return;
+  }
+  deletes_.fetch_add(1);
+  Status s = collection->Delete(id);
+  if (!s.ok()) {
+    SendError(conn, OpCode::kDelete, request_id, FromStatus(s), s.message());
+    return;
+  }
+  (void)conn->WriteFrame(EncodeFrame(OpCode::kDelete, request_id,
+                                     StatusPayload(WireStatus::kOk, "")));
+}
+
+void Server::HandleStats(const std::shared_ptr<Connection>& conn,
+                         uint64_t request_id) {
+  const ServerStats s = Stats();
+  std::vector<uint8_t> body = StatusPayload(WireStatus::kOk, "");
+  wire::PutU32(&body, static_cast<uint32_t>(collections_.size()));
+  for (const auto& [name, collection] : collections_) {
+    wire::PutString(&body, name);
+    wire::PutU64(&body, collection->size());
+    wire::PutU64(&body, collection->epoch());
+    wire::PutU32(&body, static_cast<uint32_t>(collection->shards()));
+  }
+  wire::PutU64(&body, s.connections_accepted);
+  wire::PutU64(&body, s.connections_rejected);
+  wire::PutU64(&body, s.connections_active);
+  wire::PutU64(&body, s.requests);
+  wire::PutU64(&body, s.searches);
+  wire::PutU64(&body, s.upserts);
+  wire::PutU64(&body, s.deletes);
+  wire::PutU64(&body, s.protocol_errors);
+  wire::PutU64(&body, s.shed_overload);
+  wire::PutU64(&body, s.rejected_deadline);
+  wire::PutU64(&body, s.batches_dispatched);
+  wire::PutU64(&body, s.batched_queries);
+  wire::PutU64(&body, s.max_batch_size);
+  wire::PutF64(&body, s.mean_batch_size);
+  (void)conn->WriteFrame(EncodeFrame(OpCode::kStats, request_id, body));
+}
+
+}  // namespace dblsh::serve

@@ -1,0 +1,219 @@
+#ifndef DBLSH_SERVE_SERVER_H_
+#define DBLSH_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/collection.h"
+#include "exec/task_executor.h"
+#include "serve/coalescer.h"
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace dblsh::serve {
+
+/// One collection the server exposes, under its wire name. The Collection
+/// stays owned by the caller and must outlive the server.
+struct ServedCollection {
+  std::string name;
+  Collection* collection = nullptr;
+};
+
+/// Server construction knobs.
+struct ServerOptions {
+  /// IPv4 address to bind (dotted quad; "127.0.0.1" default).
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port, reported by Server::port().
+  uint16_t port = 0;
+  /// Concurrent connection cap. A client connecting beyond it receives a
+  /// single kOverloaded response frame and is closed (retryable shed).
+  size_t max_connections = 32;
+  /// Frames whose payload_len exceeds this are rejected with
+  /// kProtocolError before any allocation.
+  uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
+  /// Granularity at which blocked reads re-check the shutdown flag.
+  int poll_interval_ms = 50;
+  /// Send timeout (seconds) on accepted sockets: a peer that stops
+  /// draining its responses errors out instead of wedging a writer.
+  int send_timeout_s = 5;
+  /// Micro-batching admission knobs (window, batch cap, backpressure).
+  CoalescerOptions coalescer;
+  /// Executor running coalesced SearchBatch dispatches; nullptr uses
+  /// exec::TaskExecutor::Default(). Must outlive the server.
+  exec::TaskExecutor* query_executor = nullptr;
+};
+
+/// Monotonic server counters (Server::Stats, also served over the wire by
+/// OpCode::kStats). Batch counters come from the coalescer:
+/// `batched_queries / batches_dispatched` is the mean achieved batch size.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;  ///< shed at max_connections
+  uint64_t connections_active = 0;
+  uint64_t requests = 0;          ///< well-formed frames handled
+  uint64_t searches = 0;          ///< kSearch + kSearchBatch queries seen
+  uint64_t upserts = 0;
+  uint64_t deletes = 0;
+  uint64_t protocol_errors = 0;   ///< malformed frames / payloads
+  uint64_t shed_overload = 0;     ///< queries refused at max_inflight
+  uint64_t rejected_deadline = 0; ///< queries expired before execution
+  uint64_t batches_dispatched = 0;
+  uint64_t batched_queries = 0;
+  uint64_t max_batch_size = 0;
+  /// batched_queries / batches_dispatched (0 when nothing dispatched).
+  double mean_batch_size = 0.0;
+};
+
+/// Framed-TCP serving front-end over a set of named Collections — the
+/// process boundary that turns the executor's batched fan-out into
+/// multi-client throughput:
+///
+///   auto server = serve::Server::Start(
+///       {{"main", &collection}}, options).value();
+///   // ... clients connect to ("127.0.0.1", server->port()) ...
+///   server->Shutdown();   // graceful drain
+///
+/// Request flow: the acceptor task admits up to `max_connections`
+/// connections (each served by a long-lived reader task on a dedicated
+/// executor owned by the server — no raw threads). A reader decodes
+/// frames (magic/version/length/checksum gates, all failures answered
+/// with kProtocolError or dropped without trusting the stream), then:
+/// Search requests go through the micro-batching Coalescer — held up to
+/// `window_us` for companions, dispatched as one Collection::SearchBatch
+/// on the query executor, fanned back per connection; Upsert/Delete run
+/// inline on the reader (the Collection's writer lock serializes them);
+/// Ping/Stats answer immediately.
+///
+/// Robustness contract:
+///  - deadline propagation: a request whose client-supplied budget
+///    (deadline_us) elapsed is answered kDeadlineExceeded without
+///    touching the index — checked at admission and again at dispatch;
+///  - backpressure: past `coalescer.max_inflight` queued queries (or
+///    `max_connections` peers) requests shed with retryable kOverloaded
+///    instead of growing queues unboundedly;
+///  - client death: SIGPIPE is ignored process-wide and every send uses
+///    MSG_NOSIGNAL, so a client vanishing mid-response tears down only
+///    its own connection — in-flight batch peers are unaffected;
+///  - shutdown: Shutdown() stops intake, drains the coalescer (held
+///    queries complete and their responses are written), then closes
+///    connections and joins every serving task.
+///
+/// Thread-safety: all public members are safe to call concurrently.
+class Server {
+ public:
+  /// Binds, spins up the acceptor and coalescer, and starts serving the
+  /// given collections. Fails with InvalidArgument on duplicate or empty
+  /// names / null collections, IoError when the bind fails.
+  static Result<std::unique_ptr<Server>> Start(
+      std::vector<ServedCollection> collections,
+      const ServerOptions& options = {});
+
+  /// Graceful Shutdown(), then joins every serving task.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The TCP port actually bound (the ephemeral one when options.port
+  /// was 0).
+  uint16_t port() const { return port_; }
+
+  /// Snapshot of the serving counters.
+  ServerStats Stats() const;
+
+  /// Graceful drain: stop accepting, refuse new requests with
+  /// kShuttingDown, flush the coalescer window (admitted requests
+  /// complete and their responses are written), close connections.
+  /// Idempotent; blocks until quiesced.
+  void Shutdown();
+
+ private:
+  /// One accepted connection: its socket, write serialization, and
+  /// liveness. Held by shared_ptr from the reader task and every
+  /// in-flight response callback; the destructor (last reference,
+  /// wherever it lands) closes the fd and deregisters from the server.
+  struct Connection {
+    Connection(Server* server, int fd) : server(server), fd(fd) {}
+    ~Connection();
+    /// Serialized, liveness-checked frame write; a failed send marks the
+    /// connection dead (later writes become no-ops).
+    Status WriteFrame(const std::vector<uint8_t>& frame);
+    Server* server;
+    int fd;
+    std::mutex write_mutex;
+    bool alive = true;  ///< guarded by write_mutex
+  };
+
+  Server(std::vector<ServedCollection> collections,
+         const ServerOptions& options);
+
+  /// Long-lived acceptor task: poll-accept with shed-at-capacity.
+  void AcceptLoop();
+  /// Long-lived per-connection reader task: frame decode + dispatch.
+  void ConnectionLoop(std::shared_ptr<Connection> conn);
+  /// Decodes and serves one well-framed request; returns false when the
+  /// connection must be dropped (unrecoverable stream state).
+  bool HandleFrame(const std::shared_ptr<Connection>& conn,
+                   const FrameHeader& header,
+                   const std::vector<uint8_t>& payload);
+  /// Op handler (payload already checksum-verified): coalesced search.
+  void HandleSearch(const std::shared_ptr<Connection>& conn,
+                    uint64_t request_id, const std::vector<uint8_t>& payload);
+  /// Op handler: pre-formed batch, dispatched without a window hold.
+  void HandleSearchBatch(const std::shared_ptr<Connection>& conn,
+                         uint64_t request_id,
+                         const std::vector<uint8_t>& payload);
+  /// Op handler: transactional insert/replace, inline on the reader.
+  void HandleUpsert(const std::shared_ptr<Connection>& conn,
+                    uint64_t request_id, const std::vector<uint8_t>& payload);
+  /// Op handler: tombstone one id, inline on the reader.
+  void HandleDelete(const std::shared_ptr<Connection>& conn,
+                    uint64_t request_id, const std::vector<uint8_t>& payload);
+  /// Op handler: collection + counter snapshot.
+  void HandleStats(const std::shared_ptr<Connection>& conn,
+                   uint64_t request_id);
+  /// Sends a status-only response frame.
+  void SendError(const std::shared_ptr<Connection>& conn, OpCode op,
+                 uint64_t request_id, WireStatus status,
+                 const std::string& message);
+  /// Collection registered under `name`, or nullptr.
+  Collection* Find(const std::string& name) const;
+  /// Deregistration hook called by ~Connection.
+  void OnConnectionClosed();
+
+  const ServerOptions options_;
+  std::map<std::string, Collection*> collections_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_done_{false};
+  std::mutex shutdown_mutex_;  ///< serializes Shutdown callers
+
+  // Dedicated IO executor: 1 acceptor + 1 coalescer flusher + one worker
+  // per admitted connection (all long-lived tasks; sized accordingly).
+  std::unique_ptr<exec::TaskExecutor> io_pool_;
+  std::unique_ptr<Coalescer> coalescer_;
+
+  mutable std::mutex conn_mutex_;
+  std::condition_variable conn_cv_;
+  size_t active_connections_ = 0;  ///< guarded by conn_mutex_
+
+  // Counters (see ServerStats).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> searches_{0};
+  std::atomic<uint64_t> upserts_{0};
+  std::atomic<uint64_t> deletes_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+};
+
+}  // namespace dblsh::serve
+
+#endif  // DBLSH_SERVE_SERVER_H_

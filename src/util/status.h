@@ -20,6 +20,8 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Lightweight value-semantic status object. `Status::OK()` is cheap (no
@@ -50,10 +52,21 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// True for transient failures a client may retry after backing off
+  /// (kUnavailable — e.g. a serving layer shedding load). Permanent errors
+  /// and deadline rejections are not retryable as-is.
+  bool retryable() const { return code_ == StatusCode::kUnavailable; }
 
   /// Human-readable rendering, e.g. "InvalidArgument: dim mismatch".
   std::string ToString() const;
