@@ -58,7 +58,8 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
   InstallSigpipeGuard();
   auto fd = ConnectTcp(host, port, options.connect_timeout_ms);
   if (!fd.ok()) return fd.status();
-  return std::unique_ptr<Client>(new Client(fd.value()));
+  return std::unique_ptr<Client>(
+      new Client(fd.value(), options.max_payload_bytes));
 }
 
 Client::~Client() { CloseFd(fd_); }
@@ -78,6 +79,13 @@ Status Client::ReceiveFrame(FrameHeader* header,
   if (!s.ok()) return s;
   if (!DecodeHeader(header_buf, header)) {
     return ProtocolError("bad response header");
+  }
+  if (header->payload_len > max_payload_bytes_) {
+    // Mirror the server's oversize-length gate: reject before allocating
+    // so a misbehaving peer cannot force a multi-GiB buffer.
+    return ProtocolError("response payload length " +
+                         std::to_string(header->payload_len) +
+                         " exceeds limit");
   }
   payload->resize(header->payload_len);
   if (header->payload_len > 0) {

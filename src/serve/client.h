@@ -19,6 +19,10 @@ namespace dblsh::serve {
 struct ClientOptions {
   /// TCP connect timeout.
   int connect_timeout_ms = 5000;
+  /// Response frames whose payload_len exceeds this are rejected as a
+  /// protocol error before any allocation — mirrors the server's gate so
+  /// a misbehaving or spoofed server cannot force a multi-GiB buffer.
+  uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
 };
 
 /// One Search answer: the neighbors plus the size of the server-side
@@ -127,7 +131,8 @@ class Client {
   Result<PipelinedReply> ReceiveSearchReply();
 
  private:
-  explicit Client(int fd) : fd_(fd) {}
+  Client(int fd, uint32_t max_payload_bytes)
+      : fd_(fd), max_payload_bytes_(max_payload_bytes) {}
 
   /// Writes one frame (serialized by send_mutex_).
   Status SendFrame(OpCode op, uint64_t request_id,
@@ -141,6 +146,7 @@ class Client {
               std::vector<uint8_t>* response);
 
   int fd_;
+  const uint32_t max_payload_bytes_;
   std::mutex send_mutex_;
   std::mutex recv_mutex_;
   uint64_t next_id_ = 1;  ///< guarded by send_mutex_

@@ -87,6 +87,12 @@ Result<int> ConnectTcp(const std::string& host, uint16_t port,
     do {
       rc = ::poll(&pfd, 1, timeout_ms <= 0 ? -1 : timeout_ms);
     } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+      // A failed poll says nothing about the connect; SO_ERROR could
+      // still read 0 and hand back an unconnected fd as success.
+      CloseFd(fd);
+      return Errno("poll");
+    }
     if (rc == 0) {
       CloseFd(fd);
       return Status::IoError("connect timed out");

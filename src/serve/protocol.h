@@ -196,9 +196,12 @@ class Reader {
     pos_ += n;
     return true;
   }
-  /// Reads `count` packed f32 values; false on underrun.
+  /// Reads `count` packed f32 values; false on underrun. The bound is
+  /// checked as `count > remaining() / 4` so an attacker-controlled count
+  /// near SIZE_MAX cannot overflow `count * 4` into a passing check (and
+  /// a length_error-throwing resize).
   bool GetF32Array(size_t count, std::vector<float>* out) {
-    if (remaining() < count * 4) return false;
+    if (count > remaining() / 4) return false;
     out->resize(count);
     // Packed little-endian floats: on every supported target this is a
     // straight copy of the bit patterns.

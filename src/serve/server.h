@@ -195,14 +195,18 @@ class Server {
   std::atomic<bool> shutdown_done_{false};
   std::mutex shutdown_mutex_;  ///< serializes Shutdown callers
 
+  // Declared before io_pool_ so destruction joins the acceptor/reader
+  // tasks while the connection-tracking state they touch is still alive
+  // (members destroy in reverse order; a connection admitted in the
+  // window after Shutdown()'s wait returns must not lock a dead mutex).
+  mutable std::mutex conn_mutex_;
+  std::condition_variable conn_cv_;
+  size_t active_connections_ = 0;  ///< guarded by conn_mutex_
+
   // Dedicated IO executor: 1 acceptor + 1 coalescer flusher + one worker
   // per admitted connection (all long-lived tasks; sized accordingly).
   std::unique_ptr<exec::TaskExecutor> io_pool_;
   std::unique_ptr<Coalescer> coalescer_;
-
-  mutable std::mutex conn_mutex_;
-  std::condition_variable conn_cv_;
-  size_t active_connections_ = 0;  ///< guarded by conn_mutex_
 
   // Counters (see ServerStats).
   std::atomic<uint64_t> connections_accepted_{0};

@@ -130,6 +130,19 @@ TEST(ServeProtocolTest, ReaderIsBoundsChecked) {
   EXPECT_EQ(out[0], 1.f);
 }
 
+TEST(ServeProtocolTest, F32ArrayCountOverflowCannotPassTheBoundsCheck) {
+  std::vector<uint8_t> floats;
+  wire::PutF32(&floats, 1.f);
+  wire::Reader r(floats.data(), floats.size());
+  std::vector<float> out;
+  // With a naive `remaining() < count * 4` bound these counts wrap the
+  // multiplication (to 4 and 0), pass the check, and resize() throws.
+  EXPECT_FALSE(r.GetF32Array(SIZE_MAX / 4 + 1, &out));
+  EXPECT_FALSE(r.GetF32Array(size_t{1} << 62, &out));
+  EXPECT_TRUE(r.GetF32Array(1, &out));  // the reader position is intact
+  EXPECT_EQ(out[0], 1.f);
+}
+
 TEST(ServeProtocolTest, StatusMappingRoundTripsAndFlagsRetryable) {
   EXPECT_TRUE(IsRetryable(WireStatus::kOverloaded));
   EXPECT_TRUE(IsRetryable(WireStatus::kShuttingDown));
@@ -633,6 +646,36 @@ WireStatus StatusOf(const std::vector<uint8_t>& payload) {
   return static_cast<WireStatus>(status);
 }
 
+TEST(ServeClientTest, OversizeResponseLengthIsRejectedBeforeAllocation) {
+  // A spoofed "server" that answers with a huge length prefix must not be
+  // able to make the client allocate gigabytes: the client mirrors the
+  // server's payload gate.
+  uint16_t port = 0;
+  auto listening = ListenTcp("127.0.0.1", 0, &port);
+  ASSERT_TRUE(listening.ok());
+  ClientOptions options;
+  options.max_payload_bytes = 1024;
+  auto client = Client::Connect("127.0.0.1", port, options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto accepted = AcceptWithTimeout(listening.value(), 1000);
+  ASSERT_TRUE(accepted.ok());
+
+  // Pre-send the bogus response (request_id 1 = the client's first call);
+  // TCP buffers the Ping request the client writes before reading it.
+  auto frame = EncodeFrame(OpCode::kPing, 1, {});
+  frame[16] = 0xFF;  // payload_len := huge, no payload follows
+  frame[17] = 0xFF;
+  frame[18] = 0xFF;
+  frame[19] = 0x7F;
+  ASSERT_TRUE(WriteFull(accepted.value(), frame.data(), frame.size()).ok());
+
+  const Status s = client.value()->Ping();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+  CloseFd(accepted.value());
+  CloseFd(listening.value());
+}
+
 TEST_F(ServeServerTest, GarbageStreamIsDroppedWithoutHarmingPeers) {
   StartServer();
   auto fd = ConnectTcp("127.0.0.1", server_->port());
@@ -673,6 +716,37 @@ TEST_F(ServeServerTest, OversizeLengthPrefixIsRejectedBeforeAllocation) {
   uint8_t byte;
   EXPECT_FALSE(ReadFull(fd.value(), &byte, 1).ok());
   CloseFd(fd.value());
+  EXPECT_GE(server_->Stats().protocol_errors, 1u);
+}
+
+TEST_F(ServeServerTest, HugeBatchDimensionsAreAnsweredNotFatal) {
+  StartServer();
+  auto fd = ConnectTcp("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok());
+
+  // num = dim = 2^31 makes num*dim = 2^62: a naive `count * 4` bound
+  // wraps to 0, resize(2^62) throws on an executor thread, and the whole
+  // process dies. The server must answer a typed error instead.
+  std::vector<uint8_t> payload;
+  wire::PutString(&payload, "main");
+  wire::PutU32(&payload, 10);            // k
+  wire::PutU32(&payload, 0);             // deadline_us
+  wire::PutU32(&payload, 0);             // candidate_budget
+  wire::PutF64(&payload, 0.0);           // r0
+  wire::PutU32(&payload, 0x80000000u);   // num
+  wire::PutU32(&payload, 0x80000000u);   // dim — and no floats follow
+  const auto frame = EncodeFrame(OpCode::kSearchBatch, 31, payload);
+  ASSERT_TRUE(WriteFull(fd.value(), frame.data(), frame.size()).ok());
+
+  FrameHeader header;
+  std::vector<uint8_t> response;
+  ASSERT_TRUE(ReadRawFrame(fd.value(), &header, &response).ok());
+  EXPECT_EQ(header.request_id, 31u);
+  EXPECT_EQ(StatusOf(response), WireStatus::kProtocolError);
+  CloseFd(fd.value());
+
+  auto client = MakeClient();
+  EXPECT_TRUE(client->Ping().ok());  // the server is still alive
   EXPECT_GE(server_->Stats().protocol_errors, 1u);
 }
 
