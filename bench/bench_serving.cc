@@ -25,8 +25,9 @@
 // Flags: --n (initial points, default 50000), --dim (32), --k (10),
 // --readers (max reader tasks, default 8; the sweep doubles from 1),
 // --shards (comma list of shard counts, default "1,4"), --duration-ms
-// (per measurement cell, default 1000), --seed, --network (0 disables
-// the loopback section), --clients (closed-loop connections, default 8),
+// (per measurement cell, default 1000), --seed, --storage (row store
+// backend, fp32 or sq8, default fp32), --network (0 disables the
+// loopback section), --clients (closed-loop connections, default 8),
 // --window-us (coalescing window, default 1000), --pipeline-depth
 // (open-loop outstanding requests, default 32), --json[=PATH] (write
 // machine-readable results, default path BENCH_serving.json).
@@ -50,6 +51,7 @@
 #include "exec/task_executor.h"
 #include "serve/client.h"
 #include "serve/server.h"
+#include "util/perfmon.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -407,6 +409,11 @@ int Run(const bench::Flags& flags) {
   const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
   const std::vector<size_t> shard_counts =
       ParseShardList(flags.GetString("shards", "1,4"));
+  const std::string storage = flags.GetString("storage", "fp32");
+  // Folded into every collection spec below; the fp32 default keeps the
+  // spec byte-identical to what earlier baselines were produced with.
+  const std::string storage_suffix =
+      storage == "fp32" ? "" : ",storage=" + storage;
 
   ClusteredSpec spec;
   spec.n = n;
@@ -433,13 +440,19 @@ int Run(const bench::Flags& flags) {
     Timer build_timer;
     auto made = Collection::FromSpec(
         "collection,shards=" + std::to_string(shards) +
-            ",rebuild=background: DB-LSH,name=serving",
+            ",rebuild=background" + storage_suffix + ": DB-LSH,name=serving",
         std::make_unique<FloatMatrix>(cloud));
     if (!made.ok()) {
       std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
       return 1;
     }
     Collection& collection = *made.value();
+    if (si == 0) {
+      const CollectionStorageInfo storage_info = collection.Storage();
+      json.Set("storage", storage_info.kind)
+          .Set("bytes_per_vector", storage_info.bytes_per_vector)
+          .Set("rerank", storage_info.rerank);
+    }
     std::printf("--- shards = %zu: n = %zu, dim = %zu, k = %zu; built in "
                 "%.3f s; %.0f ms per measurement cell ---\n\n",
                 shards, n, dim, k, build_timer.ElapsedSec(), duration_ms);
@@ -516,7 +529,8 @@ int Run(const bench::Flags& flags) {
         static_cast<size_t>(flags.GetInt("pipeline-depth", 32));
 
     auto made = Collection::FromSpec(
-        "collection,rebuild=background: DB-LSH,name=main",
+        "collection,rebuild=background" + storage_suffix +
+            ": DB-LSH,name=main",
         std::make_unique<FloatMatrix>(cloud));
     if (!made.ok()) {
       std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
@@ -642,6 +656,11 @@ int Run(const bench::Flags& flags) {
   if (flags.Has("json")) {
     std::string path = flags.GetString("json", "BENCH_serving.json");
     if (path == "1") path = "BENCH_serving.json";  // bare --json
+    const perfmon::MemoryUsage mem = perfmon::SampleMemory();
+    json.Set("memory", bench::Json::Object()
+                           .Set("resident_bytes", mem.resident_bytes)
+                           .Set("peak_resident_bytes",
+                                mem.peak_resident_bytes));
     if (!json.WriteTo(path)) return 1;
   }
   return 0;

@@ -39,6 +39,9 @@
 // (`--indexes` is a ';'-separated list of factory specs) with optional
 // per-query id filtering: `--filter=deny:IDS` excludes the ids,
 // `--filter=allow:IDS` (or a bare id list) restricts results to them.
+// `--shards=N`, `--storage=fp32|sq8` and `--rerank=N` configure the
+// collection itself (same flags on `serve` and `collection stats`):
+// sq8 serves quantized rows at 1 byte/dim with exact re-rank.
 // The PR-3 commands `insert`/`erase` remain as deprecated aliases of
 // `collection upsert`/`collection delete` (each prints a one-line
 // deprecation note). Wherever the tool answers queries, `--threads=N`
@@ -80,6 +83,7 @@
 #include "eval/metrics.h"
 #include "serve/client.h"
 #include "serve/server.h"
+#include "util/perfmon.h"
 #include "util/timer.h"
 
 namespace dblsh {
@@ -137,11 +141,17 @@ int Usage() {
       "[--indexes=\"SPEC; SPEC\"] [--use=NAME]\n"
       "                    [--k=10] [--budget=T] [--threads=N] "
       "[--filter=[allow:|deny:]IDS] [--gt]\n"
+      "                    [--shards=N] [--storage=fp32|sq8] [--rerank=N]\n"
+      "  collection stats --data=F.fvecs [--indexes=\"SPEC; SPEC\"] "
+      "[--storage=fp32|sq8] [--rerank=N]\n"
+      "                   [--shards=N] | --server=H:P   (storage backend, "
+      "bytes/vector, resident MiB)\n"
       "  stats  --data=F.fvecs | --server=H:P\n"
       "  serve  --data=F.fvecs [--indexes=\"SPEC; SPEC\"] "
       "[--collection=main] [--host=A] [--port=0]\n"
       "         [--window-us=1000] [--max-batch=32] [--max-connections=32] "
       "[--threads=N] [--duration-ms=0]\n"
+      "         [--shards=N] [--storage=fp32|sq8] [--rerank=N]\n"
       "  ping   --server=H:P\n"
       "SPEC is an IndexFactory string, e.g. \"DB-LSH,c=1.5,t=40\" or "
       "\"PM-LSH,m=8\";\n"
@@ -217,6 +227,16 @@ size_t ConfigureThreads(const Args& args) {
   return threads == 0 ? exec::HardwareConcurrency() : threads;
 }
 
+// Collection spec prefix from the shared --shards/--storage/--rerank
+// flags (collection search / serve / collection stats all accept them).
+std::string CollectionPrefix(const Args& args) {
+  std::string prefix = "collection";
+  if (args.Has("shards")) prefix += ",shards=" + args.Get("shards", "1");
+  if (args.Has("storage")) prefix += ",storage=" + args.Get("storage", "");
+  if (args.Has("rerank")) prefix += ",rerank=" + args.Get("rerank", "4");
+  return prefix;
+}
+
 // Splits --server=HOST:PORT ("PORT" alone means loopback). Returns false
 // (with a message) on garbage.
 bool ParseServer(const std::string& text, std::string* host,
@@ -270,7 +290,7 @@ int RunServe(const Args& args) {
   const std::string indexes = args.Get("indexes", "DB-LSH");
   Timer build_timer;
   auto made = Collection::FromSpec(
-      "collection: " + indexes,
+      CollectionPrefix(args) + ": " + indexes,
       std::make_unique<FloatMatrix>(std::move(data).value()));
   if (!made.ok()) {
     std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
@@ -450,6 +470,12 @@ int RunRemoteStats(const Args& args) {
                 c.name.c_str(),
                 static_cast<unsigned long long>(c.live_vectors),
                 static_cast<unsigned long long>(c.epoch), c.shards);
+    std::printf("  storage: %s, %llu bytes/vector, %.2f MiB resident",
+                c.storage.c_str(),
+                static_cast<unsigned long long>(c.bytes_per_vector),
+                static_cast<double>(c.resident_bytes) / (1024.0 * 1024.0));
+    if (c.rerank > 0) std::printf(", rerank x%u", c.rerank);
+    std::printf("\n");
   }
   const serve::ServerStats& s = stats.value().server;
   std::printf("connections: %llu accepted, %llu rejected, %llu active\n",
@@ -793,7 +819,7 @@ int RunCollectionSearch(const Args& args) {
   const std::string indexes = args.Get("indexes", "DB-LSH");
   Timer build_timer;
   auto made = Collection::FromSpec(
-      "collection: " + indexes,
+      CollectionPrefix(args) + ": " + indexes,
       std::make_unique<FloatMatrix>(std::move(data).value()));
   if (!made.ok()) {
     std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
@@ -847,6 +873,57 @@ int RunCollectionSearch(const Args& args) {
   return 0;
 }
 
+// collection stats --data=F.fvecs: builds the collection locally and
+// reports the storage backend — kind, bytes/vector, per-shard resident
+// bytes — plus the process RSS, the numbers the bench JSON memory bands
+// are pinned on. The interesting comparison is --storage=sq8 vs the fp32
+// default over the same data.
+int RunCollectionStats(const Args& args) {
+  const std::string data_path = args.Get("data", "");
+  if (data_path.empty()) return Usage();
+  auto data = LoadFvecs(data_path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const std::string prefix = CollectionPrefix(args);
+  const std::string indexes = args.Get("indexes", "DB-LSH");
+  Timer build_timer;
+  auto made = Collection::FromSpec(
+      prefix + ": " + indexes,
+      std::make_unique<FloatMatrix>(std::move(data).value()));
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  Collection& collection = *made.value();
+  const CollectionStorageInfo storage = collection.Storage();
+  std::printf("collection over %zu points (dim %zu) built in %.3f s\n",
+              collection.size(), collection.dim(), build_timer.ElapsedSec());
+  std::printf("storage: %s, %zu bytes/vector", storage.kind.c_str(),
+              storage.bytes_per_vector);
+  if (storage.rerank > 0) std::printf(", rerank x%zu", storage.rerank);
+  std::printf("\n");
+  std::printf("store resident: %.2f MiB total\n",
+              static_cast<double>(storage.resident_bytes) /
+                  (1024.0 * 1024.0));
+  for (size_t s = 0; s < storage.shard_resident_bytes.size(); ++s) {
+    std::printf("  shard %zu: %.2f MiB\n", s,
+                static_cast<double>(storage.shard_resident_bytes[s]) /
+                    (1024.0 * 1024.0));
+  }
+  for (const CollectionIndexInfo& info : collection.Indexes()) {
+    std::printf("index \"%s\" (%s): %s\n", info.name.c_str(),
+                info.method.c_str(), info.built ? "built" : "not built");
+  }
+  const perfmon::MemoryUsage mem = perfmon::SampleMemory();
+  std::printf("process RSS: %.2f MiB (peak %.2f MiB)\n",
+              static_cast<double>(mem.resident_bytes) / (1024.0 * 1024.0),
+              static_cast<double>(mem.peak_resident_bytes) /
+                  (1024.0 * 1024.0));
+  return 0;
+}
+
 int RunCollection(int argc, char** argv, const Args& args) {
   const std::string sub = argc >= 3 ? argv[2] : "";
   const bool remote = args.Has("server");
@@ -858,6 +935,9 @@ int RunCollection(int argc, char** argv, const Args& args) {
   }
   if (sub == "search") {
     return remote ? RunRemoteSearch(args) : RunCollectionSearch(args);
+  }
+  if (sub == "stats") {
+    return remote ? RunRemoteStats(args) : RunCollectionStats(args);
   }
   return Usage();
 }

@@ -27,6 +27,15 @@ the serving layer's acceptance contract (checked on the NEW run):
     typed),
   - network.probe_overload_shed >= 1 (overload sheds retryable).
 
+Streaming baselines carry the storage backend's acceptance contract
+(checked on the NEW run):
+  - storage.sq8_bytes_per_vector <= 0.3 * storage.fp32_bytes_per_vector
+    (the quantized store actually compresses),
+  - storage.sq8_recall >= storage.fp32_recall - 0.02 (asymmetric u8
+    scoring + exact re-rank costs at most 2% recall),
+  - memory.resident_bytes > 0 and memory.peak_resident_bytes > 0 (the
+    RSS sampler works on the CI platform).
+
 Exit code 0 when everything holds, 1 otherwise (each violation printed).
 """
 
@@ -106,6 +115,44 @@ def serving_invariants(new, errors):
                 "(serving invariant)")
 
 
+def streaming_invariants(new, errors):
+    storage = new.get("storage")
+    if new.get("bench") != "streaming" or not isinstance(storage, dict):
+        return
+    fp32_bytes = storage.get("fp32_bytes_per_vector")
+    sq8_bytes = storage.get("sq8_bytes_per_vector")
+    if not isinstance(fp32_bytes, (int, float)) or \
+            not isinstance(sq8_bytes, (int, float)):
+        errors.append("storage.{fp32,sq8}_bytes_per_vector: missing "
+                      "(storage invariant)")
+    elif sq8_bytes > 0.3 * fp32_bytes:
+        errors.append(
+            f"storage.sq8_bytes_per_vector: {sq8_bytes} exceeds 0.3x the "
+            f"fp32 payload ({fp32_bytes}) (storage invariant)")
+    fp32_recall = storage.get("fp32_recall")
+    sq8_recall = storage.get("sq8_recall")
+    if not isinstance(fp32_recall, (int, float)) or \
+            not isinstance(sq8_recall, (int, float)):
+        errors.append("storage.{fp32,sq8}_recall: missing "
+                      "(storage invariant)")
+    elif sq8_recall < fp32_recall - 0.02:
+        errors.append(
+            f"storage.sq8_recall: {sq8_recall:g} more than 0.02 below the "
+            f"fp32 recall ({fp32_recall:g}) (storage invariant)")
+
+
+def memory_invariants(new, errors):
+    memory = new.get("memory")
+    if not isinstance(memory, dict):
+        return  # benches without a memory section are exempt
+    for key in ("resident_bytes", "peak_resident_bytes"):
+        value = memory.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            errors.append(
+                f"memory.{key}: {value!r} but the RSS sampler must report "
+                "a positive byte count on CI (memory invariant)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -123,6 +170,8 @@ def main():
     errors = []
     walk(baseline, new, "$", args.band, errors)
     serving_invariants(new, errors)
+    streaming_invariants(new, errors)
+    memory_invariants(new, errors)
 
     if errors:
         print(f"check_bench: {len(errors)} violation(s) against "
@@ -131,7 +180,7 @@ def main():
             print(f"  {e}")
         return 1
     print(f"check_bench: {args.new} matches {args.baseline} "
-          f"(band {args.band:g}x) and serving invariants hold")
+          f"(band {args.band:g}x) and all invariants hold")
     return 0
 
 

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <utility>
 
@@ -19,12 +21,17 @@ Collection::Collection(size_t dim, const CollectionOptions& options)
     : dim_(dim),
       executor_(options.executor != nullptr ? options.executor
                                             : &exec::TaskExecutor::Default()),
-      background_rebuild_(options.background_rebuild) {
+      background_rebuild_(options.background_rebuild),
+      storage_(options.storage),
+      quantized_(options.storage != StorageKind::kFp32),
+      rerank_(std::max<size_t>(1, options.rerank)) {
   const size_t num_shards = std::max<size_t>(1, options.shards);
   shards_.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
-    shard->data = std::make_unique<FloatMatrix>(0, dim);
+    shard->store =
+        MakeVectorStore(storage_, std::make_unique<FloatMatrix>(0, dim));
+    shard->data = &shard->store->matrix();
     shards_.push_back(std::move(shard));
   }
 }
@@ -33,7 +40,10 @@ Collection::Collection(std::unique_ptr<FloatMatrix> data,
                        const CollectionOptions& options)
     : executor_(options.executor != nullptr ? options.executor
                                             : &exec::TaskExecutor::Default()),
-      background_rebuild_(options.background_rebuild) {
+      background_rebuild_(options.background_rebuild),
+      storage_(options.storage),
+      quantized_(options.storage != StorageKind::kFp32),
+      rerank_(std::max<size_t>(1, options.rerank)) {
   assert(data != nullptr);
   dim_ = data->cols();
   const size_t num_shards = std::max<size_t>(1, options.shards);
@@ -42,28 +52,34 @@ Collection::Collection(std::unique_ptr<FloatMatrix> data,
     shards_.push_back(std::make_unique<Shard>());
   }
   if (num_shards == 1) {
-    // Address-stable adoption: prebuilt indexes over *data stay valid.
-    shards_[0]->data = std::move(data);
+    // Address-stable adoption: prebuilt indexes over *data stay valid
+    // (fp32 storage; quantized stores re-encode, see AddPrebuiltIndex).
+    shards_[0]->store = MakeVectorStore(storage_, std::move(data));
   } else {
     // Partition by id: global row g lands in shard g % S at local row
     // g / S, so the per-shard ids stay dense and globally recoverable.
+    std::vector<std::unique_ptr<FloatMatrix>> parts;
+    parts.reserve(num_shards);
     for (size_t s = 0; s < num_shards; ++s) {
-      shards_[s]->data = std::make_unique<FloatMatrix>(0, dim_);
+      parts.push_back(std::make_unique<FloatMatrix>(0, dim_));
     }
     const FloatMatrix& src = *data;
     for (size_t g = 0; g < src.rows(); ++g) {
-      shards_[g % num_shards]->data->AppendRow(src.row(g), src.cols());
+      parts[g % num_shards]->AppendRow(src.row(g), src.cols());
     }
     // Replay the tombstones in erasure order so each shard's LIFO
     // free-list recycles in the same relative order the source would.
     for (const uint32_t g : src.free_slots()) {
-      Status erased =
-          shards_[g % num_shards]->data->EraseRow(LocalOfId(g));
+      Status erased = parts[g % num_shards]->EraseRow(LocalOfId(g));
       assert(erased.ok());
       (void)erased;
     }
+    for (size_t s = 0; s < num_shards; ++s) {
+      shards_[s]->store = MakeVectorStore(storage_, std::move(parts[s]));
+    }
   }
   for (auto& shard : shards_) {
+    shard->data = &shard->store->matrix();
     shard->approx_rows.store(shard->data->rows(), std::memory_order_relaxed);
     shard->approx_free.store(shard->data->free_slots().size(),
                              std::memory_order_relaxed);
@@ -83,7 +99,8 @@ Result<std::unique_ptr<Collection>> Collection::FromSpec(
     exec::TaskExecutor* executor) {
   static const char* kGrammar =
       "collection spec grammar: \"collection[,shards=N][,rebuild=inline|"
-      "background]: INDEX_SPEC (; INDEX_SPEC)*\", e.g. \"collection,shards=4:"
+      "background][,storage=fp32|sq8][,rerank=N]: INDEX_SPEC (; "
+      "INDEX_SPEC)*\", e.g. \"collection,shards=4,storage=sq8:"
       " DB-LSH,c=1.5; PM-LSH,rebuild_threshold=500\"";
   const size_t colon = spec.find(':');
   if (colon == std::string::npos) {
@@ -100,9 +117,12 @@ Result<std::unique_ptr<Collection>> Collection::FromSpec(
   CollectionOptions options;
   options.executor = executor;
   std::string rebuild_mode;
+  std::string storage_name;
   SpecReader reader(prefix.value());
   reader.Key("shards", &options.shards);
   reader.Key("rebuild", &rebuild_mode);
+  reader.Key("storage", &storage_name);
+  reader.Key("rerank", &options.rerank);
   DBLSH_RETURN_IF_ERROR(reader.Finish());
   if (options.shards == 0) {
     return Status::InvalidArgument(
@@ -114,6 +134,15 @@ Result<std::unique_ptr<Collection>> Collection::FromSpec(
     return Status::InvalidArgument(
         "collection key \"rebuild\" expects inline or background, got \"" +
         rebuild_mode + "\"");
+  }
+  if (!storage_name.empty()) {
+    auto kind = ParseStorageKind(storage_name);
+    if (!kind.ok()) return kind.status();
+    options.storage = kind.value();
+  }
+  if (options.rerank == 0) {
+    return Status::InvalidArgument(
+        "collection key \"rerank\" must be >= 1; " + std::string(kGrammar));
   }
   auto collection =
       std::make_unique<Collection>(std::move(data), options);
@@ -193,11 +222,14 @@ Status Collection::AddIndex(const std::string& index_spec) {
   }
 
   // First builds of the non-empty shards run in parallel on the executor
-  // (the build bodies take no locks; the caller holds them all).
+  // (the build bodies take no locks; the caller holds them all). Under
+  // quantized storage each shard materializes a decoded fp32 view for the
+  // duration of its build — builds read matrix().row(), stores keep codes.
   std::vector<Status> builds(num_shards, Status::OK());
   executor_->ParallelFor(num_shards, [&](size_t s) {
     if (shards_[s]->data->live_rows() > 0) {
-      builds[s] = instances[s]->Build(shards_[s]->data.get());
+      ScopedDecodeView view(shards_[s]->store.get());
+      builds[s] = instances[s]->Build(shards_[s]->data);
     }
   });
   for (const Status& status : builds) {
@@ -231,6 +263,13 @@ Status Collection::AddPrebuiltIndex(const std::string& name,
         "global id space, which only matches shard 0 of an unsharded "
         "collection");
   }
+  if (quantized_) {
+    return Status::InvalidArgument(
+        "AddPrebuiltIndex requires storage=fp32: a prebuilt index holds "
+        "state computed over the fp32 payload the quantized store has "
+        "released; load into an fp32 collection or AddIndex to rebuild "
+        "from codes");
+  }
   Shard& shard = *shards_[0];
   std::unique_lock lock(shard.mutex);
   for (const Slot& slot : shard.slots) {
@@ -252,6 +291,11 @@ Status Collection::AddPrebuiltIndex(const std::string& name,
 
 void Collection::MaybeRebuildLocked(size_t shard_index) {
   Shard& shard = *shards_[shard_index];
+  // Quantized storage: the first inline build of this pass materializes a
+  // decoded fp32 view, every later build in the pass reuses it, and the
+  // optional's destructor releases it on exit (no-op construction when no
+  // slot builds).
+  std::optional<ScopedDecodeView> view;
   for (size_t i = 0; i < shard.slots.size(); ++i) {
     Slot& slot = shard.slots[i];
     const bool lazy_first_build = !slot.built && shard.data->live_rows() > 0;
@@ -268,7 +312,8 @@ void Collection::MaybeRebuildLocked(size_t shard_index) {
       }
       continue;
     }
-    if (Status s = slot.index->Build(shard.data.get()); !s.ok()) {
+    if (quantized_ && !view.has_value()) view.emplace(shard.store.get());
+    if (Status s = slot.index->Build(shard.data); !s.ok()) {
       // A failed (re)build leaves the slot out of service but the
       // collection consistent: mark unbuilt so routing skips it, record
       // the error for Indexes(), and retry at the next mutation. The
@@ -310,13 +355,16 @@ void Collection::RunBackgroundRebuild(size_t shard_index, size_t slot_index) {
   Shard& shard = *shards_[shard_index];
   for (int attempt = 0; attempt < 3; ++attempt) {
     // 1. Snapshot the shard under the shared lock (readers keep serving,
-    //    the writer is not excluded for longer than a matrix copy).
+    //    the writer is not excluded for longer than a matrix copy). Under
+    //    quantized storage the snapshot is the store's decoded fp32
+    //    reconstruction (DecodedCopy); for fp32 it is the byte-identical
+    //    matrix copy this always was.
     FloatMatrix snapshot;
     uint64_t version = 0;
     std::string method_spec;
     {
       std::shared_lock lock(shard.mutex);
-      snapshot = *shard.data;
+      snapshot = shard.store->DecodedCopy();
       version = shard.version;
       method_spec = shard.slots[slot_index].method_spec;
     }
@@ -341,11 +389,14 @@ void Collection::RunBackgroundRebuild(size_t shard_index, size_t slot_index) {
     }
     if (shard.version != version) continue;  // mutated mid-build: retry
 
-    if (Status rebound = made.value()->RebindData(shard.data.get());
+    if (Status rebound = made.value()->RebindData(shard.data);
         !rebound.ok()) {
       // Index type without rebind support: fall back to the pre-refactor
-      // inline rebuild under the lock (correct, just blocking).
-      if (Status s = slot.index->Build(shard.data.get()); !s.ok()) {
+      // inline rebuild under the lock (correct, just blocking). Quantized
+      // stores need the decoded view for the duration of the build.
+      std::optional<ScopedDecodeView> view;
+      if (quantized_) view.emplace(shard.store.get());
+      if (Status s = slot.index->Build(shard.data); !s.ok()) {
         slot.built = false;
         slot.build_error = s.ToString();
       } else {
@@ -390,8 +441,12 @@ void Collection::CommitMutationLocked(size_t shard_index) {
   Shard& shard = *shards_[shard_index];
   for (Slot& slot : shard.slots) {
     // Updatable built slots absorbed the mutation structurally (the caller
-    // ran Insert/Erase on them); everyone else just got staler.
-    if (!(slot.built && slot.index->SupportsUpdates())) ++slot.staleness;
+    // ran Insert/Erase on them); everyone else just got staler. Under
+    // quantized storage every slot is static — in-place index maintenance
+    // reads fp32 rows the store has released — so all of them age.
+    if (quantized_ || !(slot.built && slot.index->SupportsUpdates())) {
+      ++slot.staleness;
+    }
   }
   MaybeRebuildLocked(shard_index);
   ++shard.version;
@@ -435,15 +490,19 @@ Result<uint32_t> Collection::Upsert(const float* vec, size_t len) {
   const size_t shard_index = PickInsertShard();
   Shard& shard = *shards_[shard_index];
   std::unique_lock lock(shard.mutex);
-  const uint32_t local = shard.data->InsertRow(vec, len);
-  for (Slot& slot : shard.slots) {
-    if (!slot.built || !slot.index->SupportsUpdates()) continue;
-    if (Status s = slot.index->Insert(local); !s.ok()) {
-      // Self-heal: a structural insert failure leaves that one index
-      // missing the id; forcing its staleness to the threshold makes
-      // CommitMutationLocked rebuild it over the live rows, restoring
-      // coherence without unwinding the committed dataset state.
-      slot.staleness = slot.rebuild_threshold;
+  const uint32_t local = shard.store->InsertRow(vec, len);
+  // In-place index maintenance is fp32-only (quantized slots are static and
+  // rebuild from the decode view when staleness hits the threshold).
+  if (!quantized_) {
+    for (Slot& slot : shard.slots) {
+      if (!slot.built || !slot.index->SupportsUpdates()) continue;
+      if (Status s = slot.index->Insert(local); !s.ok()) {
+        // Self-heal: a structural insert failure leaves that one index
+        // missing the id; forcing its staleness to the threshold makes
+        // CommitMutationLocked rebuild it over the live rows, restoring
+        // coherence without unwinding the committed dataset state.
+        slot.staleness = slot.rebuild_threshold;
+      }
     }
   }
   CommitMutationLocked(shard_index);
@@ -469,23 +528,27 @@ Result<uint32_t> Collection::Upsert(uint32_t id, const float* vec,
   // FloatMatrix's free-list is LIFO, so InsertRow hands the same id back —
   // and re-insert. All under one write transaction: no reader ever sees
   // the id missing.
-  DBLSH_RETURN_IF_ERROR(shard.data->EraseRow(local));
-  for (Slot& slot : shard.slots) {
-    if (!slot.built || !slot.index->SupportsUpdates()) continue;
-    if (Status s = slot.index->Erase(local); !s.ok()) {
-      slot.staleness = slot.rebuild_threshold;  // self-heal via rebuild
-      continue;
+  DBLSH_RETURN_IF_ERROR(shard.store->EraseRow(local));
+  if (!quantized_) {
+    for (Slot& slot : shard.slots) {
+      if (!slot.built || !slot.index->SupportsUpdates()) continue;
+      if (Status s = slot.index->Erase(local); !s.ok()) {
+        slot.staleness = slot.rebuild_threshold;  // self-heal via rebuild
+        continue;
+      }
+      // Erased cleanly: the matching Insert below restores the id.
     }
-    // Erased cleanly: the matching Insert below restores the id.
   }
-  const uint32_t recycled = shard.data->InsertRow(vec, len);
+  const uint32_t recycled = shard.store->InsertRow(vec, len);
   assert(recycled == local &&
          "LIFO free-list must hand the slot straight back");
-  for (Slot& slot : shard.slots) {
-    if (!slot.built || !slot.index->SupportsUpdates()) continue;
-    if (slot.staleness >= slot.rebuild_threshold) continue;  // rebuilding
-    if (Status s = slot.index->Insert(recycled); !s.ok()) {
-      slot.staleness = slot.rebuild_threshold;
+  if (!quantized_) {
+    for (Slot& slot : shard.slots) {
+      if (!slot.built || !slot.index->SupportsUpdates()) continue;
+      if (slot.staleness >= slot.rebuild_threshold) continue;  // rebuilding
+      if (Status s = slot.index->Insert(recycled); !s.ok()) {
+        slot.staleness = slot.rebuild_threshold;
+      }
     }
   }
   CommitMutationLocked(shard_index);
@@ -502,11 +565,13 @@ Status Collection::Delete(uint32_t id) {
                             " was never assigned");
   }
   DBLSH_RETURN_IF_ERROR(
-      shard.data->EraseRow(local));  // NotFound when already gone
-  for (Slot& slot : shard.slots) {
-    if (!slot.built || !slot.index->SupportsUpdates()) continue;
-    if (Status s = slot.index->Erase(local); !s.ok()) {
-      slot.staleness = slot.rebuild_threshold;  // self-heal via rebuild
+      shard.store->EraseRow(local));  // NotFound when already gone
+  if (!quantized_) {
+    for (Slot& slot : shard.slots) {
+      if (!slot.built || !slot.index->SupportsUpdates()) continue;
+      if (Status s = slot.index->Erase(local); !s.ok()) {
+        slot.staleness = slot.rebuild_threshold;  // self-heal via rebuild
+      }
     }
   }
   CommitMutationLocked(shard_index);
@@ -582,29 +647,57 @@ Result<QueryResponse> Collection::SearchShard(size_t shard_index,
   if (route < 0) return why;
   const Slot& slot = shard.slots[static_cast<size_t>(route)];
 
+  // Quantized storage: run the index at an inflated k, then re-rank that
+  // candidate list with the store's exact distance and keep the caller's
+  // k. Truncating to k per shard keeps the fan-out merge exact — the
+  // re-ranked list is this shard's true (store-exact) top-k.
+  const size_t effective_k = quantized_ ? request.k * rerank_ : request.k;
   auto serve = [&](const QueryRequest& effective) -> QueryResponse {
+    QueryResponse response;
     if (slot.index->SupportsConcurrentQueries()) {
-      return slot.index->Search(query, effective);
+      response = slot.index->Search(query, effective);
+    } else {
+      // Thread-compatible read path: readers of this slot serialize among
+      // themselves (writers are already excluded by the shared lock).
+      std::lock_guard slot_lock(*slot.query_mutex);
+      response = slot.index->Search(query, effective);
     }
-    // Thread-compatible read path: readers of this slot serialize among
-    // themselves (writers are already excluded by the shared lock).
-    std::lock_guard slot_lock(*slot.query_mutex);
-    return slot.index->Search(query, effective);
+    if (quantized_) RerankLocked(shard, query, request.k, &response);
+    return response;
   };
 
-  if (request.filter.empty()) return serve(request);
+  if (request.filter.empty() && effective_k == request.k) {
+    return serve(request);
+  }
   // The shard's index speaks local ids; rewrite the caller's global-id
-  // filter accordingly. Only the filter changes — keep the scalar
-  // overrides in sync with QueryRequest's field list.
+  // filter accordingly. Only the filter (and the quantized-storage k
+  // inflation) changes — keep the scalar overrides in sync with
+  // QueryRequest's field list.
   QueryRequest local;
-  local.k = request.k;
+  local.k = effective_k;
   local.candidate_budget = request.candidate_budget;
   local.r0 = request.r0;
-  const QueryFilter* global = &request.filter;  // outlives the fan-out
-  local.filter = QueryFilter::Of([this, global, shard_index](uint32_t lid) {
-    return global->Admits(GlobalId(shard_index, lid));
-  });
+  if (!request.filter.empty()) {
+    const QueryFilter* global = &request.filter;  // outlives the fan-out
+    local.filter = QueryFilter::Of([this, global, shard_index](uint32_t lid) {
+      return global->Admits(GlobalId(shard_index, lid));
+    });
+  }
   return serve(local);
+}
+
+void Collection::RerankLocked(const Shard& shard, const float* query,
+                              size_t k, QueryResponse* response) const {
+  // Exact pass over the (inflated) candidate list: rescore with the raw
+  // fp32 query against each row's stored codes — no query-quantization
+  // error — then keep the best k under the same (dist, id) order the
+  // TopKHeap uses, so ties resolve identically to an exact index.
+  for (Neighbor& neighbor : response->neighbors) {
+    neighbor.dist = std::sqrt(
+        shard.store->ExactL2Squared(query, neighbor.id));
+  }
+  std::sort(response->neighbors.begin(), response->neighbors.end());
+  if (response->neighbors.size() > k) response->neighbors.resize(k);
 }
 
 QueryResponse Collection::MergeShardResponses(
@@ -633,18 +726,25 @@ Result<QueryResponse> Collection::Search(const float* query,
                                          const std::string& index_name) const {
   const size_t num_shards = shards_.size();
   if (num_shards == 1) {
-    // Unsharded fast path: identical to the pre-shard Collection.
+    // Unsharded fast path: identical to the pre-shard Collection (plus the
+    // inflate-and-re-rank pass when storage is quantized).
     const Shard& shard = *shards_[0];
     std::shared_lock lock(shard.mutex);
     Status why = Status::OK();
     const int route = RouteLocked(shard, index_name, &why);
     if (route < 0) return why;
     const Slot& slot = shard.slots[static_cast<size_t>(route)];
+    QueryRequest effective = request;
+    if (quantized_) effective.k = request.k * rerank_;
+    QueryResponse response;
     if (slot.index->SupportsConcurrentQueries()) {
-      return slot.index->Search(query, request);
+      response = slot.index->Search(query, effective);
+    } else {
+      std::lock_guard slot_lock(*slot.query_mutex);
+      response = slot.index->Search(query, effective);
     }
-    std::lock_guard slot_lock(*slot.query_mutex);
-    return slot.index->Search(query, request);
+    if (quantized_) RerankLocked(shard, query, request.k, &response);
+    return response;
   }
 
   // Fan out one k-NN task per shard and merge.
@@ -690,11 +790,21 @@ Result<std::vector<QueryResponse>> Collection::SearchBatch(
     const int route = RouteLocked(shard, index_name, &why);
     if (route < 0) return why;
     const Slot& slot = shard.slots[static_cast<size_t>(route)];
-    if (slot.index->SupportsConcurrentQueries()) {
-      return slot.index->QueryBatch(queries, request, num_threads);
+    QueryRequest effective = request;
+    if (quantized_) effective.k = request.k * rerank_;
+    auto got = [&]() -> Result<std::vector<QueryResponse>> {
+      if (slot.index->SupportsConcurrentQueries()) {
+        return slot.index->QueryBatch(queries, effective, num_threads);
+      }
+      std::lock_guard slot_lock(*slot.query_mutex);
+      return slot.index->QueryBatch(queries, effective, num_threads);
+    }();
+    if (!got.ok() || !quantized_) return got;
+    std::vector<QueryResponse> responses = std::move(got).value();
+    for (size_t q = 0; q < responses.size(); ++q) {
+      RerankLocked(shard, queries.row(q), request.k, &responses[q]);
     }
-    std::lock_guard slot_lock(*slot.query_mutex);
-    return slot.index->QueryBatch(queries, request, num_threads);
+    return responses;
   }
 
   const size_t q_count = queries.rows();
@@ -811,7 +921,9 @@ FloatMatrix Collection::Snapshot() const {
   const size_t num_shards = shards_.size();
   if (num_shards == 1) {
     std::shared_lock lock(shards_[0]->mutex);
-    return *shards_[0]->data;
+    // DecodedCopy: the byte-identical matrix copy for fp32, the store's
+    // fp32 reconstruction (same ids/tombstones) for quantized backends.
+    return shards_[0]->store->DecodedCopy();
   }
   // Consistent cut: shared locks over every shard while re-assembling the
   // global id space (mutations are single-shard, so this is the same
@@ -832,8 +944,9 @@ FloatMatrix Collection::Snapshot() const {
     const Shard& shard = *shards_[g % num_shards];
     const uint32_t local = LocalOfId(static_cast<uint32_t>(g));
     if (local < shard.data->rows()) {
-      std::copy(shard.data->row(local), shard.data->row(local) + dim_,
-                out.mutable_row(g));
+      // DecodeRow instead of a raw row copy: quantized stores hold codes,
+      // not fp32 payload (for fp32 this is the same copy as before).
+      shard.store->DecodeRow(local, out.mutable_row(g));
     }
   }
   for (size_t g = 0; g < rows; ++g) {
@@ -848,6 +961,25 @@ FloatMatrix Collection::Snapshot() const {
     }
   }
   return out;
+}
+
+CollectionStorageInfo Collection::Storage() const {
+  // Shared locks over every shard, ascending (consistent with Indexes()).
+  std::vector<std::shared_lock<WriterPriorityMutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+
+  CollectionStorageInfo info;
+  info.kind = StorageKindName(storage_);
+  info.bytes_per_vector = shards_[0]->store->bytes_per_vector();
+  info.rerank = quantized_ ? rerank_ : 0;
+  info.shard_resident_bytes.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const size_t bytes = shard->store->resident_bytes();
+    info.shard_resident_bytes.push_back(bytes);
+    info.resident_bytes += bytes;
+  }
+  return info;
 }
 
 }  // namespace dblsh

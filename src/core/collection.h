@@ -12,6 +12,7 @@
 #include "core/ann_index.h"
 #include "core/query.h"
 #include "dataset/float_matrix.h"
+#include "dataset/vector_store.h"
 #include "exec/task_executor.h"
 #include "util/status.h"
 
@@ -128,6 +129,36 @@ struct CollectionOptions {
   /// the mutation's write transaction — the pre-shard behavior, and the
   /// right choice when tests need deterministic rebuild timing.
   bool background_rebuild = false;
+
+  /// Storage backend for the per-shard row stores (spec key `storage=`).
+  /// kFp32 (default) keeps raw rows — bit-identical to the pre-store
+  /// collection. kSq8 scalar-quantizes rows to one byte per dimension
+  /// (~4x less memory and scan bandwidth; see dataset/vector_store.h):
+  /// verification scores candidates over u8 codes and every search
+  /// re-ranks an inflated candidate list through the store's exact
+  /// asymmetric distance (see `rerank`). Under kSq8 all index slots are
+  /// treated as static — in-place updates need fp32 rows — so updatable
+  /// methods fall back to staleness-triggered rebuilds.
+  StorageKind storage = StorageKind::kFp32;
+
+  /// Re-rank depth multiplier for quantized storage (spec key `rerank=N`,
+  /// >= 1): a k-NN search runs the underlying index at k * rerank, then
+  /// rescores those candidates with the store's exact fp32-query distance
+  /// and keeps the best k. Higher values recover more of the recall lost
+  /// to quantization at the cost of a deeper index pass. Ignored for
+  /// fp32 storage.
+  size_t rerank = 4;
+};
+
+/// Storage-backend report for a Collection (see Collection::Storage):
+/// what the `dblsh_tool collection stats` surface and the serving stats
+/// wire carry.
+struct CollectionStorageInfo {
+  std::string kind;             ///< "fp32" | "sq8"
+  size_t bytes_per_vector = 0;  ///< payload bytes per vector slot
+  size_t rerank = 0;            ///< re-rank multiplier (0 when fp32)
+  size_t resident_bytes = 0;    ///< store heap bytes, summed over shards
+  std::vector<size_t> shard_resident_bytes;  ///< per-shard store bytes
 };
 
 /// The serving façade: one mutable dataset plus any number of named ANN
@@ -215,8 +246,9 @@ class Collection {
   ///
   ///   "collection[,OPTION...]: INDEX_SPEC (';' INDEX_SPEC)*"
   ///
-  /// where each OPTION is a CollectionOptions key — `shards=N` (>= 1) and
-  /// `rebuild=inline|background` — and each INDEX_SPEC is an IndexFactory
+  /// where each OPTION is a CollectionOptions key — `shards=N` (>= 1),
+  /// `rebuild=inline|background`, `storage=fp32|sq8` and `rerank=N`
+  /// (>= 1) — and each INDEX_SPEC is an IndexFactory
   /// spec ("DB-LSH,c=1.5") that may additionally carry the slot-level keys
   /// `name=` (slot name; defaults to the method name) and
   /// `rebuild_threshold=N`. Takes ownership of `data` and adds every
@@ -334,7 +366,14 @@ class Collection {
   /// shared locks — a consistent basis for oracle checks and backups. On a
   /// sharded collection the per-shard matrices are re-assembled into the
   /// global id space; ids no shard has assigned yet come back tombstoned.
+  /// Under quantized storage the rows are the store's decoded
+  /// reconstruction (the fp32 originals are not retained).
   FloatMatrix Snapshot() const;
+
+  /// Storage-backend report: kind, payload bytes per vector, re-rank
+  /// depth, and resident store bytes per shard, taken under the shared
+  /// locks.
+  CollectionStorageInfo Storage() const;
 
  private:
   struct Slot {
@@ -358,7 +397,13 @@ class Collection {
   /// are guarded by `mutex`.
   struct Shard {
     mutable WriterPriorityMutex mutex;
-    std::unique_ptr<FloatMatrix> data;
+    /// Owns the shard's row bytes (fp32 or quantized per
+    /// CollectionOptions::storage) and the logical matrix behind `data`.
+    std::unique_ptr<VectorStore> store;
+    /// Cached &store->matrix(): the address-stable matrix every index of
+    /// this shard is built over. Mutations go through `store` (it keeps
+    /// the quantized payload in sync); shape/tombstone reads go here.
+    FloatMatrix* data = nullptr;
     std::vector<Slot> slots;
     /// Bumps on every committed mutation of this shard; background
     /// rebuilds compare it against their snapshot to validate the swap.
@@ -428,10 +473,20 @@ class Collection {
   QueryResponse MergeShardResponses(std::vector<QueryResponse> responses,
                                     size_t k) const;
 
+  /// Quantized-storage re-rank: rescores `response`'s neighbors (local
+  /// ids, quantized-scored at inflated k) with the shard store's exact
+  /// asymmetric distance and keeps the best `k`. Caller holds at least the
+  /// shard's shared lock.
+  void RerankLocked(const Shard& shard, const float* query, size_t k,
+                    QueryResponse* response) const;
+
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t dim_ = 0;
   exec::TaskExecutor* executor_;  ///< never null after construction
   bool background_rebuild_ = false;
+  StorageKind storage_ = StorageKind::kFp32;
+  bool quantized_ = false;  ///< storage_ != kFp32, hoisted for hot paths
+  size_t rerank_ = 4;       ///< CollectionOptions::rerank, >= 1
   std::atomic<uint64_t> epoch_{0};
 
   // Background-rebuild bookkeeping: count of scheduled-but-unfinished

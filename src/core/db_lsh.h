@@ -2,6 +2,7 @@
 #define DBLSH_CORE_DB_LSH_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "core/index_factory.h"
 #include "core/verify.h"
 #include "dataset/float_matrix.h"
+#include "dataset/vector_store.h"
 #include "kdtree/kd_tree.h"
 #include "lsh/projection.h"
 #include "rtree/rtree.h"
@@ -152,24 +154,61 @@ class DbLsh : public AnnIndex {
   size_t IndexEntries() const;
 
   /// Persists the built index (parameters, projection directions, projected
-  /// points, and the dataset's tombstone set) to `path`. The backing
-  /// dataset itself is NOT stored — pass the same data to Load(); a
-  /// checksum over its raw bytes is stored so a mismatched dataset is
-  /// rejected rather than silently served. Trees are rebuilt by bulk
-  /// loading on load, which is fast and keeps the file format simple and
-  /// portable. Appended rows round-trip naturally (they are ordinary rows
-  /// of the projected matrices by save time).
+  /// points, and the dataset's tombstone set) to `path` in format version
+  /// 3. The backing dataset itself is NOT stored — pass the same data to
+  /// Load(); a checksum over its raw bytes is stored so a mismatched
+  /// dataset is rejected rather than silently served. Trees are rebuilt by
+  /// bulk loading on load, which is fast and keeps the file format simple
+  /// and portable. Appended rows round-trip naturally (they are ordinary
+  /// rows of the projected matrices by save time).
+  ///
+  /// Storage backends: when the dataset is managed by a quantized
+  /// VectorStore (FloatMatrix::store(); the Collection's storage=sq8
+  /// case), the file records the backend tag, the per-dimension
+  /// quantization parameters, and a checksum over the u8 codes instead of
+  /// the (released) fp32 payload. Such files are restored through
+  /// LoadStore() + Load(path, VectorStore*).
   Status Save(const std::string& path) const;
 
-  /// Restores an index saved with Save(). `data` must hold the same bytes
-  /// as the dataset the index was saved over — row count, dimensionality
-  /// and content checksum are validated, returning InvalidArgument on any
-  /// mismatch — and must outlive the returned index. The pointer is
-  /// non-const because Load re-applies the saved tombstone set to `data`
-  /// (erased rows are not persisted by fvecs files).
+  /// Restores an index saved with Save() over plain fp32 data (format
+  /// version 2, or version 3 with the fp32 storage tag; sq8-tagged files
+  /// are rejected with InvalidArgument — use LoadStore + the VectorStore
+  /// overload). `data` must hold the same bytes as the dataset the index
+  /// was saved over — row count, dimensionality and content checksum are
+  /// validated, returning InvalidArgument on any mismatch — and must
+  /// outlive the returned index. The pointer is non-const because Load
+  /// re-applies the saved tombstone set to `data` (erased rows are not
+  /// persisted by fvecs files).
   static Result<DbLsh> Load(const std::string& path, FloatMatrix* data);
 
+  /// Reconstructs the VectorStore an index file was saved over from the
+  /// original fp32 dataset (as read from disk; tombstones are re-applied
+  /// by the subsequent Load). For an fp32-tagged (or version-2) file this
+  /// wraps `data` in an Fp32Store; for sq8 it re-encodes `data`'s rows
+  /// with the *saved* scale/offset (not re-training) so the codes — and
+  /// the stored code checksum — come out byte-identical. Consumes `data`
+  /// in all cases, including errors.
+  static Result<std::unique_ptr<VectorStore>> LoadStore(
+      const std::string& path, std::unique_ptr<FloatMatrix> data);
+
+  /// Restores an index saved with Save() against an existing store
+  /// (typically from LoadStore). The file's storage tag must match the
+  /// store's kind; for sq8 the saved quantization parameters and the code
+  /// checksum are validated against the store (InvalidArgument on any
+  /// mismatch). Saved tombstones are re-applied through the store. The
+  /// store must outlive the returned index.
+  static Result<DbLsh> Load(const std::string& path, VectorStore* store);
+
  private:
+  /// Shared tail of the Load() overloads: parameters, projections,
+  /// projected spaces, tombstone replay (through `store` when non-null so
+  /// quantized backends stay in sync, else through `data`) and tree
+  /// rebuild. `in` is positioned just past the storage-dependent prefix.
+  static Result<DbLsh> LoadIndexBody(std::ifstream& in,
+                                     const std::string& path, uint64_t n,
+                                     uint64_t dim, FloatMatrix* data,
+                                     VectorStore* store);
+
   /// Runs one round of L window queries at radius r, feeding candidates into
   /// `verifier` (which owns the heap, budget and certification bound) until
   /// the budget is exhausted or the k-th distance drops below c*r. Returns

@@ -1,21 +1,27 @@
-// Persistence for DbLsh. Format (host-endian, version 2):
-//   magic "DBLSHIDX" | u32 version
-//   u64 n | u64 dim | u64 data_checksum (FNV-1a over the raw float bytes)
+// Persistence for DbLsh. Format (host-endian, version 3):
+//   magic "DBLSHIDX" | u32 version | u8 storage tag (StorageKind)
+//   u64 n | u64 dim | u64 data_checksum (FNV-1a; see below)
+//   sq8 only: dim f32 scales | dim f32 offsets (the store's quantization
+//   parameters, so LoadStore can re-encode the original dataset exactly)
 //   f64 c | f64 w0 | u64 k | u64 l | u64 t | u64 seed | u8 bucketing
 //   u8 backend | f64 auto_r0 | f64 early_stop_slack
 //   directions matrix (u64 rows, u64 cols, floats)
 //   grid offsets (u64 count, floats)
 //   l projected matrices (u64 rows, u64 cols, floats each)
 //   tombstones: u64 count | u32 ids in erasure order (the free-list stack)
+// Version 2 files are identical minus the storage tag and quantization
+// parameters (implicitly fp32) and still load.
 // The R*-trees are rebuilt by STR bulk loading at load time: they are a
 // deterministic function of the projected matrices, bulk loading is fast
 // (the paper's own construction path), and the file stays portable.
 // The checksum pins the index to the exact dataset bytes it was saved
-// over: EraseRow leaves row bytes intact, so erase-only mutation histories
-// keep validating, while a wrong/reordered/edited dataset is rejected with
-// InvalidArgument instead of silently serving wrong neighbors. Tombstones
-// are re-applied to the caller's dataset on load, restoring the free-list
-// in its original order so InsertRow keeps recycling deterministically.
+// over: for fp32 storage it covers the raw float payload; for sq8 the
+// fp32 payload is released, so it covers the store's u8 codes instead —
+// both are stable across erase-only mutations (EraseRow touches neither).
+// A wrong/reordered/edited dataset is rejected with InvalidArgument
+// instead of silently serving wrong neighbors. Tombstones are re-applied
+// to the caller's dataset on load, restoring the free-list in its
+// original order so InsertRow keeps recycling deterministically.
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -27,19 +33,29 @@ namespace dblsh {
 namespace {
 
 constexpr char kMagic[8] = {'D', 'B', 'L', 'S', 'H', 'I', 'D', 'X'};
-constexpr uint32_t kVersion = 2;
+constexpr uint32_t kVersion = 3;
+constexpr uint32_t kVersionFp32Only = 2;  // pre-VectorStore format
 
-// FNV-1a over the matrix's raw float bytes: cheap, order-sensitive, and
-// stable across erase-only mutations (EraseRow never touches row bytes).
-uint64_t DataChecksum(const FloatMatrix& m) {
+// FNV-1a: cheap, order-sensitive, byte-exact.
+uint64_t Fnv1a(const unsigned char* bytes, size_t count) {
   uint64_t h = 1469598103934665603ULL;
-  const auto* bytes = reinterpret_cast<const unsigned char*>(m.data().data());
-  const size_t count = m.data().size() * sizeof(float);
   for (size_t i = 0; i < count; ++i) {
     h ^= bytes[i];
     h *= 1099511628211ULL;
   }
   return h;
+}
+
+// Checksum over the matrix's raw float payload (fp32 storage): stable
+// across erase-only mutations (EraseRow never touches row bytes).
+uint64_t DataChecksum(const FloatMatrix& m) {
+  return Fnv1a(reinterpret_cast<const unsigned char*>(m.data().data()),
+               m.data().size() * sizeof(float));
+}
+
+// Checksum over the store's u8 codes (sq8 storage, payload released).
+uint64_t CodesChecksum(const Sq8Store& store) {
+  return Fnv1a(store.codes().data(), store.codes().size());
 }
 
 template <typename T>
@@ -77,20 +93,91 @@ Result<FloatMatrix> ReadMatrix(std::ifstream& in, const std::string& what) {
   return FloatMatrix(rows, cols, std::move(values));
 }
 
+/// Everything up to (and including) the storage-dependent prefix: format
+/// version, storage tag, dataset shape, checksum, and — for sq8 — the
+/// saved quantization parameters.
+struct StorageHeader {
+  uint32_t version = 0;
+  StorageKind storage = StorageKind::kFp32;
+  uint64_t n = 0;
+  uint64_t dim = 0;
+  uint64_t checksum = 0;
+  std::vector<float> scale;   // sq8 only, dim entries
+  std::vector<float> offset;  // sq8 only, dim entries
+};
+
+Status ReadStorageHeader(std::ifstream& in, const std::string& path,
+                         StorageHeader* header) {
+  char magic[8];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption(path + ": not a DB-LSH index file");
+  }
+  if (!ReadPod(in, &header->version) ||
+      (header->version != kVersion && header->version != kVersionFp32Only)) {
+    return Status::Corruption(path + ": unsupported index version");
+  }
+  if (header->version >= kVersion) {
+    uint8_t tag = 0;
+    if (!ReadPod(in, &tag)) {
+      return Status::Corruption(path + ": truncated storage tag");
+    }
+    if (tag > static_cast<uint8_t>(StorageKind::kSq8)) {
+      return Status::Corruption(path + ": unknown storage backend tag");
+    }
+    header->storage = static_cast<StorageKind>(tag);
+  }
+  if (!ReadPod(in, &header->n) || !ReadPod(in, &header->dim) ||
+      !ReadPod(in, &header->checksum)) {
+    return Status::Corruption(path + ": truncated header");
+  }
+  if (header->storage == StorageKind::kSq8) {
+    if (header->dim == 0 || header->dim > (1ULL << 24)) {
+      return Status::Corruption(path + ": implausible dimensionality");
+    }
+    header->scale.resize(header->dim);
+    header->offset.resize(header->dim);
+    const std::streamsize bytes =
+        static_cast<std::streamsize>(header->dim * sizeof(float));
+    if (!in.read(reinterpret_cast<char*>(header->scale.data()), bytes) ||
+        !in.read(reinterpret_cast<char*>(header->offset.data()), bytes)) {
+      return Status::Corruption(path + ": truncated quantization parameters");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status DbLsh::Save(const std::string& path) const {
   if (data_ == nullptr) {
     return Status::InvalidArgument("Save() requires a built index");
   }
+  // Storage backend of the dataset: an Sq8Store bound to the matrix means
+  // the fp32 payload is released — checksum the codes and persist the
+  // quantization parameters so LoadStore can reconstruct the store.
+  const Sq8Store* sq8 = nullptr;
+  if (data_->store() != nullptr &&
+      data_->store()->storage_kind() == StorageKind::kSq8) {
+    sq8 = static_cast<const Sq8Store*>(data_->store());
+  }
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
 
   out.write(kMagic, sizeof(kMagic));
   WritePod(out, kVersion);
+  WritePod<uint8_t>(out, static_cast<uint8_t>(
+      sq8 != nullptr ? StorageKind::kSq8 : StorageKind::kFp32));
   WritePod<uint64_t>(out, data_->rows());
   WritePod<uint64_t>(out, data_->cols());
-  WritePod<uint64_t>(out, DataChecksum(*data_));
+  WritePod<uint64_t>(out, sq8 != nullptr ? CodesChecksum(*sq8)
+                                         : DataChecksum(*data_));
+  if (sq8 != nullptr) {
+    const std::streamsize bytes =
+        static_cast<std::streamsize>(data_->cols() * sizeof(float));
+    out.write(reinterpret_cast<const char*>(sq8->scales().data()), bytes);
+    out.write(reinterpret_cast<const char*>(sq8->offsets().data()), bytes);
+  }
   WritePod<double>(out, params_.c);
   WritePod<double>(out, params_.w0);
   WritePod<uint64_t>(out, params_.k);
@@ -116,39 +203,10 @@ Status DbLsh::Save(const std::string& path) const {
   return Status::OK();
 }
 
-Result<DbLsh> DbLsh::Load(const std::string& path, FloatMatrix* data) {
-  if (data == nullptr || data->rows() == 0) {
-    return Status::InvalidArgument("Load() requires the backing dataset");
-  }
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
-
-  char magic[8];
-  if (!in.read(magic, sizeof(magic)) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption(path + ": not a DB-LSH index file");
-  }
-  uint32_t version = 0;
-  if (!ReadPod(in, &version) || version != kVersion) {
-    return Status::Corruption(path + ": unsupported index version");
-  }
-  uint64_t n = 0, dim = 0, checksum = 0;
-  if (!ReadPod(in, &n) || !ReadPod(in, &dim) || !ReadPod(in, &checksum)) {
-    return Status::Corruption(path + ": truncated header");
-  }
-  if (n != data->rows() || dim != data->cols()) {
-    return Status::InvalidArgument(
-        path + ": index was built over a different dataset (" +
-        std::to_string(n) + "x" + std::to_string(dim) + " vs " +
-        std::to_string(data->rows()) + "x" + std::to_string(data->cols()) +
-        ")");
-  }
-  if (checksum != DataChecksum(*data)) {
-    return Status::InvalidArgument(
-        path + ": dataset content checksum mismatch — the provided data is "
-               "not the dataset this index was saved over");
-  }
-
+Result<DbLsh> DbLsh::LoadIndexBody(std::ifstream& in,
+                                   const std::string& path, uint64_t n,
+                                   uint64_t dim, FloatMatrix* data,
+                                   VectorStore* store) {
   DbLshParams params;
   uint64_t k = 0, l = 0, t = 0, seed = 0;
   uint8_t bucketing = 0, backend = 0;
@@ -220,7 +278,8 @@ Result<DbLsh> DbLsh::Load(const std::string& path, FloatMatrix* data) {
   for (uint32_t id : tombstones) {
     if (id >= n) return Status::Corruption(path + ": tombstone id range");
     if (!data->IsDeleted(id)) {
-      DBLSH_RETURN_IF_ERROR(data->EraseRow(id));
+      DBLSH_RETURN_IF_ERROR(store != nullptr ? store->EraseRow(id)
+                                             : data->EraseRow(id));
     }
   }
   if (params.backend == IndexBackend::kRStarTree) {
@@ -244,6 +303,117 @@ Result<DbLsh> DbLsh::Load(const std::string& path, FloatMatrix* data) {
     }
   }
   return index;
+}
+
+namespace {
+
+Status CheckShape(const std::string& path, const StorageHeader& header,
+                  const FloatMatrix& data) {
+  if (header.n != data.rows() || header.dim != data.cols()) {
+    return Status::InvalidArgument(
+        path + ": index was built over a different dataset (" +
+        std::to_string(header.n) + "x" + std::to_string(header.dim) +
+        " vs " + std::to_string(data.rows()) + "x" +
+        std::to_string(data.cols()) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DbLsh> DbLsh::Load(const std::string& path, FloatMatrix* data) {
+  if (data == nullptr || data->rows() == 0) {
+    return Status::InvalidArgument("Load() requires the backing dataset");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  StorageHeader header;
+  DBLSH_RETURN_IF_ERROR(ReadStorageHeader(in, path, &header));
+  if (header.storage != StorageKind::kFp32) {
+    return Status::InvalidArgument(
+        path + ": index was saved over " +
+        std::string(StorageKindName(header.storage)) +
+        " storage; restore its store with DbLsh::LoadStore and use the "
+        "Load(path, VectorStore*) overload");
+  }
+  DBLSH_RETURN_IF_ERROR(CheckShape(path, header, *data));
+  if (header.checksum != DataChecksum(*data)) {
+    return Status::InvalidArgument(
+        path + ": dataset content checksum mismatch — the provided data is "
+               "not the dataset this index was saved over");
+  }
+  return LoadIndexBody(in, path, header.n, header.dim, data, nullptr);
+}
+
+Result<std::unique_ptr<VectorStore>> DbLsh::LoadStore(
+    const std::string& path, std::unique_ptr<FloatMatrix> data) {
+  if (data == nullptr || data->rows() == 0) {
+    return Status::InvalidArgument("LoadStore() requires the backing dataset");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  StorageHeader header;
+  DBLSH_RETURN_IF_ERROR(ReadStorageHeader(in, path, &header));
+  DBLSH_RETURN_IF_ERROR(CheckShape(path, header, *data));
+  if (header.storage == StorageKind::kFp32) {
+    if (header.checksum != DataChecksum(*data)) {
+      return Status::InvalidArgument(
+          path + ": dataset content checksum mismatch — the provided data "
+                 "is not the dataset this index was saved over");
+    }
+    return std::unique_ptr<VectorStore>(
+        std::make_unique<Fp32Store>(std::move(data)));
+  }
+  // sq8: re-encode with the *saved* parameters (not re-training, which
+  // would drift if the dataset was mutated after the store trained), then
+  // require the resulting codes to be byte-identical to the saved state.
+  auto store = std::make_unique<Sq8Store>(std::move(data), header.scale,
+                                          header.offset);
+  if (header.checksum != CodesChecksum(*store)) {
+    return Status::InvalidArgument(
+        path + ": quantized code checksum mismatch — the provided data is "
+               "not the dataset this index was saved over");
+  }
+  return std::unique_ptr<VectorStore>(std::move(store));
+}
+
+Result<DbLsh> DbLsh::Load(const std::string& path, VectorStore* store) {
+  if (store == nullptr || store->matrix().rows() == 0) {
+    return Status::InvalidArgument("Load() requires the backing store");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  StorageHeader header;
+  DBLSH_RETURN_IF_ERROR(ReadStorageHeader(in, path, &header));
+  if (header.storage != store->storage_kind()) {
+    return Status::InvalidArgument(
+        path + ": index was saved over " +
+        std::string(StorageKindName(header.storage)) +
+        " storage but the provided store is " + store->kind_name());
+  }
+  FloatMatrix& data = store->matrix();
+  DBLSH_RETURN_IF_ERROR(CheckShape(path, header, data));
+  if (header.storage == StorageKind::kSq8) {
+    const auto& sq8 = *static_cast<const Sq8Store*>(store);
+    if (header.scale != sq8.scales() || header.offset != sq8.offsets()) {
+      return Status::InvalidArgument(
+          path + ": quantization parameters do not match the provided "
+                 "store (different training data or a mutated store)");
+    }
+    if (header.checksum != CodesChecksum(sq8)) {
+      return Status::InvalidArgument(
+          path + ": quantized code checksum mismatch — the provided store "
+                 "does not hold the dataset this index was saved over");
+    }
+  } else if (header.checksum != DataChecksum(data)) {
+    return Status::InvalidArgument(
+        path + ": dataset content checksum mismatch — the provided data is "
+               "not the dataset this index was saved over");
+  }
+  return LoadIndexBody(in, path, header.n, header.dim, &data, store);
 }
 
 }  // namespace dblsh

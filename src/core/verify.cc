@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "dataset/vector_store.h"
 #include "simd/simd.h"
 
 namespace dblsh {
@@ -12,6 +14,12 @@ namespace {
 /// Plain thread_local pointer: install/lookup are a handful of instructions
 /// on the query hot path and need no synchronization.
 thread_local const QueryFilter* g_active_filter = nullptr;
+
+/// Per-thread scratch for the quantized path's prepared query (see
+/// VectorStore::PrepareQuery). Rebuilt on every VerifyCandidates call —
+/// a dim-length pass per call, ~3% of a typical verification — so the
+/// scratch never holds a stale query across calls.
+thread_local std::vector<float> g_prepared_query;
 
 }  // namespace
 
@@ -41,6 +49,17 @@ VerifyResult VerifyCandidates(const float* query, const FloatMatrix& data,
   const auto& kernels = simd::Active();
   const float* base = data.data().data();
   const size_t dim = data.cols();
+  // Quantized storage: when a quantized VectorStore manages this matrix's
+  // payload (the matrix is then a metadata shell), distances come from the
+  // store's prepared-query scoring instead of the raw fp32 kernels. Every
+  // other semantic below — tombstones, filters, budget, dist_bound, chunk
+  // boundaries, push order — is identical, which is how quantization
+  // reaches all 12 methods with zero per-method code. The fp32/unbound
+  // path is untouched (one pointer test per call).
+  const VectorStore* store = data.store();
+  const bool quantized = store != nullptr && store->quantized();
+  if (quantized) store->PrepareQuery(query, &g_prepared_query);
+  const float* prep = quantized ? g_prepared_query.data() : nullptr;
   // Tombstone filter: erased rows are dropped after the batch distance
   // computation, before the push — they consume neither budget nor
   // candidates_verified. The flag is hoisted so the static (no-mutation)
@@ -69,7 +88,11 @@ VerifyResult VerifyCandidates(const float* query, const FloatMatrix& data,
         keep[kept++] = id;
       }
       if (kept == 0) continue;
-      kernels.l2_squared_batch(query, base, dim, keep, kept, d2);
+      if (quantized) {
+        store->ScoreBatch(prep, 0, keep, kept, d2);
+      } else {
+        kernels.l2_squared_batch(query, base, dim, keep, kept, d2);
+      }
       for (size_t j = 0; j < kept; ++j) {
         heap->Push(std::sqrt(d2[j]), keep[j]);
         ++result.pushed;
@@ -83,7 +106,13 @@ VerifyResult VerifyCandidates(const float* query, const FloatMatrix& data,
       }
       continue;
     }
-    if (ids != nullptr) {
+    if (quantized) {
+      if (ids != nullptr) {
+        store->ScoreBatch(prep, 0, ids + off, m, d2);
+      } else {
+        store->ScoreBatch(prep, off, nullptr, m, d2);
+      }
+    } else if (ids != nullptr) {
       kernels.l2_squared_batch(query, base, dim, ids + off, m, d2);
     } else {
       // Contiguous rows: advance the base pointer instead of materializing

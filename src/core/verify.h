@@ -62,6 +62,14 @@ struct VerifyResult {
 /// with zero per-method code. Dropped live candidates are tallied in
 /// VerifyResult::filtered for coverage-based termination tests.
 ///
+/// Quantized storage: when `data` is managed by a quantized VectorStore
+/// (data.store()->quantized(); see dataset/vector_store.h), distances come
+/// from the store's prepared-query scoring over u8 codes instead of the
+/// raw fp32 kernels — same chunking, same tombstone/filter/budget/bound
+/// semantics, approximately-equal distances (callers re-rank the final
+/// top-k through the store's exact scorer; Collection does this
+/// automatically). The fp32 path is byte-for-byte the historical loop.
+///
 /// Thread-safety: safe to call concurrently for distinct (heap, stats)
 /// pairs over one immutable `data`; not safe concurrently with dataset
 /// mutations.

@@ -13,6 +13,8 @@
 
 namespace dblsh {
 
+class VectorStore;  // dataset/vector_store.h
+
 /// Row-major dense matrix of floats: `rows` points of dimensionality `cols`.
 /// This is the canonical in-memory representation of a dataset and of
 /// projected spaces. Copyable and movable; rows are contiguous so a row
@@ -43,6 +45,50 @@ class FloatMatrix {
     assert(data_.size() == rows_ * cols_);
   }
 
+  // Copies and moves never carry the store binding: a snapshot (background
+  // rebuilds, Collection::Snapshot, Prefix) is plain fp32 data again, and
+  // only the VectorStore that owns a matrix may bind itself to it.
+  FloatMatrix(const FloatMatrix& other)
+      : rows_(other.rows_),
+        cols_(other.cols_),
+        data_(other.data_),
+        deleted_(other.deleted_),
+        free_slots_(other.free_slots_),
+        deleted_count_(other.deleted_count_),
+        payload_released_(other.payload_released_) {}
+  FloatMatrix& operator=(const FloatMatrix& other) {
+    if (this == &other) return *this;
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_ = other.data_;
+    deleted_ = other.deleted_;
+    free_slots_ = other.free_slots_;
+    deleted_count_ = other.deleted_count_;
+    payload_released_ = other.payload_released_;
+    store_ = nullptr;
+    return *this;
+  }
+  FloatMatrix(FloatMatrix&& other) noexcept
+      : rows_(other.rows_),
+        cols_(other.cols_),
+        data_(std::move(other.data_)),
+        deleted_(std::move(other.deleted_)),
+        free_slots_(std::move(other.free_slots_)),
+        deleted_count_(other.deleted_count_),
+        payload_released_(other.payload_released_) {}
+  FloatMatrix& operator=(FloatMatrix&& other) noexcept {
+    if (this == &other) return *this;
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_ = std::move(other.data_);
+    deleted_ = std::move(other.deleted_);
+    free_slots_ = std::move(other.free_slots_);
+    deleted_count_ = other.deleted_count_;
+    payload_released_ = other.payload_released_;
+    store_ = nullptr;
+    return *this;
+  }
+
   /// Physical row count, including tombstoned slots.
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
@@ -58,11 +104,11 @@ class FloatMatrix {
   }
 
   const float* row(size_t i) const {
-    assert(i < rows_);
+    assert(i < rows_ && !payload_released_);
     return data_.data() + i * cols_;
   }
   float* mutable_row(size_t i) {
-    assert(i < rows_);
+    assert(i < rows_ && !payload_released_);
     return data_.data() + i * cols_;
   }
 
@@ -84,7 +130,7 @@ class FloatMatrix {
   void AppendRow(const float* values, size_t len) {
     if (rows_ == 0 && cols_ == 0) cols_ = len;
     assert(len == cols_);
-    data_.insert(data_.end(), values, values + len);
+    if (!payload_released_) data_.insert(data_.end(), values, values + len);
     ++rows_;
     if (!deleted_.empty()) deleted_.push_back(0);
   }
@@ -99,7 +145,9 @@ class FloatMatrix {
       const uint32_t id = free_slots_.back();
       free_slots_.pop_back();
       assert(len == cols_ && deleted_[id] != 0);
-      std::copy(values, values + len, mutable_row(id));
+      if (!payload_released_) {
+        std::copy(values, values + len, data_.data() + id * cols_);
+      }
       deleted_[id] = 0;
       --deleted_count_;
       return id;
@@ -134,10 +182,41 @@ class FloatMatrix {
   /// tombstone set exactly (see DbLsh::Save).
   const std::vector<uint32_t>& free_slots() const { return free_slots_; }
 
+  /// The VectorStore managing this matrix's payload, or nullptr for a plain
+  /// fp32 matrix (see dataset/vector_store.h). The shared verification path
+  /// consults this to score candidates through the store's quantized
+  /// representation. Bound by the owning store itself — copies and moves of
+  /// the matrix never carry the binding.
+  const VectorStore* store() const { return store_; }
+  /// Installs `store` as this matrix's payload manager (store-internal;
+  /// only the VectorStore that owns this matrix may bind itself).
+  void BindStore(const VectorStore* store) { store_ = store; }
+
+  /// True while the fp32 payload is dropped: a quantized store keeps the
+  /// bytes elsewhere and this matrix is a metadata shell (ids, tombstones,
+  /// free-list stay live; row()/at()/data() must not be read). Inserts and
+  /// appends still maintain the metadata, skipping the payload copy.
+  bool payload_released() const { return payload_released_; }
+  /// Drops the fp32 payload (quantized-store shell). The logical shape is
+  /// unchanged; only the bytes go away.
+  void ReleasePayload() {
+    data_.clear();
+    data_.shrink_to_fit();
+    payload_released_ = true;
+  }
+  /// Restores a payload previously released — the decode view quantized
+  /// stores materialize so index builds can read fp32 rows. `values` must
+  /// cover every current row.
+  void SetPayload(std::vector<float> values) {
+    assert(values.size() == rows_ * cols_);
+    data_ = std::move(values);
+    payload_released_ = false;
+  }
+
   /// Returns a copy containing only the first `n` rows (used by the vary-n
   /// experiment sweeps). Tombstone state carries over for the kept rows.
   FloatMatrix Prefix(size_t n) const {
-    assert(n <= rows_);
+    assert(n <= rows_ && !payload_released_);
     FloatMatrix out(
         n, cols_,
         std::vector<float>(data_.begin(),
@@ -162,6 +241,9 @@ class FloatMatrix {
   std::vector<uint8_t> deleted_;
   std::vector<uint32_t> free_slots_;
   size_t deleted_count_ = 0;
+  // Storage-layer state (see store() / payload_released() above).
+  const VectorStore* store_ = nullptr;
+  bool payload_released_ = false;
 };
 
 }  // namespace dblsh

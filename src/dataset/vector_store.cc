@@ -1,0 +1,284 @@
+#include "dataset/vector_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "simd/simd.h"
+
+namespace dblsh {
+namespace {
+
+/// Tombstone bookkeeping bytes a matrix carries (approximate: the lazy
+/// deleted_ bitmap is one byte per row once any tombstone exists, the
+/// free-list four bytes per entry). Shared by both backends' stats.
+size_t MatrixBookkeepingBytes(const FloatMatrix& m) {
+  return (m.has_tombstones() ? m.rows() * sizeof(uint8_t) : 0) +
+         m.free_slots().size() * sizeof(uint32_t);
+}
+
+}  // namespace
+
+const char* StorageKindName(StorageKind kind) {
+  switch (kind) {
+    case StorageKind::kFp32:
+      return "fp32";
+    case StorageKind::kSq8:
+      return "sq8";
+  }
+  return "unknown";
+}
+
+Result<StorageKind> ParseStorageKind(const std::string& name) {
+  if (name == "fp32") return StorageKind::kFp32;
+  if (name == "sq8") return StorageKind::kSq8;
+  return Status::InvalidArgument(
+      "storage backend \"" + name + "\" is not recognized (expected fp32 "
+      "or sq8)");
+}
+
+VectorStore::VectorStore(std::unique_ptr<FloatMatrix> matrix)
+    : matrix_(std::move(matrix)) {
+  assert(matrix_ != nullptr);
+  matrix_->BindStore(this);
+}
+
+VectorStore::~VectorStore() {
+  // Unbind defensively: the matrix is destroyed with us, but a caller that
+  // moved it out beforehand must not keep a dangling store pointer.
+  if (matrix_ != nullptr) matrix_->BindStore(nullptr);
+}
+
+// ---------------------------------------------------------------- fp32 ----
+
+Fp32Store::Fp32Store(std::unique_ptr<FloatMatrix> data)
+    : VectorStore(std::move(data)) {}
+
+size_t Fp32Store::bytes_per_vector() const {
+  return matrix_->cols() * sizeof(float);
+}
+
+size_t Fp32Store::resident_bytes() const {
+  return matrix_->data().capacity() * sizeof(float) +
+         MatrixBookkeepingBytes(*matrix_);
+}
+
+uint32_t Fp32Store::InsertRow(const float* values, size_t len) {
+  return matrix_->InsertRow(values, len);
+}
+
+Status Fp32Store::EraseRow(size_t id) { return matrix_->EraseRow(id); }
+
+void Fp32Store::DecodeRow(uint32_t id, float* out) const {
+  const float* row = matrix_->row(id);
+  std::copy(row, row + matrix_->cols(), out);
+}
+
+float Fp32Store::ExactL2Squared(const float* query, uint32_t id) const {
+  return simd::Active().l2_squared(query, matrix_->row(id), matrix_->cols());
+}
+
+void Fp32Store::PrepareQuery(const float* query,
+                             std::vector<float>* prep) const {
+  prep->assign(query, query + matrix_->cols());
+}
+
+void Fp32Store::ScoreBatch(const float* prep, size_t start,
+                           const uint32_t* ids, size_t n, float* out) const {
+  const size_t dim = matrix_->cols();
+  const float* base = matrix_->data().data();
+  if (ids != nullptr) {
+    simd::Active().l2_squared_batch(prep, base, dim, ids, n, out);
+  } else {
+    simd::Active().l2_squared_batch(prep, base + start * dim, dim, nullptr,
+                                    n, out);
+  }
+}
+
+FloatMatrix Fp32Store::DecodedCopy() const {
+  return *matrix_;  // the copy drops the store binding by construction
+}
+
+// ----------------------------------------------------------------- sq8 ----
+
+Sq8Store::Sq8Store(std::unique_ptr<FloatMatrix> seed)
+    : VectorStore(std::move(seed)) {
+  const size_t dim = matrix_->cols();
+  scale_.assign(dim, 1.0f);
+  offset_.assign(dim, 0.0f);
+  if (matrix_->rows() > 0) {
+    Train(*matrix_);
+    codes_.resize(matrix_->rows() * dim);
+    for (size_t r = 0; r < matrix_->rows(); ++r) {
+      EncodeRow(matrix_->row(r), static_cast<uint32_t>(r));
+    }
+  }
+  matrix_->ReleasePayload();
+}
+
+Sq8Store::Sq8Store(std::unique_ptr<FloatMatrix> data,
+                   std::vector<float> scale, std::vector<float> offset)
+    : VectorStore(std::move(data)),
+      scale_(std::move(scale)),
+      offset_(std::move(offset)) {
+  const size_t dim = matrix_->cols();
+  assert(scale_.size() == dim && offset_.size() == dim);
+  trained_ = true;
+  codes_.resize(matrix_->rows() * dim);
+  for (size_t r = 0; r < matrix_->rows(); ++r) {
+    EncodeRow(matrix_->row(r), static_cast<uint32_t>(r));
+  }
+  matrix_->ReleasePayload();
+}
+
+void Sq8Store::Train(const FloatMatrix& m) {
+  const size_t dim = m.cols();
+  std::vector<float> lo(dim, std::numeric_limits<float>::max());
+  std::vector<float> hi(dim, std::numeric_limits<float>::lowest());
+  // Min/max over every physical row — tombstoned slots included, so the
+  // parameters do not depend on erasure timing.
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.row(r);
+    for (size_t d = 0; d < dim; ++d) {
+      lo[d] = std::min(lo[d], row[d]);
+      hi[d] = std::max(hi[d], row[d]);
+    }
+  }
+  for (size_t d = 0; d < dim; ++d) {
+    offset_[d] = lo[d];
+    const float range = hi[d] - lo[d];
+    scale_[d] = range > 0.0f ? range / 255.0f : 1.0f;
+  }
+  trained_ = true;
+}
+
+void Sq8Store::EncodeRow(const float* values, uint32_t id) {
+  const size_t dim = matrix_->cols();
+  uint8_t* out = codes_.data() + static_cast<size_t>(id) * dim;
+  for (size_t d = 0; d < dim; ++d) {
+    const float level = (values[d] - offset_[d]) / scale_[d];
+    const float clamped = std::min(255.0f, std::max(0.0f, level));
+    out[d] = static_cast<uint8_t>(std::lround(clamped));
+  }
+}
+
+size_t Sq8Store::bytes_per_vector() const { return matrix_->cols(); }
+
+size_t Sq8Store::resident_bytes() const {
+  return codes_.capacity() * sizeof(uint8_t) +
+         (scale_.capacity() + offset_.capacity()) * sizeof(float) +
+         matrix_->data().capacity() * sizeof(float) +  // 0 unless view held
+         MatrixBookkeepingBytes(*matrix_);
+}
+
+uint32_t Sq8Store::InsertRow(const float* values, size_t len) {
+  const size_t dim = matrix_->cols() > 0 ? matrix_->cols() : len;
+  if (!trained_) {
+    // Empty-seeded store: degenerate single-point training on the first
+    // vector (scale 1.0, offset at the vector) — documented limitation.
+    scale_.assign(dim, 1.0f);
+    offset_.assign(values, values + len);
+    trained_ = true;
+  }
+  const uint32_t id = matrix_->InsertRow(values, len);
+  const size_t needed = (static_cast<size_t>(id) + 1) * dim;
+  if (codes_.size() < needed) codes_.resize(needed);
+  EncodeRow(values, id);
+  return id;
+}
+
+Status Sq8Store::EraseRow(size_t id) {
+  // Codes stay in place, exactly like the fp32 bytes under a tombstone —
+  // the verification path filters the id out, and InsertRow re-encodes
+  // over the slot on recycle.
+  return matrix_->EraseRow(id);
+}
+
+void Sq8Store::DecodeRow(uint32_t id, float* out) const {
+  const size_t dim = matrix_->cols();
+  const uint8_t* code = codes_.data() + static_cast<size_t>(id) * dim;
+  for (size_t d = 0; d < dim; ++d) {
+    out[d] = offset_[d] + scale_[d] * static_cast<float>(code[d]);
+  }
+}
+
+float Sq8Store::ExactL2Squared(const float* query, uint32_t id) const {
+  const size_t dim = matrix_->cols();
+  return simd::Active().sq8_l2_asym(
+      query, offset_.data(), scale_.data(),
+      codes_.data() + static_cast<size_t>(id) * dim, dim);
+}
+
+void Sq8Store::PrepareQuery(const float* query,
+                            std::vector<float>* prep) const {
+  // Quantize the query into code space and premultiply by the scales:
+  // prep[d] = scale[d] * round(clamp((q[d] - offset[d]) / scale[d])).
+  // ScoreBatch then computes sum (prep - scale*code)^2 =
+  // sum scale^2 (q_code - code)^2 — the offsets cancel, and the row side
+  // needs only the u8 codes.
+  const size_t dim = matrix_->cols();
+  prep->resize(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    const float level = (query[d] - offset_[d]) / scale_[d];
+    const float clamped = std::min(255.0f, std::max(0.0f, level));
+    (*prep)[d] =
+        scale_[d] * static_cast<float>(std::lround(clamped));
+  }
+}
+
+void Sq8Store::ScoreBatch(const float* prep, size_t start,
+                          const uint32_t* ids, size_t n, float* out) const {
+  const size_t dim = matrix_->cols();
+  if (ids != nullptr) {
+    simd::Active().sq8_score_batch(prep, scale_.data(), codes_.data(), dim,
+                                   ids, n, out);
+  } else {
+    simd::Active().sq8_score_batch(prep, scale_.data(),
+                                   codes_.data() + start * dim, dim, nullptr,
+                                   n, out);
+  }
+}
+
+void Sq8Store::MaterializeDecodeView() {
+  const size_t dim = matrix_->cols();
+  std::vector<float> decoded(matrix_->rows() * dim);
+  for (size_t r = 0; r < matrix_->rows(); ++r) {
+    DecodeRow(static_cast<uint32_t>(r), decoded.data() + r * dim);
+  }
+  matrix_->SetPayload(std::move(decoded));
+}
+
+void Sq8Store::ReleaseDecodeView() { matrix_->ReleasePayload(); }
+
+FloatMatrix Sq8Store::DecodedCopy() const {
+  const size_t dim = matrix_->cols();
+  std::vector<float> decoded(matrix_->rows() * dim);
+  for (size_t r = 0; r < matrix_->rows(); ++r) {
+    DecodeRow(static_cast<uint32_t>(r), decoded.data() + r * dim);
+  }
+  FloatMatrix out(matrix_->rows(), dim, std::move(decoded));
+  // Replay tombstones in erasure order so the copy's LIFO free-list
+  // recycles exactly like the live store would.
+  for (const uint32_t slot : matrix_->free_slots()) {
+    Status erased = out.EraseRow(slot);
+    assert(erased.ok());
+    (void)erased;
+  }
+  return out;
+}
+
+std::unique_ptr<VectorStore> MakeVectorStore(
+    StorageKind kind, std::unique_ptr<FloatMatrix> data) {
+  switch (kind) {
+    case StorageKind::kSq8:
+      return std::make_unique<Sq8Store>(std::move(data));
+    case StorageKind::kFp32:
+      break;
+  }
+  return std::make_unique<Fp32Store>(std::move(data));
+}
+
+}  // namespace dblsh

@@ -284,7 +284,9 @@ Result<RemoteStats> Client::Stats() {
   for (uint32_t i = 0; i < num_collections; ++i) {
     RemoteCollectionStats& c = stats.collections[i];
     if (!r.GetString(&c.name) || !r.GetU64(&c.live_vectors) ||
-        !r.GetU64(&c.epoch) || !r.GetU32(&c.shards)) {
+        !r.GetU64(&c.epoch) || !r.GetU32(&c.shards) ||
+        !r.GetString(&c.storage) || !r.GetU64(&c.bytes_per_vector) ||
+        !r.GetU64(&c.resident_bytes) || !r.GetU32(&c.rerank)) {
       return ProtocolError("malformed Stats response body");
     }
   }

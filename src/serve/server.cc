@@ -519,10 +519,15 @@ void Server::HandleStats(const std::shared_ptr<Connection>& conn,
   std::vector<uint8_t> body = StatusPayload(WireStatus::kOk, "");
   wire::PutU32(&body, static_cast<uint32_t>(collections_.size()));
   for (const auto& [name, collection] : collections_) {
+    const CollectionStorageInfo storage = collection->Storage();
     wire::PutString(&body, name);
     wire::PutU64(&body, collection->size());
     wire::PutU64(&body, collection->epoch());
     wire::PutU32(&body, static_cast<uint32_t>(collection->shards()));
+    wire::PutString(&body, storage.kind);
+    wire::PutU64(&body, storage.bytes_per_vector);
+    wire::PutU64(&body, storage.resident_bytes);
+    wire::PutU32(&body, static_cast<uint32_t>(storage.rerank));
   }
   wire::PutU64(&body, s.connections_accepted);
   wire::PutU64(&body, s.connections_rejected);

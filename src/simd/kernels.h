@@ -35,6 +35,32 @@ void L2SquaredBatchImpl(const float* query, const float* base, size_t dim,
   }
 }
 
+/// SQ8 sibling of L2SquaredBatchImpl: one-to-many over u8 code rows (row r
+/// starts at `codes + r * dim`, one byte per dimension), scored against a
+/// prepared query (see ScalarSq8Score for the math). Same prefetch policy;
+/// a code row is dim bytes — a quarter of the fp32 footprint, which is the
+/// whole point — so the lookahead covers proportionally more rows per
+/// cache line. `ids == nullptr` means rows 0..n-1.
+template <float (*KernelFn)(const float*, const float*, const uint8_t*,
+                            size_t)>
+void Sq8ScoreBatchImpl(const float* prep, const float* scale,
+                       const uint8_t* codes, size_t dim, const uint32_t* ids,
+                       size_t n, float* out) {
+  constexpr size_t kAhead = 4;          // rows of prefetch distance
+  constexpr size_t kMaxPrefetch = 512;  // bytes per row worth fetching ahead
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kAhead < n) {
+      const size_t next = ids ? ids[i + kAhead] : i + kAhead;
+      const char* p = reinterpret_cast<const char*>(codes + next * dim);
+      for (size_t off = 0; off < dim && off < kMaxPrefetch; off += 64) {
+        __builtin_prefetch(p + off, 0, 3);
+      }
+    }
+    const size_t row = ids ? ids[i] : i;
+    out[i] = KernelFn(prep, scale, codes + row * dim, dim);
+  }
+}
+
 // Per-ISA raw entry points. Contracts are uniform — no alignment
 // requirement, any dim (tail handled scalar), results match the scalar
 // tier to float rounding — so they are documented once here rather than
@@ -48,6 +74,16 @@ float DotAvx2(const float* a, const float* b, size_t dim);
 /// One-to-many ||query - row||^2 (see L2SquaredBatchImpl for semantics).
 void L2SquaredBatchAvx2(const float* query, const float* base, size_t dim,
                         const uint32_t* ids, size_t n, float* out);
+/// SQ8 prepared-query vs u8-row score (see ScalarSq8Score), 8 lanes.
+float Sq8ScoreAvx2(const float* prep, const float* scale,
+                   const uint8_t* code, size_t dim);
+/// SQ8 exact re-rank distance (see ScalarSq8L2Asym), 8 lanes.
+float Sq8L2AsymAvx2(const float* query, const float* offset,
+                    const float* scale, const uint8_t* code, size_t dim);
+/// One-to-many SQ8 score (see Sq8ScoreBatchImpl for semantics).
+void Sq8ScoreBatchAvx2(const float* prep, const float* scale,
+                       const uint8_t* codes, size_t dim, const uint32_t* ids,
+                       size_t n, float* out);
 #endif
 
 #if defined(DBLSH_HAVE_AVX512)
@@ -58,6 +94,18 @@ float DotAvx512(const float* a, const float* b, size_t dim);
 /// One-to-many ||query - row||^2 (see L2SquaredBatchImpl for semantics).
 void L2SquaredBatchAvx512(const float* query, const float* base, size_t dim,
                           const uint32_t* ids, size_t n, float* out);
+/// SQ8 prepared-query vs u8-row score (see ScalarSq8Score), 16 lanes.
+/// The u8 tail is scalar: masked byte loads need AVX-512BW, which this
+/// binary does not require (only -mavx512f is compiled).
+float Sq8ScoreAvx512(const float* prep, const float* scale,
+                     const uint8_t* code, size_t dim);
+/// SQ8 exact re-rank distance (see ScalarSq8L2Asym), 16 lanes.
+float Sq8L2AsymAvx512(const float* query, const float* offset,
+                      const float* scale, const uint8_t* code, size_t dim);
+/// One-to-many SQ8 score (see Sq8ScoreBatchImpl for semantics).
+void Sq8ScoreBatchAvx512(const float* prep, const float* scale,
+                         const uint8_t* codes, size_t dim,
+                         const uint32_t* ids, size_t n, float* out);
 #endif
 
 }  // namespace internal

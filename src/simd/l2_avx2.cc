@@ -93,6 +93,89 @@ void L2SquaredBatchAvx2(const float* query, const float* base, size_t dim,
   L2SquaredBatchImpl<&L2SquaredAvx2>(query, base, dim, ids, n, out);
 }
 
+namespace {
+
+/// 8 code bytes widened to an 8-lane float register (u8 -> i32 -> f32;
+/// both conversions are exact for 0..255).
+inline __m256 Load8Codes(const uint8_t* code) {
+  const __m128i bytes =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(code));
+  return _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes));
+}
+
+}  // namespace
+
+float Sq8ScoreAvx2(const float* prep, const float* scale,
+                   const uint8_t* code, size_t dim) {
+  // Two accumulator chains (not four): each step already chains a widening
+  // load + fnmadd + fmadd, so the FMA ports stay fed at lower unroll.
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m256 d0 = _mm256_fnmadd_ps(_mm256_loadu_ps(scale + i),
+                                       Load8Codes(code + i),
+                                       _mm256_loadu_ps(prep + i));
+    const __m256 d1 = _mm256_fnmadd_ps(_mm256_loadu_ps(scale + i + 8),
+                                       Load8Codes(code + i + 8),
+                                       _mm256_loadu_ps(prep + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 d = _mm256_fnmadd_ps(_mm256_loadu_ps(scale + i),
+                                      Load8Codes(code + i),
+                                      _mm256_loadu_ps(prep + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+  }
+  float total = Sum8(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; ++i) {
+    const float d = prep[i] - scale[i] * static_cast<float>(code[i]);
+    total += d * d;
+  }
+  return total;
+}
+
+float Sq8L2AsymAvx2(const float* query, const float* offset,
+                    const float* scale, const uint8_t* code, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    // Decode offset + scale * code in-register, then difference to query.
+    const __m256 r0 = _mm256_fmadd_ps(_mm256_loadu_ps(scale + i),
+                                      Load8Codes(code + i),
+                                      _mm256_loadu_ps(offset + i));
+    const __m256 r1 = _mm256_fmadd_ps(_mm256_loadu_ps(scale + i + 8),
+                                      Load8Codes(code + i + 8),
+                                      _mm256_loadu_ps(offset + i + 8));
+    const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(query + i), r0);
+    const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(query + i + 8), r1);
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 r = _mm256_fmadd_ps(_mm256_loadu_ps(scale + i),
+                                     Load8Codes(code + i),
+                                     _mm256_loadu_ps(offset + i));
+    const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(query + i), r);
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+  }
+  float total = Sum8(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; ++i) {
+    const float d =
+        query[i] - (offset[i] + scale[i] * static_cast<float>(code[i]));
+    total += d * d;
+  }
+  return total;
+}
+
+void Sq8ScoreBatchAvx2(const float* prep, const float* scale,
+                       const uint8_t* codes, size_t dim, const uint32_t* ids,
+                       size_t n, float* out) {
+  Sq8ScoreBatchImpl<&Sq8ScoreAvx2>(prep, scale, codes, dim, ids, n, out);
+}
+
 }  // namespace internal
 }  // namespace simd
 }  // namespace dblsh

@@ -9,6 +9,7 @@
 // includes it, so it must not pull in simd.h or anything heavier.
 
 #include <cstddef>
+#include <cstdint>
 
 namespace dblsh {
 namespace simd {
@@ -48,6 +49,65 @@ inline float ScalarDot(const float* a, const float* b, size_t dim) {
   }
   for (; i < dim; ++i) {
     acc0 += a[i] * b[i];
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+/// SQ8 hot-path score between a prepared query and one u8 row:
+/// sum_d (prep[d] - scale[d] * code[d])^2. `prep` is the per-query
+/// precomputation scale[d] * quantize(query)[d] (see Sq8Store::PrepareQuery);
+/// with both sides expressed in code space the per-dimension offsets cancel,
+/// so the row side needs only one u8 load and one FMA-shaped multiply. Same
+/// unroll/summation structure as ScalarL2Squared: this is the reference the
+/// vector tiers are property-tested against.
+inline float ScalarSq8Score(const float* prep, const float* scale,
+                            const uint8_t* code, size_t dim) {
+  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const float d0 = prep[i] - scale[i] * static_cast<float>(code[i]);
+    const float d1 = prep[i + 1] - scale[i + 1] * static_cast<float>(code[i + 1]);
+    const float d2 = prep[i + 2] - scale[i + 2] * static_cast<float>(code[i + 2]);
+    const float d3 = prep[i + 3] - scale[i + 3] * static_cast<float>(code[i + 3]);
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  for (; i < dim; ++i) {
+    const float d = prep[i] - scale[i] * static_cast<float>(code[i]);
+    acc0 += d * d;
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+/// SQ8 exact re-rank distance between the raw fp32 query and one decoded
+/// u8 row: sum_d (query[d] - (offset[d] + scale[d] * code[d]))^2. Unlike
+/// ScalarSq8Score the query side is *not* quantized, so this removes the
+/// query-quantization error from the final ordering — the re-rank scorer.
+inline float ScalarSq8L2Asym(const float* query, const float* offset,
+                             const float* scale, const uint8_t* code,
+                             size_t dim) {
+  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const float d0 =
+        query[i] - (offset[i] + scale[i] * static_cast<float>(code[i]));
+    const float d1 = query[i + 1] -
+        (offset[i + 1] + scale[i + 1] * static_cast<float>(code[i + 1]));
+    const float d2 = query[i + 2] -
+        (offset[i + 2] + scale[i + 2] * static_cast<float>(code[i + 2]));
+    const float d3 = query[i + 3] -
+        (offset[i + 3] + scale[i + 3] * static_cast<float>(code[i + 3]));
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  for (; i < dim; ++i) {
+    const float d =
+        query[i] - (offset[i] + scale[i] * static_cast<float>(code[i]));
+    acc0 += d * d;
   }
   return (acc0 + acc1) + (acc2 + acc3);
 }

@@ -33,19 +33,42 @@ void L2SquaredBatchScalar(const float* query, const float* base, size_t dim,
                                                  out);
 }
 
+float Sq8ScoreScalarKernel(const float* prep, const float* scale,
+                           const uint8_t* code, size_t dim) {
+  return ScalarSq8Score(prep, scale, code, dim);
+}
+
+float Sq8L2AsymScalarKernel(const float* query, const float* offset,
+                            const float* scale, const uint8_t* code,
+                            size_t dim) {
+  return ScalarSq8L2Asym(query, offset, scale, code, dim);
+}
+
+void Sq8ScoreBatchScalar(const float* prep, const float* scale,
+                         const uint8_t* codes, size_t dim,
+                         const uint32_t* ids, size_t n, float* out) {
+  internal::Sq8ScoreBatchImpl<&Sq8ScoreScalarKernel>(prep, scale, codes, dim,
+                                                     ids, n, out);
+}
+
 constexpr DistanceKernels kScalarKernels = {
     &L2SquaredScalar, &DotScalar, &L2SquaredBatchScalar,
+    &Sq8ScoreScalarKernel, &Sq8ScoreBatchScalar, &Sq8L2AsymScalarKernel,
     KernelKind::kScalar, "scalar"};
 
 #if defined(DBLSH_HAVE_AVX2)
 constexpr DistanceKernels kAvx2Kernels = {
     &internal::L2SquaredAvx2, &internal::DotAvx2,
-    &internal::L2SquaredBatchAvx2, KernelKind::kAvx2, "avx2"};
+    &internal::L2SquaredBatchAvx2, &internal::Sq8ScoreAvx2,
+    &internal::Sq8ScoreBatchAvx2, &internal::Sq8L2AsymAvx2,
+    KernelKind::kAvx2, "avx2"};
 #endif
 #if defined(DBLSH_HAVE_AVX512)
 constexpr DistanceKernels kAvx512Kernels = {
     &internal::L2SquaredAvx512, &internal::DotAvx512,
-    &internal::L2SquaredBatchAvx512, KernelKind::kAvx512, "avx512"};
+    &internal::L2SquaredBatchAvx512, &internal::Sq8ScoreAvx512,
+    &internal::Sq8ScoreBatchAvx512, &internal::Sq8L2AsymAvx512,
+    KernelKind::kAvx512, "avx512"};
 #endif
 
 // ----------------------------------------------------------- dispatch ----

@@ -38,6 +38,29 @@ struct DistanceKernels {
   void (*l2_squared_batch)(const float* query, const float* base, size_t dim,
                            const uint32_t* ids, size_t n, float* out);
 
+  /// SQ8 hot-path score between a prepared query and one u8 code row:
+  /// sum_d (prep[d] - scale[d] * code[d])^2. `prep` is the per-query
+  /// precomputation scale[d] * quantized_query[d] (Sq8Store::PrepareQuery
+  /// builds it); expressing both sides in code space cancels the
+  /// per-dimension offsets, so scanning a row touches dim *bytes* instead
+  /// of dim floats — the 4x bandwidth saving quantized storage exists for.
+  float (*sq8_score)(const float* prep, const float* scale,
+                     const uint8_t* code, size_t dim);
+
+  /// One-to-many sq8_score: out[i] = score of row ids[i] (or row i when
+  /// `ids == nullptr`), where row r's codes start at `codes + r * dim`.
+  /// Software-prefetched like l2_squared_batch.
+  void (*sq8_score_batch)(const float* prep, const float* scale,
+                          const uint8_t* codes, size_t dim,
+                          const uint32_t* ids, size_t n, float* out);
+
+  /// SQ8 exact re-rank distance between the raw fp32 query and one u8 row
+  /// decoded on the fly: sum_d (query[d] - (offset[d] + scale[d] *
+  /// code[d]))^2. No query quantization error — the final top-k ordering
+  /// under quantized storage comes from this kernel.
+  float (*sq8_l2_asym)(const float* query, const float* offset,
+                       const float* scale, const uint8_t* code, size_t dim);
+
   KernelKind kind;
   const char* name;
 };

@@ -125,6 +125,119 @@ TEST_F(SimdKernelTest, BatchMatchesOneToOnePerTier) {
   }
 }
 
+double ReferenceSq8Score(const float* prep, const float* scale,
+                         const uint8_t* code, size_t dim) {
+  double acc = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    const double d = static_cast<double>(prep[i]) -
+                     static_cast<double>(scale[i]) * double(code[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+double ReferenceSq8L2Asym(const float* query, const float* offset,
+                          const float* scale, const uint8_t* code,
+                          size_t dim) {
+  double acc = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    const double d =
+        static_cast<double>(query[i]) -
+        (static_cast<double>(offset[i]) +
+         static_cast<double>(scale[i]) * double(code[i]));
+    acc += d * d;
+  }
+  return acc;
+}
+
+// The u8 asymmetric kernels across every runnable tier, odd dims (scalar
+// tails, masked/partial vector tails) and unaligned inputs, against
+// double-precision references.
+TEST_F(SimdKernelTest, Sq8TiersMatchDoubleReferenceAcrossDimsAndAlignment) {
+  const size_t dims[] = {1, 3, 7, 17, 31, 100, 960};
+  Rng rng(20260808);
+  for (const size_t dim : dims) {
+    std::vector<float> prep_buf(dim + 1), scale_buf(dim + 1),
+        offset_buf(dim + 1), query_buf(dim + 1);
+    std::vector<uint8_t> code_buf(dim + 1);
+    for (auto& v : prep_buf) v = static_cast<float>(rng.Gaussian());
+    for (auto& v : scale_buf) {
+      v = 0.01f + std::fabs(static_cast<float>(rng.Gaussian()));
+    }
+    for (auto& v : offset_buf) v = static_cast<float>(rng.Gaussian());
+    for (auto& v : query_buf) v = static_cast<float>(rng.Gaussian());
+    for (auto& v : code_buf) {
+      v = static_cast<uint8_t>(rng.UniformInt(256));
+    }
+    for (const size_t offset : {size_t{0}, size_t{1}}) {
+      const float* prep = prep_buf.data() + offset;
+      const float* scale = scale_buf.data() + offset;
+      const float* off = offset_buf.data() + offset;
+      const float* query = query_buf.data() + offset;
+      const uint8_t* code = code_buf.data() + offset;
+      const double ref_score = ReferenceSq8Score(prep, scale, code, dim);
+      const double ref_asym = ReferenceSq8L2Asym(query, off, scale, code, dim);
+      // Codes reach 255, so per-term magnitudes are O(scale * 255);
+      // scale the tolerance to the reference value.
+      const double tol = 1e-4 * std::max(1.0, static_cast<double>(dim));
+      for (const KernelKind kind : SupportedKinds()) {
+        SCOPED_TRACE(std::string(simd::KernelName(kind)) +
+                     " dim=" + std::to_string(dim) +
+                     " offset=" + std::to_string(offset));
+        ASSERT_TRUE(simd::ForceKernel(kind).ok());
+        const auto& kernels = simd::Active();
+        EXPECT_NEAR(kernels.sq8_score(prep, scale, code, dim), ref_score,
+                    tol * std::max(1.0, ref_score));
+        EXPECT_NEAR(kernels.sq8_l2_asym(query, off, scale, code, dim),
+                    ref_asym, tol * std::max(1.0, ref_asym));
+      }
+    }
+  }
+}
+
+// sq8_score_batch must agree bit-for-bit with n calls of the same tier's
+// sq8_score, for both the id-list and the contiguous (ids == nullptr)
+// forms.
+TEST_F(SimdKernelTest, Sq8BatchMatchesOneToOnePerTier) {
+  const size_t dims[] = {1, 3, 7, 17, 100, 960};
+  const size_t n = 57;  // not a multiple of any chunk size
+  Rng rng(4242);
+  for (const size_t dim : dims) {
+    std::vector<uint8_t> codes(n * dim);
+    std::vector<float> prep(dim), scale(dim);
+    for (auto& v : codes) v = static_cast<uint8_t>(rng.UniformInt(256));
+    for (auto& v : prep) v = static_cast<float>(rng.Gaussian());
+    for (auto& v : scale) {
+      v = 0.01f + std::fabs(static_cast<float>(rng.Gaussian()));
+    }
+    std::vector<uint32_t> ids(n);
+    for (size_t i = 0; i < n; ++i) {
+      ids[i] = static_cast<uint32_t>((i * 13) % n);  // shuffled, in-range
+    }
+    for (const KernelKind kind : SupportedKinds()) {
+      SCOPED_TRACE(std::string(simd::KernelName(kind)) +
+                   " dim=" + std::to_string(dim));
+      ASSERT_TRUE(simd::ForceKernel(kind).ok());
+      const auto& kernels = simd::Active();
+      std::vector<float> out(n, -1.f);
+      kernels.sq8_score_batch(prep.data(), scale.data(), codes.data(), dim,
+                              ids.data(), n, out.data());
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i], kernels.sq8_score(prep.data(), scale.data(),
+                                            codes.data() + ids[i] * dim, dim))
+            << "id " << ids[i];
+      }
+      kernels.sq8_score_batch(prep.data(), scale.data(), codes.data(), dim,
+                              nullptr, n, out.data());
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i], kernels.sq8_score(prep.data(), scale.data(),
+                                            codes.data() + i * dim, dim))
+            << "row " << i;
+      }
+    }
+  }
+}
+
 TEST_F(SimdKernelTest, ForceKernelRejectsUnavailableTiers) {
   EXPECT_TRUE(simd::ForceKernel(KernelKind::kScalar).ok());
   if (!simd::Supported(KernelKind::kAvx512)) {

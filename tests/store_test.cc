@@ -1,0 +1,407 @@
+// VectorStore suite: Sq8Store quantization contracts, save/load of the
+// v3 format for both backends, v2 load compatibility, and the end-to-end
+// recall contract of quantized storage (asymmetric scan + exact re-rank)
+// against the exact LinearScan oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/collection.h"
+#include "core/db_lsh.h"
+#include "dataset/float_matrix.h"
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+#include "dataset/vector_store.h"
+#include "eval/metrics.h"
+#include "simd/simd.h"
+#include "util/distance.h"
+#include "util/random.h"
+
+namespace dblsh {
+namespace {
+
+FloatMatrix RandomMatrix(size_t n, size_t dim, uint64_t seed,
+                         double span = 10.0) {
+  FloatMatrix m(n, dim);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dim; ++j) {
+      m.at(i, j) = static_cast<float>(rng.Uniform(-span, span));
+    }
+  }
+  return m;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(StorageKindTest, NamesRoundTrip) {
+  EXPECT_STREQ(StorageKindName(StorageKind::kFp32), "fp32");
+  EXPECT_STREQ(StorageKindName(StorageKind::kSq8), "sq8");
+  ASSERT_TRUE(ParseStorageKind("fp32").ok());
+  EXPECT_EQ(ParseStorageKind("fp32").value(), StorageKind::kFp32);
+  ASSERT_TRUE(ParseStorageKind("sq8").ok());
+  EXPECT_EQ(ParseStorageKind("sq8").value(), StorageKind::kSq8);
+  EXPECT_FALSE(ParseStorageKind("pq").ok());
+  EXPECT_FALSE(ParseStorageKind("").ok());
+}
+
+// Per-dimension reconstruction error of trained rows is bounded by half a
+// quantization step — the contract the exact re-rank depends on.
+TEST(Sq8StoreTest, QuantizationErrorWithinHalfScalePerDim) {
+  const size_t n = 200, dim = 23;  // odd dim: exercise kernel tails later
+  const FloatMatrix original = RandomMatrix(n, dim, 71);
+  auto store = MakeVectorStore(StorageKind::kSq8,
+                               std::make_unique<FloatMatrix>(original));
+  auto& sq8 = static_cast<Sq8Store&>(*store);
+  ASSERT_TRUE(sq8.trained());
+  ASSERT_EQ(sq8.scales().size(), dim);
+  std::vector<float> decoded(dim);
+  for (size_t i = 0; i < n; ++i) {
+    store->DecodeRow(static_cast<uint32_t>(i), decoded.data());
+    for (size_t j = 0; j < dim; ++j) {
+      const float bound = sq8.scales()[j] * 0.5f * 1.001f;  // fp slack
+      EXPECT_LE(std::fabs(original.at(i, j) - decoded[j]), bound)
+          << "row " << i << " dim " << j;
+    }
+  }
+  EXPECT_EQ(store->bytes_per_vector(), dim);
+  EXPECT_TRUE(store->matrix().payload_released());
+}
+
+// A constant dimension must not divide by zero: scale falls back to 1.0
+// and the dimension reconstructs exactly.
+TEST(Sq8StoreTest, ConstantDimensionReconstructsExactly) {
+  const size_t n = 50, dim = 4;
+  FloatMatrix m = RandomMatrix(n, dim, 5);
+  for (size_t i = 0; i < n; ++i) m.at(i, 2) = 3.25f;
+  auto store =
+      MakeVectorStore(StorageKind::kSq8, std::make_unique<FloatMatrix>(m));
+  std::vector<float> decoded(dim);
+  for (size_t i = 0; i < n; ++i) {
+    store->DecodeRow(static_cast<uint32_t>(i), decoded.data());
+    EXPECT_EQ(decoded[2], 3.25f) << "row " << i;
+  }
+}
+
+// Insert/erase must follow FloatMatrix's LIFO recycle contract, quantize
+// on write, and clamp out-of-range inserts instead of wrapping.
+TEST(Sq8StoreTest, InsertEraseRecycleAndClamp) {
+  const size_t dim = 8;
+  const FloatMatrix seed = RandomMatrix(20, dim, 9, /*span=*/1.0);
+  auto store = MakeVectorStore(StorageKind::kSq8,
+                               std::make_unique<FloatMatrix>(seed));
+  ASSERT_TRUE(store->EraseRow(7).ok());
+  ASSERT_TRUE(store->EraseRow(3).ok());
+  EXPECT_FALSE(store->EraseRow(3).ok());  // double erase rejected
+  std::vector<float> v(dim, 0.5f);
+  EXPECT_EQ(store->InsertRow(v.data(), dim), 3u);  // LIFO: last erased first
+  EXPECT_EQ(store->InsertRow(v.data(), dim), 7u);
+  std::vector<float> grown(dim, 0.25f);
+  EXPECT_EQ(store->InsertRow(grown.data(), dim), 20u);  // then append
+  EXPECT_EQ(store->matrix().rows(), 21u);
+
+  // Far outside the trained [-1, 1]-ish range: codes clamp, decode stays
+  // at the range edge instead of wrapping to garbage.
+  std::vector<float> outlier(dim, 1000.f);
+  const uint32_t id = store->InsertRow(outlier.data(), dim);
+  std::vector<float> decoded(dim);
+  store->DecodeRow(id, decoded.data());
+  auto& sq8 = static_cast<Sq8Store&>(*store);
+  for (size_t j = 0; j < dim; ++j) {
+    EXPECT_NEAR(decoded[j], sq8.offsets()[j] + sq8.scales()[j] * 255.f,
+                1e-4f);
+  }
+}
+
+// DecodedCopy must reproduce decoded rows AND the exact tombstone state,
+// free-list order included (background rebuilds replay it).
+TEST(Sq8StoreTest, DecodedCopyPreservesTombstoneState) {
+  const size_t dim = 6;
+  auto store = MakeVectorStore(
+      StorageKind::kSq8,
+      std::make_unique<FloatMatrix>(RandomMatrix(30, dim, 13)));
+  ASSERT_TRUE(store->EraseRow(11).ok());
+  ASSERT_TRUE(store->EraseRow(4).ok());
+  const FloatMatrix copy = store->DecodedCopy();
+  EXPECT_EQ(copy.rows(), 30u);
+  EXPECT_EQ(copy.live_rows(), 28u);
+  EXPECT_TRUE(copy.IsDeleted(11));
+  EXPECT_TRUE(copy.IsDeleted(4));
+  ASSERT_EQ(copy.free_slots().size(), 2u);
+  EXPECT_EQ(copy.free_slots()[0], 11u);
+  EXPECT_EQ(copy.free_slots()[1], 4u);
+  std::vector<float> decoded(dim);
+  for (size_t i = 0; i < copy.rows(); ++i) {
+    if (copy.IsDeleted(i)) continue;
+    store->DecodeRow(static_cast<uint32_t>(i), decoded.data());
+    for (size_t j = 0; j < dim; ++j) {
+      EXPECT_EQ(copy.at(i, j), decoded[j]) << "row " << i;
+    }
+  }
+}
+
+// Fp32Store is the identity backend: same bytes, exact scores, no decode
+// cost anywhere.
+TEST(Fp32StoreTest, IdentityBackend) {
+  const size_t n = 40, dim = 12;
+  const FloatMatrix original = RandomMatrix(n, dim, 3);
+  auto store = MakeVectorStore(StorageKind::kFp32,
+                               std::make_unique<FloatMatrix>(original));
+  EXPECT_FALSE(store->quantized());
+  EXPECT_EQ(store->bytes_per_vector(), dim * sizeof(float));
+  EXPECT_FALSE(store->matrix().payload_released());
+  const float* query = original.row(1);
+  std::vector<float> prep;
+  store->PrepareQuery(query, &prep);
+  std::vector<float> out(n);
+  store->ScoreBatch(prep.data(), 0, nullptr, n, out.data());
+  for (size_t i = 0; i < n; ++i) {
+    // The store scores through the active dispatch tier; compare against
+    // the same tier's one-to-one kernel (bit-identical by the simd batch
+    // property test) and the scalar reference within accumulation error.
+    EXPECT_EQ(out[i],
+              simd::Active().l2_squared(query, original.row(i), dim))
+        << "row " << i;
+    EXPECT_NEAR(out[i], L2DistanceSquared(query, original.row(i), dim),
+                1e-2f)
+        << "row " << i;
+    EXPECT_EQ(store->ExactL2Squared(query, static_cast<uint32_t>(i)),
+              out[i]);
+  }
+  const FloatMatrix copy = store->DecodedCopy();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dim; ++j) {
+      EXPECT_EQ(copy.at(i, j), original.at(i, j));
+    }
+  }
+}
+
+// The sq8 hot-path score (both sides in code space) and the exact re-rank
+// score must agree with scoring against the decoded rows directly.
+TEST(Sq8StoreTest, ScoresMatchDecodedRows) {
+  const size_t n = 64, dim = 17;
+  const FloatMatrix original = RandomMatrix(n, dim, 21);
+  auto store = MakeVectorStore(StorageKind::kSq8,
+                               std::make_unique<FloatMatrix>(original));
+  const FloatMatrix decoded = store->DecodedCopy();
+  Rng rng(77);
+  std::vector<float> query(dim);
+  for (auto& v : query) v = static_cast<float>(rng.Uniform(-10.0, 10.0));
+
+  // Exact re-rank score == fp32 distance to the decoded row.
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(store->ExactL2Squared(query.data(), uint32_t(i)),
+                L2DistanceSquared(query.data(), decoded.row(i), dim),
+                1e-2f)
+        << "row " << i;
+  }
+
+  // Hot-path score == distance between the *quantized* query and the
+  // decoded row (both sides on the code grid — offsets cancel).
+  auto& sq8 = static_cast<Sq8Store&>(*store);
+  std::vector<float> qquant(dim);
+  for (size_t j = 0; j < dim; ++j) {
+    const float t =
+        std::round((query[j] - sq8.offsets()[j]) / sq8.scales()[j]);
+    qquant[j] = sq8.offsets()[j] +
+                sq8.scales()[j] * std::min(255.f, std::max(0.f, t));
+  }
+  std::vector<float> prep;
+  store->PrepareQuery(query.data(), &prep);
+  std::vector<float> scores(n);
+  store->ScoreBatch(prep.data(), 0, nullptr, n, scores.data());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(scores[i],
+                L2DistanceSquared(qquant.data(), decoded.row(i), dim),
+                1e-2f)
+        << "row " << i;
+  }
+}
+
+std::vector<std::vector<Neighbor>> QueryAll(const DbLsh& index,
+                                            const FloatMatrix& queries,
+                                            size_t k) {
+  std::vector<std::vector<Neighbor>> out;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    out.push_back(index.Query(queries.row(q), k));
+  }
+  return out;
+}
+
+void ExpectSameResults(const std::vector<std::vector<Neighbor>>& a,
+                       const std::vector<std::vector<Neighbor>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t q = 0; q < a.size(); ++q) {
+    ASSERT_EQ(a[q].size(), b[q].size()) << "query " << q;
+    for (size_t r = 0; r < a[q].size(); ++r) {
+      EXPECT_EQ(a[q][r].id, b[q][r].id) << "query " << q << " rank " << r;
+      EXPECT_EQ(a[q][r].dist, b[q][r].dist)
+          << "query " << q << " rank " << r;
+    }
+  }
+}
+
+// v3 fp32 round-trip through both load surfaces: the legacy
+// Load(FloatMatrix*) and the LoadStore + Load(VectorStore*) pair.
+TEST(StorePersistenceTest, V3Fp32RoundTrip) {
+  const FloatMatrix data = RandomMatrix(600, 16, 31);
+  const FloatMatrix queries = RandomMatrix(5, 16, 32);
+  DbLsh index;
+  ASSERT_TRUE(index.Build(&data).ok());
+  const auto before = QueryAll(index, queries, 10);
+  const std::string path = TempPath("store_v3_fp32.idx");
+  ASSERT_TRUE(index.Save(path).ok());
+
+  FloatMatrix reload1 = data;
+  auto legacy = DbLsh::Load(path, &reload1);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  ExpectSameResults(before, QueryAll(legacy.value(), queries, 10));
+
+  auto store = DbLsh::LoadStore(path, std::make_unique<FloatMatrix>(data));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store.value()->storage_kind(), StorageKind::kFp32);
+  auto via_store = DbLsh::Load(path, store.value().get());
+  ASSERT_TRUE(via_store.ok()) << via_store.status().ToString();
+  ExpectSameResults(before, QueryAll(via_store.value(), queries, 10));
+  std::remove(path.c_str());
+}
+
+// v3 sq8 round-trip: LoadStore re-encodes the original fp32 dataset with
+// the SAVED quantization parameters, so the restored codes are
+// byte-identical (the codes checksum enforces it) and queries reproduce.
+TEST(StorePersistenceTest, V3Sq8RoundTrip) {
+  const FloatMatrix data = RandomMatrix(600, 16, 41);
+  const FloatMatrix queries = RandomMatrix(5, 16, 42);
+  auto store = MakeVectorStore(StorageKind::kSq8,
+                               std::make_unique<FloatMatrix>(data));
+  DbLsh index;
+  {
+    ScopedDecodeView view(store.get());
+    ASSERT_TRUE(index.Build(&store->matrix()).ok());
+  }
+  const auto before = QueryAll(index, queries, 10);
+  const std::string path = TempPath("store_v3_sq8.idx");
+  ASSERT_TRUE(index.Save(path).ok());
+
+  // The fp32-only surface must reject the quantized file with a pointer
+  // to the store path, not crash or load garbage.
+  FloatMatrix reject = data;
+  EXPECT_FALSE(DbLsh::Load(path, &reject).ok());
+
+  auto restored =
+      DbLsh::LoadStore(path, std::make_unique<FloatMatrix>(data));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value()->storage_kind(), StorageKind::kSq8);
+  auto& sq8 = static_cast<Sq8Store&>(*restored.value());
+  auto& orig = static_cast<Sq8Store&>(*store);
+  EXPECT_EQ(sq8.scales(), orig.scales());
+  EXPECT_EQ(sq8.offsets(), orig.offsets());
+  EXPECT_EQ(sq8.codes(), orig.codes());
+  auto loaded = DbLsh::Load(path, restored.value().get());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameResults(before, QueryAll(loaded.value(), queries, 10));
+  std::remove(path.c_str());
+}
+
+// Version-2 files (pre-VectorStore: no storage tag, implicitly fp32) must
+// keep loading. Forged from a v3 fp32 file by rewriting the version field
+// and dropping the tag byte — byte-identical to what the v2 writer
+// produced, since v3 only inserted the tag.
+TEST(StorePersistenceTest, V2FilesStillLoad) {
+  const FloatMatrix data = RandomMatrix(500, 12, 51);
+  const FloatMatrix queries = RandomMatrix(5, 12, 52);
+  DbLsh index;
+  ASSERT_TRUE(index.Build(&data).ok());
+  const auto before = QueryAll(index, queries, 10);
+  const std::string v3_path = TempPath("store_compat_v3.idx");
+  ASSERT_TRUE(index.Save(v3_path).ok());
+
+  std::ifstream in(v3_path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 13u);
+  const uint32_t v2 = 2;
+  std::memcpy(bytes.data() + 8, &v2, sizeof(v2));  // version after magic
+  bytes.erase(bytes.begin() + 12);                 // drop the storage tag
+  const std::string v2_path = TempPath("store_compat_v2.idx");
+  std::ofstream out(v2_path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+
+  FloatMatrix reload = data;
+  auto legacy = DbLsh::Load(v2_path, &reload);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  ExpectSameResults(before, QueryAll(legacy.value(), queries, 10));
+
+  auto store =
+      DbLsh::LoadStore(v2_path, std::make_unique<FloatMatrix>(data));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store.value()->storage_kind(), StorageKind::kFp32);
+  std::remove(v3_path.c_str());
+  std::remove(v2_path.c_str());
+}
+
+// The recall contract of quantized storage, isolated from any index's
+// candidate generation: a LinearScan collection under storage=sq8 scans
+// every row asymmetrically and exact-re-ranks the top k*4 — recall
+// against the fp32 LinearScan oracle (exact ground truth) must drop no
+// more than 2%.
+TEST(Sq8RecallTest, WithinTwoPercentOfLinearScanOracleAtDepth4k) {
+  ClusteredSpec spec;
+  spec.n = 2000;
+  spec.dim = 16;
+  spec.clusters = 200;  // ~10 points/cluster: realistic local structure
+  spec.center_spread = 25.0;
+  spec.cluster_stddev = 2.0;
+  spec.seed = 20260809;
+  const FloatMatrix data = GenerateClustered(spec);
+  auto made = Collection::FromSpec(
+      "collection,storage=sq8: LinearScan,name=scan",
+      std::make_unique<FloatMatrix>(data));
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  Collection& collection = *made.value();
+
+  Rng rng(99);
+  const size_t k = 10, nq = 100;
+  double recall_sum = 0.0;
+  std::vector<float> query(spec.dim);
+  for (size_t q = 0; q < nq; ++q) {
+    const float* base = data.row(rng.UniformInt(data.rows()));
+    for (size_t j = 0; j < spec.dim; ++j) {
+      query[j] =
+          base[j] + static_cast<float>(rng.Gaussian() * spec.cluster_stddev);
+    }
+    const auto oracle = ExactKnn(data, query.data(), k);
+    QueryRequest request;
+    request.k = k;
+    auto got = collection.Search(query.data(), request, "scan");
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    std::vector<Neighbor> answer = std::move(got.value().neighbors);
+    // Distances under sq8 are to decoded rows; rescore the returned ids
+    // against the original data so Recall's distance matching measures
+    // id-recall rather than quantization noise.
+    for (Neighbor& nb : answer) {
+      nb.dist = L2Distance(data.row(nb.id), query.data(), spec.dim);
+    }
+    std::sort(answer.begin(), answer.end());
+    recall_sum += eval::Recall(answer, oracle);
+  }
+  const double recall = recall_sum / double(nq);
+  EXPECT_GE(recall, 0.98) << "sq8 recall dropped more than 2% below the "
+                             "LinearScan oracle";
+}
+
+}  // namespace
+}  // namespace dblsh
