@@ -33,9 +33,12 @@
 // machine-readable results, default path BENCH_serving.json).
 #include <algorithm>
 #include <atomic>
+#include <unistd.h>  // getpid: unique temp dir for the recovery section
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -651,6 +654,68 @@ int Run(const bench::Flags& flags) {
                  .Set("probe_deadline_rejected", probe_deadline_rejected)
                  .Set("probe_overload_shed", probe_overload_shed));
     server.Shutdown();
+  }
+
+  // ---------------------------------------------------------------------
+  // Recovery section: checkpoint the cloud into a durable directory, lay
+  // down a WAL tail of post-checkpoint upserts, and time a cold
+  // Collection::Open (snapshot restore + WAL replay + checkpoint-on-open).
+  {
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("dblsh_bench_recovery_" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    const std::string spec = "collection,durability=" + dir.string() +
+                             storage_suffix + ": DB-LSH,name=serving";
+    auto made = Collection::FromSpec(
+        spec, std::make_unique<FloatMatrix>(cloud));
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+      return 1;
+    }
+    if (Status s = made.value()->Checkpoint(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    // WAL tail: ~2% of n (at least 32) upserts past the checkpoint, so
+    // the reopen exercises replay and not just the snapshot restore.
+    const size_t tail = std::max<size_t>(32, n / 50);
+    Rng rng(seed + 17);
+    std::vector<float> vec(dim);
+    for (size_t i = 0; i < tail; ++i) {
+      for (float& x : vec) {
+        x = static_cast<float>(rng.NextU64() % 1000) / 7.0f;
+      }
+      if (auto up = made.value()->Upsert(vec.data(), dim); !up.ok()) {
+        std::fprintf(stderr, "%s\n", up.status().ToString().c_str());
+        return 1;
+      }
+    }
+    made.value().reset();  // close: WAL tail stays unfolded on disk
+
+    Timer reopen_timer;
+    auto reopened = Collection::Open(spec);
+    const double reopen_ms = reopen_timer.ElapsedSec() * 1000.0;
+    if (!reopened.ok()) {
+      std::fprintf(stderr, "%s\n", reopened.status().ToString().c_str());
+      return 1;
+    }
+    const CollectionDurabilityInfo durable = reopened.value()->Durability();
+    std::printf("--- recovery: %zu rows restored in %.3f ms (%llu WAL "
+                "record(s) replayed, %llu checkpoint(s) since open) ---\n\n",
+                reopened.value()->size(), durable.recovery_ms,
+                static_cast<unsigned long long>(durable.replayed_records),
+                static_cast<unsigned long long>(durable.checkpoints));
+    json.Set("recovery",
+             bench::Json::Object()
+                 .Set("rows", reopened.value()->size())
+                 .Set("wal_replayed", durable.replayed_records)
+                 .Set("recovery_ms", durable.recovery_ms)
+                 .Set("reopen_ms", reopen_ms)
+                 .Set("checkpoints", durable.checkpoints));
+    reopened.value().reset();
+    fs::remove_all(dir);
   }
 
   if (flags.Has("json")) {

@@ -25,7 +25,10 @@ the serving layer's acceptance contract (checked on the NEW run):
     concurrent loopback clients),
   - network.probe_deadline_rejected >= 1 (expired budgets are rejected
     typed),
-  - network.probe_overload_shed >= 1 (overload sheds retryable).
+  - network.probe_overload_shed >= 1 (overload sheds retryable),
+  - recovery.wal_replayed >= 1 and recovery.rows >= 1 (reopening the
+    durable collection actually replayed a WAL tail onto the snapshot),
+  - recovery.recovery_ms >= 0 (the recovery timer sampled).
 
 Streaming baselines carry the storage backend's acceptance contract
 (checked on the NEW run):
@@ -105,6 +108,12 @@ def serving_invariants(new, errors):
         ("network.probe_overload_shed", 1),
         ("network.closed_read_only.qps", 0.000001),
         ("network.open_loop.qps", 0.000001),
+        # Durability: the bench reopens a checkpointed collection with a
+        # WAL tail, so replay must have happened and the recovery timer
+        # must have sampled (0 ms would mean the clock never ran).
+        ("recovery.wal_replayed", 1),
+        ("recovery.recovery_ms", 0.0),
+        ("recovery.rows", 1),
     ):
         value = lookup(new, path)
         if value is None:

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <mutex>
@@ -12,10 +13,34 @@
 #include <utility>
 
 #include "core/index_factory.h"
+#include "durability/snapshot.h"
 #include "util/text.h"
 #include "util/top_k_heap.h"
 
 namespace dblsh {
+
+/// Runtime state of a durable collection. The WAL writer entries are
+/// guarded by their shard's write lock (appends and checkpoint swap-ins
+/// both hold it); `wal_seq` is guarded by `checkpoint_mutex`; the counters
+/// are plain atomics; `dir`/`compact_threshold`/`wal_sync_every` and
+/// `recovery_ms`/`replayed` are written once during open.
+struct DurabilityState {
+  std::string dir;
+  double compact_threshold = 0.0;
+  uint32_t wal_sync_every = 1;
+  /// Serializes checkpoints (rotation + snapshot + manifest).
+  std::mutex checkpoint_mutex;
+  /// Sequence number of the live WAL segments (`shard-N.wal.<wal_seq>`).
+  uint64_t wal_seq = 0;
+  /// One writer per shard; an entry is swapped under that shard's write
+  /// lock at each checkpoint rotation.
+  std::vector<std::unique_ptr<durability::WalWriter>> wals;
+  std::atomic<uint64_t> checkpoints{0};
+  std::atomic<uint64_t> compactions{0};
+  std::atomic<uint64_t> wal_appends{0};
+  uint64_t replayed = 0;
+  double recovery_ms = 0.0;
+};
 
 Collection::Collection(size_t dim, const CollectionOptions& options)
     : dim_(dim),
@@ -99,7 +124,8 @@ Result<std::unique_ptr<Collection>> Collection::FromSpec(
     exec::TaskExecutor* executor) {
   static const char* kGrammar =
       "collection spec grammar: \"collection[,shards=N][,rebuild=inline|"
-      "background][,storage=fp32|sq8][,rerank=N]: INDEX_SPEC (; "
+      "background][,storage=fp32|sq8][,rerank=N][,durability=PATH]"
+      "[,compact_threshold=R][,wal_sync=N]: INDEX_SPEC (; "
       "INDEX_SPEC)*\", e.g. \"collection,shards=4,storage=sq8:"
       " DB-LSH,c=1.5; PM-LSH,rebuild_threshold=500\"";
   const size_t colon = spec.find(':');
@@ -123,6 +149,9 @@ Result<std::unique_ptr<Collection>> Collection::FromSpec(
   reader.Key("rebuild", &rebuild_mode);
   reader.Key("storage", &storage_name);
   reader.Key("rerank", &options.rerank);
+  reader.Key("durability", &options.durability_dir);
+  reader.Key("compact_threshold", &options.compact_threshold);
+  reader.Key("wal_sync", &options.wal_sync);
   DBLSH_RETURN_IF_ERROR(reader.Finish());
   if (options.shards == 0) {
     return Status::InvalidArgument(
@@ -144,8 +173,74 @@ Result<std::unique_ptr<Collection>> Collection::FromSpec(
     return Status::InvalidArgument(
         "collection key \"rerank\" must be >= 1; " + std::string(kGrammar));
   }
-  auto collection =
-      std::make_unique<Collection>(std::move(data), options);
+  if (options.compact_threshold < 0.0 || options.compact_threshold >= 1.0) {
+    return Status::InvalidArgument(
+        "collection key \"compact_threshold\" must be in [0, 1); " +
+        std::string(kGrammar));
+  }
+  if (options.wal_sync == 0) {
+    return Status::InvalidArgument(
+        "collection key \"wal_sync\" must be >= 1; " + std::string(kGrammar));
+  }
+  if (options.durability_dir.empty() &&
+      (options.compact_threshold > 0.0 || options.wal_sync != 1)) {
+    return Status::InvalidArgument(
+        "collection keys \"compact_threshold\" and \"wal_sync\" require "
+        "\"durability=PATH\"");
+  }
+
+  std::unique_ptr<Collection> collection;
+  if (!options.durability_dir.empty()) {
+    auto manifest = durability::LoadManifest(options.durability_dir);
+    if (manifest.ok()) {
+      // Recover: the directory is the source of truth; seeding rows over
+      // existing durable state would silently fork it.
+      if (data != nullptr && data->rows() > 0) {
+        return Status::InvalidArgument(
+            "durability directory \"" + options.durability_dir +
+            "\" already holds a checkpoint; open it without seed data (or "
+            "point durability= at a fresh directory)");
+      }
+      const durability::Manifest& m = manifest.value();
+      if (m.shards != options.shards) {
+        return Status::InvalidArgument(
+            "spec says shards=" + std::to_string(options.shards) +
+            " but the durable state at \"" + options.durability_dir +
+            "\" has " + std::to_string(m.shards) + " shards");
+      }
+      const uint32_t spec_storage =
+          options.storage == StorageKind::kSq8 ? durability::kSnapshotSq8
+                                               : durability::kSnapshotFp32;
+      if (m.storage != spec_storage) {
+        return Status::InvalidArgument(
+            "spec storage=" + std::string(StorageKindName(options.storage)) +
+            " does not match the durable state at \"" +
+            options.durability_dir + "\"");
+      }
+      collection = std::make_unique<Collection>(m.dim, options);
+      DBLSH_RETURN_IF_ERROR(collection->RecoverShards(options, m));
+    } else if (manifest.status().code() == StatusCode::kNotFound) {
+      // Fresh durable collection: seed rows define the geometry.
+      if (data == nullptr) {
+        return Status::NotFound(
+            "durability directory \"" + options.durability_dir +
+            "\" holds no durable state (no manifest) and no seed data was "
+            "provided; seed a fresh collection or point durability= at an "
+            "existing one");
+      }
+      collection = std::make_unique<Collection>(std::move(data), options);
+      DBLSH_RETURN_IF_ERROR(collection->InitDurability(options));
+    } else {
+      return manifest.status();  // corrupt manifest: never clobber
+    }
+  } else {
+    if (data == nullptr) {
+      return Status::InvalidArgument(
+          "FromSpec needs seed data (a RAM-only collection cannot recover "
+          "from disk); pass an empty FloatMatrix to start empty");
+    }
+    collection = std::make_unique<Collection>(std::move(data), options);
+  }
   const std::string body = spec.substr(colon + 1);
   size_t added = 0;
   size_t pos = 0;
@@ -167,6 +262,278 @@ Result<std::unique_ptr<Collection>> Collection::FromSpec(
                                    std::string(kGrammar));
   }
   return collection;
+}
+
+Result<std::unique_ptr<Collection>> Collection::Open(
+    const std::string& spec, exec::TaskExecutor* executor) {
+  if (spec.find("durability") == std::string::npos) {
+    return Status::InvalidArgument(
+        "Collection::Open requires a spec with durability=PATH (there is "
+        "no on-disk state to open otherwise)");
+  }
+  return FromSpec(spec, nullptr, executor);
+}
+
+Status Collection::InitDurability(const CollectionOptions& options) {
+  DBLSH_RETURN_IF_ERROR(durability::EnsureDir(options.durability_dir));
+  durability_ = std::make_unique<DurabilityState>();
+  durability_->dir = options.durability_dir;
+  durability_->compact_threshold = options.compact_threshold;
+  durability_->wal_sync_every = options.wal_sync;
+  durability_->wals.resize(shards_.size());
+  // The initial checkpoint persists the seed rows and publishes the
+  // manifest; its WAL rotation installs the writers every commit needs.
+  return Checkpoint();
+}
+
+Status Collection::RecoverShards(const CollectionOptions& options,
+                                 const durability::Manifest& manifest) {
+  const auto t0 = std::chrono::steady_clock::now();
+  durability_ = std::make_unique<DurabilityState>();
+  durability_->dir = options.durability_dir;
+  durability_->compact_threshold = options.compact_threshold;
+  durability_->wal_sync_every = options.wal_sync;
+  durability_->wals.resize(shards_.size());
+
+  uint64_t max_lsn = manifest.checkpoint_lsn;
+  uint64_t max_seq = manifest.wal_seq;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    auto snap_or = durability::LoadShardSnapshot(
+        durability::SnapshotPath(durability_->dir, s));
+    if (!snap_or.ok()) {
+      if (snap_or.status().code() == StatusCode::kNotFound) {
+        return Status::Corruption(
+            "durability: manifest present but shard " + std::to_string(s) +
+            " snapshot is missing in " + durability_->dir);
+      }
+      return snap_or.status();
+    }
+    durability::ShardSnapshot snap = std::move(snap_or).value();
+    if (snap.dim != dim_) {
+      return Status::Corruption(
+          "durability: shard " + std::to_string(s) + " snapshot dim " +
+          std::to_string(snap.dim) + " does not match manifest dim " +
+          std::to_string(dim_));
+    }
+
+    // Rebuild the store image. The free-list is replayed in erasure order
+    // so InsertRow recycling during WAL replay reproduces the original
+    // LIFO id assignment exactly.
+    if (snap.storage == durability::kSnapshotSq8) {
+      // Metadata shell: right shape, fp32 payload dropped immediately —
+      // the codes below are the payload.
+      auto shell = std::make_unique<FloatMatrix>(snap.rows, dim_);
+      shell->ReleasePayload();
+      for (const uint32_t slot : snap.free_slots) {
+        DBLSH_RETURN_IF_ERROR(shell->EraseRow(slot));
+      }
+      shard.store = std::make_unique<Sq8Store>(
+          std::move(shell), std::move(snap.scales), std::move(snap.offsets),
+          std::move(snap.codes), snap.trained);
+    } else {
+      auto matrix = std::make_unique<FloatMatrix>(snap.rows, dim_,
+                                                  std::move(snap.fp32));
+      for (const uint32_t slot : snap.free_slots) {
+        DBLSH_RETURN_IF_ERROR(matrix->EraseRow(slot));
+      }
+      shard.store = std::make_unique<Fp32Store>(std::move(matrix));
+    }
+    shard.data = &shard.store->matrix();
+    max_lsn = std::max(max_lsn, snap.lsn);
+
+    // Replay the log: every segment at/after the manifest's generation,
+    // ascending, skipping records the snapshot already covers.
+    const std::vector<uint64_t> seqs =
+        durability::ListWalSegments(durability_->dir, s);
+    for (size_t i = 0; i < seqs.size(); ++i) {
+      if (!seqs.empty()) max_seq = std::max(max_seq, seqs[i]);
+      if (seqs[i] < manifest.wal_seq) continue;  // superseded, not yet GC'd
+      const bool last = i + 1 == seqs.size();
+      auto replay_or = durability::ReadWal(
+          durability::WalPath(durability_->dir, s, seqs[i]),
+          static_cast<uint32_t>(dim_));
+      if (!replay_or.ok()) {
+        // A torn *header* can only be the newest segment, killed during
+        // checkpoint rotation before any record (or acknowledgement)
+        // existed — skip it. Anywhere else it is real damage.
+        if (last && replay_or.status().code() == StatusCode::kCorruption) {
+          continue;
+        }
+        return replay_or.status();
+      }
+      const durability::WalReplay& replay = replay_or.value();
+      if (!replay.tail.ok() && !last) {
+        return replay.tail;  // torn tail mid-history: not a crash artifact
+      }
+      for (const durability::WalRecord& rec : replay.records) {
+        if (rec.lsn <= snap.lsn) continue;
+        max_lsn = std::max(max_lsn, rec.lsn);
+        ++durability_->replayed;
+        switch (rec.op) {
+          case durability::WalOp::kTrim: {
+            const size_t trimmed = shard.store->TrimTombstonedTail();
+            if (trimmed != rec.id) {
+              return Status::Corruption(
+                  "durability: wal replay divergence on shard " +
+                  std::to_string(s) + ": trim removed " +
+                  std::to_string(trimmed) + " rows, log recorded " +
+                  std::to_string(rec.id));
+            }
+            break;
+          }
+          case durability::WalOp::kDelete: {
+            if (ShardOfId(rec.id) != s) {
+              return Status::Corruption(
+                  "durability: wal record for id " + std::to_string(rec.id) +
+                  " found in shard " + std::to_string(s) + "'s log");
+            }
+            if (Status st = shard.store->EraseRow(LocalOfId(rec.id));
+                !st.ok()) {
+              return Status::Corruption(
+                  "durability: wal replay divergence on shard " +
+                  std::to_string(s) + ": " + st.ToString());
+            }
+            break;
+          }
+          case durability::WalOp::kUpsert: {
+            if (ShardOfId(rec.id) != s) {
+              return Status::Corruption(
+                  "durability: wal record for id " + std::to_string(rec.id) +
+                  " found in shard " + std::to_string(s) + "'s log");
+            }
+            const uint32_t local = LocalOfId(rec.id);
+            if (local < shard.data->rows() && !shard.data->IsDeleted(local)) {
+              // In-place replace: erase + insert fused, exactly like
+              // Upsert(id) — the LIFO free-list hands the slot back.
+              if (Status st = shard.store->EraseRow(local); !st.ok()) {
+                return Status::Corruption(
+                    "durability: wal replay divergence on shard " +
+                    std::to_string(s) + ": " + st.ToString());
+              }
+            }
+            const uint32_t got = shard.store->InsertRow(rec.vec.data(), dim_);
+            if (got != local) {
+              return Status::Corruption(
+                  "durability: wal replay divergence on shard " +
+                  std::to_string(s) + ": insert landed on local row " +
+                  std::to_string(got) + ", log recorded " +
+                  std::to_string(local));
+            }
+            break;
+          }
+        }
+      }
+    }
+    shard.approx_rows.store(shard.data->rows(), std::memory_order_relaxed);
+    shard.approx_free.store(shard.data->free_slots().size(),
+                            std::memory_order_relaxed);
+  }
+  epoch_.store(max_lsn, std::memory_order_release);
+  // Start the new generation past every segment on disk — including
+  // orphans a crashed rotation left above the manifest's generation.
+  durability_->wal_seq = max_seq;
+  const auto t1 = std::chrono::steady_clock::now();
+  durability_->recovery_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  // Checkpoint-on-open: rotates onto fresh segments (installing the WAL
+  // writers), folds the replay into new snapshots, and garbage-collects
+  // torn tails with the superseded segments.
+  return Checkpoint();
+}
+
+Status Collection::Checkpoint() {
+  if (durability_ == nullptr) {
+    return Status::InvalidArgument(
+        "collection has no durability= configured; nothing to checkpoint");
+  }
+  DurabilityState& d = *durability_;
+  std::lock_guard ckpt_lock(d.checkpoint_mutex);
+  const uint64_t new_seq = d.wal_seq + 1;
+
+  std::vector<durability::ShardSnapshot> snaps(shards_.size());
+  uint64_t checkpoint_lsn = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    // Open the replacement segment before taking the lock (file creation
+    // off the writer's critical path). On failure the old segment stays
+    // live; the orphan file is skipped at recovery (header checks) and
+    // its sequence number is never reused (max-seq scan on open).
+    auto writer_or = durability::WalWriter::Create(
+        durability::WalPath(d.dir, s, new_seq), static_cast<uint32_t>(dim_),
+        d.wal_sync_every);
+    if (!writer_or.ok()) return writer_or.status();
+
+    std::unique_lock lock(shard.mutex);
+    durability::ShardSnapshot& snap = snaps[s];
+    snap.dim = dim_;
+    snap.rows = shard.data->rows();
+    snap.free_slots = shard.data->free_slots();
+    // Captured under the shard write lock: every record this shard wrote
+    // to the outgoing segment has lsn <= this value, and every record it
+    // will write to the incoming one has lsn > it — the replay filter's
+    // exact contract.
+    snap.lsn = epoch_.load(std::memory_order_acquire);
+    if (storage_ == StorageKind::kSq8) {
+      const auto* sq8 = static_cast<const Sq8Store*>(shard.store.get());
+      snap.storage = durability::kSnapshotSq8;
+      snap.scales = sq8->scales();
+      snap.offsets = sq8->offsets();
+      snap.codes = sq8->codes();
+      snap.trained = sq8->trained();
+    } else {
+      snap.storage = durability::kSnapshotFp32;
+      snap.fp32 = shard.data->data();
+      snap.trained = true;
+    }
+    d.wals[s] = std::move(writer_or).value();
+    checkpoint_lsn = std::max(checkpoint_lsn, snap.lsn);
+  }
+
+  // Persist off-lock: writers append to the new segments meanwhile, and a
+  // crash anywhere in here recovers from the old manifest + old segments
+  // (still on disk) plus the new ones (>= old wal_seq, replayed too).
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    DBLSH_RETURN_IF_ERROR(durability::SaveShardSnapshot(
+        durability::SnapshotPath(d.dir, s), snaps[s]));
+  }
+  durability::Manifest manifest;
+  manifest.shards = static_cast<uint32_t>(shards_.size());
+  manifest.dim = static_cast<uint32_t>(dim_);
+  manifest.storage = storage_ == StorageKind::kSq8 ? durability::kSnapshotSq8
+                                                   : durability::kSnapshotFp32;
+  manifest.wal_seq = new_seq;
+  manifest.checkpoint_lsn = checkpoint_lsn;
+  DBLSH_RETURN_IF_ERROR(durability::SaveManifest(d.dir, manifest));
+
+  // Committed (manifest renamed): the superseded segments are garbage.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (const uint64_t seq : durability::ListWalSegments(d.dir, s)) {
+      if (seq < new_seq) {
+        std::remove(durability::WalPath(d.dir, s, seq).c_str());
+      }
+    }
+  }
+  d.wal_seq = new_seq;
+  d.checkpoints.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+CollectionDurabilityInfo Collection::Durability() const {
+  CollectionDurabilityInfo info;
+  if (durability_ == nullptr) return info;
+  info.enabled = true;
+  info.dir = durability_->dir;
+  info.compact_threshold = durability_->compact_threshold;
+  info.checkpoints =
+      durability_->checkpoints.load(std::memory_order_relaxed);
+  info.compactions =
+      durability_->compactions.load(std::memory_order_relaxed);
+  info.wal_appends =
+      durability_->wal_appends.load(std::memory_order_relaxed);
+  info.replayed_records = durability_->replayed;
+  info.recovery_ms = durability_->recovery_ms;
+  return info;
 }
 
 Status Collection::AddIndex(const std::string& index_spec) {
@@ -437,7 +804,9 @@ void Collection::WaitForRebuilds() const {
   }
 }
 
-void Collection::CommitMutationLocked(size_t shard_index) {
+Status Collection::CommitMutationLocked(size_t shard_index,
+                                        durability::WalOp op,
+                                        uint32_t global_id, const float* vec) {
   Shard& shard = *shards_[shard_index];
   for (Slot& slot : shard.slots) {
     // Updatable built slots absorbed the mutation structurally (the caller
@@ -455,7 +824,189 @@ void Collection::CommitMutationLocked(size_t shard_index) {
                           std::memory_order_relaxed);
   // Committed: exactly one epoch per successful mutation, build failures
   // notwithstanding (failing slots are out of service, not blocking).
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  // Under durability the post-increment epoch value is the mutation's LSN.
+  const uint64_t lsn = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (durability_ == nullptr) return Status::OK();
+
+  Status logged = Status::OK();
+  durability::WalWriter* writer = durability_->wals[shard_index].get();
+  if (writer == nullptr) {
+    logged = Status::IoError(
+        "wal: no live segment for shard " + std::to_string(shard_index) +
+        " (a failed checkpoint rotation poisoned this collection)");
+  } else {
+    // Log-after-apply is sound here because disk state only changes at
+    // checkpoints: a record that fails to land is simply never replayed,
+    // and the poisoned writer keeps every *later* mutation unlogged too,
+    // so the durable history stays a prefix of the acknowledged one.
+    logged = writer->Append(lsn, op, global_id, vec);
+    if (logged.ok()) {
+      durability_->wal_appends.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  MaybeCompactLocked(shard_index);
+  return logged;
+}
+
+void Collection::MaybeCompactLocked(size_t shard_index) {
+  if (durability_ == nullptr || durability_->compact_threshold <= 0.0) return;
+  Shard& shard = *shards_[shard_index];
+  if (shard.compact_scheduled) return;
+  const size_t rows = shard.data->rows();
+  if (rows == 0) return;
+  const size_t dead = rows - shard.data->live_rows();
+  if (dead <= shard.compact_floor) return;  // nothing new to reclaim
+  if (static_cast<double>(dead) / static_cast<double>(rows) <
+      durability_->compact_threshold) {
+    return;
+  }
+  shard.compact_scheduled = true;
+  ScheduleCompaction(shard_index);
+}
+
+void Collection::ScheduleCompaction(size_t shard_index) {
+  {
+    std::lock_guard lock(bg_mutex_);
+    if (closing_) {
+      shards_[shard_index]->compact_scheduled = false;
+      return;
+    }
+    ++bg_inflight_;
+  }
+  executor_->Schedule([this, shard_index] {
+    RunCompaction(shard_index);
+    // Decrement and notify under the lock (same use-after-free hazard as
+    // ScheduleRebuild: the destructor may proceed the instant it sees 0).
+    std::lock_guard lock(bg_mutex_);
+    --bg_inflight_;
+    bg_cv_.notify_all();
+  });
+}
+
+void Collection::RunCompaction(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  bool landed = false;
+  for (int attempt = 0; attempt < 3 && !landed; ++attempt) {
+    // 1. Snapshot the shard under the shared lock — readers keep serving.
+    FloatMatrix snapshot;
+    uint64_t version = 0;
+    std::vector<std::string> method_specs;
+    {
+      std::shared_lock lock(shard.mutex);
+      snapshot = shard.store->DecodedCopy();
+      version = shard.version;
+      method_specs.reserve(shard.slots.size());
+      for (const Slot& slot : shard.slots) {
+        method_specs.push_back(slot.method_spec);
+      }
+    }
+
+    // 2. Off-lock: trim the copy and build replacement indexes over the
+    //    compacted geometry. Only trailing tombstones are physically
+    //    reclaimable (live ids never move).
+    if (snapshot.TrimTombstonedTail() == 0) {
+      std::unique_lock lock(shard.mutex);
+      // Interior tombstones only: raise the floor so the trigger stays
+      // quiet until more deletes land, instead of rescheduling forever.
+      shard.compact_floor = shard.data->rows() - shard.data->live_rows();
+      shard.compact_scheduled = false;
+      return;
+    }
+    std::vector<std::unique_ptr<AnnIndex>> replacements;
+    replacements.reserve(method_specs.size());
+    bool build_failed = false;
+    for (const std::string& spec : method_specs) {
+      auto made = IndexFactory::Make(spec);
+      Status built = made.ok() ? Status::OK() : made.status();
+      if (built.ok() && snapshot.live_rows() > 0) {
+        built = made.value()->Build(&snapshot);
+      }
+      if (!built.ok()) {
+        build_failed = true;
+        break;
+      }
+      replacements.push_back(std::move(made).value());
+    }
+
+    // 3. Land under the write lock if the shard did not mutate meanwhile.
+    {
+      std::unique_lock lock(shard.mutex);
+      if (shard.version != version) continue;  // mutated mid-build: retry
+      if (build_failed) {
+        shard.compact_scheduled = false;  // keep serving uncompacted
+        return;
+      }
+      const size_t trimmed = shard.store->TrimTombstonedTail();
+      // Log the rewrite so mutations recorded after it replay against the
+      // compacted geometry (see WalOp::kTrim). A failed append poisons the
+      // writer: the in-memory trim stands, but nothing later is acked, so
+      // the durable history stays consistent without it.
+      const uint64_t lsn = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (durability::WalWriter* writer =
+              durability_->wals[shard_index].get();
+          writer != nullptr) {
+        Status logged =
+            writer->Append(lsn, durability::WalOp::kTrim,
+                           static_cast<uint32_t>(trimmed), nullptr);
+        if (logged.ok()) {
+          durability_->wal_appends.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      // The trim and the index swap share this critical section: an index
+      // still referencing a trimmed row would hand out ids past the new
+      // frontier, where IsDeleted no longer vouches for them.
+      for (size_t i = 0; i < shard.slots.size(); ++i) {
+        Slot& slot = shard.slots[i];
+        if (shard.data->live_rows() == 0) {
+          slot.built = false;  // lazy build at the next mutation
+          slot.staleness = 0;
+          continue;
+        }
+        if (Status rebound = replacements[i]->RebindData(shard.data);
+            !rebound.ok()) {
+          // No rebind support: inline rebuild under the lock (correct,
+          // just blocking), mirroring RunBackgroundRebuild's fallback.
+          std::optional<ScopedDecodeView> view;
+          if (quantized_) view.emplace(shard.store.get());
+          if (Status s = slot.index->Build(shard.data); !s.ok()) {
+            slot.built = false;
+            slot.build_error = s.ToString();
+          } else {
+            slot.built = true;
+            ++slot.rebuilds;
+            slot.staleness = 0;
+            slot.build_error.clear();
+          }
+          continue;
+        }
+        slot.index = std::move(replacements[i]);
+        slot.built = true;
+        ++slot.rebuilds;
+        slot.staleness = 0;
+        slot.build_error.clear();
+      }
+      shard.compact_floor = shard.data->rows() - shard.data->live_rows();
+      shard.compact_scheduled = false;
+      // Invalidate any background rebuild racing us: its snapshot predates
+      // the trim and its swap-in must not land over the new geometry.
+      ++shard.version;
+      shard.approx_rows.store(shard.data->rows(), std::memory_order_relaxed);
+      shard.approx_free.store(shard.data->free_slots().size(),
+                              std::memory_order_relaxed);
+      landed = true;
+    }
+  }
+  if (!landed) {
+    // The writer mutated through every attempt; the next commit past the
+    // threshold re-triggers (staleness of the dead rows does not decay).
+    std::unique_lock lock(shard.mutex);
+    shard.compact_scheduled = false;
+    return;
+  }
+  durability_->compactions.fetch_add(1, std::memory_order_relaxed);
+  // Fold the rewrite into fresh snapshots; best-effort (the trim record
+  // keeps replay correct even if this checkpoint never lands).
+  (void)Checkpoint();
 }
 
 size_t Collection::PickInsertShard() const {
@@ -505,8 +1056,11 @@ Result<uint32_t> Collection::Upsert(const float* vec, size_t len) {
       }
     }
   }
-  CommitMutationLocked(shard_index);
-  return GlobalId(shard_index, local);
+  const uint32_t global = GlobalId(shard_index, local);
+  DBLSH_RETURN_IF_ERROR(
+      CommitMutationLocked(shard_index, durability::WalOp::kUpsert, global,
+                           vec));
+  return global;
 }
 
 Result<uint32_t> Collection::Upsert(uint32_t id, const float* vec,
@@ -551,8 +1105,11 @@ Result<uint32_t> Collection::Upsert(uint32_t id, const float* vec,
       }
     }
   }
-  CommitMutationLocked(shard_index);
-  return GlobalId(shard_index, recycled);
+  const uint32_t global = GlobalId(shard_index, recycled);
+  DBLSH_RETURN_IF_ERROR(
+      CommitMutationLocked(shard_index, durability::WalOp::kUpsert, global,
+                           vec));
+  return global;
 }
 
 Status Collection::Delete(uint32_t id) {
@@ -574,8 +1131,8 @@ Status Collection::Delete(uint32_t id) {
       }
     }
   }
-  CommitMutationLocked(shard_index);
-  return Status::OK();
+  return CommitMutationLocked(shard_index, durability::WalOp::kDelete, id,
+                              nullptr);
 }
 
 int Collection::RouteLocked(const Shard& shard,

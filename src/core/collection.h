@@ -13,10 +13,17 @@
 #include "core/query.h"
 #include "dataset/float_matrix.h"
 #include "dataset/vector_store.h"
+#include "durability/wal.h"
 #include "exec/task_executor.h"
 #include "util/status.h"
 
 namespace dblsh {
+
+namespace durability {
+struct Manifest;  // durability/snapshot.h
+}  // namespace durability
+
+struct DurabilityState;  // core/collection.cc
 
 /// Writer-priority shared mutex for a shard's single-writer / multi-reader
 /// discipline. std::shared_mutex is reader-preferring on glibc: a
@@ -148,6 +155,32 @@ struct CollectionOptions {
   /// to quantization at the cost of a deeper index pass. Ignored for
   /// fp32 storage.
   size_t rerank = 4;
+
+  /// Durability directory (spec key `durability=PATH`). Empty (default)
+  /// keeps the collection RAM-only. Non-empty makes every committed
+  /// Upsert/Delete durable: each shard appends to a checksummed WAL
+  /// segment in this directory before the call returns, Checkpoint()
+  /// writes per-shard snapshots + a manifest and rotates the logs, and
+  /// FromSpec/Open replay snapshot + WAL on start (restart without losing
+  /// the dynamic state). The directory belongs to one collection at a
+  /// time.
+  std::string durability_dir;
+
+  /// Background tombstone-compaction trigger (spec key
+  /// `compact_threshold=R`, 0 < R < 1; 0 disables). When a shard's
+  /// tombstone ratio (dead rows / physical rows) reaches R after a commit,
+  /// a background task rewrites the shard — trailing tombstoned rows are
+  /// physically dropped and the shard's indexes are rebuilt over the
+  /// compacted rows off-lock, swapping in atomically (RebindData) so
+  /// readers never block. Requires `durability_dir` (the rewrite is folded
+  /// into the durable state via a WAL trim record + checkpoint).
+  double compact_threshold = 0.0;
+
+  /// Group-commit width (spec key `wal_sync=N`, >= 1): the WAL fsyncs
+  /// every Nth append. 1 (default) syncs each commit before it is
+  /// acknowledged — full durability; larger values amortize the fsync at
+  /// the cost of the last < N acknowledged commits on a crash.
+  uint32_t wal_sync = 1;
 };
 
 /// Storage-backend report for a Collection (see Collection::Storage):
@@ -159,6 +192,20 @@ struct CollectionStorageInfo {
   size_t rerank = 0;            ///< re-rank multiplier (0 when fp32)
   size_t resident_bytes = 0;    ///< store heap bytes, summed over shards
   std::vector<size_t> shard_resident_bytes;  ///< per-shard store bytes
+};
+
+/// Durability report for a Collection (see Collection::Durability): the
+/// `dblsh_tool collection stats` surface and the serving stats wire carry
+/// these counters.
+struct CollectionDurabilityInfo {
+  bool enabled = false;           ///< durability= configured
+  std::string dir;                ///< durability directory
+  double compact_threshold = 0;   ///< tombstone ratio trigger (0 = off)
+  uint64_t checkpoints = 0;       ///< checkpoints taken (incl. on open)
+  uint64_t compactions = 0;       ///< background shard compactions landed
+  uint64_t wal_appends = 0;       ///< WAL records appended this process
+  uint64_t replayed_records = 0;  ///< WAL records replayed at open
+  double recovery_ms = 0;         ///< snapshot-load + replay time at open
 };
 
 /// The serving façade: one mutable dataset plus any number of named ANN
@@ -247,8 +294,9 @@ class Collection {
   ///   "collection[,OPTION...]: INDEX_SPEC (';' INDEX_SPEC)*"
   ///
   /// where each OPTION is a CollectionOptions key — `shards=N` (>= 1),
-  /// `rebuild=inline|background`, `storage=fp32|sq8` and `rerank=N`
-  /// (>= 1) — and each INDEX_SPEC is an IndexFactory
+  /// `rebuild=inline|background`, `storage=fp32|sq8`, `rerank=N` (>= 1),
+  /// `durability=PATH`, `compact_threshold=R` (0 < R < 1) and
+  /// `wal_sync=N` (>= 1) — and each INDEX_SPEC is an IndexFactory
   /// spec ("DB-LSH,c=1.5") that may additionally carry the slot-level keys
   /// `name=` (slot name; defaults to the method name) and
   /// `rebuild_threshold=N`. Takes ownership of `data` and adds every
@@ -257,9 +305,27 @@ class Collection {
   /// error is returned and the partial collection discarded. Returns by
   /// unique_ptr: a Collection owns synchronization state and is not
   /// movable.
+  ///
+  /// With `durability=PATH` the directory decides the start mode: a valid
+  /// manifest there means the collection *recovers* (snapshots + WAL
+  /// replay; `data` must then be null — seeding over existing durable
+  /// state is InvalidArgument), no manifest means a fresh durable
+  /// collection is initialized from `data` (which must be provided — it
+  /// defines the dimensionality) and an initial checkpoint written.
+  /// Index slots are not persisted; the caller supplies the same INDEX_SPEC
+  /// list on reopen and each shard's indexes are rebuilt over the
+  /// recovered rows.
   static Result<std::unique_ptr<Collection>> FromSpec(
       const std::string& spec, std::unique_ptr<FloatMatrix> data,
       exec::TaskExecutor* executor = nullptr);
+
+  /// Opens a durable collection from existing on-disk state: exactly
+  /// FromSpec(spec, nullptr, executor), requiring the spec to carry
+  /// `durability=PATH` and that directory to hold a valid manifest.
+  /// NotFound when the directory has no durable state, Corruption when
+  /// the state is damaged beyond the last valid WAL record.
+  static Result<std::unique_ptr<Collection>> Open(
+      const std::string& spec, exec::TaskExecutor* executor = nullptr);
 
   Collection(const Collection&) = delete;
   Collection& operator=(const Collection&) = delete;
@@ -375,6 +441,21 @@ class Collection {
   /// locks.
   CollectionStorageInfo Storage() const;
 
+  /// Takes a durable checkpoint: rotates every shard onto a fresh WAL
+  /// segment, writes per-shard snapshots and the manifest (its atomic
+  /// rename is the commit point), then deletes the superseded segments.
+  /// Readers keep serving throughout; each shard's writer is excluded
+  /// only for the in-memory state capture. Recovery cost after the call
+  /// is proportional to the mutations since it. InvalidArgument when the
+  /// collection has no `durability=` configured. Safe to call
+  /// concurrently (checkpoints serialize).
+  Status Checkpoint();
+
+  /// Durability report: directory, compaction trigger and the checkpoint
+  /// / compaction / WAL / recovery counters (all zero when durability is
+  /// off).
+  CollectionDurabilityInfo Durability() const;
+
  private:
   struct Slot {
     std::string name;
@@ -413,6 +494,11 @@ class Collection {
     /// never correctness, depends on them).
     std::atomic<size_t> approx_rows{0};
     std::atomic<size_t> approx_free{0};
+    /// Dead-row count the last compaction could not reclaim (interior
+    /// tombstones); the trigger re-fires only once dead rows exceed it.
+    size_t compact_floor = 0;
+    /// True from compaction scheduling until the task lands or gives up.
+    bool compact_scheduled = false;
   };
 
   /// The shard owning global id `id` (id % shards).
@@ -435,9 +521,48 @@ class Collection {
   /// built slots already absorbed it structurally (callers do that), so
   /// this advances staleness of static/unbuilt slots, triggers threshold
   /// rebuilds (inline or background per options) and lazy first builds,
-  /// bumps the shard version and the collection epoch. Caller holds the
-  /// shard's write lock.
-  void CommitMutationLocked(size_t shard_index);
+  /// bumps the shard version and the collection epoch. Under durability
+  /// the epoch value becomes the mutation's LSN and the record is
+  /// appended (group-commit synced) to the shard's WAL before returning —
+  /// a non-OK return means the in-memory commit stands but was NOT made
+  /// durable (the caller must not acknowledge it; the poisoned writer
+  /// fails every later mutation too, so the durable state stays a
+  /// consistent prefix). Also evaluates the compaction trigger. Caller
+  /// holds the shard's write lock. `vec` carries the upserted vector for
+  /// WalOp::kUpsert and is ignored otherwise.
+  Status CommitMutationLocked(size_t shard_index, durability::WalOp op,
+                              uint32_t global_id, const float* vec);
+
+  /// Sets up a fresh durability directory (no manifest yet): state,
+  /// initial checkpoint over the seed rows. Options already validated.
+  Status InitDurability(const CollectionOptions& options);
+
+  /// Rebuilds every shard's store from its snapshot and replays the WAL
+  /// segments at/after `manifest.wal_seq` (records at or before each
+  /// snapshot's LSN are skipped), then takes a checkpoint so the next
+  /// open starts from a rotated, torn-tail-free log. Called on the empty
+  /// shards of a just-constructed collection, before any index exists.
+  Status RecoverShards(const CollectionOptions& options,
+                       const durability::Manifest& manifest);
+
+  /// Evaluates the tombstone-ratio compaction trigger for `shard` and
+  /// schedules RunCompaction when it fires. Caller holds the write lock.
+  void MaybeCompactLocked(size_t shard_index);
+
+  /// Registers a pending background compaction and enqueues it (same
+  /// bg_inflight_ bookkeeping as ScheduleRebuild). Caller holds the
+  /// shard's write lock and has set Shard::compact_scheduled.
+  void ScheduleCompaction(size_t shard_index);
+
+  /// Executor task: snapshot the shard off-lock, trim the copy's trailing
+  /// tombstones, build replacement indexes over it, then — under the
+  /// write lock, if the shard did not mutate meanwhile — trim the real
+  /// store, log a WAL trim record and swap the indexes in (RebindData).
+  /// The trim and the index swap share one critical section: a stale
+  /// index handing out a trimmed id would read out of bounds. Finishes
+  /// with a best-effort checkpoint to fold the rewrite into the
+  /// snapshots.
+  void RunCompaction(size_t shard_index);
 
   /// Inline rebuild/lazy-build pass over `shard`'s slots (and background
   /// scheduling when enabled). Caller holds the shard's write lock.
@@ -488,6 +613,10 @@ class Collection {
   bool quantized_ = false;  ///< storage_ != kFp32, hoisted for hot paths
   size_t rerank_ = 4;       ///< CollectionOptions::rerank, >= 1
   std::atomic<uint64_t> epoch_{0};
+
+  /// Durability runtime state (WAL writers, checkpoint bookkeeping,
+  /// counters); nullptr when durability is off. See collection.cc.
+  std::unique_ptr<DurabilityState> durability_;
 
   // Background-rebuild bookkeeping: count of scheduled-but-unfinished
   // tasks, waited on by WaitForRebuilds() and the destructor.

@@ -182,6 +182,35 @@ class FloatMatrix {
   /// tombstone set exactly (see DbLsh::Save).
   const std::vector<uint32_t>& free_slots() const { return free_slots_; }
 
+  /// Physically drops every trailing tombstoned row (compaction): rows_
+  /// shrinks past each deleted tail slot, those slots leave the free-list,
+  /// and the payload (when resident) is truncated to match. Interior
+  /// tombstones are untouched — ids of live rows never move. Returns the
+  /// number of rows removed. Callers holding index structures over this
+  /// matrix must drop/rebuild them in the same critical section: a stale
+  /// index could hand back a trimmed id, which after the trim no longer
+  /// reads as deleted.
+  size_t TrimTombstonedTail() {
+    size_t trimmed = 0;
+    while (rows_ > 0 && IsDeleted(rows_ - 1)) {
+      --rows_;
+      deleted_[rows_] = 0;
+      --deleted_count_;
+      ++trimmed;
+    }
+    if (trimmed == 0) return 0;
+    if (deleted_.size() > rows_) deleted_.resize(rows_);
+    free_slots_.erase(
+        std::remove_if(free_slots_.begin(), free_slots_.end(),
+                       [&](uint32_t id) { return id >= rows_; }),
+        free_slots_.end());
+    if (!payload_released_) {
+      data_.resize(rows_ * cols_);
+      data_.shrink_to_fit();
+    }
+    return trimmed;
+  }
+
   /// The VectorStore managing this matrix's payload, or nullptr for a plain
   /// fp32 matrix (see dataset/vector_store.h). The shared verification path
   /// consults this to score candidates through the store's quantized

@@ -72,6 +72,10 @@ uint32_t Fp32Store::InsertRow(const float* values, size_t len) {
 
 Status Fp32Store::EraseRow(size_t id) { return matrix_->EraseRow(id); }
 
+size_t Fp32Store::TrimTombstonedTail() {
+  return matrix_->TrimTombstonedTail();
+}
+
 void Fp32Store::DecodeRow(uint32_t id, float* out) const {
   const float* row = matrix_->row(id);
   std::copy(row, row + matrix_->cols(), out);
@@ -132,6 +136,20 @@ Sq8Store::Sq8Store(std::unique_ptr<FloatMatrix> data,
     EncodeRow(matrix_->row(r), static_cast<uint32_t>(r));
   }
   matrix_->ReleasePayload();
+}
+
+Sq8Store::Sq8Store(std::unique_ptr<FloatMatrix> shell,
+                   std::vector<float> scale, std::vector<float> offset,
+                   std::vector<uint8_t> codes, bool trained)
+    : VectorStore(std::move(shell)),
+      codes_(std::move(codes)),
+      scale_(std::move(scale)),
+      offset_(std::move(offset)),
+      trained_(trained) {
+  assert(matrix_->payload_released());
+  assert(scale_.size() == matrix_->cols() &&
+         offset_.size() == matrix_->cols());
+  assert(codes_.size() == matrix_->rows() * matrix_->cols());
 }
 
 void Sq8Store::Train(const FloatMatrix& m) {
@@ -195,6 +213,15 @@ Status Sq8Store::EraseRow(size_t id) {
   // the verification path filters the id out, and InsertRow re-encodes
   // over the slot on recycle.
   return matrix_->EraseRow(id);
+}
+
+size_t Sq8Store::TrimTombstonedTail() {
+  const size_t trimmed = matrix_->TrimTombstonedTail();
+  if (trimmed > 0) {
+    codes_.resize(matrix_->rows() * matrix_->cols());
+    codes_.shrink_to_fit();
+  }
+  return trimmed;
 }
 
 void Sq8Store::DecodeRow(uint32_t id, float* out) const {

@@ -92,6 +92,13 @@ class VectorStore {
   /// Tombstones row `id` (exact FloatMatrix::EraseRow semantics).
   virtual Status EraseRow(size_t id) = 0;
 
+  /// Physically drops every trailing tombstoned row, shrinking the payload
+  /// to match (FloatMatrix::TrimTombstonedTail plus the backend's own code
+  /// array for quantized stores). Mutation: caller holds the writer lock
+  /// and must swap/rebuild indexes in the same critical section. Returns
+  /// rows removed.
+  virtual size_t TrimTombstonedTail() = 0;
+
   /// Reconstructs row `id` as fp32 into out[0..matrix().cols()). Exact for
   /// fp32; the quantized reconstruction for sq8.
   virtual void DecodeRow(uint32_t id, float* out) const = 0;
@@ -169,6 +176,7 @@ class Fp32Store final : public VectorStore {
   size_t resident_bytes() const override;
   uint32_t InsertRow(const float* values, size_t len) override;
   Status EraseRow(size_t id) override;
+  size_t TrimTombstonedTail() override;
   void DecodeRow(uint32_t id, float* out) const override;
   float ExactL2Squared(const float* query, uint32_t id) const override;
   void PrepareQuery(const float* query,
@@ -211,12 +219,23 @@ class Sq8Store final : public VectorStore {
   Sq8Store(std::unique_ptr<FloatMatrix> data, std::vector<float> scale,
            std::vector<float> offset);
 
+  /// Adopts persisted code bytes directly (durability snapshot restore):
+  /// `shell` is a payload-released metadata matrix (ids, tombstones,
+  /// free-list) whose fp32 bytes were never materialized, and `codes` are
+  /// its shell->rows() * shell->cols() quantized bytes verbatim — no
+  /// re-encoding, so the restored store is byte-identical to the one that
+  /// was snapshotted. `trained` round-trips the empty-seeded flag.
+  Sq8Store(std::unique_ptr<FloatMatrix> shell, std::vector<float> scale,
+           std::vector<float> offset, std::vector<uint8_t> codes,
+           bool trained);
+
   StorageKind storage_kind() const override { return StorageKind::kSq8; }
   bool quantized() const override { return true; }
   size_t bytes_per_vector() const override;
   size_t resident_bytes() const override;
   uint32_t InsertRow(const float* values, size_t len) override;
   Status EraseRow(size_t id) override;
+  size_t TrimTombstonedTail() override;
   void DecodeRow(uint32_t id, float* out) const override;
   float ExactL2Squared(const float* query, uint32_t id) const override;
   void PrepareQuery(const float* query,

@@ -1,0 +1,38 @@
+#include "durability/fail_point.h"
+
+namespace dblsh::durability {
+
+FailPoints& FailPoints::Instance() {
+  static FailPoints instance;
+  return instance;
+}
+
+void FailPoints::Arm(const std::string& point, uint64_t nth,
+                     size_t keep_bytes) {
+  std::lock_guard lock(mutex_);
+  armed_[point] = Trigger{nth, keep_bytes};
+  hits_[point] = 0;
+}
+
+void FailPoints::Reset() {
+  std::lock_guard lock(mutex_);
+  armed_.clear();
+  hits_.clear();
+}
+
+bool FailPoints::Hit(const char* point, size_t* keep_bytes) {
+  std::lock_guard lock(mutex_);
+  const uint64_t count = ++hits_[point];
+  const auto it = armed_.find(point);
+  if (it == armed_.end() || count != it->second.nth) return false;
+  *keep_bytes = it->second.keep_bytes;
+  return true;
+}
+
+uint64_t FailPoints::HitCount(const std::string& point) const {
+  std::lock_guard lock(mutex_);
+  const auto it = hits_.find(point);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+}  // namespace dblsh::durability

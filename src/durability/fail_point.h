@@ -1,0 +1,68 @@
+#ifndef DBLSH_DURABILITY_FAIL_POINT_H_
+#define DBLSH_DURABILITY_FAIL_POINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace dblsh::durability {
+
+/// Names of the fail points compiled into the durability write paths. Each
+/// is evaluated once per write of the named artifact, so arming the Nth hit
+/// of a point kills the Nth such write of the process deterministically.
+inline constexpr char kFailWalAppend[] = "wal:append";
+inline constexpr char kFailWalSync[] = "wal:sync";
+inline constexpr char kFailSnapshotWrite[] = "snapshot:write";
+inline constexpr char kFailManifestWrite[] = "manifest:write";
+
+/// Deterministic crash-injection registry for the durability write paths.
+///
+/// The WAL and snapshot writers consult this registry before every write.
+/// When the armed hit fires, the writer persists only the first
+/// `keep_bytes` bytes of the in-flight write (any value, including 0 and
+/// mid-record offsets), then poisons itself: no later byte ever reaches
+/// disk and the operation reports Status::IoError without being
+/// acknowledged. From the file system's point of view the outcome is
+/// byte-for-byte what `kill -9` at that write boundary leaves behind,
+/// while the test process stays alive (and sanitizer-observable) to
+/// reopen and verify recovery.
+///
+/// Thread-safe; intended for tests — production code never arms a point.
+class FailPoints {
+ public:
+  /// The process-wide registry the write paths consult.
+  static FailPoints& Instance();
+
+  /// Arms `point`: its `nth` future hit (1-based) triggers, keeping only
+  /// the first `keep_bytes` bytes of that write. Re-arming replaces any
+  /// previous trigger for the point.
+  void Arm(const std::string& point, uint64_t nth, size_t keep_bytes);
+
+  /// Disarms every point and zeroes all hit counters.
+  void Reset();
+
+  /// Write-path hook: records a hit of `point` and returns true when the
+  /// armed trigger fires, in which case `*keep_bytes` receives the byte
+  /// budget of the dying write. Cheap when nothing is armed.
+  bool Hit(const char* point, size_t* keep_bytes);
+
+  /// Hits recorded for `point` since the last Reset (armed or not) — lets
+  /// tests enumerate how many kill candidates a workload exposes.
+  uint64_t HitCount(const std::string& point) const;
+
+ private:
+  struct Trigger {
+    uint64_t nth = 0;  ///< fires when the hit counter reaches this value
+    size_t keep_bytes = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Trigger> armed_;
+  std::map<std::string, uint64_t> hits_;
+};
+
+}  // namespace dblsh::durability
+
+#endif  // DBLSH_DURABILITY_FAIL_POINT_H_

@@ -1,0 +1,76 @@
+#ifndef DBLSH_DURABILITY_SNAPSHOT_H_
+#define DBLSH_DURABILITY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dblsh::durability {
+
+/// Storage kinds a shard snapshot can encode (mirrors
+/// dataset::StorageKind without importing the dataset layer).
+inline constexpr uint32_t kSnapshotFp32 = 0;
+inline constexpr uint32_t kSnapshotSq8 = 1;
+
+/// A point-in-time, self-verifying image of one shard's vector store:
+/// the physical row block (including tombstoned rows — the free list is
+/// preserved verbatim so recovered id assignment replays identically),
+/// plus the LSN the image is consistent up to.
+struct ShardSnapshot {
+  uint32_t storage = kSnapshotFp32;
+  uint64_t rows = 0;
+  uint64_t dim = 0;
+  uint64_t lsn = 0;      ///< epoch value the snapshot is consistent up to
+  bool trained = false;  ///< sq8 quantizer trained flag
+  std::vector<uint32_t> free_slots;  ///< tombstoned local ids, LIFO order
+  std::vector<float> fp32;           ///< rows*dim floats (fp32 only)
+  std::vector<float> scales;         ///< dim floats (sq8 only)
+  std::vector<float> offsets;        ///< dim floats (sq8 only)
+  std::vector<uint8_t> codes;        ///< rows*dim codes (sq8 only)
+};
+
+/// Checkpoint root record: which WAL generation is live and what the
+/// snapshots cover. Written last — its atomic rename is the commit point
+/// of a checkpoint.
+struct Manifest {
+  uint32_t shards = 0;
+  uint32_t dim = 0;
+  uint32_t storage = kSnapshotFp32;
+  uint64_t wal_seq = 0;  ///< live segments are `shard-N.wal.<wal_seq>`
+  uint64_t checkpoint_lsn = 0;
+};
+
+/// Layout helpers for a durability directory.
+std::string SnapshotPath(const std::string& dir, size_t shard);
+std::string WalPath(const std::string& dir, size_t shard, uint64_t seq);
+std::string ManifestPath(const std::string& dir);
+
+/// Creates `dir` (and parents) if missing.
+Status EnsureDir(const std::string& dir);
+
+/// Sequence numbers of every `shard-<shard>.wal.*` file in `dir`,
+/// ascending. Missing directory yields an empty list.
+std::vector<uint64_t> ListWalSegments(const std::string& dir, size_t shard);
+
+/// Writes `snap` to `path` via tmp-file + atomic rename; the checksummed
+/// header/body means a torn write is detected at load, never trusted.
+/// Consults FailPoints (kFailSnapshotWrite).
+Status SaveShardSnapshot(const std::string& path, const ShardSnapshot& snap);
+
+/// Loads and verifies a snapshot. NotFound when the file is absent,
+/// Corruption when any checksum or shape check fails.
+Result<ShardSnapshot> LoadShardSnapshot(const std::string& path);
+
+/// Writes the manifest via tmp-file + atomic rename (the checkpoint commit
+/// point). Consults FailPoints (kFailManifestWrite).
+Status SaveManifest(const std::string& dir, const Manifest& manifest);
+
+/// Loads and verifies the manifest. NotFound when absent (fresh
+/// directory), Corruption on damage.
+Result<Manifest> LoadManifest(const std::string& dir);
+
+}  // namespace dblsh::durability
+
+#endif  // DBLSH_DURABILITY_SNAPSHOT_H_

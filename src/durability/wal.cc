@@ -1,0 +1,223 @@
+#include "durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "durability/fail_point.h"
+#include "durability/format.h"
+
+namespace dblsh::durability {
+namespace {
+
+constexpr char kWalMagic[8] = {'D', 'B', 'L', 'S', 'H', 'W', 'A', 'L'};
+constexpr uint32_t kWalVersion = 1;
+// magic + version + dim + checksum-over-the-first-16-bytes.
+constexpr size_t kWalHeaderSize = 8 + 4 + 4 + 8;
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+std::vector<uint8_t> EncodeHeader(uint32_t dim) {
+  std::vector<uint8_t> out;
+  out.reserve(kWalHeaderSize);
+  AppendBytes(&out, kWalMagic, sizeof(kWalMagic));
+  AppendPod(&out, kWalVersion);
+  AppendPod(&out, dim);
+  AppendPod(&out, Fnv1a64(out.data(), out.size()));
+  return out;
+}
+
+size_t BodySize(WalOp op, uint32_t dim) {
+  // u64 lsn + u8 op + u32 id [+ dim floats for upserts].
+  size_t n = 8 + 1 + 4;
+  if (op == WalOp::kUpsert) n += static_cast<size_t>(dim) * sizeof(float);
+  return n;
+}
+
+bool WriteAll(int fd, const uint8_t* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<size_t>(n);
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path,
+                                                     uint32_t dim,
+                                                     uint32_t sync_every) {
+  if (dim == 0) return Status::InvalidArgument("wal: dim must be positive");
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::IoError(Errno("wal: open", path));
+  auto writer = std::unique_ptr<WalWriter>(
+      new WalWriter(path, fd, dim, std::max<uint32_t>(1, sync_every)));
+  const std::vector<uint8_t> header = EncodeHeader(dim);
+  DBLSH_RETURN_IF_ERROR(writer->WriteChecked(header.data(), header.size()));
+  DBLSH_RETURN_IF_ERROR(writer->Sync());
+  return writer;
+}
+
+WalWriter::WalWriter(std::string path, int fd, uint32_t dim,
+                     uint32_t sync_every)
+    : path_(std::move(path)), fd_(fd), dim_(dim), sync_every_(sync_every) {}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::WriteChecked(const uint8_t* data, size_t len) {
+  if (poisoned_) return Status::IoError("wal: writer poisoned " + path_);
+  size_t keep = 0;
+  if (FailPoints::Instance().Hit(kFailWalAppend, &keep)) {
+    const size_t partial = std::min(keep, len);
+    if (partial > 0) WriteAll(fd_, data, partial);
+    ::fsync(fd_);
+    poisoned_ = true;
+    return Status::IoError("wal: injected crash during append " + path_);
+  }
+  if (!WriteAll(fd_, data, len)) {
+    poisoned_ = true;
+    return Status::IoError(Errno("wal: write", path_));
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Append(uint64_t lsn, WalOp op, uint32_t id,
+                         const float* vec) {
+  std::vector<uint8_t> body;
+  body.reserve(BodySize(op, dim_));
+  AppendPod(&body, lsn);
+  AppendPod(&body, static_cast<uint8_t>(op));
+  AppendPod(&body, id);
+  if (op == WalOp::kUpsert) {
+    AppendBytes(&body, vec, static_cast<size_t>(dim_) * sizeof(float));
+  }
+
+  std::vector<uint8_t> record;
+  record.reserve(12 + body.size());
+  AppendPod(&record, Fnv1a64(body.data(), body.size()));
+  AppendPod(&record, static_cast<uint32_t>(body.size()));
+  AppendBytes(&record, body.data(), body.size());
+
+  DBLSH_RETURN_IF_ERROR(WriteChecked(record.data(), record.size()));
+  ++appends_;
+  if (++unsynced_ >= sync_every_) return Sync();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (poisoned_) return Status::IoError("wal: writer poisoned " + path_);
+  size_t keep = 0;
+  if (FailPoints::Instance().Hit(kFailWalSync, &keep)) {
+    // Crash before the fsync barrier: appended-but-unsynced records may or
+    // may not survive; leaving them in the file models the "survived"
+    // outcome (the recovery contract permits unacknowledged tails).
+    poisoned_ = true;
+    return Status::IoError("wal: injected crash during sync " + path_);
+  }
+  if (::fsync(fd_) != 0) {
+    poisoned_ = true;
+    return Status::IoError(Errno("wal: fsync", path_));
+  }
+  unsynced_ = 0;
+  ++syncs_;
+  return Status::OK();
+}
+
+Result<WalReplay> ReadWal(const std::string& path, uint32_t expected_dim) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("wal: cannot open " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("wal: read failed " + path);
+
+  PodReader reader(bytes.data(), bytes.size());
+  char magic[8];
+  uint32_t version = 0;
+  uint32_t dim = 0;
+  uint64_t header_sum = 0;
+  if (!reader.ReadBytes(magic, sizeof(magic)) || !reader.Read(&version) ||
+      !reader.Read(&dim) || !reader.Read(&header_sum)) {
+    return Status::Corruption("wal: truncated header " + path);
+  }
+  if (std::memcmp(magic, kWalMagic, sizeof(magic)) != 0) {
+    return Status::Corruption("wal: bad magic " + path);
+  }
+  if (header_sum != Fnv1a64(bytes.data(), kWalHeaderSize - 8)) {
+    return Status::Corruption("wal: header checksum mismatch " + path);
+  }
+  if (version != kWalVersion) {
+    return Status::Corruption("wal: unsupported version " +
+                              std::to_string(version) + " " + path);
+  }
+  if (dim != expected_dim) {
+    return Status::Corruption("wal: dim " + std::to_string(dim) +
+                              " does not match collection dim " +
+                              std::to_string(expected_dim) + " " + path);
+  }
+
+  WalReplay replay;
+  replay.bytes_scanned = reader.position();
+  while (reader.remaining() > 0) {
+    uint64_t checksum = 0;
+    uint32_t body_len = 0;
+    if (!reader.Read(&checksum) || !reader.Read(&body_len) ||
+        reader.remaining() < body_len) {
+      replay.tail = Status::Corruption("wal: torn record at byte " +
+                                       std::to_string(replay.bytes_scanned) +
+                                       " " + path);
+      return replay;
+    }
+    const uint8_t* body = bytes.data() + reader.position();
+    if (checksum != Fnv1a64(body, body_len)) {
+      replay.tail = Status::Corruption("wal: checksum mismatch at byte " +
+                                       std::to_string(replay.bytes_scanned) +
+                                       " " + path);
+      return replay;
+    }
+
+    PodReader body_reader(body, body_len);
+    WalRecord rec;
+    uint8_t op = 0;
+    if (!body_reader.Read(&rec.lsn) || !body_reader.Read(&op) ||
+        !body_reader.Read(&rec.id) ||
+        op < static_cast<uint8_t>(WalOp::kUpsert) ||
+        op > static_cast<uint8_t>(WalOp::kTrim)) {
+      replay.tail = Status::Corruption("wal: malformed record at byte " +
+                                       std::to_string(replay.bytes_scanned) +
+                                       " " + path);
+      return replay;
+    }
+    rec.op = static_cast<WalOp>(op);
+    if (body_len != BodySize(rec.op, expected_dim)) {
+      replay.tail = Status::Corruption("wal: record size mismatch at byte " +
+                                       std::to_string(replay.bytes_scanned) +
+                                       " " + path);
+      return replay;
+    }
+    if (rec.op == WalOp::kUpsert) {
+      rec.vec.resize(expected_dim);
+      body_reader.ReadBytes(rec.vec.data(),
+                            static_cast<size_t>(expected_dim) * sizeof(float));
+    }
+    reader.Skip(body_len);
+    replay.bytes_scanned = reader.position();
+    replay.records.push_back(std::move(rec));
+  }
+  return replay;
+}
+
+}  // namespace dblsh::durability

@@ -1,0 +1,113 @@
+#ifndef DBLSH_DURABILITY_WAL_H_
+#define DBLSH_DURABILITY_WAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dblsh::durability {
+
+/// Mutation kinds a WAL record can carry.
+enum class WalOp : uint8_t {
+  kUpsert = 1,  ///< body carries the vector payload
+  kDelete = 2,  ///< body carries only the global id
+  /// Compaction marker: the shard physically dropped its trailing
+  /// tombstoned rows. `id` carries the number of rows trimmed; replay
+  /// re-runs the (deterministic) trim and verifies the count, so logged
+  /// mutations after a compaction land on the same geometry they were
+  /// issued against.
+  kTrim = 3,
+};
+
+/// One decoded WAL record. `lsn` is the Collection's global epoch value at
+/// commit time; `id` is the global (pre-sharding) vector id (the trimmed
+/// row count for kTrim).
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalOp op = WalOp::kUpsert;
+  uint32_t id = 0;
+  std::vector<float> vec;  ///< dim floats for kUpsert, otherwise empty
+};
+
+/// Result of scanning one WAL segment: the longest valid checksummed
+/// prefix, plus a typed verdict on the bytes after it. A clean segment has
+/// `tail.ok()`; a torn or corrupted one reports Corruption in `tail` while
+/// `records` still holds everything before the damage.
+struct WalReplay {
+  std::vector<WalRecord> records;
+  Status tail = Status::OK();
+  size_t bytes_scanned = 0;  ///< valid bytes consumed (header + records)
+};
+
+/// Append-only writer for one shard's WAL segment.
+///
+/// Records are `[u64 checksum | u32 body_len | body]` with the checksum an
+/// FNV-1a64 over the body; a reader accepts a record only when the
+/// checksum verifies, so any torn write is detected at the exact record it
+/// damaged. `sync_every` batches fsyncs (group commit): every Nth append
+/// syncs, and callers needing a hard barrier call Sync() directly.
+///
+/// The writer consults FailPoints (kFailWalAppend, kFailWalSync) before
+/// touching the file; when a trigger fires it persists only the armed byte
+/// prefix and permanently poisons itself — every later call returns
+/// IoError without writing, which is exactly the reachable-state set of a
+/// process killed at that boundary.
+class WalWriter {
+ public:
+  /// Creates/truncates the segment at `path` and writes the file header.
+  static Result<std::unique_ptr<WalWriter>> Create(
+      const std::string& path, uint32_t dim, uint32_t sync_every);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record; `vec` must point at `dim` floats for kUpsert and
+  /// is ignored for kDelete. Syncs when the group-commit quota is reached.
+  Status Append(uint64_t lsn, WalOp op, uint32_t id, const float* vec);
+
+  /// Forces an fsync of all appended records (the durability barrier an
+  /// acknowledgement rides on).
+  Status Sync();
+
+  /// True once a fail point (or a real IO error) killed this writer; all
+  /// further operations fail fast with IoError.
+  bool poisoned() const { return poisoned_; }
+
+  const std::string& path() const { return path_; }
+  uint64_t appends() const { return appends_; }
+  uint64_t syncs() const { return syncs_; }
+
+ private:
+  WalWriter(std::string path, int fd, uint32_t dim, uint32_t sync_every);
+
+  /// Writes `data` honoring any armed fail point; on trigger keeps only
+  /// the armed prefix, poisons the writer, and returns IoError.
+  Status WriteChecked(const uint8_t* data, size_t len);
+
+  std::string path_;
+  int fd_ = -1;
+  uint32_t dim_ = 0;
+  uint32_t sync_every_ = 1;
+  uint32_t unsynced_ = 0;
+  uint64_t appends_ = 0;
+  uint64_t syncs_ = 0;
+  bool poisoned_ = false;
+};
+
+/// Scans the segment at `path`, returning every record whose checksum and
+/// shape (body length matching the op and `expected_dim`) verify, in file
+/// order. Only a missing/unreadable file or a damaged *header* is an
+/// error-level failure; damage after the header is reported via
+/// `WalReplay::tail` so callers can distinguish "clean end" from "torn
+/// tail" without losing the valid prefix.
+Result<WalReplay> ReadWal(const std::string& path,
+                                uint32_t expected_dim);
+
+}  // namespace dblsh::durability
+
+#endif  // DBLSH_DURABILITY_WAL_H_

@@ -283,12 +283,17 @@ Result<RemoteStats> Client::Stats() {
   stats.collections.resize(num_collections);
   for (uint32_t i = 0; i < num_collections; ++i) {
     RemoteCollectionStats& c = stats.collections[i];
+    uint8_t durable = 0;
     if (!r.GetString(&c.name) || !r.GetU64(&c.live_vectors) ||
         !r.GetU64(&c.epoch) || !r.GetU32(&c.shards) ||
         !r.GetString(&c.storage) || !r.GetU64(&c.bytes_per_vector) ||
-        !r.GetU64(&c.resident_bytes) || !r.GetU32(&c.rerank)) {
+        !r.GetU64(&c.resident_bytes) || !r.GetU32(&c.rerank) ||
+        !r.GetU8(&durable) || !r.GetU64(&c.checkpoints) ||
+        !r.GetU64(&c.compactions) || !r.GetU64(&c.wal_appends) ||
+        !r.GetU64(&c.replayed_records) || !r.GetF64(&c.recovery_ms)) {
       return ProtocolError("malformed Stats response body");
     }
+    c.durable = durable != 0;
   }
   ServerStats& sv = stats.server;
   if (!r.GetU64(&sv.connections_accepted) ||
@@ -302,6 +307,21 @@ Result<RemoteStats> Client::Stats() {
     return ProtocolError("malformed Stats response body");
   }
   return stats;
+}
+
+Status Client::Checkpoint(const std::string& collection) {
+  std::vector<uint8_t> payload;
+  wire::PutString(&payload, collection);
+  std::vector<uint8_t> response;
+  Status s = Call(OpCode::kCheckpoint, payload, &response);
+  if (!s.ok()) return s;
+  wire::Reader r(response.data(), response.size());
+  WireStatus status;
+  std::string message;
+  if (!ReadStatusPrefix(&r, &status, &message)) {
+    return ProtocolError("malformed Checkpoint response");
+  }
+  return ToStatus(status, message);
 }
 
 Result<uint64_t> Client::SendSearch(const std::string& collection,

@@ -43,6 +43,12 @@ struct RemoteCollectionStats {
   uint64_t bytes_per_vector = 0; ///< payload bytes per vector slot
   uint64_t resident_bytes = 0;   ///< store heap bytes, summed over shards
   uint32_t rerank = 0;           ///< re-rank multiplier (0 when fp32)
+  bool durable = false;          ///< collection has a durability directory
+  uint64_t checkpoints = 0;      ///< completed checkpoints since open
+  uint64_t compactions = 0;      ///< completed tombstone compactions
+  uint64_t wal_appends = 0;      ///< WAL records appended since open
+  uint64_t replayed_records = 0; ///< WAL records replayed at last open
+  double recovery_ms = 0.0;      ///< wall time of the last recovery
 };
 
 /// Full Stats answer: per-collection state + the server counters.
@@ -111,6 +117,11 @@ class Client {
 
   /// Server + per-collection counters.
   Result<RemoteStats> Stats();
+
+  /// Forces a durable checkpoint (snapshot + WAL rotation) of the named
+  /// collection. Fails with InvalidArgument when the collection was not
+  /// opened with a durability directory.
+  Status Checkpoint(const std::string& collection);
 
   /// Pipelined send half: writes one Search request WITHOUT waiting for
   /// the response and returns its request_id. Pair with

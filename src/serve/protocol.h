@@ -37,8 +37,9 @@ namespace dblsh::serve {
 inline constexpr uint32_t kMagic = 0x48534C44u;
 
 /// Protocol version this build speaks; a frame with any other version is
-/// rejected with kProtocolError.
-inline constexpr uint8_t kProtocolVersion = 1;
+/// rejected with kProtocolError. Version 2 added the kCheckpoint op and
+/// the per-collection durability block in the kStats response.
+inline constexpr uint8_t kProtocolVersion = 2;
 
 /// Size of the fixed frame header on the wire.
 inline constexpr size_t kHeaderBytes = 24;
@@ -56,6 +57,7 @@ enum class OpCode : uint8_t {
   kUpsert = 3,       ///< insert or replace one vector
   kDelete = 4,       ///< tombstone one id
   kStats = 5,        ///< server + per-collection counters
+  kCheckpoint = 6,   ///< durable snapshot + WAL rotation of one collection
 };
 
 /// Typed status of a response frame. kOverloaded and kShuttingDown are

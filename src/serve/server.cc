@@ -298,6 +298,9 @@ bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     case OpCode::kStats:
       HandleStats(conn, header.request_id);
       return true;
+    case OpCode::kCheckpoint:
+      HandleCheckpoint(conn, header.request_id, payload);
+      return true;
   }
   protocol_errors_.fetch_add(1);
   SendError(conn, header.op, header.request_id, WireStatus::kProtocolError,
@@ -513,6 +516,38 @@ void Server::HandleDelete(const std::shared_ptr<Connection>& conn,
                                      StatusPayload(WireStatus::kOk, "")));
 }
 
+void Server::HandleCheckpoint(const std::shared_ptr<Connection>& conn,
+                              uint64_t request_id,
+                              const std::vector<uint8_t>& payload) {
+  wire::Reader reader(payload.data(), payload.size());
+  std::string name;
+  if (!reader.GetString(&name)) {
+    protocol_errors_.fetch_add(1);
+    SendError(conn, OpCode::kCheckpoint, request_id,
+              WireStatus::kProtocolError, "malformed Checkpoint payload");
+    return;
+  }
+  Collection* collection = Find(name);
+  if (collection == nullptr) {
+    SendError(conn, OpCode::kCheckpoint, request_id, WireStatus::kNotFound,
+              "no collection named \"" + name + "\"");
+    return;
+  }
+  if (stopping_.load(std::memory_order_acquire)) {
+    SendError(conn, OpCode::kCheckpoint, request_id,
+              WireStatus::kShuttingDown, "server draining");
+    return;
+  }
+  Status s = collection->Checkpoint();
+  if (!s.ok()) {
+    SendError(conn, OpCode::kCheckpoint, request_id, FromStatus(s),
+              s.message());
+    return;
+  }
+  (void)conn->WriteFrame(EncodeFrame(OpCode::kCheckpoint, request_id,
+                                     StatusPayload(WireStatus::kOk, "")));
+}
+
 void Server::HandleStats(const std::shared_ptr<Connection>& conn,
                          uint64_t request_id) {
   const ServerStats s = Stats();
@@ -520,6 +555,7 @@ void Server::HandleStats(const std::shared_ptr<Connection>& conn,
   wire::PutU32(&body, static_cast<uint32_t>(collections_.size()));
   for (const auto& [name, collection] : collections_) {
     const CollectionStorageInfo storage = collection->Storage();
+    const CollectionDurabilityInfo durable = collection->Durability();
     wire::PutString(&body, name);
     wire::PutU64(&body, collection->size());
     wire::PutU64(&body, collection->epoch());
@@ -528,6 +564,12 @@ void Server::HandleStats(const std::shared_ptr<Connection>& conn,
     wire::PutU64(&body, storage.bytes_per_vector);
     wire::PutU64(&body, storage.resident_bytes);
     wire::PutU32(&body, static_cast<uint32_t>(storage.rerank));
+    wire::PutU8(&body, durable.enabled ? 1 : 0);
+    wire::PutU64(&body, durable.checkpoints);
+    wire::PutU64(&body, durable.compactions);
+    wire::PutU64(&body, durable.wal_appends);
+    wire::PutU64(&body, durable.replayed_records);
+    wire::PutF64(&body, durable.recovery_ms);
   }
   wire::PutU64(&body, s.connections_accepted);
   wire::PutU64(&body, s.connections_rejected);

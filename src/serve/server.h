@@ -178,6 +178,12 @@ class Server {
   /// Op handler: collection + counter snapshot.
   void HandleStats(const std::shared_ptr<Connection>& conn,
                    uint64_t request_id);
+  /// Op handler: durable checkpoint of one collection, inline on the
+  /// reader (checkpointing takes the shard write locks briefly, then does
+  /// its file IO off-lock).
+  void HandleCheckpoint(const std::shared_ptr<Connection>& conn,
+                        uint64_t request_id,
+                        const std::vector<uint8_t>& payload);
   /// Sends a status-only response frame.
   void SendError(const std::shared_ptr<Connection>& conn, OpCode op,
                  uint64_t request_id, WireStatus status,
