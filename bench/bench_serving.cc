@@ -22,6 +22,12 @@
 // latency, achieved QPS, and the coalescer's achieved batch sizes; shed
 // and deadline-rejection counts land in BENCH_serving.json alongside.
 //
+// Two durable epilogues close the run: a recovery section (checkpoint,
+// lay a WAL tail, time a cold Collection::Open) and a replication
+// section (serve a durable primary over loopback, bootstrap a follower
+// from its checkpoint snapshots, stream a write burst, and measure the
+// follower's catch-up — shipped/applied counts, final lag, wall time).
+//
 // Flags: --n (initial points, default 50000), --dim (32), --k (10),
 // --readers (max reader tasks, default 8; the sweep doubles from 1),
 // --shards (comma list of shard counts, default "1,4"), --duration-ms
@@ -52,6 +58,7 @@
 #include "dataset/synthetic.h"
 #include "eval/table.h"
 #include "exec/task_executor.h"
+#include "replication/replica.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "util/perfmon.h"
@@ -716,6 +723,119 @@ int Run(const bench::Flags& flags) {
                  .Set("checkpoints", durable.checkpoints));
     reopened.value().reset();
     fs::remove_all(dir);
+  }
+
+  // ---------------------------------------------------------------------
+  // Replication section: serve a durable primary over loopback, bootstrap
+  // a follower from the checkpoint snapshots, stream a write burst at the
+  // primary, and measure the follower's catch-up — shipped/applied record
+  // counts, per-shard lag at the end, and convergence wall time.
+  {
+    namespace fs = std::filesystem;
+    const std::string pid = std::to_string(::getpid());
+    const fs::path primary_dir =
+        fs::temp_directory_path() / ("dblsh_bench_repl_primary_" + pid);
+    const fs::path replica_dir =
+        fs::temp_directory_path() / ("dblsh_bench_repl_replica_" + pid);
+    fs::remove_all(primary_dir);
+    fs::remove_all(replica_dir);
+    const std::string tail_spec =
+        storage_suffix + ": DB-LSH,name=serving";
+    auto made = Collection::FromSpec(
+        "collection,shards=2,durability=" + primary_dir.string() + tail_spec,
+        std::make_unique<FloatMatrix>(cloud));
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+      return 1;
+    }
+    Collection& primary = *made.value();
+    auto started = serve::Server::Start({{"main", &primary}}, {});
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
+      return 1;
+    }
+    serve::Server& server = *started.value();
+
+    replication::ReplicaOptions replica_options;
+    replica_options.primary_port = server.port();
+    replica_options.spec =
+        "collection,shards=2,durability=" + replica_dir.string() + tail_spec;
+    replica_options.dir = replica_dir.string();
+    Timer bootstrap_timer;
+    auto follower = replication::Replica::Start(replica_options);
+    const double bootstrap_ms = bootstrap_timer.ElapsedSec() * 1000.0;
+    if (!follower.ok()) {
+      std::fprintf(stderr, "%s\n", follower.status().ToString().c_str());
+      return 1;
+    }
+    replication::Replica& replica = *follower.value();
+    const size_t bootstrap_points = replica.collection()->size();
+
+    // Write burst: ~2% of n (at least 64) upserts streamed at the primary
+    // while the follower tails.
+    const size_t burst = std::max<size_t>(64, n / 50);
+    Rng rng(seed + 23);
+    std::vector<float> vec(dim);
+    for (size_t i = 0; i < burst; ++i) {
+      for (float& x : vec) {
+        x = static_cast<float>(rng.NextU64() % 1000) / 7.0f;
+      }
+      if (auto up = primary.Upsert(vec.data(), dim); !up.ok()) {
+        std::fprintf(stderr, "%s\n", up.status().ToString().c_str());
+        return 1;
+      }
+    }
+
+    // Catch-up: poll until every shard's applied LSN reaches the
+    // primary's commit watermark (bounded; a stuck follower reports its
+    // residual lag instead of wedging the bench).
+    Timer catch_up_timer;
+    uint64_t final_lag = 0;
+    bool converged = false;
+    while (catch_up_timer.ElapsedMs() < 30000.0) {
+      const std::vector<uint64_t> primary_lsns = primary.ShardAppliedLsns();
+      const serve::ReplicationReport report = replica.Report();
+      final_lag = 0;
+      for (size_t s = 0; s < primary_lsns.size(); ++s) {
+        const uint64_t applied =
+            s < report.shards.size() ? report.shards[s].applied_lsn : 0;
+        final_lag += primary_lsns[s] > applied ? primary_lsns[s] - applied : 0;
+      }
+      if (final_lag == 0) {
+        converged = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    const double catch_up_ms = catch_up_timer.ElapsedMs();
+    const serve::ReplicationReport report = replica.Report();
+    const serve::ServerStats stats = server.Stats();
+    std::printf("--- replication: bootstrapped %zu rows in %.3f ms; %zu "
+                "burst writes caught up in %.3f ms (%llu shipped, %llu "
+                "applied, final lag %llu) ---\n\n",
+                bootstrap_points, bootstrap_ms, burst, catch_up_ms,
+                static_cast<unsigned long long>(
+                    stats.replication_records_shipped),
+                static_cast<unsigned long long>(report.records_applied),
+                static_cast<unsigned long long>(final_lag));
+    json.Set("replication",
+             bench::Json::Object()
+                 .Set("bootstrap_points", bootstrap_points)
+                 .Set("bootstrap_ms", bootstrap_ms)
+                 .Set("burst_writes", burst)
+                 .Set("catch_up_ms", catch_up_ms)
+                 .Set("records_shipped", stats.replication_records_shipped)
+                 .Set("records_applied", report.records_applied)
+                 .Set("subscriptions", stats.replication_subscriptions)
+                 .Set("final_lag", final_lag)
+                 .Set("converged", static_cast<uint64_t>(converged ? 1 : 0)));
+    replica.Stop();
+    follower.value().reset();
+    server.Shutdown();
+    started.value().reset();
+    made.value().reset();
+    fs::remove_all(primary_dir);
+    fs::remove_all(replica_dir);
   }
 
   if (flags.Has("json")) {

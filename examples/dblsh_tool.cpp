@@ -19,6 +19,9 @@
 //   dblsh_tool serve --data=data.fvecs [--indexes="DB-LSH"] [--port=0]
 //                    [--collection=main] [--window-us=1000]
 //                    [--duration-ms=0]
+//   dblsh_tool serve --replicate-from=host:port --durability=DIR
+//                    [--indexes="DB-LSH"] [--port=0]
+//   dblsh_tool replication status --server=host:port
 //   dblsh_tool ping --server=host:port
 //   dblsh_tool collection search --server=host:port --queries=q.fvecs
 //   dblsh_tool collection upsert --server=host:port --vectors=v.fvecs
@@ -51,7 +54,12 @@
 // `serve` hosts a collection over the framed-TCP protocol (src/serve/):
 // the coalescer micro-batches concurrent client searches into one
 // SearchBatch. It runs until SIGINT/SIGTERM (or --duration-ms) and then
-// drains gracefully. The client side of the same commands activates with
+// drains gracefully. With `--replicate-from=H:P` the process comes up as
+// a read replica of a running primary instead: it bootstraps (or locally
+// recovers) its own durable copy under --durability=DIR, tails the
+// primary's per-shard WAL streams, and serves reads only — writes are
+// refused with the primary's address. `replication status --server=H:P`
+// prints a peer's role and per-shard replication lag. The client side of the same commands activates with
 // `--server=host:port`: `collection search/upsert/delete`, `stats`, and
 // `ping` then talk to a running server instead of local files. Remote
 // searches carry an optional `--deadline-ms` budget the server enforces
@@ -82,6 +90,7 @@
 #include "dataset/synthetic.h"
 #include "durability/snapshot.h"
 #include "eval/metrics.h"
+#include "replication/replica.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "util/perfmon.h"
@@ -127,7 +136,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: dblsh_tool <methods|gen|build|query|collection|stats|serve|"
-      "ping> [--flags]\n"
+      "replication|ping> [--flags]\n"
       "  methods  list registered index methods for --method specs\n"
       "  gen    --out=F.fvecs --n=N --dim=D [--clusters=C] "
       "[--spread=S] [--seed=X]\n"
@@ -157,6 +166,9 @@ int Usage() {
       "[--threads=N] [--duration-ms=0]\n"
       "         [--shards=N] [--storage=fp32|sq8] [--rerank=N]\n"
       "         [--durability=DIR] [--compact-threshold=R] [--wal-sync=N]\n"
+      "         [--replicate-from=H:P]   (read replica; requires "
+      "--durability=DIR)\n"
+      "  replication status --server=H:P [--collection=main]\n"
       "  ping   --server=H:P\n"
       "SPEC is an IndexFactory string, e.g. \"DB-LSH,c=1.5,t=40\" or "
       "\"PM-LSH,m=8\";\n"
@@ -180,7 +192,13 @@ int Usage() {
       "`dblsh_tool serve` instance over framed TCP instead of local files "
       "(remote search\n"
       "accepts --collection=NAME and --deadline-ms=B; --gt/--filter stay "
-      "local-only).\n");
+      "local-only).\n"
+      "serve --replicate-from=H:P follows a running primary as a read "
+      "replica: it\n"
+      "bootstraps (or recovers) its own copy under --durability=DIR, tails "
+      "the primary's\n"
+      "WAL, and refuses writes; the local spec flags must match the "
+      "primary's geometry.\n");
   return 2;
 }
 
@@ -299,13 +317,45 @@ void OnServeSignal(int) { g_serve_stop.store(true); }
 int RunServe(const Args& args) {
   const std::string data_path = args.Get("data", "");
   const std::string durability_dir = args.Get("durability", "");
+  const std::string replicate_from = args.Get("replicate-from", "");
   // Executor first (see RunCollectionSearch for why), then the collection.
   ConfigureThreads(args);
   const std::string indexes = args.Get("indexes", "DB-LSH");
   const std::string spec = CollectionPrefix(args) + ": " + indexes;
+  const std::string name = args.Get("collection", "main");
   Timer build_timer;
   std::unique_ptr<Collection> owned;
-  if (!durability_dir.empty() &&
+  std::unique_ptr<replication::Replica> replica;
+  if (!replicate_from.empty()) {
+    // Follower mode: bootstrap (or locally recover) a read replica of the
+    // primary at --replicate-from and serve reads from it.
+    if (durability_dir.empty()) {
+      std::fprintf(stderr,
+                   "serve --replicate-from requires --durability=DIR (the "
+                   "replica's own directory)\n");
+      return 2;
+    }
+    replication::ReplicaOptions ropts;
+    if (!ParseServer(replicate_from, &ropts.primary_host,
+                     &ropts.primary_port)) {
+      return 2;
+    }
+    ropts.collection = name;
+    ropts.spec = spec;
+    ropts.dir = durability_dir;
+    auto started = replication::Replica::Start(ropts);
+    if (!started.ok()) {
+      std::fprintf(stderr, "cannot start replica of %s: %s\n",
+                   replicate_from.c_str(),
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    replica = std::move(started).value();
+    std::printf("replicating \"%s\" from %s into %s (%zu points at "
+                "subscribe time)\n",
+                name.c_str(), replicate_from.c_str(), durability_dir.c_str(),
+                replica->collection()->size());
+  } else if (!durability_dir.empty() &&
       durability::LoadManifest(durability_dir).ok()) {
     // The directory already holds a collection: recover it (snapshot +
     // WAL replay) instead of seeding from --data. A corrupt manifest
@@ -345,9 +395,9 @@ int RunServe(const Args& args) {
     }
     owned = std::move(made).value();
   }
-  Collection& collection = *owned;
+  Collection& collection =
+      replica != nullptr ? *replica->collection() : *owned;
 
-  const std::string name = args.Get("collection", "main");
   serve::ServerOptions options;
   options.host = args.Get("host", "127.0.0.1");
   options.port = static_cast<uint16_t>(args.GetInt("port", 0));
@@ -357,6 +407,10 @@ int RunServe(const Args& args) {
       static_cast<uint32_t>(args.GetInt("window-us", 1000));
   options.coalescer.max_batch =
       static_cast<size_t>(args.GetInt("max-batch", 32));
+  if (replica != nullptr) {
+    replication::Replica* raw = replica.get();
+    options.replication_report = [raw] { return raw->Report(); };
+  }
   auto server = serve::Server::Start({{name, &collection}}, options);
   if (!server.ok()) {
     std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
@@ -381,6 +435,16 @@ int RunServe(const Args& args) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   server.value()->Shutdown();
+  if (replica != nullptr) {
+    // Stop tailing before the final checkpoint so no stream applies race
+    // the rotation; the checkpointed state re-subscribes from its LSNs on
+    // the next start.
+    replica->Stop();
+    const std::string err = replica->FirstError();
+    if (!err.empty()) {
+      std::fprintf(stderr, "replication error: %s\n", err.c_str());
+    }
+  }
   if (collection.Durability().enabled) {
     // Final checkpoint on a clean drain: the next open replays no WAL.
     if (Status s = collection.Checkpoint(); !s.ok()) {
@@ -1064,6 +1128,52 @@ int RunCollectionCheckpoint(const Args& args) {
   return 0;
 }
 
+// replication status --server=H:P: asks a running server (primary or
+// replica) for its role and per-shard replication positions.
+int RunReplicationStatus(const Args& args) {
+  if (!args.Has("server")) return Usage();
+  auto client = ConnectServer(args);
+  if (client == nullptr) return 1;
+  const std::string name = args.Get("collection", "main");
+  auto status = client->ReplicaStatus(name);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.status().ToString().c_str());
+    return 1;
+  }
+  const auto& reply = status.value();
+  if (reply.role == 0) {
+    std::printf("collection \"%s\": primary, %llu WAL record(s) shipped to "
+                "subscribers\n",
+                name.c_str(),
+                static_cast<unsigned long long>(reply.records_shipped));
+  } else {
+    std::printf("collection \"%s\": replica of %s, %llu record(s) applied\n",
+                name.c_str(), reply.primary.c_str(),
+                static_cast<unsigned long long>(reply.records_applied));
+  }
+  uint64_t total_lag = 0;
+  for (size_t s = 0; s < reply.shards.size(); ++s) {
+    const auto& shard = reply.shards[s];
+    const uint64_t lag = shard.primary_lsn - shard.applied_lsn;
+    total_lag += lag;
+    std::printf("  shard %zu: applied LSN %llu / primary LSN %llu "
+                "(lag %llu)\n",
+                s, static_cast<unsigned long long>(shard.applied_lsn),
+                static_cast<unsigned long long>(shard.primary_lsn),
+                static_cast<unsigned long long>(lag));
+  }
+  std::printf("total lag: %llu record(s) across %zu shard(s)\n",
+              static_cast<unsigned long long>(total_lag),
+              reply.shards.size());
+  return 0;
+}
+
+int RunReplication(int argc, char** argv, const Args& args) {
+  const std::string sub = argc >= 3 ? argv[2] : "";
+  if (sub == "status") return RunReplicationStatus(args);
+  return Usage();
+}
+
 int RunCollection(int argc, char** argv, const Args& args) {
   const std::string sub = argc >= 3 ? argv[2] : "";
   const bool remote = args.Has("server");
@@ -1117,6 +1227,9 @@ int main(int argc, char** argv) {
   if (command == "query") return dblsh::RunQuery(args);
   if (command == "collection") return dblsh::RunCollection(argc, argv, args);
   if (command == "serve") return dblsh::RunServe(args);
+  if (command == "replication") {
+    return dblsh::RunReplication(argc, argv, args);
+  }
   if (command == "ping") return dblsh::RunPing(args);
   // PR-3 spellings, kept as deprecation aliases of the collection path.
   if (command == "insert") {

@@ -28,7 +28,11 @@ the serving layer's acceptance contract (checked on the NEW run):
   - network.probe_overload_shed >= 1 (overload sheds retryable),
   - recovery.wal_replayed >= 1 and recovery.rows >= 1 (reopening the
     durable collection actually replayed a WAL tail onto the snapshot),
-  - recovery.recovery_ms >= 0 (the recovery timer sampled).
+  - recovery.recovery_ms >= 0 (the recovery timer sampled),
+  - replication.{bootstrap_points,subscriptions,records_shipped,
+    records_applied} >= 1 and replication.converged == 1 (a follower
+    bootstrapped from the primary's checkpoint, tailed the shipped WAL
+    records, and fully caught up with the write burst).
 
 Streaming baselines carry the storage backend's acceptance contract
 (checked on the NEW run):
@@ -114,6 +118,16 @@ def serving_invariants(new, errors):
         ("recovery.wal_replayed", 1),
         ("recovery.recovery_ms", 0.0),
         ("recovery.rows", 1),
+        # Replication: the follower must actually bootstrap from the
+        # primary's checkpoint, the primary must ship WAL records over
+        # the subscription, the follower must apply them, and the burst
+        # must fully catch up (converged == 1 means final lag hit 0
+        # within the bench's bound).
+        ("replication.bootstrap_points", 1),
+        ("replication.subscriptions", 1),
+        ("replication.records_shipped", 1),
+        ("replication.records_applied", 1),
+        ("replication.converged", 1),
     ):
         value = lookup(new, path)
         if value is None:

@@ -4,8 +4,8 @@
 1. Intra-repo markdown link check: every relative link target in a *.md
    file must exist (http/mailto/pure-anchor links are skipped).
 2. Doc-comment coverage over the public headers: every public function
-   declaration in src/{core,exec,serve,simd}/*.h must be preceded by a
-   `///` contract comment.
+   declaration in src/{core,exec,serve,simd,replication}/*.h must be
+   preceded by a `///` contract comment.
 
 Exit code 0 when both gates pass; 1 with a listing of violations.
 """
@@ -47,7 +47,8 @@ def check_markdown_links():
 
 # -------------------------------------------------------- doc coverage ----
 
-HEADER_GLOBS = ("src/core", "src/exec", "src/serve", "src/simd")
+HEADER_GLOBS = ("src/core", "src/exec", "src/serve", "src/simd",
+                "src/replication")
 
 # A line that starts a function declaration/definition at class-public or
 # namespace scope in this codebase's style (2-space members, 0-space free
@@ -138,8 +139,8 @@ def main():
         for e in errors:
             print("  " + e)
         return 1
-    print("docs check passed: markdown links resolve, core/exec/serve/simd "
-          "headers are documented")
+    print("docs check passed: markdown links resolve, "
+          "core/exec/serve/simd/replication headers are documented")
     return 0
 
 

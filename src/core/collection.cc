@@ -7,12 +7,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <utility>
 
 #include "core/index_factory.h"
+#include "durability/fail_point.h"
 #include "durability/snapshot.h"
 #include "util/text.h"
 #include "util/top_k_heap.h"
@@ -40,6 +42,12 @@ struct DurabilityState {
   std::atomic<uint64_t> wal_appends{0};
   uint64_t replayed = 0;
   double recovery_ms = 0.0;
+  /// Replication pins (guarded by checkpoint_mutex): pin id -> lowest WAL
+  /// segment sequence the holder still needs. Checkpoint's GC only deletes
+  /// segments below min(new_seq, every pin's floor), so a subscribed
+  /// follower's position is never collected out from under it.
+  uint64_t next_pin = 1;
+  std::map<uint64_t, uint64_t> wal_pins;
 };
 
 Collection::Collection(size_t dim, const CollectionOptions& options)
@@ -341,6 +349,7 @@ Status Collection::RecoverShards(const CollectionOptions& options,
     }
     shard.data = &shard.store->matrix();
     max_lsn = std::max(max_lsn, snap.lsn);
+    shard.applied_lsn = snap.lsn;
 
     // Replay the log: every segment at/after the manifest's generation,
     // ascending, skipping records the snapshot already covers.
@@ -369,8 +378,15 @@ Status Collection::RecoverShards(const CollectionOptions& options,
       for (const durability::WalRecord& rec : replay.records) {
         if (rec.lsn <= snap.lsn) continue;
         max_lsn = std::max(max_lsn, rec.lsn);
+        shard.applied_lsn = std::max(shard.applied_lsn, rec.lsn);
         ++durability_->replayed;
         switch (rec.op) {
+          case durability::WalOp::kRetrain: {
+            // Deterministic params-from-codes retrain: replays to the
+            // exact byte state the primary (or pre-crash process) had.
+            shard.store->RetrainQuantizer();
+            break;
+          }
           case durability::WalOp::kTrim: {
             const size_t trimmed = shard.store->TrimTombstonedTail();
             if (trimmed != rec.id) {
@@ -472,8 +488,11 @@ Status Collection::Checkpoint() {
     // Captured under the shard write lock: every record this shard wrote
     // to the outgoing segment has lsn <= this value, and every record it
     // will write to the incoming one has lsn > it — the replay filter's
-    // exact contract.
-    snap.lsn = epoch_.load(std::memory_order_acquire);
+    // exact contract. The *shard's* applied LSN (not the global epoch):
+    // on a follower the per-shard streams progress independently, so a
+    // sibling shard's higher LSN must not mask this shard's undelivered
+    // records.
+    snap.lsn = shard.applied_lsn;
     if (storage_ == StorageKind::kSq8) {
       const auto* sq8 = static_cast<const Sq8Store*>(shard.store.get());
       snap.storage = durability::kSnapshotSq8;
@@ -506,10 +525,16 @@ Status Collection::Checkpoint() {
   manifest.checkpoint_lsn = checkpoint_lsn;
   DBLSH_RETURN_IF_ERROR(durability::SaveManifest(d.dir, manifest));
 
-  // Committed (manifest renamed): the superseded segments are garbage.
+  // Committed (manifest renamed): the superseded segments are garbage —
+  // except those a replication pin still needs (a subscribed follower may
+  // be mid-way through an older generation).
+  uint64_t gc_before = new_seq;
+  for (const auto& [pin, floor] : d.wal_pins) {
+    gc_before = std::min(gc_before, floor);
+  }
   for (size_t s = 0; s < shards_.size(); ++s) {
     for (const uint64_t seq : durability::ListWalSegments(d.dir, s)) {
-      if (seq < new_seq) {
+      if (seq < gc_before) {
         std::remove(durability::WalPath(d.dir, s, seq).c_str());
       }
     }
@@ -534,6 +559,220 @@ CollectionDurabilityInfo Collection::Durability() const {
   info.replayed_records = durability_->replayed;
   info.recovery_ms = durability_->recovery_ms;
   return info;
+}
+
+void Collection::SetReadOnly(const std::string& primary_hint) {
+  read_only_message_ = "read-only replica; writes go to " + primary_hint;
+  read_only_.store(true, std::memory_order_release);
+}
+
+std::vector<uint64_t> Collection::ShardAppliedLsns() const {
+  std::vector<uint64_t> out(shards_.size(), 0);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::shared_lock lock(shards_[s]->mutex);
+    out[s] = shards_[s]->applied_lsn;
+  }
+  return out;
+}
+
+uint64_t Collection::AcquireWalPin(uint64_t min_seq) {
+  if (durability_ == nullptr) return 0;
+  std::lock_guard lock(durability_->checkpoint_mutex);
+  const uint64_t pin = durability_->next_pin++;
+  durability_->wal_pins[pin] = min_seq;
+  return pin;
+}
+
+void Collection::UpdateWalPin(uint64_t pin, uint64_t min_seq) {
+  if (durability_ == nullptr || pin == 0) return;
+  std::lock_guard lock(durability_->checkpoint_mutex);
+  auto it = durability_->wal_pins.find(pin);
+  if (it != durability_->wal_pins.end()) it->second = min_seq;
+}
+
+void Collection::ReleaseWalPin(uint64_t pin) {
+  if (durability_ == nullptr || pin == 0) return;
+  std::lock_guard lock(durability_->checkpoint_mutex);
+  durability_->wal_pins.erase(pin);
+}
+
+Status Collection::ApplyReplicatedRecord(size_t shard_index,
+                                         const durability::WalRecord& rec) {
+  if (shard_index >= shards_.size()) {
+    return Status::InvalidArgument(
+        "replication: shard " + std::to_string(shard_index) +
+        " out of range (collection has " + std::to_string(shards_.size()) +
+        " shards)");
+  }
+  Shard& shard = *shards_[shard_index];
+  std::unique_lock lock(shard.mutex);
+  // A retrain record shares its triggering mutation's LSN (ordered after
+  // it), so at exactly the applied LSN a retrain must still apply — the
+  // feed redelivers it on resume, and re-applying one is a no-op.
+  const bool retrain_at_head = rec.op == durability::WalOp::kRetrain &&
+                               rec.lsn == shard.applied_lsn;
+  if (rec.lsn <= shard.applied_lsn && !retrain_at_head) {
+    return Status::OK();  // duplicate delivery after a reconnect
+  }
+  size_t keep = 0;
+  if (durability::FailPoints::Instance().Hit(durability::kFailReplicationApply,
+                                             &keep)) {
+    return Status::IoError("replication: injected crash applying lsn " +
+                           std::to_string(rec.lsn));
+  }
+
+  switch (rec.op) {
+    case durability::WalOp::kTrim: {
+      const size_t trimmed = shard.store->TrimTombstonedTail();
+      if (trimmed != rec.id) {
+        return Status::Corruption(
+            "replication: divergence on shard " + std::to_string(shard_index) +
+            ": trim removed " + std::to_string(trimmed) +
+            " rows, primary recorded " + std::to_string(rec.id));
+      }
+      // The trim and the index rebuilds share this critical section, like
+      // RunCompaction on the primary: an index still referencing a trimmed
+      // row would hand out ids past the new frontier.
+      std::optional<ScopedDecodeView> view;
+      for (Slot& slot : shard.slots) {
+        if (!slot.built) continue;
+        if (shard.data->live_rows() == 0) {
+          slot.built = false;
+          slot.staleness = 0;
+          continue;
+        }
+        if (quantized_ && !view.has_value()) view.emplace(shard.store.get());
+        if (Status s = slot.index->Build(shard.data); !s.ok()) {
+          slot.built = false;
+          slot.build_error = s.ToString();
+        } else {
+          ++slot.rebuilds;
+          slot.staleness = 0;
+          slot.build_error.clear();
+        }
+      }
+      break;
+    }
+    case durability::WalOp::kRetrain: {
+      shard.store->RetrainQuantizer();
+      // The codes changed under every built index; force the rebuild the
+      // primary ran in the same commit (MaybeRebuildLocked below).
+      for (Slot& slot : shard.slots) {
+        if (slot.built) slot.staleness = slot.rebuild_threshold;
+      }
+      break;
+    }
+    case durability::WalOp::kDelete: {
+      if (ShardOfId(rec.id) != shard_index) {
+        return Status::Corruption(
+            "replication: record for id " + std::to_string(rec.id) +
+            " shipped to shard " + std::to_string(shard_index));
+      }
+      const uint32_t local = LocalOfId(rec.id);
+      if (Status st = shard.store->EraseRow(local); !st.ok()) {
+        return Status::Corruption("replication: divergence on shard " +
+                                  std::to_string(shard_index) + ": " +
+                                  st.ToString());
+      }
+      if (!quantized_) {
+        for (Slot& slot : shard.slots) {
+          if (!slot.built || !slot.index->SupportsUpdates()) continue;
+          if (Status s = slot.index->Erase(local); !s.ok()) {
+            slot.staleness = slot.rebuild_threshold;  // self-heal via rebuild
+          }
+        }
+      }
+      break;
+    }
+    case durability::WalOp::kUpsert: {
+      if (ShardOfId(rec.id) != shard_index) {
+        return Status::Corruption(
+            "replication: record for id " + std::to_string(rec.id) +
+            " shipped to shard " + std::to_string(shard_index));
+      }
+      if (rec.vec.size() != dim_) {
+        return Status::Corruption(
+            "replication: upsert payload has " +
+            std::to_string(rec.vec.size()) + " floats, collection serves " +
+            std::to_string(dim_));
+      }
+      const uint32_t local = LocalOfId(rec.id);
+      if (local < shard.data->rows() && !shard.data->IsDeleted(local)) {
+        // In-place replace: erase + insert fused, exactly like Upsert(id)
+        // — the LIFO free-list hands the slot straight back.
+        if (Status st = shard.store->EraseRow(local); !st.ok()) {
+          return Status::Corruption("replication: divergence on shard " +
+                                    std::to_string(shard_index) + ": " +
+                                    st.ToString());
+        }
+        if (!quantized_) {
+          for (Slot& slot : shard.slots) {
+            if (!slot.built || !slot.index->SupportsUpdates()) continue;
+            if (Status s = slot.index->Erase(local); !s.ok()) {
+              slot.staleness = slot.rebuild_threshold;
+            }
+          }
+        }
+      }
+      const uint32_t got = shard.store->InsertRow(rec.vec.data(), dim_);
+      if (got != local) {
+        return Status::Corruption(
+            "replication: divergence on shard " + std::to_string(shard_index) +
+            ": insert landed on local row " + std::to_string(got) +
+            ", primary recorded " + std::to_string(local));
+      }
+      if (!quantized_) {
+        for (Slot& slot : shard.slots) {
+          if (!slot.built || !slot.index->SupportsUpdates()) continue;
+          if (slot.staleness >= slot.rebuild_threshold) continue;
+          if (Status s = slot.index->Insert(got); !s.ok()) {
+            slot.staleness = slot.rebuild_threshold;
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  // Commit bookkeeping, mirroring CommitMutationLocked except that the LSN
+  // comes from the primary instead of the local epoch counter.
+  for (Slot& slot : shard.slots) {
+    if (quantized_ || !(slot.built && slot.index->SupportsUpdates())) {
+      ++slot.staleness;
+    }
+  }
+  ++shard.version;
+  shard.approx_rows.store(shard.data->rows(), std::memory_order_relaxed);
+  shard.approx_free.store(shard.data->free_slots().size(),
+                          std::memory_order_relaxed);
+  shard.applied_lsn = rec.lsn;
+  uint64_t cur = epoch_.load(std::memory_order_relaxed);
+  while (cur < rec.lsn &&
+         !epoch_.compare_exchange_weak(cur, rec.lsn,
+                                       std::memory_order_acq_rel)) {
+  }
+
+  Status logged = Status::OK();
+  if (durability_ != nullptr) {
+    durability::WalWriter* writer = durability_->wals[shard_index].get();
+    if (writer == nullptr) {
+      logged = Status::IoError(
+          "wal: no live segment for shard " + std::to_string(shard_index) +
+          " (a failed checkpoint rotation poisoned this collection)");
+    } else {
+      // The follower's own WAL carries the primary's LSN, so a restart
+      // recovers locally and re-subscribes from exactly where it stopped.
+      logged = writer->Append(rec.lsn, rec.op, rec.id,
+                              rec.op == durability::WalOp::kUpsert
+                                  ? rec.vec.data()
+                                  : nullptr);
+      if (logged.ok()) {
+        durability_->wal_appends.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  MaybeRebuildLocked(shard_index);
+  return logged;
 }
 
 Status Collection::AddIndex(const std::string& index_spec) {
@@ -817,7 +1056,6 @@ Status Collection::CommitMutationLocked(size_t shard_index,
       ++slot.staleness;
     }
   }
-  MaybeRebuildLocked(shard_index);
   ++shard.version;
   shard.approx_rows.store(shard.data->rows(), std::memory_order_relaxed);
   shard.approx_free.store(shard.data->free_slots().size(),
@@ -826,24 +1064,56 @@ Status Collection::CommitMutationLocked(size_t shard_index,
   // notwithstanding (failing slots are out of service, not blocking).
   // Under durability the post-increment epoch value is the mutation's LSN.
   const uint64_t lsn = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
-  if (durability_ == nullptr) return Status::OK();
+  shard.applied_lsn = lsn;
 
   Status logged = Status::OK();
-  durability::WalWriter* writer = durability_->wals[shard_index].get();
-  if (writer == nullptr) {
-    logged = Status::IoError(
-        "wal: no live segment for shard " + std::to_string(shard_index) +
-        " (a failed checkpoint rotation poisoned this collection)");
-  } else {
-    // Log-after-apply is sound here because disk state only changes at
-    // checkpoints: a record that fails to land is simply never replayed,
-    // and the poisoned writer keeps every *later* mutation unlogged too,
-    // so the durable history stays a prefix of the acknowledged one.
-    logged = writer->Append(lsn, op, global_id, vec);
-    if (logged.ok()) {
-      durability_->wal_appends.fetch_add(1, std::memory_order_relaxed);
+  durability::WalWriter* writer = nullptr;
+  if (durability_ != nullptr) {
+    writer = durability_->wals[shard_index].get();
+    if (writer == nullptr) {
+      logged = Status::IoError(
+          "wal: no live segment for shard " + std::to_string(shard_index) +
+          " (a failed checkpoint rotation poisoned this collection)");
+    } else {
+      // Log-after-apply is sound here because disk state only changes at
+      // checkpoints: a record that fails to land is simply never replayed,
+      // and the poisoned writer keeps every *later* mutation unlogged too,
+      // so the durable history stays a prefix of the acknowledged one.
+      logged = writer->Append(lsn, op, global_id, vec);
+      if (logged.ok()) {
+        durability_->wal_appends.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
+
+  // SQ8 range retraining rides the inline threshold rebuild: when this
+  // mutation pushes a built slot to its rebuild threshold under quantized
+  // storage, re-derive the quantizer range from the current rows before
+  // the rebuild below, and log the retrain (same LSN as the mutation,
+  // ordered after it) so replay and replication reproduce the exact code
+  // bytes. Background rebuilds skip the retrain: their timing is
+  // nondeterministic, and replayability demands the log alone decide when
+  // codes change.
+  if (quantized_ && !background_rebuild_) {
+    bool threshold_hit = false;
+    for (const Slot& slot : shard.slots) {
+      if (slot.built && slot.staleness >= slot.rebuild_threshold) {
+        threshold_hit = true;
+        break;
+      }
+    }
+    if (threshold_hit && shard.store->RetrainQuantizer() &&
+        writer != nullptr && logged.ok()) {
+      logged = writer->Append(lsn, durability::WalOp::kRetrain, 0, nullptr);
+      if (logged.ok()) {
+        durability_->wal_appends.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  // The rebuild runs after any retrain so the new index is built over the
+  // re-encoded codes.
+  MaybeRebuildLocked(shard_index);
+  if (durability_ == nullptr) return Status::OK();
   MaybeCompactLocked(shard_index);
   return logged;
 }
@@ -942,6 +1212,7 @@ void Collection::RunCompaction(size_t shard_index) {
       // writer: the in-memory trim stands, but nothing later is acked, so
       // the durable history stays consistent without it.
       const uint64_t lsn = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      shard.applied_lsn = lsn;
       if (durability::WalWriter* writer =
               durability_->wals[shard_index].get();
           writer != nullptr) {
@@ -1033,6 +1304,7 @@ size_t Collection::PickInsertShard() const {
 }
 
 Result<uint32_t> Collection::Upsert(const float* vec, size_t len) {
+  if (read_only()) return Status::ReadOnly(read_only_message_);
   if (len != dim_) {
     return Status::InvalidArgument(
         "Upsert: vector has dimension " + std::to_string(len) +
@@ -1065,6 +1337,7 @@ Result<uint32_t> Collection::Upsert(const float* vec, size_t len) {
 
 Result<uint32_t> Collection::Upsert(uint32_t id, const float* vec,
                                     size_t len) {
+  if (read_only()) return Status::ReadOnly(read_only_message_);
   if (len != dim_) {
     return Status::InvalidArgument(
         "Upsert: vector has dimension " + std::to_string(len) +
@@ -1113,6 +1386,7 @@ Result<uint32_t> Collection::Upsert(uint32_t id, const float* vec,
 }
 
 Status Collection::Delete(uint32_t id) {
+  if (read_only()) return Status::ReadOnly(read_only_message_);
   const size_t shard_index = ShardOfId(id);
   const uint32_t local = LocalOfId(id);
   Shard& shard = *shards_[shard_index];

@@ -456,6 +456,50 @@ class Collection {
   /// off).
   CollectionDurabilityInfo Durability() const;
 
+  /// Marks the collection a read replica: every later Upsert/Delete
+  /// returns Status::ReadOnly carrying `primary_hint` (the primary's
+  /// address, so clients can redirect writes). Replicated records keep
+  /// applying through ApplyReplicatedRecord, which bypasses the gate.
+  /// Call before exposing the collection to traffic; not reversible.
+  void SetReadOnly(const std::string& primary_hint);
+
+  /// True once SetReadOnly was called.
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+
+  /// Applies one record shipped from a primary's WAL to shard
+  /// `shard_index`, exactly like crash-recovery replay (erase-then-insert
+  /// slot recycling with LIFO verification, trim count checks, quantizer
+  /// retrains), so the replicated state is byte-identical to what
+  /// reopening the primary's directory would rebuild. Also appends the
+  /// record (with the primary's LSN) to this collection's own WAL so a
+  /// restarted follower recovers locally and re-subscribes from its own
+  /// LSN. Records at or below the shard's applied LSN are skipped
+  /// (duplicate delivery after a reconnect); Corruption on divergence.
+  Status ApplyReplicatedRecord(size_t shard_index,
+                               const durability::WalRecord& record);
+
+  /// Per-shard applied LSN: the LSN of the last mutation committed to (or
+  /// replicated into) each shard. A follower re-subscribes from these; a
+  /// primary reports them as the per-shard replication watermarks.
+  std::vector<uint64_t> ShardAppliedLsns() const;
+
+  /// Registers a replication pin: Checkpoint's segment GC keeps every WAL
+  /// segment with sequence >= `min_seq` (across all shards) until the pin
+  /// is released. `min_seq` 0 pins everything. Returns the pin id (0 when
+  /// durability is off — nothing to pin). Used by the replication feed so
+  /// a subscribed follower's position is never collected out from under
+  /// it.
+  uint64_t AcquireWalPin(uint64_t min_seq);
+
+  /// Raises a pin's floor as the feed advances to newer segments.
+  void UpdateWalPin(uint64_t pin, uint64_t min_seq);
+
+  /// Releases a pin; superseded segments become collectable again at the
+  /// next checkpoint.
+  void ReleaseWalPin(uint64_t pin);
+
  private:
   struct Slot {
     std::string name;
@@ -494,6 +538,11 @@ class Collection {
     /// never correctness, depends on them).
     std::atomic<size_t> approx_rows{0};
     std::atomic<size_t> approx_free{0};
+    /// LSN of the last mutation committed to (primary) or replicated into
+    /// (follower) this shard; guarded by `mutex`. Checkpoint snapshots
+    /// record it as their replay filter, and replication subscriptions
+    /// resume from it.
+    uint64_t applied_lsn = 0;
     /// Dead-row count the last compaction could not reclaim (interior
     /// tombstones); the trigger re-fires only once dead rows exceed it.
     size_t compact_floor = 0;
@@ -613,6 +662,12 @@ class Collection {
   bool quantized_ = false;  ///< storage_ != kFp32, hoisted for hot paths
   size_t rerank_ = 4;       ///< CollectionOptions::rerank, >= 1
   std::atomic<uint64_t> epoch_{0};
+
+  /// Read-replica gate: set once (SetReadOnly) before traffic, read on
+  /// every mutation. `read_only_message_` is written before the release
+  /// store and immutable afterwards.
+  std::atomic<bool> read_only_{false};
+  std::string read_only_message_;
 
   /// Durability runtime state (WAL writers, checkpoint bookkeeping,
   /// counters); nullptr when durability is off. See collection.cc.

@@ -224,6 +224,47 @@ size_t Sq8Store::TrimTombstonedTail() {
   return trimmed;
 }
 
+bool Sq8Store::RetrainQuantizer() {
+  const size_t dim = matrix_->cols();
+  const size_t rows = matrix_->rows();
+  if (!trained_ || dim == 0 || rows == 0) return false;
+
+  // Decode every physical row with the *current* params first: the new
+  // codes must be a pure function of the old codes so replay/replication
+  // reproduce them exactly.
+  std::vector<float> decoded(rows * dim);
+  for (size_t r = 0; r < rows; ++r) {
+    DecodeRow(static_cast<uint32_t>(r), decoded.data() + r * dim);
+  }
+
+  // New range from live rows only — tombstoned slots no longer widen it.
+  std::vector<float> lo(dim, std::numeric_limits<float>::max());
+  std::vector<float> hi(dim, std::numeric_limits<float>::lowest());
+  bool any_live = false;
+  for (size_t r = 0; r < rows; ++r) {
+    if (matrix_->IsDeleted(r)) continue;
+    any_live = true;
+    const float* row = decoded.data() + r * dim;
+    for (size_t d = 0; d < dim; ++d) {
+      lo[d] = std::min(lo[d], row[d]);
+      hi[d] = std::max(hi[d], row[d]);
+    }
+  }
+  if (!any_live) return false;
+  for (size_t d = 0; d < dim; ++d) {
+    offset_[d] = lo[d];
+    const float range = hi[d] - lo[d];
+    scale_[d] = range > 0.0f ? range / 255.0f : 1.0f;
+  }
+
+  // Re-encode every physical row (tombstoned included) so the whole code
+  // array stays a deterministic function of its prior state.
+  for (size_t r = 0; r < rows; ++r) {
+    EncodeRow(decoded.data() + r * dim, static_cast<uint32_t>(r));
+  }
+  return true;
+}
+
 void Sq8Store::DecodeRow(uint32_t id, float* out) const {
   const size_t dim = matrix_->cols();
   const uint8_t* code = codes_.data() + static_cast<size_t>(id) * dim;

@@ -137,6 +137,16 @@ class VectorStore {
   /// matrix carries no store binding.
   virtual FloatMatrix DecodedCopy() const = 0;
 
+  /// Re-derives the quantization parameters from the rows currently live
+  /// and re-encodes every physical row, so a drifting insert stream stops
+  /// degrading into clamped codes. Deterministic: the new codes are a pure
+  /// function of the old codes + params, which is what lets WAL replay
+  /// (WalOp::kRetrain) and replication reproduce them byte-identically.
+  /// Returns true when the parameters changed (no-op for fp32 and for
+  /// stores with no live rows). Mutation: caller holds the writer lock and
+  /// rebuilds indexes afterwards.
+  virtual bool RetrainQuantizer() { return false; }
+
  protected:
   /// Adopts `matrix` (never null) and binds this store to it.
   explicit VectorStore(std::unique_ptr<FloatMatrix> matrix);
@@ -245,6 +255,7 @@ class Sq8Store final : public VectorStore {
   void MaterializeDecodeView() override;
   void ReleaseDecodeView() override;
   FloatMatrix DecodedCopy() const override;
+  bool RetrainQuantizer() override;
 
   /// Per-dimension quantization parameters (persisted in v3 index files).
   const std::vector<float>& scales() const { return scale_; }

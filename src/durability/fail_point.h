@@ -16,6 +16,10 @@ inline constexpr char kFailWalAppend[] = "wal:append";
 inline constexpr char kFailWalSync[] = "wal:sync";
 inline constexpr char kFailSnapshotWrite[] = "snapshot:write";
 inline constexpr char kFailManifestWrite[] = "manifest:write";
+/// Replication paths: a primary sending one bootstrap snapshot chunk, and
+/// a follower applying one streamed WAL record.
+inline constexpr char kFailReplicationChunk[] = "replication:chunk";
+inline constexpr char kFailReplicationApply[] = "replication:apply";
 
 /// Deterministic crash-injection registry for the durability write paths.
 ///

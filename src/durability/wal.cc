@@ -138,39 +138,62 @@ Status WalWriter::Sync() {
 }
 
 Result<WalReplay> ReadWal(const std::string& path, uint32_t expected_dim) {
+  return ReadWalFrom(path, expected_dim, 0);
+}
+
+Result<WalReplay> ReadWalFrom(const std::string& path, uint32_t expected_dim,
+                              size_t offset) {
+  if (offset != 0 && offset < kWalHeaderSize) {
+    return Status::InvalidArgument("wal: cursor inside header " + path);
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("wal: cannot open " + path);
-  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                             std::istreambuf_iterator<char>());
-  if (in.bad()) return Status::IoError("wal: read failed " + path);
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<size_t>(in.tellg());
+  if (offset > file_size) {
+    return Status::Corruption("wal: cursor " + std::to_string(offset) +
+                              " past end of " + path);
+  }
+  in.seekg(static_cast<std::streamoff>(offset));
+  std::vector<uint8_t> bytes(file_size - offset);
+  if (!bytes.empty()) {
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  }
+  if (in.bad() || (!bytes.empty() &&
+                   static_cast<size_t>(in.gcount()) != bytes.size())) {
+    return Status::IoError("wal: read failed " + path);
+  }
 
   PodReader reader(bytes.data(), bytes.size());
-  char magic[8];
-  uint32_t version = 0;
-  uint32_t dim = 0;
-  uint64_t header_sum = 0;
-  if (!reader.ReadBytes(magic, sizeof(magic)) || !reader.Read(&version) ||
-      !reader.Read(&dim) || !reader.Read(&header_sum)) {
-    return Status::Corruption("wal: truncated header " + path);
-  }
-  if (std::memcmp(magic, kWalMagic, sizeof(magic)) != 0) {
-    return Status::Corruption("wal: bad magic " + path);
-  }
-  if (header_sum != Fnv1a64(bytes.data(), kWalHeaderSize - 8)) {
-    return Status::Corruption("wal: header checksum mismatch " + path);
-  }
-  if (version != kWalVersion) {
-    return Status::Corruption("wal: unsupported version " +
-                              std::to_string(version) + " " + path);
-  }
-  if (dim != expected_dim) {
-    return Status::Corruption("wal: dim " + std::to_string(dim) +
-                              " does not match collection dim " +
-                              std::to_string(expected_dim) + " " + path);
+  if (offset == 0) {
+    char magic[8];
+    uint32_t version = 0;
+    uint32_t dim = 0;
+    uint64_t header_sum = 0;
+    if (!reader.ReadBytes(magic, sizeof(magic)) || !reader.Read(&version) ||
+        !reader.Read(&dim) || !reader.Read(&header_sum)) {
+      return Status::Corruption("wal: truncated header " + path);
+    }
+    if (std::memcmp(magic, kWalMagic, sizeof(magic)) != 0) {
+      return Status::Corruption("wal: bad magic " + path);
+    }
+    if (header_sum != Fnv1a64(bytes.data(), kWalHeaderSize - 8)) {
+      return Status::Corruption("wal: header checksum mismatch " + path);
+    }
+    if (version != kWalVersion) {
+      return Status::Corruption("wal: unsupported version " +
+                                std::to_string(version) + " " + path);
+    }
+    if (dim != expected_dim) {
+      return Status::Corruption("wal: dim " + std::to_string(dim) +
+                                " does not match collection dim " +
+                                std::to_string(expected_dim) + " " + path);
+    }
   }
 
   WalReplay replay;
-  replay.bytes_scanned = reader.position();
+  replay.bytes_scanned = offset + reader.position();
   while (reader.remaining() > 0) {
     uint64_t checksum = 0;
     uint32_t body_len = 0;
@@ -195,7 +218,7 @@ Result<WalReplay> ReadWal(const std::string& path, uint32_t expected_dim) {
     if (!body_reader.Read(&rec.lsn) || !body_reader.Read(&op) ||
         !body_reader.Read(&rec.id) ||
         op < static_cast<uint8_t>(WalOp::kUpsert) ||
-        op > static_cast<uint8_t>(WalOp::kTrim)) {
+        op > static_cast<uint8_t>(WalOp::kRetrain)) {
       replay.tail = Status::Corruption("wal: malformed record at byte " +
                                        std::to_string(replay.bytes_scanned) +
                                        " " + path);
@@ -214,7 +237,7 @@ Result<WalReplay> ReadWal(const std::string& path, uint32_t expected_dim) {
                             static_cast<size_t>(expected_dim) * sizeof(float));
     }
     reader.Skip(body_len);
-    replay.bytes_scanned = reader.position();
+    replay.bytes_scanned = offset + reader.position();
     replay.records.push_back(std::move(rec));
   }
   return replay;

@@ -21,6 +21,13 @@ enum class WalOp : uint8_t {
   /// mutations after a compaction land on the same geometry they were
   /// issued against.
   kTrim = 3,
+  /// Quantizer retrain marker: the shard's store re-derived its
+  /// quantization parameters from the rows live at this point in the log
+  /// (sq8 staleness-triggered rebuilds). `id` is 0 and `lsn` repeats the
+  /// LSN of the mutation that triggered the retrain; replay re-runs the
+  /// (deterministic) retrain so recovered and replicated code bytes match
+  /// the primary's exactly.
+  kRetrain = 4,
 };
 
 /// One decoded WAL record. `lsn` is the Collection's global epoch value at
@@ -107,6 +114,17 @@ class WalWriter {
 /// tail" without losing the valid prefix.
 Result<WalReplay> ReadWal(const std::string& path,
                                 uint32_t expected_dim);
+
+/// Incremental tail read: scans records starting at byte `offset` of the
+/// segment (an earlier read's `bytes_scanned` — the file header when 0 is
+/// passed is validated exactly like ReadWal). The returned
+/// `bytes_scanned` is the new absolute cursor. A torn tail is not fatal
+/// for a *live* segment: the writer may still be mid-append, so callers
+/// poll again from the same cursor and the record becomes visible once
+/// its checksum verifies. This is the primitive the replication feed
+/// tails segments with.
+Result<WalReplay> ReadWalFrom(const std::string& path, uint32_t expected_dim,
+                              size_t offset);
 
 }  // namespace dblsh::durability
 

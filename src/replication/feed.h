@@ -1,0 +1,93 @@
+#ifndef DBLSH_REPLICATION_FEED_H_
+#define DBLSH_REPLICATION_FEED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/collection.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
+#include "util/status.h"
+
+namespace dblsh::replication {
+
+/// Stream mode the feed decides for one subscription (the wire `mode`
+/// byte of the Subscribe acknowledgement).
+inline constexpr uint8_t kFeedModeTail = 0;
+inline constexpr uint8_t kFeedModeSnapshot = 1;
+
+/// One primary-side shard feed: everything RunShardFeed needs to serve a
+/// follower's Subscribe, with the transport abstracted behind callbacks so
+/// the serve layer owns all frame encoding. Each callback returns false to
+/// stop the feed (peer gone, server draining); the feed then returns OK.
+struct FeedOptions {
+  /// The served collection; must outlive the feed. Used for the WAL pin
+  /// that keeps segment GC off the follower's position, and for the
+  /// per-shard applied-LSN watermark shipped with every record batch.
+  Collection* collection = nullptr;
+  /// The collection's durability directory (segments + snapshots live
+  /// here; the feed only ever reads).
+  std::string dir;
+  /// Shard this feed streams.
+  size_t shard = 0;
+  /// The follower's resume position: records with LSN <= from_lsn are
+  /// filtered out of the stream.
+  uint64_t from_lsn = 0;
+  /// True when the follower has no local state and needs the bootstrap
+  /// snapshot regardless of LSN arithmetic (a fresh primary's snapshot
+  /// LSN is 0, which from_lsn = 0 would otherwise classify as "caught
+  /// up").
+  bool need_snapshot = false;
+
+  /// Max records per on_records delivery.
+  size_t max_batch_records = 256;
+  /// Snapshot-file bytes per on_chunk delivery.
+  size_t chunk_bytes = 256 * 1024;
+  /// Idle poll interval while tailing a quiet segment.
+  int poll_ms = 20;
+  /// Idle polls between watermark heartbeats (empty on_records calls that
+  /// keep the follower's lag view fresh).
+  int heartbeat_polls = 10;
+
+  /// Checked each round; return true to cancel the feed (returns OK).
+  std::function<bool()> cancelled;
+  /// Called once, before any stream traffic, with the decided mode
+  /// (kFeedModeSnapshot / kFeedModeTail), the manifest, the shard
+  /// snapshot's LSN and the shard's current applied LSN — everything the
+  /// Subscribe acknowledgement carries.
+  std::function<bool(const durability::Manifest&, uint8_t mode,
+                     uint64_t snapshot_lsn, uint64_t shard_lsn)>
+      on_subscribed;
+  /// Snapshot mode: one verbatim chunk of the shard snapshot file
+  /// (`last` marks the final chunk; the file is self-checksummed, so the
+  /// follower verifies by loading it).
+  std::function<bool(uint64_t total_bytes, uint64_t offset, bool last,
+                     const uint8_t* data, size_t len)>
+      on_chunk;
+  /// Tail mode: a batch of records after the follower's cursor plus the
+  /// shard's applied-LSN watermark. Also called with an empty batch as an
+  /// idle heartbeat.
+  std::function<bool(uint64_t watermark_lsn,
+                     const std::vector<durability::WalRecord>& records)>
+      on_records;
+};
+
+/// Serves one Subscribe: pins the primary's WAL against checkpoint GC,
+/// decides snapshot vs tail mode from the follower's position, then either
+/// ships the shard snapshot file in chunks (and returns — the follower
+/// re-subscribes for the tail once every shard is bootstrapped) or tails
+/// the shard's WAL segments indefinitely — scanning each segment
+/// incrementally with ReadWalFrom, treating a torn tail on the *newest*
+/// segment as an in-flight append to poll again (on a superseded segment
+/// it is Corruption), and following checkpoint rotations onto fresh
+/// segments after a final catch-up read of the closed one. Returns when
+/// cancelled, when a callback declines, or on error. The pin is always
+/// released on exit.
+Status RunShardFeed(const FeedOptions& options);
+
+}  // namespace dblsh::replication
+
+#endif  // DBLSH_REPLICATION_FEED_H_

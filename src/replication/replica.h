@@ -1,0 +1,133 @@
+#ifndef DBLSH_REPLICATION_REPLICA_H_
+#define DBLSH_REPLICATION_REPLICA_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/collection.h"
+#include "exec/task_executor.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/status.h"
+
+namespace dblsh::replication {
+
+/// Replica construction knobs.
+struct ReplicaOptions {
+  /// Primary's serving address.
+  std::string primary_host = "127.0.0.1";
+  uint16_t primary_port = 0;
+  /// The collection's wire name on the primary.
+  std::string collection = "main";
+  /// Local collection spec; must carry `durability=PATH` (the replica's
+  /// own directory) and the same shards/dim/storage geometry as the
+  /// primary — validated against the Subscribe acknowledgement.
+  std::string spec;
+  /// The spec's durability directory (bootstrap snapshot files land
+  /// here before the collection opens over them).
+  std::string dir;
+  /// Query executor handed to Collection::Open; nullptr = default pool.
+  /// The per-shard tail tasks run on a dedicated pool the Replica owns.
+  exec::TaskExecutor* executor = nullptr;
+  /// Reconnect backoff after a lost tail connection.
+  int reconnect_backoff_ms = 200;
+  /// Bootstrap retries when a just-bootstrapped position is already
+  /// checkpointed past (pathological churn window).
+  int bootstrap_attempts = 3;
+};
+
+/// A WAL-shipping read replica of one served collection:
+///
+///   auto replica = replication::Replica::Start(options).value();
+///   // serve reads from replica->collection(); writes return
+///   // Status::ReadOnly carrying the primary's address
+///
+/// Start() recovers what it can locally (the replica's own durability
+/// directory, written by earlier tailing) and re-subscribes each shard
+/// from its applied LSN. With no usable local state — or local state the
+/// primary has checkpointed past — it bootstraps: streams every shard's
+/// checkpoint snapshot file over Subscribe(need_snapshot), writes them
+/// (tmp + atomic rename) plus a manifest into its own directory, and
+/// opens the collection through the exact crash-recovery path
+/// Collection::Open uses, so replicated state is byte-identical to
+/// crash-recovered state. Each shard then tails its WAL stream on a
+/// dedicated connection, applying records through
+/// Collection::ApplyReplicatedRecord (which re-logs them locally under
+/// the primary's LSNs — a kill -9'd replica restarts from its own log
+/// and catches up from where it stopped). Lost connections reconnect
+/// with backoff and resume from the shard's applied LSN; duplicate
+/// deliveries are skipped by LSN.
+///
+/// Limitation: a replica whose tailing position falls behind a primary
+/// checkpoint *while running* (the subscription pin is released between
+/// reconnects) records a shard error instead of re-seeding live; restart
+/// the replica to re-bootstrap.
+class Replica {
+ public:
+  /// Bootstraps or recovers, marks the collection read-only, and starts
+  /// the per-shard tail tasks. On success the collection is ready to
+  /// serve reads (it may still be catching up — see Report()).
+  static Result<std::unique_ptr<Replica>> Start(const ReplicaOptions& options);
+
+  /// Stop(), then joins the tail tasks.
+  ~Replica();
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  /// The replicated collection (read-only; serve reads from it).
+  Collection* collection() { return collection_.get(); }
+
+  /// Stops tailing: aborts in-flight stream reads, joins every tail
+  /// task. The collection stays open for reads. Idempotent.
+  void Stop();
+
+  /// Per-shard applied/primary LSNs and the applied-record counter — the
+  /// payload a serving front-end returns for kReplicaStatus (wire it in
+  /// via ServerOptions::replication_report).
+  serve::ReplicationReport Report() const;
+
+  /// First tailing error across shards ("" while healthy). A shard whose
+  /// stream diverged or went stale stops tailing and parks its error
+  /// here; the other shards keep following.
+  std::string FirstError() const;
+
+ private:
+  /// One shard's tail: its connection, positions, and health.
+  struct ShardTail {
+    std::unique_ptr<serve::Client> client;
+    std::atomic<uint64_t> primary_lsn{0};
+    std::atomic<uint64_t> records_applied{0};
+    std::string error;  ///< guarded by Replica::mutex_
+  };
+
+  Replica(const ReplicaOptions& options) : options_(options) {}
+
+  /// Streams every shard's snapshot + a manifest into options_.dir
+  /// (wiping it first), then opens the collection over them.
+  Status Bootstrap();
+  /// Long-lived executor task: subscribe, apply, reconnect with backoff.
+  void TailShard(size_t shard);
+  /// Sleeps `ms` in stop-checkable slices; false when stopping.
+  bool BackoffSleep(int ms);
+
+  const ReplicaOptions options_;
+  std::unique_ptr<Collection> collection_;
+  std::unique_ptr<exec::TaskExecutor> tail_pool_;
+  std::vector<std::unique_ptr<ShardTail>> tails_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> records_applied_{0};
+
+  mutable std::mutex mutex_;  ///< guards errors + task join bookkeeping
+  std::condition_variable tasks_cv_;
+  size_t tasks_running_ = 0;  ///< guarded by mutex_
+};
+
+}  // namespace dblsh::replication
+
+#endif  // DBLSH_REPLICATION_REPLICA_H_

@@ -72,10 +72,11 @@ Status Client::SendFrame(OpCode op, uint64_t request_id,
 }
 
 Status Client::ReceiveFrame(FrameHeader* header,
-                            std::vector<uint8_t>* payload) {
+                            std::vector<uint8_t>* payload,
+                            const std::atomic<bool>* stop) {
   std::lock_guard lock(recv_mutex_);
   uint8_t header_buf[kHeaderBytes];
-  Status s = ReadFull(fd_, header_buf, kHeaderBytes);
+  Status s = ReadFull(fd_, header_buf, kHeaderBytes, stop);
   if (!s.ok()) return s;
   if (!DecodeHeader(header_buf, header)) {
     return ProtocolError("bad response header");
@@ -89,7 +90,7 @@ Status Client::ReceiveFrame(FrameHeader* header,
   }
   payload->resize(header->payload_len);
   if (header->payload_len > 0) {
-    s = ReadFull(fd_, payload->data(), payload->size());
+    s = ReadFull(fd_, payload->data(), payload->size(), stop);
     if (!s.ok()) return s;
   }
   if (Fnv1a32(payload->data(), payload->size()) != header->payload_checksum) {
@@ -303,7 +304,9 @@ Result<RemoteStats> Client::Stats() {
       !r.GetU64(&sv.deletes) || !r.GetU64(&sv.protocol_errors) ||
       !r.GetU64(&sv.shed_overload) || !r.GetU64(&sv.rejected_deadline) ||
       !r.GetU64(&sv.batches_dispatched) || !r.GetU64(&sv.batched_queries) ||
-      !r.GetU64(&sv.max_batch_size) || !r.GetF64(&sv.mean_batch_size)) {
+      !r.GetU64(&sv.max_batch_size) || !r.GetF64(&sv.mean_batch_size) ||
+      !r.GetU64(&sv.replication_subscriptions) ||
+      !r.GetU64(&sv.replication_records_shipped)) {
     return ProtocolError("malformed Stats response body");
   }
   return stats;
@@ -322,6 +325,119 @@ Status Client::Checkpoint(const std::string& collection) {
     return ProtocolError("malformed Checkpoint response");
   }
   return ToStatus(status, message);
+}
+
+Status Client::Subscribe(const std::string& collection, uint32_t shard,
+                         uint64_t from_lsn, bool need_snapshot,
+                         SubscribeAck* ack) {
+  std::vector<uint8_t> payload;
+  wire::PutString(&payload, collection);
+  wire::PutU32(&payload, shard);
+  wire::PutU64(&payload, from_lsn);
+  wire::PutU8(&payload, need_snapshot ? 1 : 0);
+  std::vector<uint8_t> response;
+  Status s = Call(OpCode::kSubscribe, payload, &response);
+  if (!s.ok()) return s;
+  wire::Reader r(response.data(), response.size());
+  WireStatus status;
+  std::string message;
+  if (!ReadStatusPrefix(&r, &status, &message)) {
+    return ProtocolError("malformed Subscribe response");
+  }
+  if (status != WireStatus::kOk) return ToStatus(status, message);
+  if (!r.GetU32(&ack->shards) || !r.GetU32(&ack->dim) ||
+      !r.GetU8(&ack->storage) || !r.GetU8(&ack->mode) ||
+      !r.GetU64(&ack->snapshot_lsn) || !r.GetU64(&ack->shard_lsn)) {
+    return ProtocolError("malformed Subscribe response body");
+  }
+  return Status::OK();
+}
+
+Status Client::ReceiveReplicationEvent(uint32_t dim, ReplicationEvent* event,
+                                       const std::atomic<bool>* stop) {
+  FrameHeader header;
+  std::vector<uint8_t> payload;
+  Status s = ReceiveFrame(&header, &payload, stop);
+  if (!s.ok()) return s;
+  wire::Reader r(payload.data(), payload.size());
+  WireStatus status;
+  std::string message;
+  if (!ReadStatusPrefix(&r, &status, &message)) {
+    return ProtocolError("malformed replication stream frame");
+  }
+  if (status != WireStatus::kOk) return ToStatus(status, message);
+  if (header.op == OpCode::kSnapshotChunk) {
+    event->kind = ReplicationEvent::Kind::kSnapshotChunk;
+    uint8_t last;
+    uint32_t len;
+    if (!r.GetU32(&event->shard) || !r.GetU64(&event->total_bytes) ||
+        !r.GetU64(&event->offset) || !r.GetU8(&last) || !r.GetU32(&len) ||
+        len > r.remaining()) {
+      return ProtocolError("malformed SnapshotChunk frame");
+    }
+    event->last = last != 0;
+    event->bytes.resize(len);
+    for (uint32_t i = 0; i < len; ++i) (void)r.GetU8(&event->bytes[i]);
+    return Status::OK();
+  }
+  if (header.op == OpCode::kWalRecords) {
+    event->kind = ReplicationEvent::Kind::kWalRecords;
+    uint32_t count;
+    if (!r.GetU32(&event->shard) || !r.GetU64(&event->watermark_lsn) ||
+        !r.GetU32(&count)) {
+      return ProtocolError("malformed WalRecords frame");
+    }
+    event->records.clear();
+    event->records.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      durability::WalRecord rec;
+      uint8_t op;
+      if (!r.GetU64(&rec.lsn) || !r.GetU8(&op) || !r.GetU32(&rec.id)) {
+        return ProtocolError("malformed WalRecords frame");
+      }
+      rec.op = static_cast<durability::WalOp>(op);
+      if (rec.op == durability::WalOp::kUpsert &&
+          !r.GetF32Array(dim, &rec.vec)) {
+        return ProtocolError("malformed WalRecords frame");
+      }
+      event->records.push_back(std::move(rec));
+    }
+    return Status::OK();
+  }
+  return ProtocolError("unexpected op " +
+                       std::to_string(static_cast<unsigned>(header.op)) +
+                       " on replication stream");
+}
+
+Result<Client::ReplicaStatusReply> Client::ReplicaStatus(
+    const std::string& collection) {
+  std::vector<uint8_t> payload;
+  wire::PutString(&payload, collection);
+  std::vector<uint8_t> response;
+  Status s = Call(OpCode::kReplicaStatus, payload, &response);
+  if (!s.ok()) return s;
+  wire::Reader r(response.data(), response.size());
+  WireStatus status;
+  std::string message;
+  if (!ReadStatusPrefix(&r, &status, &message)) {
+    return ProtocolError("malformed ReplicaStatus response");
+  }
+  if (status != WireStatus::kOk) return ToStatus(status, message);
+  ReplicaStatusReply reply;
+  uint32_t nshards;
+  if (!r.GetU8(&reply.role) || !r.GetString(&reply.primary) ||
+      !r.GetU64(&reply.records_shipped) ||
+      !r.GetU64(&reply.records_applied) || !r.GetU32(&nshards)) {
+    return ProtocolError("malformed ReplicaStatus response body");
+  }
+  reply.shards.resize(nshards);
+  for (uint32_t i = 0; i < nshards; ++i) {
+    if (!r.GetU64(&reply.shards[i].applied_lsn) ||
+        !r.GetU64(&reply.shards[i].primary_lsn)) {
+      return ProtocolError("malformed ReplicaStatus response body");
+    }
+  }
+  return reply;
 }
 
 Result<uint64_t> Client::SendSearch(const std::string& collection,

@@ -1,6 +1,7 @@
 #ifndef DBLSH_SERVE_CLIENT_H_
 #define DBLSH_SERVE_CLIENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -9,6 +10,7 @@
 
 #include "core/query.h"
 #include "dataset/float_matrix.h"
+#include "durability/wal.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "util/status.h"
@@ -55,6 +57,35 @@ struct RemoteCollectionStats {
 struct RemoteStats {
   std::vector<RemoteCollectionStats> collections;
   ServerStats server;
+};
+
+/// The Subscribe acknowledgement: the primary's collection geometry (a
+/// follower validates its local spec against it) plus the stream mode the
+/// feed decided.
+struct SubscribeAck {
+  uint32_t shards = 0;
+  uint32_t dim = 0;
+  uint8_t storage = 0;  ///< durability::kSnapshotFp32 / kSnapshotSq8
+  uint8_t mode = 0;     ///< replication::kFeedModeTail / kFeedModeSnapshot
+  uint64_t snapshot_lsn = 0;  ///< the shard snapshot's LSN
+  uint64_t shard_lsn = 0;     ///< primary's applied LSN for the shard
+};
+
+/// One frame of a replication stream (after a Subscribe ack): either a
+/// snapshot chunk (bootstrap) or a WAL-record batch with the primary's
+/// watermark (tail; an empty batch is an idle heartbeat).
+struct ReplicationEvent {
+  enum class Kind { kSnapshotChunk, kWalRecords };
+  Kind kind = Kind::kWalRecords;
+  uint32_t shard = 0;
+  // kSnapshotChunk fields.
+  uint64_t total_bytes = 0;
+  uint64_t offset = 0;
+  bool last = false;
+  std::vector<uint8_t> bytes;
+  // kWalRecords fields.
+  uint64_t watermark_lsn = 0;
+  std::vector<durability::WalRecord> records;
 };
 
 /// Blocking client for the framed-TCP serving protocol. One instance owns
@@ -123,6 +154,38 @@ class Client {
   /// opened with a durability directory.
   Status Checkpoint(const std::string& collection);
 
+  /// Attaches this connection to one shard's replication feed. After an
+  /// OK ack the connection becomes a one-way stream read with
+  /// ReceiveReplicationEvent: snapshot mode (`ack->mode`) delivers
+  /// kSnapshotChunk frames until the `last` chunk, then the connection
+  /// returns to request mode; tail mode delivers kWalRecords frames until
+  /// disconnect. `need_snapshot` forces snapshot mode (a follower with no
+  /// local state); otherwise the feed compares `from_lsn` against its
+  /// snapshot LSN. Use a dedicated Client per subscription.
+  Status Subscribe(const std::string& collection, uint32_t shard,
+                   uint64_t from_lsn, bool need_snapshot, SubscribeAck* ack);
+
+  /// Blocks for the next stream frame after a Subscribe. `dim` is the
+  /// collection dimensionality (from the ack) used to decode upsert
+  /// payloads; `stop` (optional) aborts the wait with
+  /// Status::Unavailable("stopped") when set, so a replica can shut down
+  /// a quiet tail without closing the socket from another thread.
+  Status ReceiveReplicationEvent(uint32_t dim, ReplicationEvent* event,
+                                 const std::atomic<bool>* stop = nullptr);
+
+  /// Replication role + per-shard LSN report of the named collection.
+  /// The reply mirrors serve::ReplicationReport, plus the peer's role and
+  /// its shipped/applied record counters.
+  struct ReplicaStatusReply {
+    uint8_t role = 0;  ///< 0 = primary, 1 = replica
+    std::string primary;  ///< "host:port" a replica follows (empty: primary)
+    uint64_t records_shipped = 0;
+    uint64_t records_applied = 0;
+    std::vector<ReplicationShardReport> shards;
+  };
+  /// Fetches the replication report (see ReplicaStatusReply).
+  Result<ReplicaStatusReply> ReplicaStatus(const std::string& collection);
+
   /// Pipelined send half: writes one Search request WITHOUT waiting for
   /// the response and returns its request_id. Pair with
   /// ReceiveSearchReply from a receiver thread (open-loop load
@@ -153,8 +216,9 @@ class Client {
   Status SendFrame(OpCode op, uint64_t request_id,
                    const std::vector<uint8_t>& payload);
   /// Reads one frame (serialized by recv_mutex_), validating header and
-  /// checksum.
-  Status ReceiveFrame(FrameHeader* header, std::vector<uint8_t>* payload);
+  /// checksum. `stop` aborts the blocking read (replication tails).
+  Status ReceiveFrame(FrameHeader* header, std::vector<uint8_t>* payload,
+                      const std::atomic<bool>* stop = nullptr);
   /// One blocking round-trip; fails on a connection-shed frame
   /// (request_id 0) or an id mismatch.
   Status Call(OpCode op, const std::vector<uint8_t>& request,

@@ -38,8 +38,10 @@ inline constexpr uint32_t kMagic = 0x48534C44u;
 
 /// Protocol version this build speaks; a frame with any other version is
 /// rejected with kProtocolError. Version 2 added the kCheckpoint op and
-/// the per-collection durability block in the kStats response.
-inline constexpr uint8_t kProtocolVersion = 2;
+/// the per-collection durability block in the kStats response. Version 3
+/// added the replication ops (kSubscribe / kSnapshotChunk / kWalRecords /
+/// kReplicaStatus) and the kReadOnly status.
+inline constexpr uint8_t kProtocolVersion = 3;
 
 /// Size of the fixed frame header on the wire.
 inline constexpr size_t kHeaderBytes = 24;
@@ -58,6 +60,10 @@ enum class OpCode : uint8_t {
   kDelete = 4,       ///< tombstone one id
   kStats = 5,        ///< server + per-collection counters
   kCheckpoint = 6,   ///< durable snapshot + WAL rotation of one collection
+  kSubscribe = 7,    ///< follower attaches to one shard's WAL stream
+  kSnapshotChunk = 8,  ///< bootstrap: one chunk of a shard snapshot file
+  kWalRecords = 9,     ///< a batch of WAL records + primary high watermark
+  kReplicaStatus = 10,  ///< replication role + per-shard LSN/lag report
 };
 
 /// Typed status of a response frame. kOverloaded and kShuttingDown are
@@ -73,6 +79,7 @@ enum class WireStatus : uint8_t {
   kShuttingDown = 5,
   kProtocolError = 6,
   kInternal = 7,
+  kReadOnly = 8,  ///< write refused by a replica; message = primary address
 };
 
 /// FNV-1a 32-bit over `len` bytes — the frame payload checksum (same hash
@@ -282,6 +289,8 @@ inline Status ToStatus(WireStatus status, const std::string& message) {
       return Status::Corruption("protocol error: " + message);
     case WireStatus::kInternal:
       return Status::Internal(message);
+    case WireStatus::kReadOnly:
+      return Status::ReadOnly(message);
   }
   return Status::Internal("unknown wire status");
 }
@@ -302,6 +311,8 @@ inline WireStatus FromStatus(const Status& status) {
       return WireStatus::kOverloaded;
     case StatusCode::kCorruption:
       return WireStatus::kProtocolError;
+    case StatusCode::kReadOnly:
+      return WireStatus::kReadOnly;
     default:
       return WireStatus::kInternal;
   }

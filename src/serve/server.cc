@@ -7,6 +7,7 @@
 #include <chrono>
 #include <utility>
 
+#include "replication/feed.h"
 #include "serve/net.h"
 
 namespace dblsh::serve {
@@ -170,6 +171,8 @@ ServerStats Server::Stats() const {
           ? static_cast<double>(c.batched_queries) /
                 static_cast<double>(c.batches_dispatched)
           : 0.0;
+  s.replication_subscriptions = replication_subscriptions_.load();
+  s.replication_records_shipped = replication_records_shipped_.load();
   return s;
 }
 
@@ -301,6 +304,15 @@ bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     case OpCode::kCheckpoint:
       HandleCheckpoint(conn, header.request_id, payload);
       return true;
+    case OpCode::kSubscribe:
+      return HandleSubscribe(conn, header.request_id, payload);
+    case OpCode::kReplicaStatus:
+      HandleReplicaStatus(conn, header.request_id, payload);
+      return true;
+    case OpCode::kSnapshotChunk:
+    case OpCode::kWalRecords:
+      // Server-to-client stream frames; a client must never send them.
+      break;
   }
   protocol_errors_.fetch_add(1);
   SendError(conn, header.op, header.request_id, WireStatus::kProtocolError,
@@ -548,6 +560,169 @@ void Server::HandleCheckpoint(const std::shared_ptr<Connection>& conn,
                                      StatusPayload(WireStatus::kOk, "")));
 }
 
+bool Server::HandleSubscribe(const std::shared_ptr<Connection>& conn,
+                             uint64_t request_id,
+                             const std::vector<uint8_t>& payload) {
+  wire::Reader reader(payload.data(), payload.size());
+  std::string name;
+  uint32_t shard;
+  uint64_t from_lsn;
+  uint8_t need_snapshot;
+  if (!reader.GetString(&name) || !reader.GetU32(&shard) ||
+      !reader.GetU64(&from_lsn) || !reader.GetU8(&need_snapshot)) {
+    protocol_errors_.fetch_add(1);
+    SendError(conn, OpCode::kSubscribe, request_id,
+              WireStatus::kProtocolError, "malformed Subscribe payload");
+    return true;
+  }
+  Collection* collection = Find(name);
+  if (collection == nullptr) {
+    SendError(conn, OpCode::kSubscribe, request_id, WireStatus::kNotFound,
+              "no collection named \"" + name + "\"");
+    return true;
+  }
+  const CollectionDurabilityInfo durable = collection->Durability();
+  if (!durable.enabled) {
+    SendError(conn, OpCode::kSubscribe, request_id,
+              WireStatus::kInvalidArgument,
+              "collection \"" + name + "\" has no durability directory");
+    return true;
+  }
+  if (shard >= collection->shards()) {
+    SendError(conn, OpCode::kSubscribe, request_id,
+              WireStatus::kInvalidArgument,
+              "shard " + std::to_string(shard) + " out of range");
+    return true;
+  }
+  if (stopping_.load(std::memory_order_acquire)) {
+    SendError(conn, OpCode::kSubscribe, request_id,
+              WireStatus::kShuttingDown, "server draining");
+    return true;
+  }
+  replication_subscriptions_.fetch_add(1);
+
+  // The reader task now belongs to this stream: the feed runs inline and
+  // every stream frame echoes the Subscribe's request_id.
+  bool snapshot_mode = false;
+  bool ack_sent = false;
+  replication::FeedOptions feed;
+  feed.collection = collection;
+  feed.dir = durable.dir;
+  feed.shard = shard;
+  feed.from_lsn = from_lsn;
+  feed.need_snapshot = need_snapshot != 0;
+  feed.cancelled = [this] {
+    return stopping_.load(std::memory_order_acquire);
+  };
+  feed.on_subscribed = [&](const durability::Manifest& manifest,
+                           uint8_t mode, uint64_t snapshot_lsn,
+                           uint64_t shard_lsn) {
+    snapshot_mode = mode == replication::kFeedModeSnapshot;
+    ack_sent = true;
+    std::vector<uint8_t> body = StatusPayload(WireStatus::kOk, "");
+    wire::PutU32(&body, manifest.shards);
+    wire::PutU32(&body, manifest.dim);
+    wire::PutU8(&body, static_cast<uint8_t>(manifest.storage));
+    wire::PutU8(&body, mode);
+    wire::PutU64(&body, snapshot_lsn);
+    wire::PutU64(&body, shard_lsn);
+    return conn->WriteFrame(EncodeFrame(OpCode::kSubscribe, request_id, body))
+        .ok();
+  };
+  feed.on_chunk = [&](uint64_t total, uint64_t offset, bool last,
+                      const uint8_t* data, size_t len) {
+    std::vector<uint8_t> body = StatusPayload(WireStatus::kOk, "");
+    wire::PutU32(&body, shard);
+    wire::PutU64(&body, total);
+    wire::PutU64(&body, offset);
+    wire::PutU8(&body, last ? 1 : 0);
+    wire::PutU32(&body, static_cast<uint32_t>(len));
+    body.insert(body.end(), data, data + len);
+    return conn->WriteFrame(
+                   EncodeFrame(OpCode::kSnapshotChunk, request_id, body))
+        .ok();
+  };
+  feed.on_records = [&](uint64_t watermark,
+                        const std::vector<durability::WalRecord>& records) {
+    std::vector<uint8_t> body = StatusPayload(WireStatus::kOk, "");
+    wire::PutU32(&body, shard);
+    wire::PutU64(&body, watermark);
+    wire::PutU32(&body, static_cast<uint32_t>(records.size()));
+    for (const durability::WalRecord& rec : records) {
+      wire::PutU64(&body, rec.lsn);
+      wire::PutU8(&body, static_cast<uint8_t>(rec.op));
+      wire::PutU32(&body, rec.id);
+      if (rec.op == durability::WalOp::kUpsert) {
+        for (float v : rec.vec) wire::PutF32(&body, v);
+      }
+    }
+    if (!conn->WriteFrame(EncodeFrame(OpCode::kWalRecords, request_id, body))
+             .ok()) {
+      return false;
+    }
+    replication_records_shipped_.fetch_add(records.size());
+    return true;
+  };
+
+  Status s = replication::RunShardFeed(feed);
+  if (!s.ok() && !ack_sent) {
+    SendError(conn, OpCode::kSubscribe, request_id, FromStatus(s),
+              s.message());
+    return true;
+  }
+  // After the ack the stream has no in-band error channel: a feed failure
+  // simply ends the stream and the follower treats it as a disconnect.
+  // A completed snapshot stream hands the connection back to request mode
+  // (the follower re-subscribes for the tail); a tail stream only ends
+  // with the connection.
+  return s.ok() && ack_sent && snapshot_mode;
+}
+
+void Server::HandleReplicaStatus(const std::shared_ptr<Connection>& conn,
+                                 uint64_t request_id,
+                                 const std::vector<uint8_t>& payload) {
+  wire::Reader reader(payload.data(), payload.size());
+  std::string name;
+  if (!reader.GetString(&name)) {
+    protocol_errors_.fetch_add(1);
+    SendError(conn, OpCode::kReplicaStatus, request_id,
+              WireStatus::kProtocolError, "malformed ReplicaStatus payload");
+    return;
+  }
+  Collection* collection = Find(name);
+  if (collection == nullptr) {
+    SendError(conn, OpCode::kReplicaStatus, request_id, WireStatus::kNotFound,
+              "no collection named \"" + name + "\"");
+    return;
+  }
+  std::vector<uint8_t> body = StatusPayload(WireStatus::kOk, "");
+  if (options_.replication_report) {
+    const ReplicationReport report = options_.replication_report();
+    wire::PutU8(&body, 1);  // role: replica
+    wire::PutString(&body, report.primary);
+    wire::PutU64(&body, replication_records_shipped_.load());
+    wire::PutU64(&body, report.records_applied);
+    wire::PutU32(&body, static_cast<uint32_t>(report.shards.size()));
+    for (const ReplicationShardReport& s : report.shards) {
+      wire::PutU64(&body, s.applied_lsn);
+      wire::PutU64(&body, s.primary_lsn);
+    }
+  } else {
+    // Primary: its own applied LSNs are both sides of the lag equation.
+    const std::vector<uint64_t> lsns = collection->ShardAppliedLsns();
+    wire::PutU8(&body, 0);  // role: primary
+    wire::PutString(&body, "");
+    wire::PutU64(&body, replication_records_shipped_.load());
+    wire::PutU64(&body, 0);
+    wire::PutU32(&body, static_cast<uint32_t>(lsns.size()));
+    for (uint64_t lsn : lsns) {
+      wire::PutU64(&body, lsn);
+      wire::PutU64(&body, lsn);
+    }
+  }
+  (void)conn->WriteFrame(EncodeFrame(OpCode::kReplicaStatus, request_id, body));
+}
+
 void Server::HandleStats(const std::shared_ptr<Connection>& conn,
                          uint64_t request_id) {
   const ServerStats s = Stats();
@@ -585,6 +760,8 @@ void Server::HandleStats(const std::shared_ptr<Connection>& conn,
   wire::PutU64(&body, s.batched_queries);
   wire::PutU64(&body, s.max_batch_size);
   wire::PutF64(&body, s.mean_batch_size);
+  wire::PutU64(&body, s.replication_subscriptions);
+  wire::PutU64(&body, s.replication_records_shipped);
   (void)conn->WriteFrame(EncodeFrame(OpCode::kStats, request_id, body));
 }
 

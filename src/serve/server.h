@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -23,6 +24,22 @@ namespace dblsh::serve {
 struct ServedCollection {
   std::string name;
   Collection* collection = nullptr;
+};
+
+/// One shard's replication position, as reported by kReplicaStatus.
+struct ReplicationShardReport {
+  uint64_t applied_lsn = 0;  ///< last LSN applied locally
+  uint64_t primary_lsn = 0;  ///< primary's watermark (lag = difference)
+  uint64_t records_applied = 0;  ///< records applied to this shard
+};
+
+/// A replica's self-report, produced by the ServerOptions hook below.
+/// Defined here (not in src/replication/) so the serve layer needs no
+/// replication header to answer kReplicaStatus.
+struct ReplicationReport {
+  std::string primary;  ///< "host:port" this replica follows
+  std::vector<ReplicationShardReport> shards;
+  uint64_t records_applied = 0;  ///< total records applied since start
 };
 
 /// Server construction knobs.
@@ -47,6 +64,11 @@ struct ServerOptions {
   /// Executor running coalesced SearchBatch dispatches; nullptr uses
   /// exec::TaskExecutor::Default(). Must outlive the server.
   exec::TaskExecutor* query_executor = nullptr;
+  /// Replica self-report hook: non-null marks this server a replica and
+  /// answers kReplicaStatus from it (a Replica wires its Report() in
+  /// here). Null (default) answers as a primary from the collections'
+  /// own applied LSNs.
+  std::function<ReplicationReport()> replication_report;
 };
 
 /// Monotonic server counters (Server::Stats, also served over the wire by
@@ -68,6 +90,8 @@ struct ServerStats {
   uint64_t max_batch_size = 0;
   /// batched_queries / batches_dispatched (0 when nothing dispatched).
   double mean_batch_size = 0.0;
+  uint64_t replication_subscriptions = 0;  ///< kSubscribe streams served
+  uint64_t replication_records_shipped = 0;  ///< WAL records streamed out
 };
 
 /// Framed-TCP serving front-end over a set of named Collections — the
@@ -184,6 +208,18 @@ class Server {
   void HandleCheckpoint(const std::shared_ptr<Connection>& conn,
                         uint64_t request_id,
                         const std::vector<uint8_t>& payload);
+  /// Op handler: dedicates this connection's reader to one shard's
+  /// replication feed (ack + snapshot chunks or WAL-record stream).
+  /// Returns false when the connection must drop afterwards (a tail
+  /// stream only ends by disconnect); a completed snapshot stream returns
+  /// true and the connection resumes request mode.
+  bool HandleSubscribe(const std::shared_ptr<Connection>& conn,
+                       uint64_t request_id,
+                       const std::vector<uint8_t>& payload);
+  /// Op handler: replication role + per-shard LSN report.
+  void HandleReplicaStatus(const std::shared_ptr<Connection>& conn,
+                           uint64_t request_id,
+                           const std::vector<uint8_t>& payload);
   /// Sends a status-only response frame.
   void SendError(const std::shared_ptr<Connection>& conn, OpCode op,
                  uint64_t request_id, WireStatus status,
@@ -222,6 +258,8 @@ class Server {
   std::atomic<uint64_t> upserts_{0};
   std::atomic<uint64_t> deletes_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> replication_subscriptions_{0};
+  std::atomic<uint64_t> replication_records_shipped_{0};
 };
 
 }  // namespace dblsh::serve

@@ -26,6 +26,8 @@ const char* CodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kReadOnly:
+      return "ReadOnly";
   }
   return "Unknown";
 }

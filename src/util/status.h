@@ -22,6 +22,7 @@ enum class StatusCode {
   kInternal,
   kDeadlineExceeded,
   kUnavailable,
+  kReadOnly,
 };
 
 /// Lightweight value-semantic status object. `Status::OK()` is cheap (no
@@ -57,6 +58,11 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Mutation refused because this node is a read-only replica; `msg`
+  /// carries the primary's address so clients can redirect writes.
+  static Status ReadOnly(std::string msg) {
+    return Status(StatusCode::kReadOnly, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,61 @@
+#include "util/vecs.h"
+
+#include <fstream>
+
+namespace dblsh::util {
+
+namespace {
+
+// Shared scan loop: every vecs flavor is `int32 d` + d components of
+// sizeof(T) bytes, repeated to end of file.
+template <typename T, typename Data>
+Result<Data> ReadVecsFile(const std::string& path, size_t max_vectors) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("vecs: cannot open " + path);
+  Data data;
+  size_t read_vectors = 0;
+  while (max_vectors == 0 || read_vectors < max_vectors) {
+    int32_t d = 0;
+    if (!in.read(reinterpret_cast<char*>(&d), sizeof(d))) {
+      if (in.eof() && in.gcount() == 0) break;  // clean end between vectors
+      return Status::Corruption("vecs: truncated header in " + path);
+    }
+    if (d <= 0) {
+      return Status::Corruption("vecs: non-positive dimension " +
+                                std::to_string(d) + " in " + path);
+    }
+    if (data.dim == 0) {
+      data.dim = static_cast<size_t>(d);
+    } else if (static_cast<size_t>(d) != data.dim) {
+      return Status::Corruption(
+          "vecs: vector " + std::to_string(read_vectors) + " has dimension " +
+          std::to_string(d) + ", expected " + std::to_string(data.dim) +
+          " in " + path);
+    }
+    const size_t offset = data.values.size();
+    data.values.resize(offset + data.dim);
+    if (!in.read(reinterpret_cast<char*>(data.values.data() + offset),
+                 static_cast<std::streamsize>(data.dim * sizeof(T)))) {
+      return Status::Corruption("vecs: truncated vector " +
+                                std::to_string(read_vectors) + " in " + path);
+    }
+    ++read_vectors;
+  }
+  return data;
+}
+
+}  // namespace
+
+Result<FvecsData> ReadFvecs(const std::string& path, size_t max_vectors) {
+  return ReadVecsFile<float, FvecsData>(path, max_vectors);
+}
+
+Result<BvecsData> ReadBvecs(const std::string& path, size_t max_vectors) {
+  return ReadVecsFile<uint8_t, BvecsData>(path, max_vectors);
+}
+
+Result<IvecsData> ReadIvecs(const std::string& path, size_t max_vectors) {
+  return ReadVecsFile<int32_t, IvecsData>(path, max_vectors);
+}
+
+}  // namespace dblsh::util

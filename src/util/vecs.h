@@ -1,0 +1,61 @@
+#ifndef DBLSH_UTIL_VECS_H_
+#define DBLSH_UTIL_VECS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// Standalone readers for the TEXMEX `.fvecs` / `.bvecs` / `.ivecs`
+/// family (SIFT1M, GIST1M, DEEP1B ground truth, ...). Each vector on disk
+/// is a little-endian `int32 d` followed by `d` components — float32 for
+/// fvecs, uint8 for bvecs, int32 for ivecs — and every vector in a file
+/// shares one dimensionality. The readers validate the header of every
+/// vector (positive, consistent `d`; no truncated payloads), so a wrong
+/// extension or a corrupt download fails with a typed Status instead of
+/// garbage rows. No dependency on the dataset layer: benches and tools
+/// can load raw files without pulling in FloatMatrix.
+namespace dblsh::util {
+
+/// Rows decoded from one `.fvecs` file, flattened row-major.
+struct FvecsData {
+  size_t dim = 0;
+  std::vector<float> values;  ///< count() * dim components
+  /// Number of vectors decoded.
+  size_t count() const { return dim == 0 ? 0 : values.size() / dim; }
+};
+
+/// Rows decoded from one `.bvecs` file, flattened row-major.
+struct BvecsData {
+  size_t dim = 0;
+  std::vector<uint8_t> values;  ///< count() * dim components
+  /// Number of vectors decoded.
+  size_t count() const { return dim == 0 ? 0 : values.size() / dim; }
+};
+
+/// Rows decoded from one `.ivecs` file (typically ground-truth neighbor
+/// ids), flattened row-major.
+struct IvecsData {
+  size_t dim = 0;
+  std::vector<int32_t> values;  ///< count() * dim components
+  /// Number of vectors decoded.
+  size_t count() const { return dim == 0 ? 0 : values.size() / dim; }
+};
+
+/// Reads up to `max_vectors` vectors (0 = all) from an `.fvecs` file.
+/// IoError when the file cannot be opened; Corruption on a non-positive
+/// or inconsistent per-vector dimension or a truncated payload.
+Result<FvecsData> ReadFvecs(const std::string& path, size_t max_vectors = 0);
+
+/// Reads up to `max_vectors` vectors (0 = all) from a `.bvecs` file.
+/// Same error contract as ReadFvecs.
+Result<BvecsData> ReadBvecs(const std::string& path, size_t max_vectors = 0);
+
+/// Reads up to `max_vectors` vectors (0 = all) from an `.ivecs` file.
+/// Same error contract as ReadFvecs.
+Result<IvecsData> ReadIvecs(const std::string& path, size_t max_vectors = 0);
+
+}  // namespace dblsh::util
+
+#endif  // DBLSH_UTIL_VECS_H_

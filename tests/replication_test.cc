@@ -1,0 +1,406 @@
+// End-to-end tests for WAL-shipping replication (src/replication/ over
+// src/serve/): snapshot bootstrap, log tailing, randomized-stream
+// convergence against a digest oracle, follower kill/restart catch-up,
+// stale-follower re-seed after a primary checkpoint, fault injection at
+// both replication write paths, and the read-only write gate.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/collection.h"
+#include "dataset/float_matrix.h"
+#include "durability/fail_point.h"
+#include "durability/format.h"
+#include "replication/replica.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dblsh {
+namespace {
+
+namespace fs = std::filesystem;
+using durability::FailPoints;
+using replication::Replica;
+using replication::ReplicaOptions;
+using serve::Client;
+using serve::Server;
+using serve::ServerOptions;
+
+// Fresh per-test scratch directory, removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = (fs::temp_directory_path() /
+             ("dblsh_repl_" + tag + "_" + std::to_string(::getpid())))
+                .string();
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// Order-independent digest of the live (id, vector-bytes) set — the
+// logical state the primary and the follower must agree on (same oracle
+// as tests/durability_test.cc; computed from Snapshot(), so quantized
+// storage compares its deterministic decode).
+uint64_t DigestOf(const Collection& collection) {
+  const FloatMatrix snap = collection.Snapshot();
+  uint64_t digest = 0;
+  for (size_t g = 0; g < snap.rows(); ++g) {
+    if (snap.IsDeleted(g)) continue;
+    const auto id = static_cast<uint32_t>(g);
+    uint64_t h = durability::Fnv1a64(
+        reinterpret_cast<const uint8_t*>(&id), sizeof(id));
+    h = durability::Fnv1a64(reinterpret_cast<const uint8_t*>(snap.row(g)),
+                            snap.cols() * sizeof(float), h);
+    digest ^= h;  // xor: insertion order must not matter
+  }
+  return digest;
+}
+
+std::vector<float> MakeVec(size_t dim, Rng* rng) {
+  std::vector<float> v(dim);
+  for (float& x : v) {
+    x = static_cast<float>(rng->NextU64() % 2000) / 10.0f;
+  }
+  return v;
+}
+
+constexpr size_t kDim = 6;
+
+// Primary + serving front-end + follower, wired over loopback. LinearScan
+// is the index on both sides on purpose: its answers are a pure function
+// of the live rows, so read-equivalence checks are immune to
+// rebuild-timing differences between the two collections.
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailPoints::Instance().Reset(); }
+  void TearDown() override {
+    replica_.reset();
+    server_.reset();
+    primary_.reset();
+    FailPoints::Instance().Reset();
+  }
+
+  static std::string Spec(const std::string& dir, const std::string& extra,
+                          const std::string& indexes) {
+    return "collection,shards=2,durability=" + dir + extra + ": " + indexes;
+  }
+
+  void StartPrimary(const std::string& extra = "",
+                    const std::string& indexes = "LinearScan",
+                    size_t seed_rows = 24) {
+    primary_dir_ = std::make_unique<TempDir>("primary");
+    Rng rng(7);
+    FloatMatrix seed(seed_rows, kDim);
+    for (size_t i = 0; i < seed_rows; ++i) {
+      const auto v = MakeVec(kDim, &rng);
+      std::copy(v.begin(), v.end(), seed.mutable_row(i));
+    }
+    auto made = Collection::FromSpec(
+        Spec(primary_dir_->path(), extra, indexes),
+        std::make_unique<FloatMatrix>(std::move(seed)));
+    ASSERT_TRUE(made.ok()) << made.status().ToString();
+    primary_ = std::move(made).value();
+    auto started = Server::Start({{"main", primary_.get()}}, {});
+    ASSERT_TRUE(started.ok()) << started.status().ToString();
+    server_ = std::move(started).value();
+  }
+
+  ReplicaOptions MakeReplicaOptions(const std::string& extra = "",
+                                    const std::string& indexes =
+                                        "LinearScan") {
+    if (replica_dir_ == nullptr) {
+      replica_dir_ = std::make_unique<TempDir>("replica");
+    }
+    ReplicaOptions options;
+    options.primary_host = "127.0.0.1";
+    options.primary_port = server_->port();
+    options.collection = "main";
+    options.dir = replica_dir_->path();
+    options.spec = Spec(replica_dir_->path(), extra, indexes);
+    options.reconnect_backoff_ms = 50;
+    return options;
+  }
+
+  void StartReplica(const std::string& extra = "",
+                    const std::string& indexes = "LinearScan") {
+    auto started = Replica::Start(MakeReplicaOptions(extra, indexes));
+    ASSERT_TRUE(started.ok()) << started.status().ToString();
+    replica_ = std::move(started).value();
+  }
+
+  // Polls until the follower's digest equals the (quiescent) primary's.
+  bool AwaitConverged(int timeout_ms = 30000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    const uint64_t want = DigestOf(*primary_);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (DigestOf(*replica_->collection()) == want) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+  }
+
+  // Randomized upsert (fresh + in-place) / delete stream on the primary.
+  void MutatePrimary(size_t ops, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<uint32_t> live;
+    {
+      const FloatMatrix snap = primary_->Snapshot();
+      for (size_t g = 0; g < snap.rows(); ++g) {
+        if (!snap.IsDeleted(g)) live.push_back(static_cast<uint32_t>(g));
+      }
+    }
+    for (size_t i = 0; i < ops; ++i) {
+      const auto v = MakeVec(kDim, &rng);
+      const uint64_t dice = rng.NextU64() % 10;
+      if (dice < 5 || live.empty()) {
+        auto id = primary_->Upsert(v.data(), v.size());
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        live.push_back(id.value());
+      } else if (dice < 8) {
+        const uint32_t id = live[rng.NextU64() % live.size()];
+        auto replaced = primary_->Upsert(id, v.data(), v.size());
+        ASSERT_TRUE(replaced.ok()) << replaced.status().ToString();
+      } else {
+        const size_t at = rng.NextU64() % live.size();
+        ASSERT_TRUE(primary_->Delete(live[at]).ok());
+        live.erase(live.begin() + static_cast<ptrdiff_t>(at));
+      }
+    }
+  }
+
+  // Fixed queries must answer identically on both sides.
+  void ExpectEqualReads(size_t queries, uint64_t seed, size_t k) {
+    Rng rng(seed);
+    for (size_t i = 0; i < queries; ++i) {
+      const auto q = MakeVec(kDim, &rng);
+      QueryRequest request;
+      request.k = k;
+      auto p = primary_->Search(q.data(), request);
+      auto r = replica_->collection()->Search(q.data(), request);
+      ASSERT_TRUE(p.ok()) << p.status().ToString();
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      ASSERT_EQ(p.value().neighbors.size(), r.value().neighbors.size());
+      for (size_t n = 0; n < p.value().neighbors.size(); ++n) {
+        EXPECT_EQ(p.value().neighbors[n].id, r.value().neighbors[n].id);
+        EXPECT_EQ(p.value().neighbors[n].dist, r.value().neighbors[n].dist);
+      }
+    }
+  }
+
+  std::unique_ptr<TempDir> primary_dir_;
+  std::unique_ptr<TempDir> replica_dir_;
+  std::unique_ptr<Collection> primary_;
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<Replica> replica_;
+};
+
+TEST_F(ReplicationTest, BootstrapReplicatesSeedStateAndServesEqualReads) {
+  StartPrimary();
+  StartReplica();
+  ASSERT_TRUE(AwaitConverged());
+  EXPECT_EQ(DigestOf(*primary_), DigestOf(*replica_->collection()));
+  EXPECT_EQ(replica_->FirstError(), "");
+  ExpectEqualReads(8, 99, 5);
+}
+
+TEST_F(ReplicationTest, RandomizedStreamConvergesToPrimaryDigest) {
+  StartPrimary();
+  StartReplica();
+  MutatePrimary(300, 1234);
+  ASSERT_TRUE(AwaitConverged());
+  EXPECT_EQ(DigestOf(*primary_), DigestOf(*replica_->collection()));
+  EXPECT_EQ(replica_->FirstError(), "");
+
+  const serve::ReplicationReport report = replica_->Report();
+  ASSERT_EQ(report.shards.size(), 2u);
+  const std::vector<uint64_t> primary_lsns = primary_->ShardAppliedLsns();
+  for (size_t s = 0; s < report.shards.size(); ++s) {
+    EXPECT_EQ(report.shards[s].applied_lsn, primary_lsns[s]);
+    EXPECT_GE(report.shards[s].primary_lsn, report.shards[s].applied_lsn);
+  }
+  EXPECT_GT(report.records_applied, 0u);
+}
+
+TEST_F(ReplicationTest, FollowerRejectsWritesWithReadOnlyAndPrimaryAddress) {
+  StartPrimary();
+  StartReplica();
+  MutatePrimary(10, 5);
+  ASSERT_TRUE(AwaitConverged());
+  const std::string primary_address =
+      "127.0.0.1:" + std::to_string(server_->port());
+
+  // Direct writes hit the collection gate.
+  Rng rng(6);
+  const auto v = MakeVec(kDim, &rng);
+  auto direct = replica_->collection()->Upsert(v.data(), v.size());
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(direct.status().code(), StatusCode::kReadOnly);
+  EXPECT_NE(direct.status().message().find(primary_address),
+            std::string::npos);
+
+  // And the same refusal travels the wire as kReadOnly through a serving
+  // front-end over the replica, with the replica's report wired in.
+  Replica* replica = replica_.get();
+  ServerOptions options;
+  options.replication_report = [replica] { return replica->Report(); };
+  auto follower_server =
+      Server::Start({{"main", replica_->collection()}}, options);
+  ASSERT_TRUE(follower_server.ok()) << follower_server.status().ToString();
+  auto client =
+      Client::Connect("127.0.0.1", follower_server.value()->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto wire = client.value()->Upsert("main", v.data(), v.size());
+  ASSERT_FALSE(wire.ok());
+  EXPECT_EQ(wire.status().code(), StatusCode::kReadOnly);
+  EXPECT_NE(wire.status().message().find(primary_address),
+            std::string::npos);
+  EXPECT_EQ(client.value()->Delete("main", 0).code(), StatusCode::kReadOnly);
+
+  auto status = client.value()->ReplicaStatus("main");
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  EXPECT_EQ(status.value().role, 1);
+  EXPECT_EQ(status.value().primary, primary_address);
+  ASSERT_EQ(status.value().shards.size(), 2u);
+  for (const auto& shard : status.value().shards) {
+    EXPECT_GE(shard.primary_lsn, shard.applied_lsn);
+  }
+
+  // The primary's own front-end answers the same op as role 0.
+  auto primary_client = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(primary_client.ok());
+  auto primary_status = primary_client.value()->ReplicaStatus("main");
+  ASSERT_TRUE(primary_status.ok()) << primary_status.status().ToString();
+  EXPECT_EQ(primary_status.value().role, 0);
+  EXPECT_TRUE(primary_status.value().primary.empty());
+  EXPECT_GT(primary_status.value().records_shipped, 0u);
+}
+
+TEST_F(ReplicationTest, KilledFollowerRecoversLocallyAndCatchesUp) {
+  StartPrimary();
+  StartReplica();
+  MutatePrimary(80, 42);
+  ASSERT_TRUE(AwaitConverged());
+
+  // Drop the replica with no checkpoint of its own: the durable directory
+  // holds exactly what tailing re-logged, like a kill -9 would leave.
+  replica_.reset();
+
+  // The primary moves on while the follower is down.
+  MutatePrimary(120, 43);
+
+  // Restart over the same directory: local recovery + re-subscribe from
+  // the recovered per-shard LSNs.
+  StartReplica();
+  ASSERT_TRUE(AwaitConverged());
+  EXPECT_EQ(DigestOf(*primary_), DigestOf(*replica_->collection()));
+  EXPECT_EQ(replica_->FirstError(), "");
+}
+
+TEST_F(ReplicationTest, StaleFollowerReseedsAfterPrimaryCheckpoint) {
+  StartPrimary();
+  StartReplica();
+  MutatePrimary(40, 7);
+  ASSERT_TRUE(AwaitConverged());
+  replica_.reset();
+
+  // While the follower is down the primary both advances AND checkpoints,
+  // so tailing from the follower's old position may no longer be possible
+  // — Start() must detect the snapshot-mode answer and re-seed.
+  MutatePrimary(60, 8);
+  ASSERT_TRUE(primary_->Checkpoint().ok());
+
+  StartReplica();
+  ASSERT_TRUE(AwaitConverged());
+  EXPECT_EQ(DigestOf(*primary_), DigestOf(*replica_->collection()));
+}
+
+TEST_F(ReplicationTest, InjectedSnapshotChunkFailureFailsBootstrapCleanly) {
+  StartPrimary();
+  // Kill the primary's first chunk send: the stream ends mid-snapshot and
+  // bootstrap reports the disconnect instead of opening a torn replica.
+  FailPoints::Instance().Arm(durability::kFailReplicationChunk, 1, 0);
+  auto failed = Replica::Start(MakeReplicaOptions());
+  EXPECT_FALSE(failed.ok());
+  EXPECT_GE(FailPoints::Instance().HitCount(durability::kFailReplicationChunk),
+            1u);
+
+  // Disarmed, the same directory bootstraps fine — the torn attempt left
+  // nothing a re-seed cannot overwrite.
+  FailPoints::Instance().Reset();
+  StartReplica();
+  ASSERT_TRUE(AwaitConverged());
+  EXPECT_EQ(DigestOf(*primary_), DigestOf(*replica_->collection()));
+}
+
+TEST_F(ReplicationTest, InjectedApplyFailureRetriesViaRedelivery) {
+  StartPrimary();
+  StartReplica();
+  ASSERT_TRUE(AwaitConverged());
+
+  // The follower's 2nd streamed-record apply dies mid-stream. The record
+  // was neither applied nor locally logged, so the tail drops the
+  // connection and resumes from its applied LSN; the primary redelivers.
+  FailPoints::Instance().Arm(durability::kFailReplicationApply, 2, 0);
+  MutatePrimary(50, 77);
+  ASSERT_TRUE(AwaitConverged());
+  EXPECT_EQ(DigestOf(*primary_), DigestOf(*replica_->collection()));
+  EXPECT_EQ(replica_->FirstError(), "");
+  EXPECT_GE(FailPoints::Instance().HitCount(durability::kFailReplicationApply),
+            2u);
+}
+
+TEST_F(ReplicationTest, QuantizedStorageReplicatesRetrainsExactly) {
+  // sq8 with a small rebuild threshold: the mutation stream keeps
+  // triggering full rebuilds, each re-training the quantizer from the
+  // live rows. The retrain travels the log as its own record, so the
+  // follower's decoded bytes match the primary's exactly.
+  StartPrimary(",storage=sq8,rerank=4", "LinearScan,rebuild_threshold=8");
+  StartReplica(",storage=sq8,rerank=4", "LinearScan,rebuild_threshold=8");
+  MutatePrimary(200, 2024);
+  const bool converged = AwaitConverged();
+  const auto p_lsns = primary_->ShardAppliedLsns();
+  const auto r_lsns = replica_->collection()->ShardAppliedLsns();
+  ASSERT_TRUE(converged)
+      << "error=" << replica_->FirstError() << " primary_lsns=" << p_lsns[0]
+      << "," << p_lsns[1] << " replica_lsns=" << r_lsns[0] << ","
+      << r_lsns[1];
+  EXPECT_EQ(DigestOf(*primary_), DigestOf(*replica_->collection()));
+  EXPECT_EQ(replica_->FirstError(), "");
+  ExpectEqualReads(5, 31, 4);
+}
+
+TEST_F(ReplicationTest, ServerStatsCountSubscriptionsAndShippedRecords) {
+  StartPrimary();
+  StartReplica();
+  MutatePrimary(30, 3);
+  ASSERT_TRUE(AwaitConverged());
+  const serve::ServerStats stats = server_->Stats();
+  // Bootstrap subscribes once per shard in snapshot mode, then once per
+  // shard for the tails.
+  EXPECT_GE(stats.replication_subscriptions, 4u);
+  EXPECT_GE(stats.replication_records_shipped, 30u);
+}
+
+}  // namespace
+}  // namespace dblsh
