@@ -32,7 +32,8 @@
 // --readers (max reader tasks, default 8; the sweep doubles from 1),
 // --shards (comma list of shard counts, default "1,4"), --duration-ms
 // (per measurement cell, default 1000), --seed, --storage (row store
-// backend, fp32 or sq8, default fp32), --network (0 disables the
+// backend, fp32, sq8, or pq, default fp32), --pq-m (PQ subspace count
+// when --storage=pq, 0 = floor(0.48 * dim)), --network (0 disables the
 // loopback section), --clients (closed-loop connections, default 8),
 // --window-us (coalescing window, default 1000), --pipeline-depth
 // (open-loop outstanding requests, default 32), --json[=PATH] (write
@@ -422,8 +423,14 @@ int Run(const bench::Flags& flags) {
   const std::string storage = flags.GetString("storage", "fp32");
   // Folded into every collection spec below; the fp32 default keeps the
   // spec byte-identical to what earlier baselines were produced with.
-  const std::string storage_suffix =
-      storage == "fp32" ? "" : ",storage=" + storage;
+  // For pq the subspace count rides along: --pq-m, defaulting to the
+  // finest codebook under 0.12x of the fp32 payload (floor(0.48 * dim)).
+  std::string storage_suffix = storage == "fp32" ? "" : ",storage=" + storage;
+  if (storage == "pq") {
+    size_t pq_m = static_cast<size_t>(flags.GetInt("pq-m", 0));
+    if (pq_m == 0) pq_m = std::max<size_t>(1, (dim * 48) / 100);
+    storage_suffix += ",m=" + std::to_string(pq_m);
+  }
 
   ClusteredSpec spec;
   spec.n = n;
@@ -461,7 +468,8 @@ int Run(const bench::Flags& flags) {
       const CollectionStorageInfo storage_info = collection.Storage();
       json.Set("storage", storage_info.kind)
           .Set("bytes_per_vector", storage_info.bytes_per_vector)
-          .Set("rerank", storage_info.rerank);
+          .Set("rerank", storage_info.rerank)
+          .Set("store_resident_bytes", storage_info.resident_bytes);
     }
     std::printf("--- shards = %zu: n = %zu, dim = %zu, k = %zu; built in "
                 "%.3f s; %.0f ms per measurement cell ---\n\n",

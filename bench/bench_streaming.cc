@@ -13,7 +13,9 @@
 // rebuild costs seconds of index downtime the streaming path never pays.
 //
 // Flags: --n (initial points, default 100000), --dim, --ops (mixed
-// operations, default 4000), --k, --eval-queries, --seed, --json[=PATH]
+// operations, default 4000), --k, --eval-queries, --seed, --pq-m (PQ
+// subspace count for the storage comparison, 0 = floor(0.48 * dim), the
+// finest codebook under 0.12x of the fp32 payload), --json[=PATH]
 // (write machine-readable results, default path BENCH_streaming.json).
 #include <algorithm>
 #include <cstdio>
@@ -268,8 +270,45 @@ int Run(const bench::Flags& flags) {
         return out;
       },
       final_data, eval_set, k);
+  // Product-quantized storage at m code bytes per vector: ADC table scan
+  // in the hot path, same re-rank machinery. Unlike sq8, PQ's re-rank
+  // re-scores against the same centroid decode the ADC table measures, so
+  // recall is governed purely by codebook fineness — default m to the
+  // finest codebook that still stays under 0.12x of the fp32 payload
+  // (floor(0.48 * dim) code bytes vs 4 * dim fp32 bytes).
+  size_t pq_m = static_cast<size_t>(flags.GetInt("pq-m", 0));
+  if (pq_m == 0) {
+    pq_m = std::max<size_t>(1, (dim * 48) / 100);
+  }
+  Timer pq_timer;
+  auto pq_made = Collection::FromSpec(
+      "collection,storage=pq,m=" + std::to_string(pq_m) +
+          ": DB-LSH,name=streaming",
+      std::make_unique<FloatMatrix>(final_data));
+  if (!pq_made.ok()) {
+    std::fprintf(stderr, "%s\n", pq_made.status().ToString().c_str());
+    return 1;
+  }
+  Collection& pq_collection = *pq_made.value();
+  const double pq_build_sec = pq_timer.ElapsedSec();
+  const EvalResult pq_eval = Evaluate(
+      [&](const float* q, size_t kk) {
+        QueryRequest r;
+        r.k = kk;
+        auto response = pq_collection.Search(q, r, "streaming");
+        if (!response.ok()) return std::vector<Neighbor>{};
+        std::vector<Neighbor> out = std::move(response.value().neighbors);
+        // Same id-recall rescore as the sq8 arm.
+        for (Neighbor& nb : out) {
+          nb.dist = L2Distance(final_data.row(nb.id), q, dim);
+        }
+        std::sort(out.begin(), out.end());
+        return out;
+      },
+      final_data, eval_set, k);
   const CollectionStorageInfo fp32_storage = collection.Storage();
   const CollectionStorageInfo sq8_storage = sq8_collection.Storage();
+  const CollectionStorageInfo pq_storage = pq_collection.Storage();
 
   eval::Table table({"Index", "Recall@" + std::to_string(k), "Ratio",
                      "ms/query", "(Re)build s", "B/vec"});
@@ -289,6 +328,13 @@ int Run(const bench::Flags& flags) {
                 eval::Table::Fmt(sq8_eval.avg_ms, 3),
                 eval::Table::Fmt(sq8_build_sec, 3),
                 std::to_string(sq8_storage.bytes_per_vector)});
+  table.AddRow({"pq rebuild (m=" + std::to_string(pq_m) + ", rerank x" +
+                    std::to_string(pq_storage.rerank) + ")",
+                eval::Table::Fmt(pq_eval.recall, 3),
+                eval::Table::Fmt(pq_eval.ratio, 4),
+                eval::Table::Fmt(pq_eval.avg_ms, 3),
+                eval::Table::Fmt(pq_build_sec, 3),
+                std::to_string(pq_storage.bytes_per_vector)});
   table.Print();
   std::printf("\nrecall delta (rebuild - streaming): %+.3f  "
               "(target: within 0.02)\n",
@@ -300,6 +346,14 @@ int Run(const bench::Flags& flags) {
               sq8_storage.bytes_per_vector > 0
                   ? double(fp32_storage.bytes_per_vector) /
                         double(sq8_storage.bytes_per_vector)
+                  : 0.0);
+  std::printf("recall delta (rebuild - pq): %+.3f  (target: within 0.03); "
+              "payload %zu -> %zu bytes/vector (%.1fx smaller)\n",
+              fresh.recall - pq_eval.recall, fp32_storage.bytes_per_vector,
+              pq_storage.bytes_per_vector,
+              pq_storage.bytes_per_vector > 0
+                  ? double(fp32_storage.bytes_per_vector) /
+                        double(pq_storage.bytes_per_vector)
                   : 0.0);
   std::printf("live points at end: %zu (of %zu slots)\n",
               collection.size(), final_data.rows());
@@ -337,7 +391,15 @@ int Run(const bench::Flags& flags) {
                  .Set("sq8_ms_per_query", sq8_eval.avg_ms)
                  .Set("sq8_build_seconds", sq8_build_sec)
                  .Set("sq8_resident_bytes", sq8_storage.resident_bytes)
-                 .Set("fp32_resident_bytes", fp32_storage.resident_bytes));
+                 .Set("fp32_resident_bytes", fp32_storage.resident_bytes)
+                 .Set("pq_kind", pq_storage.kind)
+                 .Set("pq_m", pq_m)
+                 .Set("pq_bytes_per_vector", pq_storage.bytes_per_vector)
+                 .Set("pq_rerank", pq_storage.rerank)
+                 .Set("pq_recall", pq_eval.recall)
+                 .Set("pq_ms_per_query", pq_eval.avg_ms)
+                 .Set("pq_build_seconds", pq_build_sec)
+                 .Set("pq_resident_bytes", pq_storage.resident_bytes));
     const perfmon::MemoryUsage mem = perfmon::SampleMemory();
     json.Set("memory", bench::Json::Object()
                            .Set("resident_bytes", mem.resident_bytes)

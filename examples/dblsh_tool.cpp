@@ -3,6 +3,8 @@
 //
 //   dblsh_tool methods
 //   dblsh_tool gen   --out=data.fvecs --n=20000 --dim=64 [--clusters=32]
+//   dblsh_tool dataset subset  --in=big.bvecs --out=small.fvecs --n=10000
+//   dblsh_tool dataset randset --out=data.fvecs --n=20000 --dim=64
 //   dblsh_tool build --data=data.fvecs --index=data.idx
 //                    [--method="DB-LSH,c=1.5,l=5"]
 //   dblsh_tool query --data=data.fvecs --queries=q.fvecs --k=10 [--gt]
@@ -42,9 +44,16 @@
 // (`--indexes` is a ';'-separated list of factory specs) with optional
 // per-query id filtering: `--filter=deny:IDS` excludes the ids,
 // `--filter=allow:IDS` (or a bare id list) restricts results to them.
-// `--shards=N`, `--storage=fp32|sq8` and `--rerank=N` configure the
-// collection itself (same flags on `serve` and `collection stats`):
-// sq8 serves quantized rows at 1 byte/dim with exact re-rank.
+// `--shards=N`, `--storage=fp32|sq8|pq`, `--m=M`/`--nbits=8` (pq only)
+// and `--rerank=N` configure the collection itself (same flags on `serve`
+// and `collection stats`): sq8 serves quantized rows at 1 byte/dim, pq at
+// --m bytes/row via k-means codebooks + ADC tables; both re-rank with
+// exact distances. `collection stats` reports the storage kind and
+// bytes/vector uniformly for every backend, locally and via --server.
+// `dataset subset` draws a seeded random sample out of an fvecs/bvecs
+// file (converting between flavors as the extensions say) and `dataset
+// randset` writes seeded synthetic rows — the quick way to cut
+// pinned-scale inputs for benches and recall checks.
 // The PR-3 commands `insert`/`erase` remain as deprecated aliases of
 // `collection upsert`/`collection delete` (each prints a one-line
 // deprecation note). Wherever the tool answers queries, `--threads=N`
@@ -65,9 +74,11 @@
 // searches carry an optional `--deadline-ms` budget the server enforces
 // before touching the index; `--gt`/`--filter` are local-only (the wire
 // protocol does not ship the dataset or filter sets).
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -94,7 +105,9 @@
 #include "serve/client.h"
 #include "serve/server.h"
 #include "util/perfmon.h"
+#include "util/random.h"
 #include "util/timer.h"
+#include "util/vecs.h"
 
 namespace dblsh {
 namespace {
@@ -135,11 +148,19 @@ class Args {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: dblsh_tool <methods|gen|build|query|collection|stats|serve|"
-      "replication|ping> [--flags]\n"
+      "usage: dblsh_tool <methods|gen|dataset|build|query|collection|stats|"
+      "serve|replication|ping> [--flags]\n"
       "  methods  list registered index methods for --method specs\n"
       "  gen    --out=F.fvecs --n=N --dim=D [--clusters=C] "
       "[--spread=S] [--seed=X]\n"
+      "  dataset subset  --in=F.{fvecs|bvecs} --out=G.{fvecs|bvecs} --n=N "
+      "[--seed=X]\n"
+      "                  (seeded random N-row sample; flavors convert "
+      "either way)\n"
+      "  dataset randset --out=F.{fvecs|bvecs} --n=N --dim=D "
+      "[--clusters=C] [--spread=S] [--seed=X]\n"
+      "                  (synthetic rows: uniform, or clustered with "
+      "--clusters)\n"
       "  build  --data=F.fvecs --index=F.idx [--method=SPEC] [--c=1.5] "
       "[--l=5] [--k=0] [--t=0]\n"
       "  query  --data=F.fvecs --queries=Q.fvecs (--index=F.idx | "
@@ -151,9 +172,9 @@ int Usage() {
       "[--indexes=\"SPEC; SPEC\"] [--use=NAME]\n"
       "                    [--k=10] [--budget=T] [--threads=N] "
       "[--filter=[allow:|deny:]IDS] [--gt]\n"
-      "                    [--shards=N] [--storage=fp32|sq8] [--rerank=N]\n"
+      "                    [--shards=N] [--storage=fp32|sq8|pq] [--m=M] [--rerank=N]\n"
       "  collection stats --data=F.fvecs [--indexes=\"SPEC; SPEC\"] "
-      "[--storage=fp32|sq8] [--rerank=N]\n"
+      "[--storage=fp32|sq8|pq] [--m=M] [--rerank=N]\n"
       "                   [--shards=N] | --server=H:P   (storage backend, "
       "bytes/vector, resident MiB)\n"
       "  collection open --durability=DIR [--indexes=\"SPEC; SPEC\"]   "
@@ -164,7 +185,7 @@ int Usage() {
       "[--collection=main] [--host=A] [--port=0]\n"
       "         [--window-us=1000] [--max-batch=32] [--max-connections=32] "
       "[--threads=N] [--duration-ms=0]\n"
-      "         [--shards=N] [--storage=fp32|sq8] [--rerank=N]\n"
+      "         [--shards=N] [--storage=fp32|sq8|pq] [--m=M] [--rerank=N]\n"
       "         [--durability=DIR] [--compact-threshold=R] [--wal-sync=N]\n"
       "         [--replicate-from=H:P]   (read replica; requires "
       "--durability=DIR)\n"
@@ -257,12 +278,16 @@ size_t ConfigureThreads(const Args& args) {
   return threads == 0 ? exec::HardwareConcurrency() : threads;
 }
 
-// Collection spec prefix from the shared --shards/--storage/--rerank
-// flags (collection search / serve / collection stats all accept them).
+// Collection spec prefix from the shared --shards/--storage/--m/--nbits/
+// --rerank flags (collection search / serve / collection stats all accept
+// them). --m/--nbits only make sense with --storage=pq; FromSpec rejects
+// them otherwise with a typed message.
 std::string CollectionPrefix(const Args& args) {
   std::string prefix = "collection";
   if (args.Has("shards")) prefix += ",shards=" + args.Get("shards", "1");
   if (args.Has("storage")) prefix += ",storage=" + args.Get("storage", "");
+  if (args.Has("m")) prefix += ",m=" + args.Get("m", "16");
+  if (args.Has("nbits")) prefix += ",nbits=" + args.Get("nbits", "8");
   if (args.Has("rerank")) prefix += ",rerank=" + args.Get("rerank", "4");
   if (args.Has("durability")) {
     prefix += ",durability=" + args.Get("durability", "");
@@ -658,6 +683,138 @@ int RunGen(const Args& args) {
   std::printf("wrote %zu x %zu vectors to %s\n", data.rows(), data.cols(),
               out.c_str());
   return 0;
+}
+
+// True when `path` names a `.bvecs` file (case-sensitive, like the rest
+// of the TEXMEX ecosystem).
+bool IsBvecsPath(const std::string& path) {
+  const std::string ext = ".bvecs";
+  return path.size() >= ext.size() &&
+         path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
+// Writes `count` rows of `dim` floats to `path` in the extension's vecs
+// flavor: fvecs verbatim, bvecs rounded and clamped to [0, 255].
+int WriteVecsRows(const std::string& path, const float* values, size_t count,
+                  size_t dim) {
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  const bool bvecs = IsBvecsPath(path);
+  const int32_t d = static_cast<int32_t>(dim);
+  std::vector<uint8_t> bytes(bvecs ? dim : 0);
+  bool ok = true;
+  for (size_t i = 0; i < count && ok; ++i) {
+    const float* row = values + i * dim;
+    ok = std::fwrite(&d, sizeof(d), 1, out) == 1;
+    if (!ok) break;
+    if (bvecs) {
+      for (size_t j = 0; j < dim; ++j) {
+        const float v = std::nearbyint(row[j]);
+        bytes[j] = static_cast<uint8_t>(v < 0.f ? 0.f : v > 255.f ? 255.f
+                                                                  : v);
+      }
+      ok = std::fwrite(bytes.data(), 1, dim, out) == dim;
+    } else {
+      ok = std::fwrite(row, sizeof(float), dim, out) == dim;
+    }
+  }
+  if (std::fclose(out) != 0) ok = false;
+  if (!ok) {
+    std::fprintf(stderr, "short write to %s\n", path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// dataset subset: extracts a seeded random sample of N rows from an
+// fvecs/bvecs file into an fvecs/bvecs file (input and output flavors are
+// independent; bvecs components are widened/clamped as needed). File
+// order is preserved within the sample so repeated runs with one seed are
+// byte-identical.
+int RunDatasetSubset(const Args& args) {
+  const std::string in_path = args.Get("in", "");
+  const std::string out_path = args.Get("out", "");
+  const size_t n = static_cast<size_t>(args.GetInt("n", 0));
+  if (in_path.empty() || out_path.empty() || n == 0) return Usage();
+  auto data = IsBvecsPath(in_path) ? util::ReadBvecsAsFloat(in_path)
+                                   : util::ReadFvecs(in_path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const util::FvecsData& rows = data.value();
+  if (rows.count() < n) {
+    std::fprintf(stderr,
+                 "dataset subset: asked for %zu rows but %s holds %zu\n", n,
+                 in_path.c_str(), rows.count());
+    return 1;
+  }
+  // Partial Fisher-Yates over the index array: the first n entries are a
+  // uniform sample without replacement; sorting keeps file order.
+  std::vector<uint32_t> pick(rows.count());
+  for (size_t i = 0; i < pick.size(); ++i) {
+    pick[i] = static_cast<uint32_t>(i);
+  }
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 7)));
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j = i + rng.UniformInt(pick.size() - i);
+    std::swap(pick[i], pick[j]);
+  }
+  std::sort(pick.begin(), pick.begin() + static_cast<ptrdiff_t>(n));
+  std::vector<float> sample(n * rows.dim);
+  for (size_t i = 0; i < n; ++i) {
+    const float* src = rows.values.data() + pick[i] * rows.dim;
+    std::copy(src, src + rows.dim, sample.data() + i * rows.dim);
+  }
+  if (int rc = WriteVecsRows(out_path, sample.data(), n, rows.dim); rc != 0) {
+    return rc;
+  }
+  std::printf("wrote %zu of %zu vectors (dim %zu) from %s to %s\n", n,
+              rows.count(), rows.dim, in_path.c_str(), out_path.c_str());
+  return 0;
+}
+
+// dataset randset: seeded synthetic generation straight to an fvecs/bvecs
+// file — uniform rows by default (the hard, structureless regime),
+// clustered Gaussian-mixture rows with --clusters=C (like `gen`).
+int RunDatasetRandset(const Args& args) {
+  const std::string out_path = args.Get("out", "");
+  const size_t n = static_cast<size_t>(args.GetInt("n", 0));
+  const size_t dim = static_cast<size_t>(args.GetInt("dim", 0));
+  if (out_path.empty() || n == 0 || dim == 0) return Usage();
+  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  // Default spread 200 keeps uniform rows inside bvecs' [0, 255] range.
+  const double spread = args.GetDouble("spread", 200.0);
+  FloatMatrix data(0, 0);
+  if (args.Has("clusters")) {
+    ClusteredSpec spec;
+    spec.n = n;
+    spec.dim = dim;
+    spec.clusters = static_cast<size_t>(args.GetInt("clusters", 32));
+    spec.center_spread = spread;
+    spec.seed = seed;
+    data = GenerateClustered(spec);
+  } else {
+    data = GenerateUniform(n, dim, spread, seed);
+  }
+  if (int rc = WriteVecsRows(out_path, data.data().data(), data.rows(),
+                             data.cols());
+      rc != 0) {
+    return rc;
+  }
+  std::printf("wrote %zu x %zu synthetic vectors to %s\n", data.rows(),
+              data.cols(), out_path.c_str());
+  return 0;
+}
+
+int RunDataset(int argc, char** argv, const Args& args) {
+  const std::string sub = argc >= 3 ? argv[2] : "";
+  if (sub == "subset") return RunDatasetSubset(args);
+  if (sub == "randset") return RunDatasetRandset(args);
+  return Usage();
 }
 
 int RunBuild(const Args& args) {
@@ -1223,6 +1380,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "methods") return dblsh::RunMethods();
   if (command == "gen") return dblsh::RunGen(args);
+  if (command == "dataset") return dblsh::RunDataset(argc, argv, args);
   if (command == "build") return dblsh::RunBuild(args);
   if (command == "query") return dblsh::RunQuery(args);
   if (command == "collection") return dblsh::RunCollection(argc, argv, args);

@@ -40,6 +40,10 @@ Streaming baselines carry the storage backend's acceptance contract
     (the quantized store actually compresses),
   - storage.sq8_recall >= storage.fp32_recall - 0.02 (asymmetric u8
     scoring + exact re-rank costs at most 2% recall),
+  - storage.pq_bytes_per_vector <= 0.12 * storage.fp32_bytes_per_vector
+    (product quantization holds its ~8x+ compression floor),
+  - storage.pq_recall >= storage.fp32_recall - 0.03 (ADC table scoring
+    at the default codebook costs at most 3% recall),
   - memory.resident_bytes > 0 and memory.peak_resident_bytes > 0 (the
     RSS sampler works on the CI platform).
 
@@ -161,6 +165,22 @@ def streaming_invariants(new, errors):
     elif sq8_recall < fp32_recall - 0.02:
         errors.append(
             f"storage.sq8_recall: {sq8_recall:g} more than 0.02 below the "
+            f"fp32 recall ({fp32_recall:g}) (storage invariant)")
+    pq_bytes = storage.get("pq_bytes_per_vector")
+    if not isinstance(pq_bytes, (int, float)):
+        errors.append("storage.pq_bytes_per_vector: missing "
+                      "(storage invariant)")
+    elif isinstance(fp32_bytes, (int, float)) and pq_bytes > 0.12 * fp32_bytes:
+        errors.append(
+            f"storage.pq_bytes_per_vector: {pq_bytes} exceeds 0.12x the "
+            f"fp32 payload ({fp32_bytes}) (storage invariant)")
+    pq_recall = storage.get("pq_recall")
+    if not isinstance(pq_recall, (int, float)):
+        errors.append("storage.pq_recall: missing (storage invariant)")
+    elif isinstance(fp32_recall, (int, float)) and \
+            pq_recall < fp32_recall - 0.03:
+        errors.append(
+            f"storage.pq_recall: {pq_recall:g} more than 0.03 below the "
             f"fp32 recall ({fp32_recall:g}) (storage invariant)")
 
 

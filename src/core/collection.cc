@@ -21,6 +21,24 @@
 
 namespace dblsh {
 
+namespace {
+
+/// Maps a runtime storage kind to its durability snapshot tag (the
+/// manifest `storage` field and per-shard snapshot header value).
+uint32_t SnapshotStorageOf(StorageKind kind) {
+  switch (kind) {
+    case StorageKind::kSq8:
+      return durability::kSnapshotSq8;
+    case StorageKind::kPq:
+      return durability::kSnapshotPq;
+    case StorageKind::kFp32:
+      break;
+  }
+  return durability::kSnapshotFp32;
+}
+
+}  // namespace
+
 /// Runtime state of a durable collection. The WAL writer entries are
 /// guarded by their shard's write lock (appends and checkpoint swap-ins
 /// both hold it); `wal_seq` is guarded by `checkpoint_mutex`; the counters
@@ -57,13 +75,14 @@ Collection::Collection(size_t dim, const CollectionOptions& options)
       background_rebuild_(options.background_rebuild),
       storage_(options.storage),
       quantized_(options.storage != StorageKind::kFp32),
+      pq_m_(std::max<size_t>(1, options.pq_m)),
       rerank_(std::max<size_t>(1, options.rerank)) {
   const size_t num_shards = std::max<size_t>(1, options.shards);
   shards_.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
-    shard->store =
-        MakeVectorStore(storage_, std::make_unique<FloatMatrix>(0, dim));
+    shard->store = MakeVectorStore(
+        storage_, std::make_unique<FloatMatrix>(0, dim), pq_m_);
     shard->data = &shard->store->matrix();
     shards_.push_back(std::move(shard));
   }
@@ -76,6 +95,7 @@ Collection::Collection(std::unique_ptr<FloatMatrix> data,
       background_rebuild_(options.background_rebuild),
       storage_(options.storage),
       quantized_(options.storage != StorageKind::kFp32),
+      pq_m_(std::max<size_t>(1, options.pq_m)),
       rerank_(std::max<size_t>(1, options.rerank)) {
   assert(data != nullptr);
   dim_ = data->cols();
@@ -87,7 +107,7 @@ Collection::Collection(std::unique_ptr<FloatMatrix> data,
   if (num_shards == 1) {
     // Address-stable adoption: prebuilt indexes over *data stay valid
     // (fp32 storage; quantized stores re-encode, see AddPrebuiltIndex).
-    shards_[0]->store = MakeVectorStore(storage_, std::move(data));
+    shards_[0]->store = MakeVectorStore(storage_, std::move(data), pq_m_);
   } else {
     // Partition by id: global row g lands in shard g % S at local row
     // g / S, so the per-shard ids stay dense and globally recoverable.
@@ -108,7 +128,8 @@ Collection::Collection(std::unique_ptr<FloatMatrix> data,
       (void)erased;
     }
     for (size_t s = 0; s < num_shards; ++s) {
-      shards_[s]->store = MakeVectorStore(storage_, std::move(parts[s]));
+      shards_[s]->store =
+          MakeVectorStore(storage_, std::move(parts[s]), pq_m_);
     }
   }
   for (auto& shard : shards_) {
@@ -132,9 +153,9 @@ Result<std::unique_ptr<Collection>> Collection::FromSpec(
     exec::TaskExecutor* executor) {
   static const char* kGrammar =
       "collection spec grammar: \"collection[,shards=N][,rebuild=inline|"
-      "background][,storage=fp32|sq8][,rerank=N][,durability=PATH]"
-      "[,compact_threshold=R][,wal_sync=N]: INDEX_SPEC (; "
-      "INDEX_SPEC)*\", e.g. \"collection,shards=4,storage=sq8:"
+      "background][,storage=fp32|sq8|pq][,m=M][,nbits=8][,rerank=N]"
+      "[,durability=PATH][,compact_threshold=R][,wal_sync=N]: INDEX_SPEC (; "
+      "INDEX_SPEC)*\", e.g. \"collection,shards=4,storage=pq,m=16:"
       " DB-LSH,c=1.5; PM-LSH,rebuild_threshold=500\"";
   const size_t colon = spec.find(':');
   if (colon == std::string::npos) {
@@ -156,6 +177,13 @@ Result<std::unique_ptr<Collection>> Collection::FromSpec(
   reader.Key("shards", &options.shards);
   reader.Key("rebuild", &rebuild_mode);
   reader.Key("storage", &storage_name);
+  // SIZE_MAX = key absent (SpecReader leaves the default in place); any
+  // provided value, 0 included, must be validated below.
+  constexpr size_t kAbsent = std::numeric_limits<size_t>::max();
+  size_t spec_m = kAbsent;
+  size_t spec_nbits = kAbsent;
+  reader.Key("m", &spec_m);
+  reader.Key("nbits", &spec_nbits);
   reader.Key("rerank", &options.rerank);
   reader.Key("durability", &options.durability_dir);
   reader.Key("compact_threshold", &options.compact_threshold);
@@ -176,6 +204,30 @@ Result<std::unique_ptr<Collection>> Collection::FromSpec(
     auto kind = ParseStorageKind(storage_name);
     if (!kind.ok()) return kind.status();
     options.storage = kind.value();
+  }
+  if (options.storage == StorageKind::kPq) {
+    if (spec_m != kAbsent) {
+      if (spec_m == 0) {
+        return Status::InvalidArgument(
+            "collection key \"m\" must be >= 1; " + std::string(kGrammar));
+      }
+      options.pq_m = spec_m;
+    }
+    if (spec_nbits != kAbsent && spec_nbits != 8) {
+      return Status::InvalidArgument(
+          "collection key \"nbits\" must be 8 (256-centroid codebooks are "
+          "the only supported width), got " + std::to_string(spec_nbits));
+    }
+    if (data != nullptr && data->cols() > 0 && options.pq_m > data->cols()) {
+      return Status::InvalidArgument(
+          "collection key \"m\" (" + std::to_string(options.pq_m) +
+          ") must be <= the vector dimension (" +
+          std::to_string(data->cols()) + ")");
+    }
+  } else if (spec_m != kAbsent || spec_nbits != kAbsent) {
+    return Status::InvalidArgument(
+        "collection keys \"m\" and \"nbits\" require storage=pq; " +
+        std::string(kGrammar));
   }
   if (options.rerank == 0) {
     return Status::InvalidArgument(
@@ -216,9 +268,7 @@ Result<std::unique_ptr<Collection>> Collection::FromSpec(
             " but the durable state at \"" + options.durability_dir +
             "\" has " + std::to_string(m.shards) + " shards");
       }
-      const uint32_t spec_storage =
-          options.storage == StorageKind::kSq8 ? durability::kSnapshotSq8
-                                               : durability::kSnapshotFp32;
+      const uint32_t spec_storage = SnapshotStorageOf(options.storage);
       if (m.storage != spec_storage) {
         return Status::InvalidArgument(
             "spec storage=" + std::string(StorageKindName(options.storage)) +
@@ -338,6 +388,24 @@ Status Collection::RecoverShards(const CollectionOptions& options,
       }
       shard.store = std::make_unique<Sq8Store>(
           std::move(shell), std::move(snap.scales), std::move(snap.offsets),
+          std::move(snap.codes), snap.trained);
+    } else if (snap.storage == durability::kSnapshotPq) {
+      if (snap.pq_m != pq_m_) {
+        return Status::Corruption(
+            "durability: shard " + std::to_string(s) + " snapshot pq m=" +
+            std::to_string(snap.pq_m) + " does not match the spec's m=" +
+            std::to_string(pq_m_) +
+            " (reopen with the m the collection was created with)");
+      }
+      auto shell = std::make_unique<FloatMatrix>(snap.rows, dim_);
+      shell->ReleasePayload();
+      for (const uint32_t slot : snap.free_slots) {
+        DBLSH_RETURN_IF_ERROR(shell->EraseRow(slot));
+      }
+      // Adopt the snapshot's codebooks + codes verbatim: restore is
+      // byte-identical, never a re-train/re-encode.
+      shard.store = std::make_unique<PqStore>(
+          std::move(shell), snap.pq_m, std::move(snap.codebooks),
           std::move(snap.codes), snap.trained);
     } else {
       auto matrix = std::make_unique<FloatMatrix>(snap.rows, dim_,
@@ -500,6 +568,13 @@ Status Collection::Checkpoint() {
       snap.offsets = sq8->offsets();
       snap.codes = sq8->codes();
       snap.trained = sq8->trained();
+    } else if (storage_ == StorageKind::kPq) {
+      const auto* pq = static_cast<const PqStore*>(shard.store.get());
+      snap.storage = durability::kSnapshotPq;
+      snap.pq_m = static_cast<uint32_t>(pq->m());
+      snap.codebooks = pq->codebooks();
+      snap.codes = pq->codes();
+      snap.trained = pq->trained();
     } else {
       snap.storage = durability::kSnapshotFp32;
       snap.fp32 = shard.data->data();
@@ -519,8 +594,7 @@ Status Collection::Checkpoint() {
   durability::Manifest manifest;
   manifest.shards = static_cast<uint32_t>(shards_.size());
   manifest.dim = static_cast<uint32_t>(dim_);
-  manifest.storage = storage_ == StorageKind::kSq8 ? durability::kSnapshotSq8
-                                                   : durability::kSnapshotFp32;
+  manifest.storage = SnapshotStorageOf(storage_);
   manifest.wal_seq = new_seq;
   manifest.checkpoint_lsn = checkpoint_lsn;
   DBLSH_RETURN_IF_ERROR(durability::SaveManifest(d.dir, manifest));

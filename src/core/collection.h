@@ -143,10 +143,20 @@ struct CollectionOptions {
   /// (~4x less memory and scan bandwidth; see dataset/vector_store.h):
   /// verification scores candidates over u8 codes and every search
   /// re-ranks an inflated candidate list through the store's exact
-  /// asymmetric distance (see `rerank`). Under kSq8 all index slots are
-  /// treated as static — in-place updates need fp32 rows — so updatable
-  /// methods fall back to staleness-triggered rebuilds.
+  /// asymmetric distance (see `rerank`). kPq product-quantizes rows to
+  /// `pq_m` bytes each (k-means sub-codebooks + per-query ADC tables;
+  /// ~16x at dim 128 / m 16). Under either quantized kind all index
+  /// slots are treated as static — in-place updates need fp32 rows — so
+  /// updatable methods fall back to staleness-triggered rebuilds.
   StorageKind storage = StorageKind::kFp32;
+
+  /// Product-quantization subspace count (spec key `m=M`, >= 1, <= dim;
+  /// only meaningful — and only accepted by FromSpec — under
+  /// `storage=pq`). Each vector is encoded as `pq_m` one-byte centroid
+  /// ids, so bytes/vector == pq_m. The companion spec key `nbits=B` is
+  /// accepted for forward compatibility but must equal 8 (256-centroid
+  /// codebooks are the only supported width).
+  size_t pq_m = 16;
 
   /// Re-rank depth multiplier for quantized storage (spec key `rerank=N`,
   /// >= 1): a k-NN search runs the underlying index at k * rerank, then
@@ -187,8 +197,8 @@ struct CollectionOptions {
 /// what the `dblsh_tool collection stats` surface and the serving stats
 /// wire carry.
 struct CollectionStorageInfo {
-  std::string kind;             ///< "fp32" | "sq8"
-  size_t bytes_per_vector = 0;  ///< payload bytes per vector slot
+  std::string kind;             ///< "fp32" | "sq8" | "pq"
+  size_t bytes_per_vector = 0;  ///< payload bytes per vector slot (all kinds)
   size_t rerank = 0;            ///< re-rank multiplier (0 when fp32)
   size_t resident_bytes = 0;    ///< store heap bytes, summed over shards
   std::vector<size_t> shard_resident_bytes;  ///< per-shard store bytes
@@ -294,7 +304,8 @@ class Collection {
   ///   "collection[,OPTION...]: INDEX_SPEC (';' INDEX_SPEC)*"
   ///
   /// where each OPTION is a CollectionOptions key — `shards=N` (>= 1),
-  /// `rebuild=inline|background`, `storage=fp32|sq8`, `rerank=N` (>= 1),
+  /// `rebuild=inline|background`, `storage=fp32|sq8|pq`, `m=M` (>= 1,
+  /// pq only), `nbits=8` (pq only), `rerank=N` (>= 1),
   /// `durability=PATH`, `compact_threshold=R` (0 < R < 1) and
   /// `wal_sync=N` (>= 1) — and each INDEX_SPEC is an IndexFactory
   /// spec ("DB-LSH,c=1.5") that may additionally carry the slot-level keys
@@ -660,6 +671,7 @@ class Collection {
   bool background_rebuild_ = false;
   StorageKind storage_ = StorageKind::kFp32;
   bool quantized_ = false;  ///< storage_ != kFp32, hoisted for hot paths
+  size_t pq_m_ = 16;        ///< CollectionOptions::pq_m (pq storage only)
   size_t rerank_ = 4;       ///< CollectionOptions::rerank, >= 1
   std::atomic<uint64_t> epoch_{0};
 

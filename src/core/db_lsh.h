@@ -171,9 +171,10 @@ class DbLsh : public AnnIndex {
   Status Save(const std::string& path) const;
 
   /// Restores an index saved with Save() over plain fp32 data (format
-  /// version 2, or version 3 with the fp32 storage tag; sq8-tagged files
-  /// are rejected with InvalidArgument — use LoadStore + the VectorStore
-  /// overload). `data` must hold the same bytes as the dataset the index
+  /// version 2, or version 3/4 with the fp32 storage tag; sq8/pq-tagged
+  /// files are rejected with InvalidArgument — use LoadStore + the
+  /// VectorStore overload). `data` must hold the same bytes as the
+  /// dataset the index
   /// was saved over — row count, dimensionality and content checksum are
   /// validated, returning InvalidArgument on any mismatch — and must
   /// outlive the returned index. The pointer is non-const because Load
@@ -185,17 +186,18 @@ class DbLsh : public AnnIndex {
   /// original fp32 dataset (as read from disk; tombstones are re-applied
   /// by the subsequent Load). For an fp32-tagged (or version-2) file this
   /// wraps `data` in an Fp32Store; for sq8 it re-encodes `data`'s rows
-  /// with the *saved* scale/offset (not re-training) so the codes — and
-  /// the stored code checksum — come out byte-identical. Consumes `data`
-  /// in all cases, including errors.
+  /// with the *saved* scale/offset and for pq with the *saved* codebooks
+  /// (never re-training) so the codes — and the stored code checksum —
+  /// come out byte-identical. Consumes `data` in all cases, including
+  /// errors.
   static Result<std::unique_ptr<VectorStore>> LoadStore(
       const std::string& path, std::unique_ptr<FloatMatrix> data);
 
   /// Restores an index saved with Save() against an existing store
   /// (typically from LoadStore). The file's storage tag must match the
-  /// store's kind; for sq8 the saved quantization parameters and the code
-  /// checksum are validated against the store (InvalidArgument on any
-  /// mismatch). Saved tombstones are re-applied through the store. The
+  /// store's kind; for sq8/pq the saved quantization parameters and the
+  /// code checksum are validated against the store (InvalidArgument on
+  /// any mismatch). Saved tombstones are re-applied through the store. The
   /// store must outlive the returned index.
   static Result<DbLsh> Load(const std::string& path, VectorStore* store);
 

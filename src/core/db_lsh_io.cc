@@ -1,21 +1,24 @@
-// Persistence for DbLsh. Format (host-endian, version 3):
+// Persistence for DbLsh. Format (host-endian, version 4):
 //   magic "DBLSHIDX" | u32 version | u8 storage tag (StorageKind)
 //   u64 n | u64 dim | u64 data_checksum (FNV-1a; see below)
 //   sq8 only: dim f32 scales | dim f32 offsets (the store's quantization
 //   parameters, so LoadStore can re-encode the original dataset exactly)
+//   pq only (version >= 4): u32 m | 256*dim f32 codebooks (the trained
+//   sub-quantizer centroids, so LoadStore can re-encode exactly)
 //   f64 c | f64 w0 | u64 k | u64 l | u64 t | u64 seed | u8 bucketing
 //   u8 backend | f64 auto_r0 | f64 early_stop_slack
 //   directions matrix (u64 rows, u64 cols, floats)
 //   grid offsets (u64 count, floats)
 //   l projected matrices (u64 rows, u64 cols, floats each)
 //   tombstones: u64 count | u32 ids in erasure order (the free-list stack)
-// Version 2 files are identical minus the storage tag and quantization
-// parameters (implicitly fp32) and still load.
+// Version 3 files are identical minus the pq storage variant; version 2
+// files additionally lack the storage tag and quantization parameters
+// (implicitly fp32). Both still load.
 // The R*-trees are rebuilt by STR bulk loading at load time: they are a
 // deterministic function of the projected matrices, bulk loading is fast
 // (the paper's own construction path), and the file stays portable.
 // The checksum pins the index to the exact dataset bytes it was saved
-// over: for fp32 storage it covers the raw float payload; for sq8 the
+// over: for fp32 storage it covers the raw float payload; for sq8/pq the
 // fp32 payload is released, so it covers the store's u8 codes instead —
 // both are stable across erase-only mutations (EraseRow touches neither).
 // A wrong/reordered/edited dataset is rejected with InvalidArgument
@@ -33,7 +36,8 @@ namespace dblsh {
 namespace {
 
 constexpr char kMagic[8] = {'D', 'B', 'L', 'S', 'H', 'I', 'D', 'X'};
-constexpr uint32_t kVersion = 3;
+constexpr uint32_t kVersion = 4;
+constexpr uint32_t kVersionSq8 = 3;       // pre-PQ format (fp32/sq8 only)
 constexpr uint32_t kVersionFp32Only = 2;  // pre-VectorStore format
 
 // FNV-1a: cheap, order-sensitive, byte-exact.
@@ -53,8 +57,12 @@ uint64_t DataChecksum(const FloatMatrix& m) {
                m.data().size() * sizeof(float));
 }
 
-// Checksum over the store's u8 codes (sq8 storage, payload released).
+// Checksum over the store's u8 codes (sq8/pq storage, payload released).
 uint64_t CodesChecksum(const Sq8Store& store) {
+  return Fnv1a(store.codes().data(), store.codes().size());
+}
+
+uint64_t CodesChecksum(const PqStore& store) {
   return Fnv1a(store.codes().data(), store.codes().size());
 }
 
@@ -94,7 +102,7 @@ Result<FloatMatrix> ReadMatrix(std::ifstream& in, const std::string& what) {
 }
 
 /// Everything up to (and including) the storage-dependent prefix: format
-/// version, storage tag, dataset shape, checksum, and — for sq8 — the
+/// version, storage tag, dataset shape, checksum, and — for sq8/pq — the
 /// saved quantization parameters.
 struct StorageHeader {
   uint32_t version = 0;
@@ -102,8 +110,10 @@ struct StorageHeader {
   uint64_t n = 0;
   uint64_t dim = 0;
   uint64_t checksum = 0;
-  std::vector<float> scale;   // sq8 only, dim entries
-  std::vector<float> offset;  // sq8 only, dim entries
+  std::vector<float> scale;      // sq8 only, dim entries
+  std::vector<float> offset;     // sq8 only, dim entries
+  uint32_t pq_m = 0;             // pq only
+  std::vector<float> codebooks;  // pq only, 256*dim entries
 };
 
 Status ReadStorageHeader(std::ifstream& in, const std::string& path,
@@ -114,16 +124,22 @@ Status ReadStorageHeader(std::ifstream& in, const std::string& path,
     return Status::Corruption(path + ": not a DB-LSH index file");
   }
   if (!ReadPod(in, &header->version) ||
-      (header->version != kVersion && header->version != kVersionFp32Only)) {
+      (header->version != kVersion && header->version != kVersionSq8 &&
+       header->version != kVersionFp32Only)) {
     return Status::Corruption(path + ": unsupported index version");
   }
-  if (header->version >= kVersion) {
+  if (header->version >= kVersionSq8) {
     uint8_t tag = 0;
     if (!ReadPod(in, &tag)) {
       return Status::Corruption(path + ": truncated storage tag");
     }
-    if (tag > static_cast<uint8_t>(StorageKind::kSq8)) {
+    if (tag > static_cast<uint8_t>(StorageKind::kPq)) {
       return Status::Corruption(path + ": unknown storage backend tag");
+    }
+    if (tag == static_cast<uint8_t>(StorageKind::kPq) &&
+        header->version < kVersion) {
+      return Status::Corruption(path +
+                                ": pq storage requires format version 4");
     }
     header->storage = static_cast<StorageKind>(tag);
   }
@@ -143,6 +159,20 @@ Status ReadStorageHeader(std::ifstream& in, const std::string& path,
         !in.read(reinterpret_cast<char*>(header->offset.data()), bytes)) {
       return Status::Corruption(path + ": truncated quantization parameters");
     }
+  } else if (header->storage == StorageKind::kPq) {
+    if (header->dim == 0 || header->dim > (1ULL << 24)) {
+      return Status::Corruption(path + ": implausible dimensionality");
+    }
+    if (!ReadPod(in, &header->pq_m) || header->pq_m == 0 ||
+        header->pq_m > header->dim) {
+      return Status::Corruption(path + ": invalid pq subspace count");
+    }
+    header->codebooks.resize(256 * header->dim);
+    if (!in.read(reinterpret_cast<char*>(header->codebooks.data()),
+                 static_cast<std::streamsize>(header->codebooks.size() *
+                                              sizeof(float)))) {
+      return Status::Corruption(path + ": truncated pq codebooks");
+    }
   }
   return Status::OK();
 }
@@ -153,30 +183,41 @@ Status DbLsh::Save(const std::string& path) const {
   if (data_ == nullptr) {
     return Status::InvalidArgument("Save() requires a built index");
   }
-  // Storage backend of the dataset: an Sq8Store bound to the matrix means
-  // the fp32 payload is released — checksum the codes and persist the
-  // quantization parameters so LoadStore can reconstruct the store.
+  // Storage backend of the dataset: a quantized store bound to the matrix
+  // means the fp32 payload is released — checksum the codes and persist
+  // the quantization parameters so LoadStore can reconstruct the store.
   const Sq8Store* sq8 = nullptr;
-  if (data_->store() != nullptr &&
-      data_->store()->storage_kind() == StorageKind::kSq8) {
-    sq8 = static_cast<const Sq8Store*>(data_->store());
+  const PqStore* pq = nullptr;
+  StorageKind tag = StorageKind::kFp32;
+  if (data_->store() != nullptr) {
+    tag = data_->store()->storage_kind();
+    if (tag == StorageKind::kSq8) {
+      sq8 = static_cast<const Sq8Store*>(data_->store());
+    } else if (tag == StorageKind::kPq) {
+      pq = static_cast<const PqStore*>(data_->store());
+    }
   }
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
 
   out.write(kMagic, sizeof(kMagic));
   WritePod(out, kVersion);
-  WritePod<uint8_t>(out, static_cast<uint8_t>(
-      sq8 != nullptr ? StorageKind::kSq8 : StorageKind::kFp32));
+  WritePod<uint8_t>(out, static_cast<uint8_t>(tag));
   WritePod<uint64_t>(out, data_->rows());
   WritePod<uint64_t>(out, data_->cols());
-  WritePod<uint64_t>(out, sq8 != nullptr ? CodesChecksum(*sq8)
-                                         : DataChecksum(*data_));
+  WritePod<uint64_t>(out, sq8 != nullptr  ? CodesChecksum(*sq8)
+                          : pq != nullptr ? CodesChecksum(*pq)
+                                          : DataChecksum(*data_));
   if (sq8 != nullptr) {
     const std::streamsize bytes =
         static_cast<std::streamsize>(data_->cols() * sizeof(float));
     out.write(reinterpret_cast<const char*>(sq8->scales().data()), bytes);
     out.write(reinterpret_cast<const char*>(sq8->offsets().data()), bytes);
+  } else if (pq != nullptr) {
+    WritePod<uint32_t>(out, static_cast<uint32_t>(pq->m()));
+    out.write(reinterpret_cast<const char*>(pq->codebooks().data()),
+              static_cast<std::streamsize>(pq->codebooks().size() *
+                                           sizeof(float)));
   }
   WritePod<double>(out, params_.c);
   WritePod<double>(out, params_.w0);
@@ -366,6 +407,18 @@ Result<std::unique_ptr<VectorStore>> DbLsh::LoadStore(
     return std::unique_ptr<VectorStore>(
         std::make_unique<Fp32Store>(std::move(data)));
   }
+  if (header.storage == StorageKind::kPq) {
+    // pq: re-encode against the *saved* codebooks (not re-training), then
+    // require the resulting codes to be byte-identical to the saved state.
+    auto store = std::make_unique<PqStore>(std::move(data), header.pq_m,
+                                           std::move(header.codebooks));
+    if (header.checksum != CodesChecksum(*store)) {
+      return Status::InvalidArgument(
+          path + ": quantized code checksum mismatch — the provided data "
+                 "is not the dataset this index was saved over");
+    }
+    return std::unique_ptr<VectorStore>(std::move(store));
+  }
   // sq8: re-encode with the *saved* parameters (not re-training, which
   // would drift if the dataset was mutated after the store trained), then
   // require the resulting codes to be byte-identical to the saved state.
@@ -404,6 +457,18 @@ Result<DbLsh> DbLsh::Load(const std::string& path, VectorStore* store) {
                  "store (different training data or a mutated store)");
     }
     if (header.checksum != CodesChecksum(sq8)) {
+      return Status::InvalidArgument(
+          path + ": quantized code checksum mismatch — the provided store "
+                 "does not hold the dataset this index was saved over");
+    }
+  } else if (header.storage == StorageKind::kPq) {
+    const auto& pq = *static_cast<const PqStore*>(store);
+    if (header.pq_m != pq.m() || header.codebooks != pq.codebooks()) {
+      return Status::InvalidArgument(
+          path + ": quantization parameters do not match the provided "
+                 "store (different training data or a mutated store)");
+    }
+    if (header.checksum != CodesChecksum(pq)) {
       return Status::InvalidArgument(
           path + ": quantized code checksum mismatch — the provided store "
                  "does not hold the dataset this index was saved over");

@@ -28,6 +28,8 @@ const char* StorageKindName(StorageKind kind) {
       return "fp32";
     case StorageKind::kSq8:
       return "sq8";
+    case StorageKind::kPq:
+      return "pq";
   }
   return "unknown";
 }
@@ -35,9 +37,10 @@ const char* StorageKindName(StorageKind kind) {
 Result<StorageKind> ParseStorageKind(const std::string& name) {
   if (name == "fp32") return StorageKind::kFp32;
   if (name == "sq8") return StorageKind::kSq8;
+  if (name == "pq") return StorageKind::kPq;
   return Status::InvalidArgument(
-      "storage backend \"" + name + "\" is not recognized (expected fp32 "
-      "or sq8)");
+      "storage backend \"" + name + "\" is not recognized (expected fp32, "
+      "sq8 or pq)");
 }
 
 VectorStore::VectorStore(std::unique_ptr<FloatMatrix> matrix)
@@ -338,11 +341,345 @@ FloatMatrix Sq8Store::DecodedCopy() const {
   return out;
 }
 
+// ------------------------------------------------------------------ pq ----
+
+PqStore::PqStore(std::unique_ptr<FloatMatrix> seed, size_t m)
+    : VectorStore(std::move(seed)), m_(m) {
+  assert(m_ >= 1 && (matrix_->cols() == 0 || m_ <= matrix_->cols()));
+  InitSubspaces();
+  if (matrix_->rows() > 0) {
+    // Train on every physical row (tombstoned slots included, like SQ8's
+    // range) up to the deterministic sample cap.
+    std::vector<uint32_t> sample;
+    sample.reserve(std::min(matrix_->rows(), kTrainSample));
+    for (size_t r = 0; r < matrix_->rows() && sample.size() < kTrainSample;
+         ++r) {
+      sample.push_back(static_cast<uint32_t>(r));
+    }
+    Train(*matrix_, sample);
+    codes_.resize(matrix_->rows() * m_);
+    for (size_t r = 0; r < matrix_->rows(); ++r) {
+      EncodeRow(matrix_->row(r), static_cast<uint32_t>(r));
+    }
+  }
+  matrix_->ReleasePayload();
+}
+
+PqStore::PqStore(std::unique_ptr<FloatMatrix> data, size_t m,
+                 std::vector<float> codebooks)
+    : VectorStore(std::move(data)),
+      codebooks_(std::move(codebooks)),
+      m_(m) {
+  assert(m_ >= 1 && m_ <= matrix_->cols());
+  assert(codebooks_.size() == kCentroids * matrix_->cols());
+  InitSubspaces();
+  trained_ = true;
+  codes_.resize(matrix_->rows() * m_);
+  for (size_t r = 0; r < matrix_->rows(); ++r) {
+    EncodeRow(matrix_->row(r), static_cast<uint32_t>(r));
+  }
+  matrix_->ReleasePayload();
+}
+
+PqStore::PqStore(std::unique_ptr<FloatMatrix> shell, size_t m,
+                 std::vector<float> codebooks, std::vector<uint8_t> codes,
+                 bool trained)
+    : VectorStore(std::move(shell)),
+      codes_(std::move(codes)),
+      codebooks_(std::move(codebooks)),
+      m_(m),
+      trained_(trained) {
+  assert(matrix_->payload_released());
+  assert(m_ >= 1 && m_ <= matrix_->cols());
+  assert(codebooks_.size() == kCentroids * matrix_->cols());
+  assert(codes_.size() == matrix_->rows() * m_);
+  InitSubspaces();
+}
+
+void PqStore::InitSubspaces() {
+  // Balanced ragged split: the first dim % m subspaces take one extra
+  // dimension, so sum of widths == dim for any dim >= m.
+  const size_t dim = matrix_->cols();
+  sub_begin_.assign(m_ + 1, 0);
+  const size_t base = dim / m_;
+  const size_t extra = dim % m_;
+  for (size_t j = 0; j < m_; ++j) {
+    sub_begin_[j + 1] = sub_begin_[j] + base + (j < extra ? 1 : 0);
+  }
+  if (codebooks_.empty()) codebooks_.assign(kCentroids * dim, 0.0f);
+}
+
+void PqStore::Train(const FloatMatrix& data,
+                    const std::vector<uint32_t>& rows) {
+  const size_t npoints = rows.size();
+  if (npoints == 0) return;
+  constexpr size_t kLloydIters = 8;
+  std::vector<uint8_t> assign(npoints);
+  for (size_t j = 0; j < m_; ++j) {
+    const size_t begin = sub_begin_[j];
+    const size_t dsub = sub_begin_[j + 1] - begin;
+    float* cb = codebooks_.data() + kCentroids * begin;
+    // Initial centroids: evenly strided over the sample; with fewer rows
+    // than centroids the surplus duplicates wrap around (every training
+    // row then owns its own centroid and encodes exactly).
+    for (size_t c = 0; c < kCentroids; ++c) {
+      const uint32_t r = npoints >= kCentroids
+                             ? rows[c * npoints / kCentroids]
+                             : rows[c % npoints];
+      const float* src = data.row(r) + begin;
+      std::copy(src, src + dsub, cb + c * dsub);
+    }
+    // Lloyd iterations: ties and empty clusters are resolved
+    // deterministically (lowest index wins; empties keep their centroid),
+    // so the codebooks are a pure function of the training rows.
+    std::vector<double> sums(kCentroids * dsub);
+    std::vector<size_t> counts(kCentroids);
+    for (size_t iter = 0; iter < kLloydIters; ++iter) {
+      bool moved = false;
+      for (size_t p = 0; p < npoints; ++p) {
+        const float* v = data.row(rows[p]) + begin;
+        float best = std::numeric_limits<float>::max();
+        size_t best_c = 0;
+        for (size_t c = 0; c < kCentroids; ++c) {
+          const float* cent = cb + c * dsub;
+          float dist = 0.0f;
+          for (size_t d = 0; d < dsub; ++d) {
+            const float diff = v[d] - cent[d];
+            dist += diff * diff;
+          }
+          if (dist < best) {
+            best = dist;
+            best_c = c;
+          }
+        }
+        if (assign[p] != best_c) moved = true;
+        assign[p] = static_cast<uint8_t>(best_c);
+      }
+      if (iter > 0 && !moved) break;  // converged; further passes no-op
+      std::fill(sums.begin(), sums.end(), 0.0);
+      std::fill(counts.begin(), counts.end(), 0);
+      for (size_t p = 0; p < npoints; ++p) {
+        const float* v = data.row(rows[p]) + begin;
+        double* sum = sums.data() + static_cast<size_t>(assign[p]) * dsub;
+        for (size_t d = 0; d < dsub; ++d) sum[d] += v[d];
+        ++counts[assign[p]];
+      }
+      for (size_t c = 0; c < kCentroids; ++c) {
+        if (counts[c] == 0) continue;  // empty cluster: keep the centroid
+        float* cent = cb + c * dsub;
+        for (size_t d = 0; d < dsub; ++d) {
+          cent[d] = static_cast<float>(sums[c * dsub + d] /
+                                       static_cast<double>(counts[c]));
+        }
+      }
+    }
+  }
+  trained_ = true;
+}
+
+void PqStore::EncodeRow(const float* values, uint32_t id) {
+  uint8_t* out = codes_.data() + static_cast<size_t>(id) * m_;
+  for (size_t j = 0; j < m_; ++j) {
+    const size_t begin = sub_begin_[j];
+    const size_t dsub = sub_begin_[j + 1] - begin;
+    const float* v = values + begin;
+    const float* cb = codebooks_.data() + kCentroids * begin;
+    float best = std::numeric_limits<float>::max();
+    size_t best_c = 0;
+    for (size_t c = 0; c < kCentroids; ++c) {
+      const float* cent = cb + c * dsub;
+      float dist = 0.0f;
+      for (size_t d = 0; d < dsub; ++d) {
+        const float diff = v[d] - cent[d];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    out[j] = static_cast<uint8_t>(best_c);
+  }
+}
+
+size_t PqStore::bytes_per_vector() const { return m_; }
+
+size_t PqStore::resident_bytes() const {
+  return codes_.capacity() * sizeof(uint8_t) +
+         codebooks_.capacity() * sizeof(float) +
+         sub_begin_.capacity() * sizeof(size_t) +
+         matrix_->data().capacity() * sizeof(float) +  // 0 unless view held
+         MatrixBookkeepingBytes(*matrix_);
+}
+
+uint32_t PqStore::InsertRow(const float* values, size_t len) {
+  if (!trained_) {
+    // Empty-seeded store: degenerate single-point training on the first
+    // vector (every centroid duplicates its subvector) — documented
+    // limitation, mirroring Sq8Store.
+    for (size_t j = 0; j < m_; ++j) {
+      const size_t begin = sub_begin_[j];
+      const size_t dsub = sub_begin_[j + 1] - begin;
+      float* cb = codebooks_.data() + kCentroids * begin;
+      for (size_t c = 0; c < kCentroids; ++c) {
+        std::copy(values + begin, values + begin + dsub, cb + c * dsub);
+      }
+    }
+    trained_ = true;
+  }
+  const uint32_t id = matrix_->InsertRow(values, len);
+  const size_t needed = (static_cast<size_t>(id) + 1) * m_;
+  if (codes_.size() < needed) codes_.resize(needed);
+  EncodeRow(values, id);
+  return id;
+}
+
+Status PqStore::EraseRow(size_t id) {
+  // Codes stay in place under the tombstone, exactly like Sq8Store —
+  // verification filters the id out, InsertRow re-encodes on recycle.
+  return matrix_->EraseRow(id);
+}
+
+size_t PqStore::TrimTombstonedTail() {
+  const size_t trimmed = matrix_->TrimTombstonedTail();
+  if (trimmed > 0) {
+    codes_.resize(matrix_->rows() * m_);
+    codes_.shrink_to_fit();
+  }
+  return trimmed;
+}
+
+bool PqStore::RetrainQuantizer() {
+  const size_t dim = matrix_->cols();
+  const size_t rows = matrix_->rows();
+  if (!trained_ || dim == 0 || rows == 0) return false;
+
+  // Decode every physical row with the *current* codebooks first: the new
+  // codebooks and codes must be a pure function of the old codes so WAL
+  // replay and replication reproduce them byte-identically.
+  auto decoded = std::make_unique<FloatMatrix>(rows, dim);
+  for (size_t r = 0; r < rows; ++r) {
+    DecodeRow(static_cast<uint32_t>(r), decoded->mutable_row(r));
+  }
+
+  // New codebooks from live rows only (capped deterministically) —
+  // tombstoned slots no longer pull centroids toward stale data.
+  std::vector<uint32_t> live;
+  live.reserve(std::min(rows, kTrainSample));
+  for (size_t r = 0; r < rows && live.size() < kTrainSample; ++r) {
+    if (!matrix_->IsDeleted(r)) live.push_back(static_cast<uint32_t>(r));
+  }
+  if (live.empty()) return false;
+  Train(*decoded, live);
+
+  // Re-encode every physical row (tombstoned included) so the whole code
+  // array stays a deterministic function of its prior state.
+  for (size_t r = 0; r < rows; ++r) {
+    EncodeRow(decoded->row(r), static_cast<uint32_t>(r));
+  }
+  return true;
+}
+
+void PqStore::DecodeRow(uint32_t id, float* out) const {
+  const uint8_t* code = codes_.data() + static_cast<size_t>(id) * m_;
+  for (size_t j = 0; j < m_; ++j) {
+    const size_t begin = sub_begin_[j];
+    const size_t dsub = sub_begin_[j + 1] - begin;
+    const float* cent =
+        codebooks_.data() + kCentroids * begin + code[j] * dsub;
+    std::copy(cent, cent + dsub, out + begin);
+  }
+}
+
+float PqStore::ExactL2Squared(const float* query, uint32_t id) const {
+  // Plain scalar accumulation on purpose: the re-rank ordering must be
+  // identical on every SIMD tier (the ADC hot path already is), keeping
+  // whole-search results tier-independent under PQ.
+  const uint8_t* code = codes_.data() + static_cast<size_t>(id) * m_;
+  float total = 0.0f;
+  for (size_t j = 0; j < m_; ++j) {
+    const size_t begin = sub_begin_[j];
+    const size_t dsub = sub_begin_[j + 1] - begin;
+    const float* cent =
+        codebooks_.data() + kCentroids * begin + code[j] * dsub;
+    for (size_t d = 0; d < dsub; ++d) {
+      const float diff = query[begin + d] - cent[d];
+      total += diff * diff;
+    }
+  }
+  return total;
+}
+
+void PqStore::PrepareQuery(const float* query,
+                           std::vector<float>* prep) const {
+  // The ADC lookup table: prep[j * 256 + c] = ||q_sub(j) - centroid(j,c)||^2,
+  // so ScoreBatch is pure table accumulation. Built with plain scalar
+  // arithmetic — never through simd::Active() — so the table (and thus
+  // every downstream score) is identical on every tier.
+  prep->resize(m_ * kCentroids);
+  for (size_t j = 0; j < m_; ++j) {
+    const size_t begin = sub_begin_[j];
+    const size_t dsub = sub_begin_[j + 1] - begin;
+    const float* q = query + begin;
+    const float* cb = codebooks_.data() + kCentroids * begin;
+    float* row = prep->data() + j * kCentroids;
+    for (size_t c = 0; c < kCentroids; ++c) {
+      const float* cent = cb + c * dsub;
+      float dist = 0.0f;
+      for (size_t d = 0; d < dsub; ++d) {
+        const float diff = q[d] - cent[d];
+        dist += diff * diff;
+      }
+      row[c] = dist;
+    }
+  }
+}
+
+void PqStore::ScoreBatch(const float* prep, size_t start,
+                         const uint32_t* ids, size_t n, float* out) const {
+  if (ids != nullptr) {
+    simd::Active().pq_adc_batch(prep, codes_.data(), m_, ids, n, out);
+  } else {
+    simd::Active().pq_adc_batch(prep, codes_.data() + start * m_, m_,
+                                nullptr, n, out);
+  }
+}
+
+void PqStore::MaterializeDecodeView() {
+  const size_t dim = matrix_->cols();
+  std::vector<float> decoded(matrix_->rows() * dim);
+  for (size_t r = 0; r < matrix_->rows(); ++r) {
+    DecodeRow(static_cast<uint32_t>(r), decoded.data() + r * dim);
+  }
+  matrix_->SetPayload(std::move(decoded));
+}
+
+void PqStore::ReleaseDecodeView() { matrix_->ReleasePayload(); }
+
+FloatMatrix PqStore::DecodedCopy() const {
+  const size_t dim = matrix_->cols();
+  std::vector<float> decoded(matrix_->rows() * dim);
+  for (size_t r = 0; r < matrix_->rows(); ++r) {
+    DecodeRow(static_cast<uint32_t>(r), decoded.data() + r * dim);
+  }
+  FloatMatrix out(matrix_->rows(), dim, std::move(decoded));
+  // Replay tombstones in erasure order so the copy's LIFO free-list
+  // recycles exactly like the live store would.
+  for (const uint32_t slot : matrix_->free_slots()) {
+    Status erased = out.EraseRow(slot);
+    assert(erased.ok());
+    (void)erased;
+  }
+  return out;
+}
+
 std::unique_ptr<VectorStore> MakeVectorStore(
-    StorageKind kind, std::unique_ptr<FloatMatrix> data) {
+    StorageKind kind, std::unique_ptr<FloatMatrix> data, size_t pq_m) {
   switch (kind) {
     case StorageKind::kSq8:
       return std::make_unique<Sq8Store>(std::move(data));
+    case StorageKind::kPq:
+      return std::make_unique<PqStore>(std::move(data), pq_m);
     case StorageKind::kFp32:
       break;
   }

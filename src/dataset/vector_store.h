@@ -13,17 +13,19 @@
 namespace dblsh {
 
 /// Storage backends a VectorStore can be built as (Collection spec key
-/// `storage=fp32|sq8`).
+/// `storage=fp32|sq8|pq`).
 enum class StorageKind : int {
   kFp32 = 0,  ///< raw fp32 rows — byte-identical to the pre-store layout
   kSq8 = 1,   ///< per-dimension scalar-quantized u8 rows (~4x compression)
+  kPq = 2,    ///< product-quantized m-byte rows (~16x at dim 128 / m 16)
 };
 
-/// Stable name of a storage backend ("fp32", "sq8"); serialized into v3
-/// index files and reported by stats surfaces.
+/// Stable name of a storage backend ("fp32", "sq8", "pq"); serialized into
+/// v3/v4 index files and reported by stats surfaces.
 const char* StorageKindName(StorageKind kind);
 
-/// Parses a `storage=` spec value ("fp32" | "sq8") into a StorageKind.
+/// Parses a `storage=` spec value ("fp32" | "sq8" | "pq") into a
+/// StorageKind.
 Result<StorageKind> ParseStorageKind(const std::string& name);
 
 /// Owns one shard's row bytes behind the FloatMatrix that the rest of the
@@ -279,10 +281,127 @@ class Sq8Store final : public VectorStore {
   bool trained_ = false;
 };
 
+/// Product-quantized backend: each row is split into `m` contiguous
+/// subspaces and stored as one byte per subspace — the index of the
+/// nearest centroid in that subspace's 256-entry codebook (nbits = 8).
+/// The adopted matrix keeps only metadata (payload released), so memory
+/// per vector drops from 4*dim bytes to m bytes (~16x at dim 128 / m 16).
+///
+/// Subspace split: balanced ragged — the first dim % m subspaces get
+/// ceil(dim/m) dimensions, the rest floor(dim/m) — so any dim >= m works
+/// without padding, and the concatenated codebooks always total 256 * dim
+/// floats regardless of the split.
+///
+/// Training: deterministic per-subspace k-means (Lloyd) over the seed
+/// rows, capped at a fixed-size deterministic sample. Initial centroids
+/// are evenly strided over the sample; with fewer rows than centroids the
+/// surplus centroids duplicate existing rows (every seed row then encodes
+/// exactly). Empty clusters keep their previous centroid, and distance
+/// ties assign to the lowest centroid index, so the codebooks are a pure
+/// function of the training rows — the determinism WAL replay and
+/// replication rely on (see RetrainQuantizer).
+///
+/// Scoring: PrepareQuery computes the ADC lookup table — m x 256 squared
+/// sub-distances from the query to every centroid — once per query, in
+/// plain scalar arithmetic so it is identical on every SIMD tier; the
+/// ScoreBatch hot path is then pure table accumulation (simd pq_adc_scan
+/// kernels, bit-identical across tiers). Unlike SQ8 the query side is
+/// never quantized, so ADC scores are exact on the query side; re-rank
+/// (ExactL2Squared) re-scores against the same reconstruction and exists
+/// for ordering stability under the shared rerank=N machinery.
+///
+/// Updates mirror Sq8Store: in-place index maintenance is unavailable
+/// over a released payload, slots are static, rebuilds read through the
+/// decode view. An empty-seeded store trains on its first InsertRow
+/// (degenerate single-point codebooks) — seed a representative sample
+/// when possible.
+class PqStore final : public VectorStore {
+ public:
+  /// Centroids per subspace (nbits = 8 — the one code width the 1-byte
+  /// layout and the ADC kernels support).
+  static constexpr size_t kCentroids = 256;
+  /// Deterministic training-sample cap: k-means trains on the first
+  /// kTrainSample qualifying rows (all seed rows when fewer).
+  static constexpr size_t kTrainSample = 16384;
+
+  /// Trains codebooks on `seed`'s rows (all physical rows, like SQ8's
+  /// range), encodes them, and releases the seed's fp32 payload. `m` must
+  /// be in [1, seed->cols()]. The seed's tombstone state is preserved.
+  PqStore(std::unique_ptr<FloatMatrix> seed, size_t m);
+
+  /// Restores a store from persisted codebooks (v4 index load):
+  /// re-encodes `data`'s rows with the *saved* codebooks instead of
+  /// re-training, then releases the payload. `codebooks` must have
+  /// 256 * data->cols() floats.
+  PqStore(std::unique_ptr<FloatMatrix> data, size_t m,
+          std::vector<float> codebooks);
+
+  /// Adopts persisted code bytes directly (durability snapshot restore):
+  /// `shell` is a payload-released metadata matrix and `codes` are its
+  /// shell->rows() * m code bytes verbatim — no re-encoding, so the
+  /// restored store is byte-identical to the one that was snapshotted.
+  PqStore(std::unique_ptr<FloatMatrix> shell, size_t m,
+          std::vector<float> codebooks, std::vector<uint8_t> codes,
+          bool trained);
+
+  StorageKind storage_kind() const override { return StorageKind::kPq; }
+  bool quantized() const override { return true; }
+  size_t bytes_per_vector() const override;
+  size_t resident_bytes() const override;
+  uint32_t InsertRow(const float* values, size_t len) override;
+  Status EraseRow(size_t id) override;
+  size_t TrimTombstonedTail() override;
+  void DecodeRow(uint32_t id, float* out) const override;
+  float ExactL2Squared(const float* query, uint32_t id) const override;
+  void PrepareQuery(const float* query,
+                    std::vector<float>* prep) const override;
+  void ScoreBatch(const float* prep, size_t start, const uint32_t* ids,
+                  size_t n, float* out) const override;
+  void MaterializeDecodeView() override;
+  void ReleaseDecodeView() override;
+  FloatMatrix DecodedCopy() const override;
+  bool RetrainQuantizer() override;
+
+  /// Number of subspaces (= code bytes per row).
+  size_t m() const { return m_; }
+  /// Concatenated sub-quantizer codebooks: subspace j's centroid c spans
+  /// codebooks()[256 * sub_begin(j) + c * sub_dim(j) ..), totalling
+  /// 256 * dim floats. The v4 persistence payload.
+  const std::vector<float>& codebooks() const { return codebooks_; }
+  /// Raw code bytes, row r at codes()[r * m .. r * m + m) — the v4
+  /// checksum basis and the durability snapshot payload.
+  const std::vector<uint8_t>& codes() const { return codes_; }
+  /// False until the first row trains the codebooks (empty-seeded stores
+  /// only).
+  bool trained() const { return trained_; }
+  /// First dimension of subspace j (j in [0, m]; sub_begin(m) == dim).
+  size_t sub_begin(size_t j) const { return sub_begin_[j]; }
+  /// Width of subspace j.
+  size_t sub_dim(size_t j) const { return sub_begin_[j + 1] - sub_begin_[j]; }
+
+ private:
+  /// Derives codebooks_ by deterministic k-means over `rows` (row ids into
+  /// `m`, pre-filtered and capped by the caller).
+  void Train(const FloatMatrix& data, const std::vector<uint32_t>& rows);
+  /// Encodes one fp32 row into codes_[id * m ..) (nearest centroid per
+  /// subspace, lowest index on ties).
+  void EncodeRow(const float* values, uint32_t id);
+  /// Fills the balanced ragged subspace bounds for the matrix's dim.
+  void InitSubspaces();
+
+  std::vector<uint8_t> codes_;      ///< rows x m, tombstoned slots included
+  std::vector<float> codebooks_;    ///< 256 * dim, per-subspace blocks
+  std::vector<size_t> sub_begin_;   ///< m + 1 subspace dimension bounds
+  size_t m_ = 0;
+  bool trained_ = false;
+};
+
 /// Constructs the requested backend over `data` (see Fp32Store / Sq8Store
-/// for adoption semantics).
+/// / PqStore for adoption semantics). `pq_m` is the PQ subspace count,
+/// ignored by the other backends.
 std::unique_ptr<VectorStore> MakeVectorStore(StorageKind kind,
-                                             std::unique_ptr<FloatMatrix> data);
+                                             std::unique_ptr<FloatMatrix> data,
+                                             size_t pq_m = 16);
 
 }  // namespace dblsh
 

@@ -128,6 +128,19 @@ Status SaveShardSnapshot(const std::string& path, const ShardSnapshot& snap) {
     AppendBytes(&body, snap.scales.data(), snap.dim * sizeof(float));
     AppendBytes(&body, snap.offsets.data(), snap.dim * sizeof(float));
     AppendBytes(&body, snap.codes.data(), cells);
+  } else if (snap.storage == kSnapshotPq) {
+    // PQ body: [u32 m][256*dim codebook floats][rows*m codes]. The m
+    // lives in the *body* (not the header) so the fixed header layout —
+    // and kSnapVersion — stay unchanged for the other kinds.
+    if (snap.pq_m == 0 || snap.pq_m > snap.dim ||
+        snap.codebooks.size() != 256 * static_cast<size_t>(snap.dim) ||
+        snap.codes.size() != static_cast<size_t>(snap.rows) * snap.pq_m) {
+      return Status::InvalidArgument("snapshot: pq shape mismatch");
+    }
+    AppendPod(&body, snap.pq_m);
+    AppendBytes(&body, snap.codebooks.data(),
+                snap.codebooks.size() * sizeof(float));
+    AppendBytes(&body, snap.codes.data(), snap.codes.size());
   } else {
     if (snap.fp32.size() != cells) {
       return Status::InvalidArgument("snapshot: fp32 shape mismatch");
@@ -178,7 +191,8 @@ Result<ShardSnapshot> LoadShardSnapshot(const std::string& path) {
     return Status::Corruption("snapshot: unsupported version " +
                               std::to_string(version) + " " + path);
   }
-  if (snap.storage != kSnapshotFp32 && snap.storage != kSnapshotSq8) {
+  if (snap.storage != kSnapshotFp32 && snap.storage != kSnapshotSq8 &&
+      snap.storage != kSnapshotPq) {
     return Status::Corruption("snapshot: unknown storage kind " + path);
   }
   snap.trained = trained != 0;
@@ -193,6 +207,18 @@ Result<ShardSnapshot> LoadShardSnapshot(const std::string& path) {
   size_t expect = nfree * sizeof(uint32_t);
   if (snap.storage == kSnapshotSq8) {
     expect += 2 * static_cast<size_t>(snap.dim) * sizeof(float) + cells;
+  } else if (snap.storage == kSnapshotPq) {
+    // The subspace count is the body's first field; read it before the
+    // size check since the code block's length depends on it.
+    if (!reader.Read(&snap.pq_m)) {
+      return Status::Corruption("snapshot: truncated pq body " + path);
+    }
+    if (snap.pq_m == 0 || snap.pq_m > snap.dim) {
+      return Status::Corruption("snapshot: pq m out of range " + path);
+    }
+    expect += sizeof(uint32_t) +
+              256 * static_cast<size_t>(snap.dim) * sizeof(float) +
+              static_cast<size_t>(snap.rows) * snap.pq_m;
   } else {
     expect += cells * sizeof(float);
   }
@@ -207,6 +233,12 @@ Result<ShardSnapshot> LoadShardSnapshot(const std::string& path) {
     reader.ReadBytes(snap.scales.data(), snap.dim * sizeof(float));
     reader.ReadBytes(snap.offsets.data(), snap.dim * sizeof(float));
     reader.ReadBytes(snap.codes.data(), cells);
+  } else if (snap.storage == kSnapshotPq) {
+    snap.codebooks.resize(256 * static_cast<size_t>(snap.dim));
+    snap.codes.resize(static_cast<size_t>(snap.rows) * snap.pq_m);
+    reader.ReadBytes(snap.codebooks.data(),
+                     snap.codebooks.size() * sizeof(float));
+    reader.ReadBytes(snap.codes.data(), snap.codes.size());
   } else {
     snap.fp32.resize(cells);
     reader.ReadBytes(snap.fp32.data(), cells * sizeof(float));

@@ -13,6 +13,7 @@ namespace dblsh::durability {
 /// dataset::StorageKind without importing the dataset layer).
 inline constexpr uint32_t kSnapshotFp32 = 0;
 inline constexpr uint32_t kSnapshotSq8 = 1;
+inline constexpr uint32_t kSnapshotPq = 2;
 
 /// A point-in-time, self-verifying image of one shard's vector store:
 /// the physical row block (including tombstoned rows — the free list is
@@ -23,12 +24,14 @@ struct ShardSnapshot {
   uint64_t rows = 0;
   uint64_t dim = 0;
   uint64_t lsn = 0;      ///< epoch value the snapshot is consistent up to
-  bool trained = false;  ///< sq8 quantizer trained flag
+  bool trained = false;  ///< quantizer trained flag (sq8 / pq)
+  uint32_t pq_m = 0;     ///< subspace count (pq only; stored in the body)
   std::vector<uint32_t> free_slots;  ///< tombstoned local ids, LIFO order
   std::vector<float> fp32;           ///< rows*dim floats (fp32 only)
   std::vector<float> scales;         ///< dim floats (sq8 only)
   std::vector<float> offsets;        ///< dim floats (sq8 only)
-  std::vector<uint8_t> codes;        ///< rows*dim codes (sq8 only)
+  std::vector<float> codebooks;      ///< 256*dim floats (pq only)
+  std::vector<uint8_t> codes;  ///< rows*dim (sq8) / rows*pq_m (pq) codes
 };
 
 /// Checkpoint root record: which WAL generation is live and what the

@@ -112,6 +112,38 @@ inline float ScalarSq8L2Asym(const float* query, const float* offset,
   return (acc0 + acc1) + (acc2 + acc3);
 }
 
+/// PQ ADC score between a per-query lookup table and one m-byte code row:
+/// sum_j lut[j * 256 + code[j]] for j in [0, m) — every subspace
+/// contributes one table lookup, no arithmetic on the row side at all
+/// (PqStore::PrepareQuery bakes the squared sub-distances into `lut`).
+///
+/// Summation order is CANONICAL across every tier, which is what makes
+/// the three tiers bit-identical rather than merely tolerance-close:
+/// 8 bins where bin[l] accumulates the terms j == l (mod 8) in ascending
+/// j, then the fixed reduce ((b0+b4)+(b2+b6)) + ((b1+b5)+(b3+b7)) — the
+/// exact order the AVX2/AVX-512 8-lane gather accumulators produce.
+/// (Deliberately NOT the 4-accumulator pattern of the kernels above: a
+/// gather lane is one bin, and the reduce mirrors the horizontal add.)
+inline float ScalarPqAdc(const float* lut, const uint8_t* code, size_t m) {
+  float bins[8] = {0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f};
+  size_t j = 0;
+  for (; j + 8 <= m; j += 8) {
+    bins[0] += lut[(j + 0) * 256 + code[j + 0]];
+    bins[1] += lut[(j + 1) * 256 + code[j + 1]];
+    bins[2] += lut[(j + 2) * 256 + code[j + 2]];
+    bins[3] += lut[(j + 3) * 256 + code[j + 3]];
+    bins[4] += lut[(j + 4) * 256 + code[j + 4]];
+    bins[5] += lut[(j + 5) * 256 + code[j + 5]];
+    bins[6] += lut[(j + 6) * 256 + code[j + 6]];
+    bins[7] += lut[(j + 7) * 256 + code[j + 7]];
+  }
+  for (; j < m; ++j) {
+    bins[j & 7] += lut[j * 256 + code[j]];
+  }
+  return ((bins[0] + bins[4]) + (bins[2] + bins[6])) +
+         ((bins[1] + bins[5]) + (bins[3] + bins[7]));
+}
+
 }  // namespace simd
 }  // namespace dblsh
 

@@ -44,6 +44,51 @@ Result<Data> ReadVecsFile(const std::string& path, size_t max_vectors) {
   return data;
 }
 
+// Shared streaming loop: identical header/truncation validation to
+// ReadVecsFile, but holds only one row (as T, then widened to float for
+// the visitor) instead of the whole file.
+template <typename T>
+Result<size_t> StreamVecsFile(const std::string& path,
+                              const VecsRowVisitor& visit,
+                              size_t max_vectors) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("vecs: cannot open " + path);
+  std::vector<T> raw;
+  std::vector<float> row;
+  size_t dim = 0;
+  size_t read_vectors = 0;
+  while (max_vectors == 0 || read_vectors < max_vectors) {
+    int32_t d = 0;
+    if (!in.read(reinterpret_cast<char*>(&d), sizeof(d))) {
+      if (in.eof() && in.gcount() == 0) break;  // clean end between vectors
+      return Status::Corruption("vecs: truncated header in " + path);
+    }
+    if (d <= 0) {
+      return Status::Corruption("vecs: non-positive dimension " +
+                                std::to_string(d) + " in " + path);
+    }
+    if (dim == 0) {
+      dim = static_cast<size_t>(d);
+      raw.resize(dim);
+      row.resize(dim);
+    } else if (static_cast<size_t>(d) != dim) {
+      return Status::Corruption(
+          "vecs: vector " + std::to_string(read_vectors) + " has dimension " +
+          std::to_string(d) + ", expected " + std::to_string(dim) + " in " +
+          path);
+    }
+    if (!in.read(reinterpret_cast<char*>(raw.data()),
+                 static_cast<std::streamsize>(dim * sizeof(T)))) {
+      return Status::Corruption("vecs: truncated vector " +
+                                std::to_string(read_vectors) + " in " + path);
+    }
+    for (size_t j = 0; j < dim; ++j) row[j] = static_cast<float>(raw[j]);
+    visit(read_vectors, row.data(), dim);
+    ++read_vectors;
+  }
+  return read_vectors;
+}
+
 }  // namespace
 
 Result<FvecsData> ReadFvecs(const std::string& path, size_t max_vectors) {
@@ -56,6 +101,27 @@ Result<BvecsData> ReadBvecs(const std::string& path, size_t max_vectors) {
 
 Result<IvecsData> ReadIvecs(const std::string& path, size_t max_vectors) {
   return ReadVecsFile<int32_t, IvecsData>(path, max_vectors);
+}
+
+Result<FvecsData> ReadBvecsAsFloat(const std::string& path,
+                                   size_t max_vectors) {
+  auto raw = ReadVecsFile<uint8_t, BvecsData>(path, max_vectors);
+  if (!raw.ok()) return raw.status();
+  FvecsData data;
+  data.dim = raw.value().dim;
+  data.values.assign(raw.value().values.begin(), raw.value().values.end());
+  return data;
+}
+
+Result<size_t> StreamFvecs(const std::string& path,
+                           const VecsRowVisitor& visit, size_t max_vectors) {
+  return StreamVecsFile<float>(path, visit, max_vectors);
+}
+
+Result<size_t> StreamBvecsAsFloat(const std::string& path,
+                                  const VecsRowVisitor& visit,
+                                  size_t max_vectors) {
+  return StreamVecsFile<uint8_t>(path, visit, max_vectors);
 }
 
 }  // namespace dblsh::util

@@ -2,6 +2,7 @@
 #define DBLSH_UTIL_VECS_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,34 @@ Result<BvecsData> ReadBvecs(const std::string& path, size_t max_vectors = 0);
 /// Reads up to `max_vectors` vectors (0 = all) from an `.ivecs` file.
 /// Same error contract as ReadFvecs.
 Result<IvecsData> ReadIvecs(const std::string& path, size_t max_vectors = 0);
+
+/// Reads up to `max_vectors` vectors (0 = all) from a `.bvecs` file,
+/// widening each u8 component to float32 — the form every fp32 consumer
+/// (FloatMatrix seeding, Collection specs, the benches) wants SIFT-style
+/// byte datasets in. Same error contract as ReadFvecs.
+Result<FvecsData> ReadBvecsAsFloat(const std::string& path,
+                                   size_t max_vectors = 0);
+
+/// Per-row visitor for the streaming readers: `row` points at `dim`
+/// floats valid only for the duration of the call; `index` is the
+/// zero-based position of the row in the file.
+using VecsRowVisitor =
+    std::function<void(size_t index, const float* row, size_t dim)>;
+
+/// Streams an `.fvecs` file row by row without materializing the whole
+/// file: `visit` is called once per vector, in file order, for up to
+/// `max_vectors` rows (0 = all). Returns the number of rows visited.
+/// Constant memory (one row buffer); same error contract as ReadFvecs —
+/// on Corruption mid-file the rows already visited stand.
+Result<size_t> StreamFvecs(const std::string& path,
+                           const VecsRowVisitor& visit,
+                           size_t max_vectors = 0);
+
+/// Streams a `.bvecs` file row by row, widening each u8 component to
+/// float32 before the visit. Same contract as StreamFvecs.
+Result<size_t> StreamBvecsAsFloat(const std::string& path,
+                                  const VecsRowVisitor& visit,
+                                  size_t max_vectors = 0);
 
 }  // namespace dblsh::util
 

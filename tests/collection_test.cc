@@ -134,6 +134,63 @@ TEST(CollectionSpecTest, FromSpecRejectsMalformedSpecs) {
   EXPECT_TRUE(made.ok()) << made.status().ToString();
 }
 
+TEST(CollectionSpecTest, PqSpecKeysValidated) {
+  // m/nbits are pq-only keys; nbits must be 8 when given; m must fit the
+  // dimensionality (dim 16 here) and be positive.
+  const std::vector<std::string> bad = {
+      "collection,m=4: LinearScan",               // m without storage=pq
+      "collection,storage=sq8,m=4: LinearScan",   // m under sq8
+      "collection,nbits=8: LinearScan",           // nbits without storage=pq
+      "collection,storage=pq,m=4,nbits=4: LinearScan",  // unsupported width
+      "collection,storage=pq,m=0: LinearScan",    // zero subspaces
+      "collection,storage=pq,m=17: LinearScan",   // m > dim
+  };
+  for (const std::string& spec : bad) {
+    EXPECT_FALSE(Collection::FromSpec(spec, EasyDataPtr(200)).ok()) << spec;
+  }
+  const std::vector<std::string> good = {
+      "collection,storage=pq: LinearScan",            // default m
+      "collection,storage=pq,m=4: LinearScan",
+      "collection,storage=pq,m=4,nbits=8: LinearScan",
+      "collection,storage=pq,m=16,rerank=8: LinearScan",  // m == dim
+  };
+  for (const std::string& spec : good) {
+    auto made = Collection::FromSpec(spec, EasyDataPtr(200));
+    EXPECT_TRUE(made.ok()) << spec << ": " << made.status().ToString();
+  }
+}
+
+// Storage() must report bytes_per_vector uniformly for every storage
+// kind — the `collection stats` and serving-stats surfaces rely on it.
+TEST(CollectionStorageTest, BytesPerVectorReportedForAllKinds) {
+  struct Case {
+    const char* extra;
+    const char* kind;
+    size_t bytes;   // at dim 16
+    size_t rerank;  // 0 = fp32 (no re-rank)
+  };
+  const Case cases[] = {
+      {"", "fp32", 64, 0},
+      {",storage=fp32", "fp32", 64, 0},
+      {",storage=sq8", "sq8", 16, 4},        // default rerank
+      {",storage=pq,m=4", "pq", 4, 4},
+      {",storage=pq,m=4,rerank=6", "pq", 4, 6},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.extra);
+    auto made = Collection::FromSpec(
+        std::string("collection") + c.extra + ": LinearScan",
+        EasyDataPtr(200));
+    ASSERT_TRUE(made.ok()) << made.status().ToString();
+    const CollectionStorageInfo info = made.value()->Storage();
+    EXPECT_EQ(info.kind, c.kind);
+    EXPECT_EQ(info.bytes_per_vector, c.bytes);
+    EXPECT_EQ(info.rerank, c.rerank);
+    EXPECT_GT(info.resident_bytes, 0u);
+    EXPECT_FALSE(info.shard_resident_bytes.empty());
+  }
+}
+
 // ----------------------------------------------- transactional updates ----
 
 TEST(CollectionTest, UpsertDeleteSearchRoundTrip) {

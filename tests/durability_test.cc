@@ -370,6 +370,84 @@ TEST_F(DurabilitySnapshotTest, Sq8SnapshotRoundTripsByteIdentically) {
             snap_before);
 }
 
+TEST_F(DurabilitySnapshotTest, PqSnapshotRoundTripsByteIdentically) {
+  TempDir dir("snap_pq");
+  FloatMatrix data = GenerateClustered({.n = 60, .dim = 12, .clusters = 4});
+  const std::string extra = ",storage=pq,m=3,rerank=2";
+  auto made =
+      Collection::FromSpec(DurableSpec(dir.path(), extra),
+                           std::make_unique<FloatMatrix>(std::move(data)));
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  ASSERT_TRUE(made.value()->Delete(3).ok());
+  ASSERT_TRUE(made.value()->Delete(17).ok());
+  ASSERT_TRUE(made.value()->Checkpoint().ok());
+  const uint64_t digest = DigestOf(*made.value());
+  const std::vector<uint8_t> snap_before =
+      ReadFileBytes(durability::SnapshotPath(dir.path(), 0));
+  ASSERT_FALSE(snap_before.empty());
+  made.value().reset();
+
+  // Recovery adopts the persisted pq codes and codebooks verbatim (the
+  // fp32 payload was released, so re-encoding is impossible) and the
+  // checkpoint recovery finishes with must reproduce the snapshot file
+  // byte for byte.
+  auto reopened = Collection::Open(DurableSpec(dir.path(), extra));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(DigestOf(*reopened.value()), digest);
+  EXPECT_EQ(ReadFileBytes(durability::SnapshotPath(dir.path(), 0)),
+            snap_before);
+}
+
+// A kRetrain WAL record replays deterministically: closing without a
+// final checkpoint forces reopen to re-run the retrain from the log, and
+// the recovered codes must decode to the same bytes.
+TEST_F(DurabilitySnapshotTest, PqRetrainReplaysFromWal) {
+  TempDir dir("snap_pq_retrain");
+  FloatMatrix data = GenerateClustered({.n = 64, .dim = 8, .clusters = 4});
+  const std::string extra = ",storage=pq,m=4,rerank=2";
+  const std::string indexes = "LinearScan,rebuild_threshold=8";
+  auto made =
+      Collection::FromSpec(DurableSpec(dir.path(), extra, indexes),
+                           std::make_unique<FloatMatrix>(std::move(data)));
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  // No checkpoint after this point: every mutation — including the
+  // retrains the threshold keeps triggering — must come back via replay.
+  Rng rng(31);
+  for (int i = 0; i < 40; ++i) {
+    const auto vec = MakeVec(8, &rng);
+    ASSERT_TRUE(made.value()->Upsert(vec.data(), vec.size()).ok());
+    if (i % 7 == 3) {
+      ASSERT_TRUE(made.value()->Delete(static_cast<uint32_t>(i)).ok());
+    }
+  }
+  const uint64_t digest = DigestOf(*made.value());
+  const size_t live = made.value()->size();
+  made.value().reset();
+
+  auto reopened =
+      Collection::Open(DurableSpec(dir.path(), extra, indexes));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->size(), live);
+  EXPECT_EQ(DigestOf(*reopened.value()), digest);
+}
+
+// Reopening a pq collection with a different m than the snapshot was
+// written with must fail typed instead of adopting mismatched codes.
+TEST_F(DurabilitySnapshotTest, PqSubspaceMismatchOnReopenIsRejected) {
+  TempDir dir("snap_pq_m");
+  FloatMatrix data = GenerateClustered({.n = 40, .dim = 12, .clusters = 4});
+  auto made = Collection::FromSpec(
+      DurableSpec(dir.path(), ",storage=pq,m=3"),
+      std::make_unique<FloatMatrix>(std::move(data)));
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  ASSERT_TRUE(made.value()->Checkpoint().ok());
+  made.value().reset();
+  auto reopened =
+      Collection::Open(DurableSpec(dir.path(), ",storage=pq,m=4"));
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+}
+
 TEST_F(DurabilitySnapshotTest, CheckpointWhileBackgroundRebuildInflight) {
   TempDir dir("snap_rebuild");
   FloatMatrix data = GenerateClustered({.n = 80, .dim = 8, .clusters = 4});

@@ -390,6 +390,27 @@ TEST_F(ReplicationTest, QuantizedStorageReplicatesRetrainsExactly) {
   ExpectEqualReads(5, 31, 4);
 }
 
+TEST_F(ReplicationTest, PqStorageReplicatesRetrainsExactly) {
+  // The pq analog: the follower bootstraps from a pq snapshot (adopting
+  // codes + codebooks verbatim), then applies the streamed tail including
+  // kRetrain records. Deterministic k-means makes the follower's
+  // re-derived codebooks byte-equal to the primary's, so the decoded
+  // digests must match exactly.
+  StartPrimary(",storage=pq,m=3,rerank=4", "LinearScan,rebuild_threshold=8");
+  StartReplica(",storage=pq,m=3,rerank=4", "LinearScan,rebuild_threshold=8");
+  MutatePrimary(200, 2025);
+  const bool converged = AwaitConverged();
+  const auto p_lsns = primary_->ShardAppliedLsns();
+  const auto r_lsns = replica_->collection()->ShardAppliedLsns();
+  ASSERT_TRUE(converged)
+      << "error=" << replica_->FirstError() << " primary_lsns=" << p_lsns[0]
+      << "," << p_lsns[1] << " replica_lsns=" << r_lsns[0] << ","
+      << r_lsns[1];
+  EXPECT_EQ(DigestOf(*primary_), DigestOf(*replica_->collection()));
+  EXPECT_EQ(replica_->FirstError(), "");
+  ExpectEqualReads(5, 33, 4);
+}
+
 TEST_F(ReplicationTest, ServerStatsCountSubscriptionsAndShippedRecords) {
   StartPrimary();
   StartReplica();

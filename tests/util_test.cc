@@ -392,6 +392,90 @@ TEST(VecsTest, RejectsCorruptFiles) {
   EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
 }
 
+TEST(VecsTest, BvecsAsFloatWidensComponents) {
+  VecsFile file("bvecs_f");
+  std::vector<uint8_t> bytes;
+  AppendVector<uint8_t>(&bytes, {0, 127, 255, 7});
+  AppendVector<uint8_t>(&bytes, {1, 2, 3, 4});
+  file.Write(bytes);
+  auto read = util::ReadBvecsAsFloat(file.path());
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().dim, 4u);
+  ASSERT_EQ(read.value().count(), 2u);
+  EXPECT_EQ(read.value().values[1], 127.0f);
+  EXPECT_EQ(read.value().values[2], 255.0f);
+  EXPECT_EQ(read.value().values[7], 4.0f);
+  // max_vectors truncates like the typed readers.
+  auto first = util::ReadBvecsAsFloat(file.path(), 1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().count(), 1u);
+}
+
+TEST(VecsTest, StreamingVisitsRowsInOrder) {
+  VecsFile ffile("stream_f");
+  std::vector<uint8_t> bytes;
+  for (int v = 0; v < 5; ++v) {
+    AppendVector<float>(&bytes, {static_cast<float>(v), -1.f});
+  }
+  ffile.Write(bytes);
+  std::vector<float> seen;
+  std::vector<size_t> indexes;
+  auto visited = util::StreamFvecs(
+      ffile.path(), [&](size_t index, const float* row, size_t dim) {
+        ASSERT_EQ(dim, 2u);
+        indexes.push_back(index);
+        seen.push_back(row[0]);
+      });
+  ASSERT_TRUE(visited.ok()) << visited.status().ToString();
+  EXPECT_EQ(visited.value(), 5u);
+  EXPECT_EQ(indexes, (std::vector<size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(seen, (std::vector<float>{0.f, 1.f, 2.f, 3.f, 4.f}));
+
+  // max_vectors stops the scan early.
+  size_t count = 0;
+  auto limited = util::StreamFvecs(
+      ffile.path(), [&](size_t, const float*, size_t) { ++count; }, 2);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited.value(), 2u);
+  EXPECT_EQ(count, 2u);
+
+  VecsFile bfile("stream_b");
+  bytes.clear();
+  AppendVector<uint8_t>(&bytes, {9, 200});
+  AppendVector<uint8_t>(&bytes, {0, 255});
+  bfile.Write(bytes);
+  seen.clear();
+  auto widened = util::StreamBvecsAsFloat(
+      bfile.path(), [&](size_t, const float* row, size_t dim) {
+        seen.insert(seen.end(), row, row + dim);
+      });
+  ASSERT_TRUE(widened.ok()) << widened.status().ToString();
+  EXPECT_EQ(widened.value(), 2u);
+  EXPECT_EQ(seen, (std::vector<float>{9.f, 200.f, 0.f, 255.f}));
+}
+
+TEST(VecsTest, StreamingReportsTypedErrorsAfterVisitedPrefix) {
+  auto missing = util::StreamFvecs("/nonexistent/no_such.fvecs",
+                                   [](size_t, const float*, size_t) {});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+
+  // One good vector, then a truncated payload: the visitor sees the good
+  // prefix and the scan fails with Corruption.
+  VecsFile torn("stream_torn");
+  std::vector<uint8_t> bytes;
+  AppendVector<float>(&bytes, {1.f, 2.f});
+  AppendI32(&bytes, 2);
+  AppendI32(&bytes, 0);  // half of the promised payload, then EOF
+  torn.Write(bytes);
+  size_t visited = 0;
+  auto read = util::StreamFvecs(
+      torn.path(), [&](size_t, const float*, size_t) { ++visited; });
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(visited, 1u);
+}
+
 // ----------------------------------------------------------------- Timer --
 
 TEST(TimerTest, MeasuresElapsedTime) {
